@@ -1,0 +1,29 @@
+//! `segscope-attacks` — the six end-to-end case studies of the SegScope
+//! paper, built on the [`segscope`] library and the [`segsim`] machine
+//! simulator:
+//!
+//! | module | paper section | artifact |
+//! |--------|---------------|----------|
+//! | [`website`] | IV-A | Table IV: website fingerprinting (Chrome/Tor, four settings) |
+//! | [`circl`] | IV-B | Fig. 8: CIRCL key extraction via the frequency channel |
+//! | [`dnnsteal`] | IV-C | Table V: DNN layer-sequence recovery (SA/LDA) |
+//! | [`spectral`] | IV-D | Table VI + Fig. 9: SegScope-enhanced Spectral |
+//! | [`kaslr`] | IV-E | Figs. 10–11, Tables VII–VIII: KASLR de-randomization |
+//! | [`spectre`] | IV-F | Fig. 12: Spectre-V1 + Flush+Reload via the SegScope timer |
+//!
+//! Every experiment exposes a `quick()` configuration small enough for
+//! `cargo test` and a larger configuration for the bench harness; both
+//! are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circl;
+pub mod covert;
+pub mod dnnsteal;
+pub mod kaslr;
+pub mod keystroke;
+pub mod procfp;
+pub mod spectral;
+pub mod spectre;
+pub mod website;

@@ -1,0 +1,340 @@
+//! Extension case study: process fingerprinting (paper Section I cites
+//! interrupt-based process fingerprinting as one of the side channels
+//! SegScope replaces the probing primitive of).
+//!
+//! Different applications drive different interrupt mixes — a download
+//! manager hammers the NIC, a video player ticks with vsync, a compiler
+//! is compute-bound with occasional disk bursts. The attacker probes with
+//! SegScope, extracts a feature vector from the (unlabeled!) SegCnt
+//! trace, and matches it against enrolled application profiles.
+
+use irq::time::Ps;
+use irq::InterruptKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use segscope::SegProbe;
+use segsim::{Machine, MachineConfig, StepFn};
+use serde::{Deserialize, Serialize};
+
+/// The application classes the attacker distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppClass {
+    /// Bulk download: dense NIC interrupt train, light CPU.
+    Downloader,
+    /// Video playback: regular GPU cadence, medium CPU.
+    VideoPlayer,
+    /// Compilation: heavy CPU, sparse bursty disk/NIC activity.
+    Compiler,
+    /// Idle desktop: almost nothing beyond the tick.
+    Idle,
+}
+
+impl AppClass {
+    /// All classes, stable order.
+    pub const ALL: [AppClass; 4] = [
+        AppClass::Downloader,
+        AppClass::VideoPlayer,
+        AppClass::Compiler,
+        AppClass::Idle,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AppClass::Downloader => "downloader",
+            AppClass::VideoPlayer => "video",
+            AppClass::Compiler => "compiler",
+            AppClass::Idle => "idle",
+        }
+    }
+
+    /// Generates `window` worth of this application's activity starting
+    /// at `t0`: device interrupts plus a CPU-load schedule.
+    pub fn activity<R: Rng + ?Sized>(
+        self,
+        t0: Ps,
+        window: Ps,
+        rng: &mut R,
+    ) -> (Vec<(Ps, InterruptKind)>, StepFn) {
+        let mut events = Vec::new();
+        let mut load = StepFn::zero();
+        let end = t0 + window;
+        match self {
+            AppClass::Downloader => {
+                // ~1200 NIC interrupts/s with slight pacing jitter.
+                let mut t = t0;
+                while t < end {
+                    t += Ps::from_us(rng.gen_range(600..1_100));
+                    events.push((t, InterruptKind::Network));
+                }
+                load.push(t0, 0.25);
+            }
+            AppClass::VideoPlayer => {
+                // 60 Hz vblank cadence plus a small audio/NIC trickle.
+                let mut t = t0;
+                while t < end {
+                    t += Ps::from_us(16_667);
+                    events.push((t, InterruptKind::Gpu));
+                }
+                let mut t = t0;
+                while t < end {
+                    t += Ps::from_ms(rng.gen_range(40..120));
+                    events.push((t, InterruptKind::Network));
+                }
+                load.push(t0, 0.45);
+            }
+            AppClass::Compiler => {
+                // CPU-bound with bursty I/O completions.
+                let mut t = t0;
+                while t < end {
+                    t += Ps::from_ms(rng.gen_range(30..150));
+                    for _ in 0..rng.gen_range(2..8) {
+                        t += Ps::from_us(rng.gen_range(100..600));
+                        events.push((t, InterruptKind::Network));
+                    }
+                }
+                load.push(t0, 0.95);
+            }
+            AppClass::Idle => {
+                load.push(t0, 0.02);
+            }
+        }
+        load.push(end, 0.0);
+        events.retain(|&(at, _)| at < end);
+        (events, load)
+    }
+}
+
+/// The attacker-visible feature vector of one observation window: the
+/// 10th/50th/90th percentiles of the probed SegCnt distribution,
+/// normalized by the quiet-calibration median.
+///
+/// This captures both axes of the signal with no labels and no timer:
+/// device-interrupt density *shortens* intervals (pulling the quantiles
+/// down) while victim CPU load *raises* the frequency (pushing them up),
+/// and the spread between q10 and q90 encodes cadence vs burstiness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcFeatures {
+    /// 10th percentile of normalized SegCnt.
+    pub q10: f64,
+    /// Median of normalized SegCnt.
+    pub q50: f64,
+    /// 90th percentile of normalized SegCnt.
+    pub q90: f64,
+}
+
+impl ProcFeatures {
+    /// Squared distance in (log-)feature space.
+    #[must_use]
+    pub fn distance2(&self, other: &ProcFeatures) -> f64 {
+        let d = |a: f64, b: f64| (a.max(1e-6).ln() - b.max(1e-6).ln()).powi(2);
+        d(self.q10, other.q10) + d(self.q50, other.q50) + d(self.q90, other.q90)
+    }
+}
+
+/// Extracts features from one observation window on a fresh machine.
+#[must_use]
+pub fn observe(app: AppClass, seed: u64, window: Ps, probes: usize) -> ProcFeatures {
+    let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
+    machine.set_local_load(0.3); // the spy keeps a low profile
+    machine.spin(100_000_000);
+    // Calibrate the quiet baseline (the spy alone): robust SegCnt level.
+    let mut probe = SegProbe::new();
+    let calib = probe.probe_n(&mut machine, 200).expect("probe works");
+    let mut calib_cnts: Vec<f64> = calib.iter().map(|s| s.segcnt as f64).collect();
+    calib_cnts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let calib_median = calib_cnts[calib_cnts.len() / 2];
+    // Start the victim application and record the raw SegCnt stream.
+    let t0 = machine.now();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9F0C);
+    let (events, load) = app.activity(t0, window, &mut rng);
+    machine.inject_interrupts(events);
+    machine.set_victim_load(load);
+    // Observe only while the application is running: the window bounds
+    // the probe budget.
+    let mut cnts = Vec::with_capacity(probes);
+    let obs_end = t0 + window;
+    for _ in 0..probes {
+        if machine.now() >= obs_end {
+            break;
+        }
+        let Ok(s) = probe.probe_once(&mut machine) else {
+            break;
+        };
+        cnts.push(s.segcnt as f64);
+    }
+    let mut sorted = cnts;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let quantile = |q: f64| -> f64 {
+        if sorted.is_empty() {
+            return 1.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx] / calib_median.max(1.0)
+    };
+    ProcFeatures {
+        q10: quantile(0.1),
+        q50: quantile(0.5),
+        q90: quantile(0.9),
+    }
+}
+
+/// Result of the fingerprinting experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcFpResult {
+    /// Fraction of windows attributed to the right application.
+    pub accuracy: f64,
+    /// Per-class accuracy in [`AppClass::ALL`] order.
+    pub per_class: Vec<f64>,
+    /// Windows evaluated.
+    pub windows: usize,
+}
+
+/// Configuration of the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcFpConfig {
+    /// Enrollment windows per class.
+    pub enroll: usize,
+    /// Test windows per class.
+    pub test: usize,
+    /// Observation window length.
+    pub window: Ps,
+    /// Probe budget per window.
+    pub probes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ProcFpConfig {
+    /// Test-scale configuration.
+    #[must_use]
+    pub fn quick() -> Self {
+        ProcFpConfig {
+            enroll: 3,
+            test: 3,
+            window: Ps::from_ms(400),
+            probes: 300,
+            seed: 0x9F0C,
+        }
+    }
+}
+
+/// Runs enrollment + nearest-centroid identification.
+#[must_use]
+pub fn run_experiment(config: &ProcFpConfig) -> ProcFpResult {
+    // Enroll centroids.
+    let centroids: Vec<(AppClass, ProcFeatures)> = AppClass::ALL
+        .iter()
+        .map(|&app| {
+            let feats: Vec<ProcFeatures> = (0..config.enroll)
+                .map(|i| observe(app, config.seed + i as u64, config.window, config.probes))
+                .collect();
+            let centroid = ProcFeatures {
+                q10: segscope::mean(&feats.iter().map(|f| f.q10).collect::<Vec<_>>()),
+                q50: segscope::mean(&feats.iter().map(|f| f.q50).collect::<Vec<_>>()),
+                q90: segscope::mean(&feats.iter().map(|f| f.q90).collect::<Vec<_>>()),
+            };
+            (app, centroid)
+        })
+        .collect();
+    // Identify.
+    let mut hits = 0usize;
+    let mut windows = 0usize;
+    let mut per_class = Vec::with_capacity(AppClass::ALL.len());
+    for &app in &AppClass::ALL {
+        let mut class_hits = 0usize;
+        for i in 0..config.test {
+            let f = observe(
+                app,
+                config.seed + 0xBEEF + i as u64,
+                config.window,
+                config.probes,
+            );
+            let guess = centroids
+                .iter()
+                .min_by(|a, b| {
+                    f.distance2(&a.1)
+                        .partial_cmp(&f.distance2(&b.1))
+                        .expect("finite")
+                })
+                .map(|(app, _)| *app)
+                .expect("non-empty");
+            class_hits += usize::from(guess == app);
+            windows += 1;
+        }
+        hits += class_hits;
+        per_class.push(class_hits as f64 / config.test as f64);
+    }
+    ProcFpResult {
+        accuracy: hits as f64 / windows.max(1) as f64,
+        per_class,
+        windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_respects_window() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for app in AppClass::ALL {
+            let (events, _) = app.activity(Ps::from_ms(10), Ps::from_ms(100), &mut rng);
+            for &(at, _) in &events {
+                assert!(
+                    at >= Ps::from_ms(10) && at < Ps::from_ms(110),
+                    "{app:?} event at {at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downloader_shortens_intervals() {
+        // A dense NIC train cuts timer periods into short pieces: the
+        // median normalized SegCnt collapses well below idle's.
+        let dl = observe(AppClass::Downloader, 7, Ps::from_ms(400), 300);
+        let idle = observe(AppClass::Idle, 7, Ps::from_ms(400), 300);
+        assert!(
+            dl.q50 < idle.q50 * 0.6,
+            "downloader q50 {} vs idle {}",
+            dl.q50,
+            idle.q50
+        );
+    }
+
+    #[test]
+    fn compiler_raises_the_level() {
+        // Heavy victim CPU load raises the shared-domain frequency, so
+        // intervals hold more iterations than the quiet calibration.
+        let compiler = observe(AppClass::Compiler, 8, Ps::from_ms(400), 300);
+        let idle = observe(AppClass::Idle, 8, Ps::from_ms(400), 300);
+        assert!(
+            compiler.q90 > idle.q90 * 1.2,
+            "compiler q90 {} vs idle {}",
+            compiler.q90,
+            idle.q90
+        );
+    }
+
+    #[test]
+    fn quick_experiment_identifies_apps() {
+        let result = run_experiment(&ProcFpConfig::quick());
+        assert_eq!(result.windows, 12);
+        assert!(
+            result.accuracy >= 0.75,
+            "accuracy {} (chance 0.25)",
+            result.accuracy
+        );
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<_> = AppClass::ALL.iter().map(|a| a.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

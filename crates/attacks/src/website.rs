@@ -1,0 +1,432 @@
+//! Case study 1: website fingerprinting with SegScope interrupt traces
+//! (paper Section IV-A, Table IV).
+//!
+//! Each website is modeled as a stochastic *activity profile* — a train of
+//! network bursts (resource fetches) and a rendering cadence (GPU
+//! interrupts) plus a CPU-load curve — whose parameters are drawn
+//! deterministically from the site identity. Visiting the site injects
+//! the profile's device interrupts into the attacker core's fabric and
+//! loads the shared frequency domain; the attacker collects a SegCnt
+//! trace with [`SegProbe`] and an LSTM classifies which site was visited.
+
+use irq::time::Ps;
+use irq::InterruptKind;
+use nnet::{AdamConfig, SeqClassifier, SeqExample};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use segscope::SegProbe;
+use segsim::{CoResident, Machine, MachineConfig, StepFn};
+use serde::{Deserialize, Serialize};
+
+/// The browser rendering the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Browser {
+    /// Chrome: direct connection, crisp burst timing.
+    Chrome,
+    /// Tor Browser: onion-routing latency, burst-shape padding, and
+    /// timing jitter — the defenses that lower (but do not defeat)
+    /// fingerprinting accuracy in paper Table IV.
+    Tor,
+}
+
+/// The system setting of a Table IV row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Setting {
+    /// Attacker and browser pinned to the same logical core (the paper's
+    /// default).
+    Default,
+    /// Attacker and browser on different logical cores.
+    DifferentCores,
+    /// DVFS disabled (`cpufreq-set` pins 2.5 GHz).
+    FrequencyScalingDisabled,
+    /// Hyper-threading disabled (no SMT-sibling noise).
+    HyperThreadingDisabled,
+}
+
+impl Setting {
+    /// All four Table IV settings, in row order.
+    pub const ALL: [Setting; 4] = [
+        Setting::Default,
+        Setting::DifferentCores,
+        Setting::FrequencyScalingDisabled,
+        Setting::HyperThreadingDisabled,
+    ];
+
+    /// The row label used in the paper's Table IV.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Setting::Default => "Default",
+            Setting::DifferentCores => "Different cores used",
+            Setting::FrequencyScalingDisabled => "Frequency scaling disabled",
+            Setting::HyperThreadingDisabled => "Hyper-threading disabled",
+        }
+    }
+}
+
+/// One network-burst group in a site profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Burst {
+    start: Ps,
+    events: u32,
+    gap: Ps,
+}
+
+/// A website's deterministic activity profile.
+///
+/// Parameters are derived from the site index alone, so every visit to
+/// site `i` shares the same underlying structure while per-visit
+/// randomness (jitter, drops) differs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebsiteProfile {
+    /// Site index (stands in for the paper's 95-site Alexa-derived list).
+    pub site: usize,
+    bursts: Vec<Burst>,
+    /// Render/GPU interrupt period (vsync-ish cadence while loading).
+    gpu_period: Ps,
+    /// How long GPU activity lasts.
+    gpu_until: Ps,
+    /// CPU load while the main document parses/executes.
+    load_level: f64,
+    /// When the heavy-load phase ends.
+    load_until: Ps,
+}
+
+impl WebsiteProfile {
+    /// Builds the profile of site `site`.
+    #[must_use]
+    pub fn for_site(site: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(
+            0x5e_bc0d_e00f ^ (site as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        let n_bursts = rng.gen_range(3..12);
+        let mut bursts = Vec::with_capacity(n_bursts);
+        for b in 0..n_bursts {
+            let start = Ps::from_ms(rng.gen_range(5 + 120 * b as u64..80 + 120 * b as u64));
+            bursts.push(Burst {
+                start,
+                events: rng.gen_range(4..40),
+                gap: Ps::from_us(rng.gen_range(150..2_500)),
+            });
+        }
+        WebsiteProfile {
+            site,
+            bursts,
+            gpu_period: Ps::from_us(rng.gen_range(8_000..22_000)),
+            gpu_until: Ps::from_ms(rng.gen_range(300..1_400)),
+            load_level: rng.gen_range(0.35..0.95),
+            load_until: Ps::from_ms(rng.gen_range(250..1_200)),
+        }
+    }
+
+    /// Generates one visit's device-interrupt schedule and load curve,
+    /// starting at `t0`, under the given browser.
+    pub fn visit<R: Rng + ?Sized>(
+        &self,
+        t0: Ps,
+        browser: Browser,
+        rng: &mut R,
+    ) -> (Vec<(Ps, InterruptKind)>, StepFn) {
+        let mut events = Vec::new();
+        let (latency_ms, jitter_frac, padding) = match browser {
+            Browser::Chrome => (0u64, 0.06, 0u32),
+            Browser::Tor => (rng.gen_range(120..400), 0.25, 24),
+        };
+        let latency = Ps::from_ms(latency_ms);
+        for burst in &self.bursts {
+            let jitter = 1.0 + rng.gen_range(-jitter_frac..jitter_frac);
+            let start = t0 + latency + Ps::from_ps((burst.start.as_ps() as f64 * jitter) as u64);
+            let mut t = start;
+            for _ in 0..burst.events {
+                // Tor's cell-level pacing coarsens gaps.
+                let gap_scale = if browser == Browser::Tor { 2.0 } else { 1.0 };
+                let gap = (burst.gap.as_ps() as f64 * gap_scale * (1.0 + rng.gen_range(-0.3..0.3)))
+                    as u64;
+                t += Ps::from_ps(gap.max(1));
+                events.push((t, InterruptKind::Network));
+            }
+        }
+        // Tor padding: uniform cover traffic across the visit.
+        for _ in 0..padding {
+            let at = t0 + latency + Ps::from_ms(rng.gen_range(0..1_500));
+            events.push((at, InterruptKind::Network));
+        }
+        // Rendering cadence.
+        let mut t = t0 + latency + self.gpu_period;
+        while t < t0 + latency + self.gpu_until {
+            events.push((t, InterruptKind::Gpu));
+            t += self.gpu_period;
+        }
+        events.sort_by_key(|&(at, _)| at);
+        // Load curve: heavy while parsing, light afterwards.
+        let mut load = StepFn::zero();
+        load.push(t0, 0.05);
+        load.push(t0 + latency, self.load_level);
+        load.push(t0 + latency + self.load_until, 0.1);
+        (events, load)
+    }
+}
+
+/// Configuration of one Table IV experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebsiteFpConfig {
+    /// Number of distinct sites (paper: 95; quick default: 12).
+    pub n_sites: usize,
+    /// Traces collected per site (paper: 100; quick default: 12).
+    pub traces_per_site: usize,
+    /// SegCnt samples per trace (paper: 5000; quick default: 600).
+    pub trace_len: usize,
+    /// Average-pooled sequence length fed to the LSTM.
+    pub pooled_len: usize,
+    /// LSTM hidden units (paper: 32).
+    pub hidden: usize,
+    /// Training epochs per fold.
+    pub epochs: usize,
+    /// Cross-validation folds (paper: 10).
+    pub folds: usize,
+    /// Browser under test.
+    pub browser: Browser,
+    /// System setting under test.
+    pub setting: Setting,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WebsiteFpConfig {
+    /// A configuration small enough for `cargo test`.
+    #[must_use]
+    pub fn quick(browser: Browser, setting: Setting) -> Self {
+        WebsiteFpConfig {
+            n_sites: 8,
+            traces_per_site: 8,
+            trace_len: 400,
+            pooled_len: 64,
+            hidden: 16,
+            epochs: 14,
+            folds: 4,
+            browser,
+            setting,
+            seed: 0x7AB1E4,
+        }
+    }
+
+    /// The bench-scale configuration (larger site set, 10-fold CV).
+    #[must_use]
+    pub fn bench(browser: Browser, setting: Setting) -> Self {
+        WebsiteFpConfig {
+            n_sites: 20,
+            traces_per_site: 15,
+            trace_len: 800,
+            pooled_len: 96,
+            hidden: 24,
+            epochs: 20,
+            folds: 5,
+            browser,
+            setting,
+            seed: 0x7AB1E4,
+        }
+    }
+}
+
+/// The outcome of one Table IV cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FingerprintResult {
+    /// Mean top-1 accuracy across folds.
+    pub top1: f64,
+    /// Std of top-1 across folds.
+    pub top1_std: f64,
+    /// Mean top-5 accuracy across folds.
+    pub top5: f64,
+    /// Std of top-5 across folds.
+    pub top5_std: f64,
+    /// Chance level (`1 / n_sites`).
+    pub chance: f64,
+}
+
+/// Collects one SegCnt trace of a visit to `site`.
+///
+/// # Panics
+///
+/// Panics if the probe fails (the default machines never mitigate it).
+#[must_use]
+pub fn collect_trace(config: &WebsiteFpConfig, site: usize, visit_seed: u64) -> Vec<f64> {
+    let mut machine_cfg = MachineConfig::xiaomi_air13();
+    if config.setting == Setting::HyperThreadingDisabled {
+        machine_cfg.noise.smt_factor = 1.0;
+        machine_cfg.noise.op_jitter_std *= 0.6;
+    } else {
+        machine_cfg.noise.smt_factor = 1.04;
+    }
+    let mut machine = Machine::new(machine_cfg, visit_seed);
+    match config.setting {
+        Setting::Default => {
+            machine.set_co_resident(Some(CoResident::browser()));
+        }
+        Setting::DifferentCores => {}
+        Setting::FrequencyScalingDisabled => {
+            machine.pin_frequency(Some(2_500_000));
+        }
+        Setting::HyperThreadingDisabled => {
+            machine.set_co_resident(Some(CoResident::browser()));
+        }
+    }
+    // Warm up, then start the visit.
+    machine.spin(50_000_000);
+    let t0 = machine.now();
+    let profile = WebsiteProfile::for_site(site);
+    let mut visit_rng = SmallRng::seed_from_u64(visit_seed ^ 0xFACE);
+    let (events, load) = profile.visit(t0, config.browser, &mut visit_rng);
+    machine.inject_interrupts(events);
+    machine.set_victim_load(load);
+    let mut probe = SegProbe::new();
+    let samples = probe
+        .probe_n(&mut machine, config.trace_len)
+        .expect("probe works on unmitigated machines");
+    samples.iter().map(|s| s.segcnt as f64).collect()
+}
+
+/// Converts a raw SegCnt trace into an LSTM example with two channels:
+/// the standardized pooled SegCnt level (frequency/load information) and
+/// a *burst density* channel — the fraction of samples in each pooling
+/// bucket that are short intervals (device interrupts cut timer periods
+/// short, so burst density tracks network/GPU activity directly).
+#[must_use]
+pub fn trace_to_example(trace: &[f64], pooled_len: usize, label: usize) -> SeqExample {
+    let pooled = nnet::average_pool(trace, pooled_len);
+    let level = nnet::standardize(&pooled);
+    // Burst density per bucket: short interval = below half the trace
+    // median.
+    let mut sorted = trace.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = sorted[sorted.len() / 2];
+    let short: Vec<f64> = trace
+        .iter()
+        .map(|&x| f64::from(u8::from(x < median * 0.5)))
+        .collect();
+    let density = nnet::average_pool(&short, pooled_len);
+    let xs = level
+        .iter()
+        .zip(&density)
+        .map(|(&l, &d)| vec![l as f32, (d * 4.0) as f32])
+        .collect();
+    SeqExample { xs, label }
+}
+
+/// Runs the full fingerprinting experiment: trace collection, k-fold CV,
+/// LSTM training, and evaluation.
+#[must_use]
+pub fn run_experiment(config: &WebsiteFpConfig) -> FingerprintResult {
+    let mut dataset = Vec::with_capacity(config.n_sites * config.traces_per_site);
+    for site in 0..config.n_sites {
+        for visit in 0..config.traces_per_site {
+            let visit_seed = config
+                .seed
+                .wrapping_add((site as u64) << 20)
+                .wrapping_add(visit as u64);
+            let trace = collect_trace(config, site, visit_seed);
+            dataset.push(trace_to_example(&trace, config.pooled_len, site));
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xF01D);
+    let folds = nnet::k_fold_indices(dataset.len(), config.folds, &mut rng);
+    let mut top1s = Vec::new();
+    let mut top5s = Vec::new();
+    for (train_idx, test_idx) in folds {
+        let train: Vec<SeqExample> = train_idx.iter().map(|&i| dataset[i].clone()).collect();
+        let test: Vec<SeqExample> = test_idx.iter().map(|&i| dataset[i].clone()).collect();
+        let mut model = SeqClassifier::new(
+            2, // channels: SegCnt level + burst density
+            config.hidden,
+            config.n_sites,
+            &mut rng,
+            AdamConfig {
+                lr: 0.015,
+                ..AdamConfig::default()
+            },
+        );
+        for _ in 0..config.epochs {
+            model.train_epoch(&train, 16);
+        }
+        top1s.push(model.accuracy(&test));
+        top5s.push(model.top_k_accuracy(&test, 5));
+    }
+    FingerprintResult {
+        top1: segscope::mean(&top1s),
+        top1_std: segscope::std_dev(&top1s),
+        top5: segscope::mean(&top5s),
+        top5_std: segscope::std_dev(&top5s),
+        chance: 1.0 / config.n_sites as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_deterministic_and_distinct() {
+        let a1 = WebsiteProfile::for_site(3);
+        let a2 = WebsiteProfile::for_site(3);
+        let b = WebsiteProfile::for_site(4);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn tor_adds_latency_and_padding() {
+        let profile = WebsiteProfile::for_site(1);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (chrome_events, _) = profile.visit(Ps::ZERO, Browser::Chrome, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (tor_events, _) = profile.visit(Ps::ZERO, Browser::Tor, &mut rng);
+        assert!(
+            tor_events.len() > chrome_events.len(),
+            "padding adds events"
+        );
+        let first_chrome = chrome_events.first().unwrap().0;
+        let first_tor = tor_events.first().unwrap().0;
+        assert!(first_tor > first_chrome, "onion latency delays traffic");
+    }
+
+    #[test]
+    fn traces_differ_between_sites_more_than_within() {
+        let config = WebsiteFpConfig::quick(Browser::Chrome, Setting::DifferentCores);
+        let t_a1 = collect_trace(&config, 0, 100);
+        let t_a2 = collect_trace(&config, 0, 101);
+        let t_b = collect_trace(&config, 5, 102);
+        let dist = |x: &[f64], y: &[f64]| -> f64 {
+            let xa = nnet::standardize(&nnet::average_pool(x, 64));
+            let ya = nnet::standardize(&nnet::average_pool(y, 64));
+            xa.iter()
+                .zip(&ya)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        };
+        let within = dist(&t_a1, &t_a2);
+        let between = dist(&t_a1, &t_b);
+        assert!(
+            between > within,
+            "between-site distance {between} should exceed within-site {within}"
+        );
+    }
+
+    #[test]
+    fn quick_experiment_beats_chance_soundly() {
+        let config = WebsiteFpConfig::quick(Browser::Chrome, Setting::DifferentCores);
+        let result = run_experiment(&config);
+        assert!(
+            result.top1 > 4.0 * result.chance,
+            "top1 {} vs chance {}",
+            result.top1,
+            result.chance
+        );
+        assert!(result.top5 >= result.top1);
+    }
+
+    #[test]
+    fn settings_have_labels() {
+        for s in Setting::ALL {
+            assert!(!s.label().is_empty());
+        }
+    }
+}

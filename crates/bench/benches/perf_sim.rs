@@ -1,0 +1,57 @@
+//! Criterion performance benches for the simulator's hot paths: probing
+//! throughput, baseline probing, guarded measurements, and the cache
+//! hierarchy. These guard against performance regressions in the
+//! substrate (they are about *host* performance, not paper results).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irq::time::Ps;
+use segscope::{InterruptGuard, SegProbe};
+use segsim::{Machine, MachineConfig};
+use std::hint::black_box;
+
+fn bench_probe(c: &mut Criterion) {
+    c.bench_function("segscope_probe_100_interrupts", |b| {
+        let mut machine = Machine::new(MachineConfig::xiaomi_air13(), 1);
+        let mut probe = SegProbe::new();
+        b.iter(|| {
+            let samples = probe.probe_n(&mut machine, 100).expect("probe works");
+            black_box(samples.len())
+        });
+    });
+}
+
+fn bench_user_span(c: &mut Criterion) {
+    c.bench_function("run_user_until_one_tick", |b| {
+        let mut machine = Machine::new(MachineConfig::xiaomi_air13(), 2);
+        b.iter(|| black_box(machine.run_user_until(Ps::MAX).cycles));
+    });
+}
+
+fn bench_guard(c: &mut Criterion) {
+    c.bench_function("interrupt_guard_round_trip", |b| {
+        let mut machine = Machine::new(MachineConfig::xiaomi_air13(), 3);
+        b.iter(|| {
+            let guard = InterruptGuard::arm(&mut machine).expect("arm");
+            machine.spin(500);
+            black_box(guard.finish(&mut machine))
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("memory_hierarchy_access_mixed", |b| {
+        let mut mem = memsim::MemoryHierarchy::default();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x1740) & 0xf_ffff;
+            black_box(mem.access(addr).cycles)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_probe, bench_user_span, bench_guard, bench_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! `segscope-bench` — shared reporting helpers for the per-table /
+//! per-figure reproduction harnesses in `benches/`.
+//!
+//! Each bench target regenerates one table or figure of the paper's
+//! evaluation and prints it in a paper-comparable layout. Absolute
+//! numbers come from the simulator, so only the *shape* (orderings,
+//! ratios, crossovers) is expected to match the paper; the expected
+//! paper values are printed alongside for easy comparison.
+//!
+//! Set `SEGSCOPE_BENCH_FULL=1` to run the larger (slower) experiment
+//! scales.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Whether the harness should run at full scale
+/// (`SEGSCOPE_BENCH_FULL=1`).
+#[must_use]
+pub fn full_scale() -> bool {
+    std::env::var("SEGSCOPE_BENCH_FULL").is_ok_and(|v| v == "1")
+}
+
+/// Prints a boxed section header.
+pub fn header(title: &str) {
+    let line = "=".repeat(title.len() + 4);
+    println!("\n{line}\n| {title} |\n{line}");
+}
+
+/// Formats a `mean ± std` cell.
+#[must_use]
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{mean:.1} ± {std:.1}")
+}
+
+/// Formats a percentage cell.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Renders a fixed-width text table row: `widths[i]` is the column width.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        let _ = write!(line, "{cell:>width$}  ");
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Renders an ASCII histogram of `values` over `bins` equal-width bins,
+/// each bar scaled to at most `width` characters, annotated with bin
+/// ranges.
+pub fn ascii_histogram(values: &[f64], bins: usize, width: usize) {
+    if values.is_empty() || bins == 0 {
+        println!("(no data)");
+        return;
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let bin = (((v - min) / span) * bins as f64) as usize;
+        counts[bin.min(bins - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &count) in counts.iter().enumerate() {
+        let lo = min + span * i as f64 / bins as f64;
+        let hi = min + span * (i + 1) as f64 / bins as f64;
+        let bar = "#".repeat(count * width / peak);
+        println!("{lo:>14.1} .. {hi:>14.1} |{bar:<width$}| {count}");
+    }
+}
+
+/// Prints a one-line summary (n, mean, std, min, max) of a sample set.
+pub fn summary(label: &str, values: &[f64]) {
+    let stats: irq::dist::RunningStats = values.iter().copied().collect();
+    println!(
+        "{label}: n={} mean={:.1} std={:.1} min={:.1} max={:.1}",
+        stats.count(),
+        stats.mean(),
+        stats.sample_std(),
+        stats.min(),
+        stats.max()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pm(1.234, 0.56), "1.2 ± 0.6");
+        assert_eq!(pct(0.924), "92.4%");
+    }
+
+    #[test]
+    fn histogram_handles_edge_cases() {
+        ascii_histogram(&[], 4, 10);
+        ascii_histogram(&[1.0], 4, 10);
+        ascii_histogram(&[1.0, 2.0, 2.0, 3.0], 2, 10);
+    }
+}

@@ -1,0 +1,334 @@
+//! Deterministic sampling helpers built on `rand`.
+//!
+//! The workspace deliberately avoids a heavyweight statistics dependency;
+//! the handful of distributions the simulator's noise models need (normal,
+//! exponential, truncated/heavy-tail mixtures) are implemented here with
+//! textbook methods. All samplers take an explicit RNG, so every experiment
+//! is reproducible from a seed.
+
+use rand::Rng;
+
+/// Draws a standard-normal sample via the Box–Muller transform.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let z = irq::dist::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws from `N(mean, std)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Draws from `N(mean, std)` truncated to `[lo, hi]` by rejection (falls
+/// back to clamping after 64 rejected draws, which only triggers for
+/// pathological parameterizations).
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    debug_assert!(lo <= hi);
+    for _ in 0..64 {
+        let x = normal(rng, mean, std);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, std).clamp(lo, hi)
+}
+
+/// Draws from an exponential distribution with the given rate (events per
+/// unit time). Returns the waiting time to the next event.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    -u.ln() / rate
+}
+
+/// Draws from a log-normal distribution parameterized by the *underlying*
+/// normal's mean and standard deviation.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws from a two-component mixture: with probability `tail_prob` the
+/// `tail` closure is sampled, otherwise the `body` closure.
+///
+/// Used for the paper's noise shapes: a tight body (e.g. the 1.0–1.5 µs
+/// handler-cost cluster of Fig. 4) plus a rare heavy tail (the outliers that
+/// defeat threshold-based interrupt detectors in Fig. 5).
+pub fn mixture<R, B, T>(rng: &mut R, tail_prob: f64, mut body: B, mut tail: T) -> f64
+where
+    R: Rng + ?Sized,
+    B: FnMut(&mut R) -> f64,
+    T: FnMut(&mut R) -> f64,
+{
+    if rng.gen::<f64>() < tail_prob {
+        tail(rng)
+    } else {
+        body(rng)
+    }
+}
+
+/// Draws from a Poisson distribution with mean `lambda`.
+///
+/// Uses Knuth's method for small means and a clamped normal approximation
+/// for large ones — plenty for the simulator's "how many rare events in N
+/// trials" uses.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be finite and non-negative"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, lambda, lambda.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Simple running-statistics accumulator (Welford's algorithm).
+///
+/// ```
+/// let mut acc = irq::dist::RunningStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 5.0);
+/// assert!((acc.population_std() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (divides by `n`).
+    #[must_use]
+    pub fn population_std(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Sample standard deviation (divides by `n - 1`; 0 when `n < 2`).
+    #[must_use]
+    pub fn sample_std(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = RunningStats::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xDECAF)
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = rng();
+        let stats: RunningStats = (0..50_000).map(|_| normal(&mut r, 10.0, 3.0)).collect();
+        assert!((stats.mean() - 10.0).abs() < 0.1, "mean {}", stats.mean());
+        assert!(
+            (stats.population_std() - 3.0).abs() < 0.1,
+            "std {}",
+            stats.population_std()
+        );
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng();
+        let stats: RunningStats = (0..50_000).map(|_| exponential(&mut r, 4.0)).collect();
+        assert!((stats.mean() - 0.25).abs() < 0.01, "mean {}", stats.mean());
+        assert!(stats.min() >= 0.0);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut r, 1.2, 0.3, 1.0, 1.5);
+            assert!((1.0..=1.5).contains(&x), "{x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn mixture_hits_both_components() {
+        let mut r = rng();
+        let mut tails = 0u32;
+        for _ in 0..10_000 {
+            let x = mixture(&mut r, 0.1, |_| 0.0, |_| 1.0);
+            if x == 1.0 {
+                tails += 1;
+            }
+        }
+        // With p = 0.1, expect roughly 1000 tail draws.
+        assert!((800..1200).contains(&tails), "tails = {tails}");
+    }
+
+    #[test]
+    fn poisson_mean_and_edge_cases() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        let stats: RunningStats = (0..20_000).map(|_| poisson(&mut r, 3.5) as f64).collect();
+        assert!(
+            (stats.mean() - 3.5).abs() < 0.1,
+            "small-lambda mean {}",
+            stats.mean()
+        );
+        let stats: RunningStats = (0..20_000).map(|_| poisson(&mut r, 200.0) as f64).collect();
+        assert!(
+            (stats.mean() - 200.0).abs() < 1.0,
+            "large-lambda mean {}",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert!(log_normal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn running_stats_sample_std() {
+        let stats: RunningStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(stats.count(), 4);
+        assert_eq!(stats.mean(), 2.5);
+        let expected = (5.0f64 / 3.0).sqrt();
+        assert!((stats.sample_std() - expected).abs() < 1e-12);
+        assert_eq!(stats.min(), 1.0);
+        assert_eq!(stats.max(), 4.0);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let empty = RunningStats::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.population_std(), 0.0);
+        let mut one = RunningStats::new();
+        one.push(5.0);
+        assert_eq!(one.sample_std(), 0.0);
+        assert_eq!(one.population_std(), 0.0);
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Simulated time: picosecond resolution, 64-bit range (~213 days).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in picoseconds.
+///
+/// Picoseconds keep sub-cycle precision at multi-GHz frequencies (a 2.5 GHz
+/// cycle is 400 ps) while `u64` still covers 2⁶⁴ ps ≈ 213 days of simulated
+/// time — far beyond any experiment in the paper.
+///
+/// ```
+/// use irq::Ps;
+/// let tick = Ps::from_ms(4); // one 250 Hz timer period
+/// assert_eq!(tick.as_ns(), 4_000_000.0);
+/// assert_eq!(Ps::from_us(1) * 1000, Ps::from_ms(1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ps(u64);
+
+impl Ps {
+    /// Zero time.
+    pub const ZERO: Ps = Ps(0);
+    /// The largest representable instant (used as an "never" sentinel).
+    pub const MAX: Ps = Ps(u64::MAX);
+
+    /// Constructs from raw picoseconds.
+    #[must_use]
+    pub const fn from_ps(ps: u64) -> Self {
+        Ps(ps)
+    }
+
+    /// Constructs from nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        Ps(ns * 1_000)
+    }
+
+    /// Constructs from microseconds.
+    #[must_use]
+    pub const fn from_us(us: u64) -> Self {
+        Ps(us * 1_000_000)
+    }
+
+    /// Constructs from milliseconds.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        Ps(ms * 1_000_000_000)
+    }
+
+    /// Constructs from seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        Ps(s * 1_000_000_000_000)
+    }
+
+    /// Constructs from a floating-point second count (rounds to nearest ps;
+    /// negative inputs clamp to zero).
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        Ps((s.max(0.0) * 1e12).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[must_use]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in nanoseconds (lossy).
+    #[must_use]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Value in microseconds (lossy).
+    #[must_use]
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in milliseconds (lossy).
+    #[must_use]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Value in seconds (lossy).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    #[must_use]
+    pub fn saturating_sub(self, other: Ps) -> Ps {
+        Ps(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition.
+    #[must_use]
+    pub fn checked_add(self, other: Ps) -> Option<Ps> {
+        self.0.checked_add(other.0).map(Ps)
+    }
+
+    /// Number of whole CPU cycles this span holds at `freq_khz`.
+    ///
+    /// Uses 128-bit intermediates so multi-second spans at multi-GHz
+    /// frequencies do not overflow.
+    #[must_use]
+    pub fn cycles_at(self, freq_khz: u64) -> u64 {
+        ((u128::from(self.0) * u128::from(freq_khz)) / 1_000_000_000u128) as u64
+    }
+
+    /// The span occupied by `cycles` CPU cycles at `freq_khz` (rounds up so
+    /// a nonzero cycle count always consumes nonzero time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_khz` is zero.
+    #[must_use]
+    pub fn from_cycles_at(cycles: u64, freq_khz: u64) -> Ps {
+        assert!(freq_khz > 0, "frequency must be nonzero");
+        let num = u128::from(cycles) * 1_000_000_000u128;
+        let den = u128::from(freq_khz);
+        Ps(num.div_ceil(den) as u64)
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ps {
+    fn add_assign(&mut self, rhs: Ps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ps {
+    fn sub_assign(&mut self, rhs: Ps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ps {
+    type Output = Ps;
+    fn mul(self, rhs: u64) -> Ps {
+        Ps(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ps {
+    type Output = Ps;
+    fn div(self, rhs: u64) -> Ps {
+        Ps(self.0 / rhs)
+    }
+}
+
+impl Sum for Ps {
+    fn sum<I: Iterator<Item = Ps>>(iter: I) -> Ps {
+        iter.fold(Ps::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns())
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Ps::from_ns(1), Ps::from_ps(1_000));
+        assert_eq!(Ps::from_us(1), Ps::from_ns(1_000));
+        assert_eq!(Ps::from_ms(1), Ps::from_us(1_000));
+        assert_eq!(Ps::from_secs(1), Ps::from_ms(1_000));
+        assert_eq!(Ps::from_secs_f64(0.25), Ps::from_ms(250));
+    }
+
+    #[test]
+    fn cycles_round_trip_at_2500mhz() {
+        let khz = 2_500_000; // 2.5 GHz
+        let one_cycle = Ps::from_cycles_at(1, khz);
+        assert_eq!(one_cycle, Ps::from_ps(400));
+        assert_eq!(one_cycle.cycles_at(khz), 1);
+        // One second holds exactly 2.5e9 cycles.
+        assert_eq!(Ps::from_secs(1).cycles_at(khz), 2_500_000_000);
+    }
+
+    #[test]
+    fn from_cycles_rounds_up() {
+        // 3 cycles at 3 GHz = 1000.0 ps exactly; 1 cycle = 333.33 ps -> 334.
+        let khz = 3_000_000;
+        assert_eq!(Ps::from_cycles_at(1, khz), Ps::from_ps(334));
+        assert_eq!(Ps::from_cycles_at(3, khz), Ps::from_ps(1_000));
+    }
+
+    #[test]
+    fn large_spans_do_not_overflow() {
+        // 100 simulated seconds at 5 GHz.
+        let khz = 5_000_000;
+        let span = Ps::from_secs(100);
+        assert_eq!(span.cycles_at(khz), 500_000_000_000);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Ps::from_ns(5).saturating_sub(Ps::from_ns(9)), Ps::ZERO);
+        assert_eq!(
+            Ps::from_ns(9).saturating_sub(Ps::from_ns(5)),
+            Ps::from_ns(4)
+        );
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(Ps::from_ps(12).to_string(), "12ps");
+        assert_eq!(Ps::from_ns(1).to_string(), "1.000ns");
+        assert_eq!(Ps::from_ms(4).to_string(), "4.000ms");
+        assert_eq!(Ps::from_secs(10).to_string(), "10.000s");
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Ps = [Ps::from_ns(1), Ps::from_ns(2), Ps::from_ns(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Ps::from_ns(6));
+        assert_eq!(Ps::from_ns(10) / 4, Ps::from_ps(2_500));
+        assert_eq!(Ps::from_ns(10) * 3, Ps::from_ns(30));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the interrupt substrate.
+
+use irq::time::Ps;
+use irq::{dist, HandlerCostParams, InterruptFabric, InterruptKind};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Ps unit conversions are consistent for any nanosecond count.
+    #[test]
+    fn ps_conversions_consistent(ns in 0u64..1_000_000_000_000) {
+        let t = Ps::from_ns(ns);
+        prop_assert_eq!(t.as_ps(), ns * 1_000);
+        prop_assert!((t.as_ns() - ns as f64).abs() < 1e-3);
+    }
+
+    /// cycles ↔ time round trip: converting cycles to a span and back
+    /// never loses more than one cycle (the span rounds up).
+    #[test]
+    fn cycles_round_trip(cycles in 1u64..10_000_000_000, khz in 100_000u64..6_000_000) {
+        let span = Ps::from_cycles_at(cycles, khz);
+        let back = span.cycles_at(khz);
+        prop_assert!(back >= cycles, "span must cover the cycles: {back} < {cycles}");
+        prop_assert!(back - cycles <= 1, "round-up error too large: {back} vs {cycles}");
+    }
+
+    /// The fabric delivers periodic ticks in nondecreasing time order for
+    /// any frequency and seed.
+    #[test]
+    fn fabric_is_time_ordered(hz in 10.0f64..2000.0, seed in 0u64..100_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut fabric = InterruptFabric::new();
+        fabric.add_periodic_timer(hz, Ps::from_ns(100), &mut rng);
+        fabric.add_poisson(InterruptKind::Resched, 50.0, &mut rng);
+        let mut last = Ps::ZERO;
+        for _ in 0..200 {
+            let ev = fabric.pop(&mut rng).expect("armed sources never run dry");
+            prop_assert!(ev.at >= last);
+            last = ev.at;
+        }
+    }
+
+    /// Tick counts over a window match the programmed frequency within
+    /// jitter tolerance.
+    #[test]
+    fn fabric_tick_rate(hz_idx in 0usize..4, seed in 0u64..100_000) {
+        let hz = [50.0, 100.0, 250.0, 1000.0][hz_idx];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut fabric = InterruptFabric::new();
+        fabric.add_periodic_timer(hz, Ps::from_ns(100), &mut rng);
+        let horizon = Ps::from_secs(2);
+        let mut count = 0u32;
+        while let Some(p) = fabric.peek_next() {
+            if p.at > horizon {
+                break;
+            }
+            fabric.pop(&mut rng);
+            count += 1;
+        }
+        let expected = (hz * 2.0) as i64;
+        prop_assert!((i64::from(count) - expected).abs() <= 2, "count {count} vs {expected}");
+    }
+
+    /// Handler costs always respect the cap and stay positive.
+    #[test]
+    fn handler_costs_bounded(seed in 0u64..100_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let params = HandlerCostParams::paper_default();
+        for _ in 0..200 {
+            let w = params.sample(&mut rng);
+            prop_assert!(w > Ps::ZERO);
+            prop_assert!(w <= params.cap);
+        }
+    }
+
+    /// Poisson draws are nonnegative and concentrate near lambda.
+    #[test]
+    fn poisson_sanity(lambda in 0.0f64..500.0, seed in 0u64..100_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mean = (0..400).map(|_| dist::poisson(&mut rng, lambda) as f64).sum::<f64>() / 400.0;
+        // 400 draws: mean within 5 sigma of lambda.
+        let tol = 5.0 * (lambda / 400.0).sqrt().max(0.05);
+        prop_assert!((mean - lambda).abs() <= tol.max(lambda * 0.2 + 0.5),
+            "mean {mean} vs lambda {lambda}");
+    }
+
+    /// Injected one-shots are delivered exactly once each, in order.
+    #[test]
+    fn injections_delivered_once(times in prop::collection::vec(1u64..1_000_000, 1..30)) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut fabric = InterruptFabric::new();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        fabric.inject_all(times.iter().map(|&us| (Ps::from_us(us), InterruptKind::Network)));
+        let mut seen = Vec::new();
+        while let Some(ev) = fabric.pop(&mut rng) {
+            seen.push(ev.at);
+        }
+        prop_assert_eq!(seen.len(), times.len());
+        let expected: Vec<Ps> = sorted.into_iter().map(Ps::from_us).collect();
+        prop_assert_eq!(seen, expected);
+    }
+}

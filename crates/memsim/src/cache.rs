@@ -1,0 +1,246 @@
+//! A set-associative cache with LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+/// A set-associative cache indexed by physical line address.
+///
+/// Each set keeps its ways in MRU-first order; lookups move the hit line to
+/// the front, insertions evict the LRU way. `clflush` removes a line from
+/// this level (the hierarchy flushes all levels).
+///
+/// ```
+/// let mut cache = memsim::SetAssocCache::new(64, 8, 64);
+/// let addr = 0x4000;
+/// assert!(!cache.lookup(addr));
+/// cache.insert(addr);
+/// assert!(cache.lookup(addr));
+/// cache.flush(addr);
+/// assert!(!cache.lookup(addr));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `num_sets` sets of `ways` ways and
+    /// `line_size`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num_sets` and `line_size` are nonzero powers of two
+    /// and `ways` is nonzero.
+    #[must_use]
+    pub fn new(num_sets: usize, ways: usize, line_size: usize) -> Self {
+        assert!(
+            num_sets.is_power_of_two() && num_sets > 0,
+            "sets must be a power of two"
+        );
+        assert!(
+            line_size.is_power_of_two() && line_size > 0,
+            "line size must be a power of two"
+        );
+        assert!(ways > 0, "cache must have at least one way");
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            line_shift: line_size.trailing_zeros(),
+            set_mask: (num_sets - 1) as u64,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Looks up `addr`; on a hit the line is promoted to MRU.
+    pub fn lookup(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            let hit = ways.remove(pos);
+            ways.insert(0, hit);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Returns whether `addr` is cached *without* updating LRU state or
+    /// statistics (a probe for tests and ground truth).
+    #[must_use]
+    pub fn peek(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        self.sets[self.set_of(line)].contains(&line)
+    }
+
+    /// Inserts the line containing `addr` at MRU, evicting the LRU way if
+    /// the set is full. Returns the evicted line address, if any.
+    pub fn insert(&mut self, addr: u64) -> Option<u64> {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        let line_shift = self.line_shift;
+        let ways_cap = self.ways;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            let hit = ways.remove(pos);
+            ways.insert(0, hit);
+            return None;
+        }
+        ways.insert(0, line);
+        if ways.len() > ways_cap {
+            ways.pop().map(|l| l << line_shift)
+        } else {
+            None
+        }
+    }
+
+    /// Removes the line containing `addr` from this level. Returns whether
+    /// it was present.
+    pub fn flush(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            ways.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties the whole cache and resets statistics.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of lookups that hit.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that missed.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total lines currently resident.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Cache capacity in lines.
+    #[must_use]
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_after_flush() {
+        let mut c = SetAssocCache::new(16, 4, 64);
+        assert!(!c.lookup(0x1000));
+        c.insert(0x1000);
+        assert!(c.lookup(0x1000));
+        // Same line, different byte offset.
+        assert!(c.lookup(0x103f));
+        assert!(c.flush(0x1000));
+        assert!(!c.lookup(0x1000));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SetAssocCache::new(1, 2, 64);
+        c.insert(0x0);
+        c.insert(0x40);
+        // Touch 0x0 so 0x40 becomes LRU.
+        assert!(c.lookup(0x0));
+        let evicted = c.insert(0x80);
+        assert_eq!(evicted, Some(0x40));
+        assert!(c.peek(0x0));
+        assert!(!c.peek(0x40));
+        assert!(c.peek(0x80));
+    }
+
+    #[test]
+    fn reinserting_resident_line_evicts_nothing() {
+        let mut c = SetAssocCache::new(1, 2, 64);
+        c.insert(0x0);
+        c.insert(0x40);
+        assert_eq!(c.insert(0x0), None);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssocCache::new(2, 1, 64);
+        c.insert(0x00); // set 0
+        c.insert(0x40); // set 1
+        assert!(c.peek(0x00));
+        assert!(c.peek(0x40));
+        // New line in set 0 evicts only set 0's line.
+        c.insert(0x80);
+        assert!(!c.peek(0x00));
+        assert!(c.peek(0x40));
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru() {
+        let mut c = SetAssocCache::new(1, 2, 64);
+        c.insert(0x0);
+        c.insert(0x40); // MRU = 0x40, LRU = 0x0
+        assert!(c.peek(0x0)); // must not promote
+        let evicted = c.insert(0x80);
+        assert_eq!(evicted, Some(0x0));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        c.insert(0x0);
+        c.lookup(0x0);
+        c.clear();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = SetAssocCache::new(3, 2, 64);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let c = SetAssocCache::new(8, 4, 64);
+        assert_eq!(c.capacity_lines(), 32);
+    }
+}

@@ -1,0 +1,308 @@
+//! The full cache hierarchy: L1/L2/LLC plus DRAM, with per-level latencies.
+
+use crate::cache::SetAssocCache;
+use serde::{Deserialize, Serialize};
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// First-level data cache.
+    L1,
+    /// Unified second-level cache.
+    L2,
+    /// Last-level cache.
+    Llc,
+    /// Main memory.
+    Dram,
+}
+
+/// The result of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// Level that served the access.
+    pub level: CacheLevel,
+    /// Latency in CPU cycles.
+    pub cycles: u64,
+}
+
+/// Geometry and latency configuration for [`MemoryHierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1: (sets, ways).
+    pub l1: (usize, usize),
+    /// L2: (sets, ways).
+    pub l2: (usize, usize),
+    /// LLC: (sets, ways).
+    pub llc: (usize, usize),
+    /// Line size in bytes (shared by all levels).
+    pub line_size: usize,
+    /// L1 hit latency, cycles.
+    pub l1_cycles: u64,
+    /// L2 hit latency, cycles.
+    pub l2_cycles: u64,
+    /// LLC hit latency, cycles.
+    pub llc_cycles: u64,
+    /// DRAM access latency, cycles.
+    pub dram_cycles: u64,
+}
+
+impl HierarchyConfig {
+    /// A typical client-CPU configuration: 32 KiB/8-way L1, 1 MiB/16-way
+    /// L2, 12 MiB/12-way LLC, 64-byte lines, latencies 4/14/42/220 cycles.
+    #[must_use]
+    pub fn client_default() -> Self {
+        HierarchyConfig {
+            l1: (64, 8),
+            l2: (1024, 16),
+            llc: (16384, 12),
+            line_size: 64,
+            l1_cycles: 4,
+            l2_cycles: 14,
+            llc_cycles: 42,
+            dram_cycles: 220,
+        }
+    }
+
+    /// A reduced configuration for fast unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        HierarchyConfig {
+            l1: (4, 2),
+            l2: (8, 2),
+            llc: (16, 4),
+            line_size: 64,
+            l1_cycles: 4,
+            l2_cycles: 14,
+            llc_cycles: 42,
+            dram_cycles: 220,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig::client_default()
+    }
+}
+
+/// An inclusive three-level cache hierarchy backed by DRAM.
+///
+/// The model is deliberately simple — inclusive fills, no coherence
+/// directory, no prefetchers — because the paper's attacks only observe
+/// the hit/miss latency split and the effect of `clflush`.
+///
+/// ```
+/// use memsim::{MemoryHierarchy, CacheLevel};
+/// let mut mem = MemoryHierarchy::default();
+/// let secret_line = 0xdead_c0de_u64 & !0x3f;
+/// assert_eq!(mem.access(secret_line).level, CacheLevel::Dram);
+/// assert_eq!(mem.access(secret_line).level, CacheLevel::L1);
+/// mem.clflush(secret_line);
+/// assert_eq!(mem.access(secret_line).level, CacheLevel::Dram);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryHierarchy {
+    config: HierarchyConfig,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    llc: SetAssocCache,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy from a configuration.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Self {
+        MemoryHierarchy {
+            l1: SetAssocCache::new(config.l1.0, config.l1.1, config.line_size),
+            l2: SetAssocCache::new(config.l2.0, config.l2.1, config.line_size),
+            llc: SetAssocCache::new(config.llc.0, config.llc.1, config.line_size),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Performs a demand load of `addr`, filling all levels on the way in.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        if self.l1.lookup(addr) {
+            return AccessOutcome {
+                level: CacheLevel::L1,
+                cycles: self.config.l1_cycles,
+            };
+        }
+        if self.l2.lookup(addr) {
+            self.l1.insert(addr);
+            return AccessOutcome {
+                level: CacheLevel::L2,
+                cycles: self.config.l2_cycles,
+            };
+        }
+        if self.llc.lookup(addr) {
+            self.l2.insert(addr);
+            self.l1.insert(addr);
+            return AccessOutcome {
+                level: CacheLevel::Llc,
+                cycles: self.config.llc_cycles,
+            };
+        }
+        self.fill(addr);
+        AccessOutcome {
+            level: CacheLevel::Dram,
+            cycles: self.config.dram_cycles,
+        }
+    }
+
+    /// A software prefetch: fills the line like a load but reports the
+    /// pipeline-visible cost (prefetches retire quickly regardless of where
+    /// the data was).
+    pub fn prefetch(&mut self, addr: u64) -> AccessOutcome {
+        let was_cached = self.peek_level(addr);
+        match was_cached {
+            Some(level) => {
+                // Touch to update LRU.
+                let _ = self.access(addr);
+                AccessOutcome {
+                    level,
+                    cycles: self.config.l1_cycles,
+                }
+            }
+            None => {
+                self.fill(addr);
+                AccessOutcome {
+                    level: CacheLevel::Dram,
+                    cycles: self.config.l1_cycles,
+                }
+            }
+        }
+    }
+
+    /// Evicts the line containing `addr` from every level (`clflush`).
+    /// Returns whether it was present anywhere.
+    pub fn clflush(&mut self, addr: u64) -> bool {
+        let a = self.l1.flush(addr);
+        let b = self.l2.flush(addr);
+        let c = self.llc.flush(addr);
+        a || b || c
+    }
+
+    /// Returns the fastest level currently holding `addr`, without side
+    /// effects (ground-truth probe).
+    #[must_use]
+    pub fn peek_level(&self, addr: u64) -> Option<CacheLevel> {
+        if self.l1.peek(addr) {
+            Some(CacheLevel::L1)
+        } else if self.l2.peek(addr) {
+            Some(CacheLevel::L2)
+        } else if self.llc.peek(addr) {
+            Some(CacheLevel::Llc)
+        } else {
+            None
+        }
+    }
+
+    /// The latency a load of `addr` *would* observe right now, without
+    /// performing it.
+    #[must_use]
+    pub fn peek_cycles(&self, addr: u64) -> u64 {
+        match self.peek_level(addr) {
+            Some(CacheLevel::L1) => self.config.l1_cycles,
+            Some(CacheLevel::L2) => self.config.l2_cycles,
+            Some(CacheLevel::Llc) => self.config.llc_cycles,
+            Some(CacheLevel::Dram) | None => self.config.dram_cycles,
+        }
+    }
+
+    /// Empties all levels.
+    pub fn clear(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        self.llc.clear();
+    }
+
+    fn fill(&mut self, addr: u64) {
+        self.llc.insert(addr);
+        self.l2.insert(addr);
+        self.l1.insert(addr);
+    }
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> Self {
+        MemoryHierarchy::new(HierarchyConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_latency_split() {
+        let mut mem = MemoryHierarchy::default();
+        let cold = mem.access(0x10000);
+        assert_eq!(cold.level, CacheLevel::Dram);
+        let warm = mem.access(0x10000);
+        assert_eq!(warm.level, CacheLevel::L1);
+        assert!(
+            cold.cycles > 5 * warm.cycles,
+            "F+R needs a wide latency split"
+        );
+    }
+
+    #[test]
+    fn clflush_evicts_all_levels() {
+        let mut mem = MemoryHierarchy::default();
+        mem.access(0x2000);
+        assert!(mem.peek_level(0x2000).is_some());
+        assert!(mem.clflush(0x2000));
+        assert_eq!(mem.peek_level(0x2000), None);
+        assert!(!mem.clflush(0x2000), "double flush finds nothing");
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let cfg = HierarchyConfig::tiny();
+        let mut mem = MemoryHierarchy::new(cfg);
+        // Fill one L1 set (4 sets, 2 ways, 64B lines -> same set every 4 lines).
+        let stride = 4 * 64;
+        mem.access(0);
+        mem.access(stride as u64);
+        mem.access(2 * stride as u64); // evicts line 0 from L1
+        let again = mem.access(0);
+        assert_eq!(
+            again.level,
+            CacheLevel::L2,
+            "should hit in L2 after L1 eviction"
+        );
+    }
+
+    #[test]
+    fn prefetch_installs_line_cheaply() {
+        let mut mem = MemoryHierarchy::default();
+        let out = mem.prefetch(0x3000);
+        assert_eq!(out.cycles, mem.config().l1_cycles);
+        assert_eq!(mem.peek_level(0x3000), Some(CacheLevel::L1));
+        let warm = mem.access(0x3000);
+        assert_eq!(warm.level, CacheLevel::L1);
+    }
+
+    #[test]
+    fn peek_cycles_matches_access() {
+        let mut mem = MemoryHierarchy::default();
+        assert_eq!(mem.peek_cycles(0x4000), mem.config().dram_cycles);
+        mem.access(0x4000);
+        assert_eq!(mem.peek_cycles(0x4000), mem.config().l1_cycles);
+    }
+
+    #[test]
+    fn clear_cools_everything() {
+        let mut mem = MemoryHierarchy::default();
+        mem.access(0x5000);
+        mem.clear();
+        assert_eq!(mem.peek_level(0x5000), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! Memory-hierarchy substrate for the SegScope reproduction.
+//!
+//! Provides the pieces of the memory system the paper's case studies
+//! observe through timing:
+//!
+//! * [`SetAssocCache`] / [`MemoryHierarchy`] — set-associative L1/L2/LLC
+//!   with LRU replacement, `clflush`, and per-level hit latencies. This is
+//!   the substrate for Flush+Reload and the Spectre cache side effect
+//!   (paper Section IV-F, Fig. 12).
+//! * [`Tlb`] — a small TLB whose hit/miss behaviour produces the
+//!   K-amplification effect when repeatedly probing one kernel address
+//!   (paper Figs. 10 and 11).
+//! * [`KaslrLayout`] / [`KaslrTiming`] — the randomized kernel text base
+//!   (512 slots of 2 MiB within a 1 GiB region) and the access/prefetch
+//!   latency asymmetry between mapped and unmapped slots that the
+//!   SegScope-based timer measures to de-randomize it (paper Section IV-E,
+//!   Tables VII and VIII).
+//!
+//! All latencies are expressed in CPU cycles; the machine simulator
+//! converts them to time at the core's current frequency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod kaslr;
+mod tlb;
+
+pub use cache::SetAssocCache;
+pub use hierarchy::{AccessOutcome, CacheLevel, HierarchyConfig, MemoryHierarchy};
+pub use kaslr::{
+    KaslrLayout, KaslrTiming, KASLR_ALIGN, KASLR_REGION_BYTES, KASLR_REGION_START, KASLR_SLOTS,
+    KERNEL_TEXT_SLOTS,
+};
+pub use tlb::Tlb;

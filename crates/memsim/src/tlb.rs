@@ -1,0 +1,141 @@
+//! A small fully-associative TLB with LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+/// A fully-associative translation lookaside buffer over 4 KiB pages.
+///
+/// Repeatedly probing one kernel address keeps its translation (for mapped
+/// pages) resident here, so only the *first* of `K` probes pays the full
+/// page-walk cost — while unmapped pages walk the page table every time.
+/// This asymmetry is what lets the KASLR attacker amplify the mapped vs
+/// unmapped timing difference by raising `K` (paper Figs. 10 and 11).
+///
+/// ```
+/// let mut tlb = memsim::Tlb::new(4);
+/// assert!(!tlb.lookup(0x1000));
+/// tlb.insert(0x1000);
+/// assert!(tlb.lookup(0x1234)); // same 4 KiB page
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tlb {
+    entries: Vec<u64>,
+    capacity: usize,
+}
+
+const PAGE_SHIFT: u32 = 12;
+
+impl Tlb {
+    /// Creates a TLB holding up to `capacity` page translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tlb must hold at least one entry");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    fn page_of(addr: u64) -> u64 {
+        addr >> PAGE_SHIFT
+    }
+
+    /// Looks up the translation for the page containing `addr`, promoting
+    /// it to MRU on a hit.
+    pub fn lookup(&mut self, addr: u64) -> bool {
+        let page = Self::page_of(addr);
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            let hit = self.entries.remove(pos);
+            self.entries.insert(0, hit);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Installs the translation for the page containing `addr` (MRU),
+    /// evicting the LRU entry when full.
+    pub fn insert(&mut self, addr: u64) {
+        let page = Self::page_of(addr);
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, page);
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Checks residency without promoting.
+    #[must_use]
+    pub fn peek(&self, addr: u64) -> bool {
+        self.entries.contains(&Self::page_of(addr))
+    }
+
+    /// Drops every translation (what a context switch with PCID disabled,
+    /// or a TLB shootdown, does).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of resident translations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the TLB holds no translations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_granularity() {
+        let mut tlb = Tlb::new(8);
+        tlb.insert(0x1000);
+        assert!(tlb.lookup(0x1fff)); // same page
+        assert!(!tlb.lookup(0x2000)); // next page
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(0x1000);
+        tlb.insert(0x2000);
+        assert!(tlb.lookup(0x1000)); // promote page 1
+        tlb.insert(0x3000); // evicts page 2
+        assert!(tlb.peek(0x1000));
+        assert!(!tlb.peek(0x2000));
+        assert!(tlb.peek(0x3000));
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(0x1000);
+        tlb.insert(0x1000);
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(0x1000);
+        tlb.flush_all();
+        assert!(tlb.is_empty());
+        assert!(!tlb.lookup(0x1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = Tlb::new(0);
+    }
+}

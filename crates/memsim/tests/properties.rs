@@ -1,0 +1,94 @@
+//! Property-based tests for the memory substrate.
+
+use memsim::{HierarchyConfig, KaslrLayout, MemoryHierarchy, SetAssocCache, Tlb, KASLR_SLOTS};
+use proptest::prelude::*;
+
+proptest! {
+    /// A line just inserted is always resident; flushing it always
+    /// removes it — for any address.
+    #[test]
+    fn insert_lookup_flush(addr in any::<u64>()) {
+        let mut cache = SetAssocCache::new(64, 8, 64);
+        cache.insert(addr);
+        prop_assert!(cache.peek(addr));
+        prop_assert!(cache.lookup(addr));
+        prop_assert!(cache.flush(addr));
+        prop_assert!(!cache.peek(addr));
+    }
+
+    /// Residency never exceeds capacity, whatever the access pattern.
+    #[test]
+    fn capacity_invariant(addrs in prop::collection::vec(any::<u64>(), 1..500)) {
+        let mut cache = SetAssocCache::new(16, 4, 64);
+        for a in &addrs {
+            cache.insert(*a);
+            prop_assert!(cache.resident_lines() <= cache.capacity_lines());
+        }
+    }
+
+    /// After an access, a repeat access hits at L1 with the L1 latency —
+    /// the monotone warm-up every timing attack depends on.
+    #[test]
+    fn second_access_is_l1(addr in any::<u64>()) {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::client_default());
+        let first = mem.access(addr);
+        let second = mem.access(addr);
+        prop_assert!(second.cycles <= first.cycles);
+        prop_assert_eq!(second.cycles, mem.config().l1_cycles);
+    }
+
+    /// clflush fully cools a line: the next access pays DRAM latency.
+    #[test]
+    fn clflush_cools(addr in any::<u64>()) {
+        let mut mem = MemoryHierarchy::default();
+        mem.access(addr);
+        mem.clflush(addr);
+        prop_assert_eq!(mem.access(addr).cycles, mem.config().dram_cycles);
+    }
+
+    /// The TLB never reports a hit for a page never inserted.
+    #[test]
+    fn tlb_no_phantom_hits(pages in prop::collection::vec(0u64..1_000, 1..50)) {
+        let mut tlb = Tlb::new(16);
+        for &p in &pages {
+            tlb.insert(p << 12);
+        }
+        for probe in 1_000u64..1_050 {
+            let hit = tlb.peek(probe << 12);
+            prop_assert!(!hit || pages.contains(&probe));
+        }
+    }
+
+    /// KASLR: exactly KERNEL_TEXT_SLOTS slots are mapped, contiguous,
+    /// starting at the secret.
+    #[test]
+    fn kaslr_mapped_window(slot in 0usize..(KASLR_SLOTS - memsim::KERNEL_TEXT_SLOTS)) {
+        let layout = KaslrLayout::with_slot(slot);
+        let mapped: Vec<usize> = (0..KASLR_SLOTS)
+            .filter(|&s| layout.is_mapped(layout.slot_base(s)))
+            .collect();
+        prop_assert_eq!(mapped.len(), memsim::KERNEL_TEXT_SLOTS);
+        prop_assert_eq!(mapped[0], slot);
+        prop_assert!(mapped.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    /// Mapped probes are never slower than unmapped probes, under both
+    /// methods, regardless of TLB state.
+    #[test]
+    fn mapped_is_never_slower(slot in 0usize..400, probes in 1usize..16) {
+        let mut layout = KaslrLayout::with_slot(slot);
+        let mapped = layout.slot_base(slot);
+        let unmapped = layout.slot_base(450);
+        for _ in 0..probes {
+            let m = layout.probe_prefetch(mapped);
+            let u = layout.probe_prefetch(unmapped);
+            prop_assert!(m < u, "prefetch: mapped {m} !< unmapped {u}");
+        }
+        layout.flush_tlb();
+        for _ in 0..probes {
+            let m = layout.probe_access(mapped);
+            let u = layout.probe_access(unmapped);
+            prop_assert!(m < u, "access: mapped {m} !< unmapped {u}");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Ready-made classifier heads: a many-to-one sequence classifier (the
+//! website-fingerprinting LSTM) and a many-to-many sequence tagger (the
+//! DNN-layer-segmentation BiLSTM).
+
+use crate::dense::Dense;
+use crate::loss::{argmax, softmax_cross_entropy, top_k};
+use crate::lstm::{BiLstm, Lstm};
+use crate::optim::AdamConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labeled sequence for many-to-one classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqExample {
+    /// Per-timestep feature vectors.
+    pub xs: Vec<Vec<f32>>,
+    /// Class label.
+    pub label: usize,
+}
+
+/// An LSTM → dense → softmax sequence classifier (many-to-one), the shape
+/// of the paper's website-fingerprinting model (32 LSTM units).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqClassifier {
+    lstm: Lstm,
+    head: Dense,
+}
+
+impl SeqClassifier {
+    /// Creates a classifier with the given dimensions.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        input: usize,
+        hidden: usize,
+        classes: usize,
+        rng: &mut R,
+        adam: AdamConfig,
+    ) -> Self {
+        SeqClassifier {
+            lstm: Lstm::new(input, hidden, rng, adam),
+            head: Dense::new(hidden, classes, rng, adam),
+        }
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.head.output_dim()
+    }
+
+    /// Class logits for one sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence.
+    #[must_use]
+    pub fn logits(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        assert!(!xs.is_empty(), "cannot classify an empty sequence");
+        let trace = self.lstm.forward(xs);
+        self.head.forward(trace.hidden(trace.len() - 1))
+    }
+
+    /// Predicted class.
+    #[must_use]
+    pub fn predict(&self, xs: &[Vec<f32>]) -> usize {
+        argmax(&self.logits(xs))
+    }
+
+    /// Top-`k` predicted classes, best first.
+    #[must_use]
+    pub fn predict_top_k(&self, xs: &[Vec<f32>], k: usize) -> Vec<usize> {
+        top_k(&self.logits(xs), k)
+    }
+
+    /// One SGD epoch over `examples` in the given order, with gradient
+    /// application every `batch` examples. Returns the mean loss.
+    pub fn train_epoch(&mut self, examples: &[SeqExample], batch: usize) -> f32 {
+        let mut total = 0.0f32;
+        let mut in_batch = 0usize;
+        for ex in examples {
+            let trace = self.lstm.forward(&ex.xs);
+            let last = trace.len() - 1;
+            let logits = self.head.forward(trace.hidden(last));
+            let (loss, dlogits) = softmax_cross_entropy(&logits, ex.label);
+            total += loss;
+            let dh_last = self.head.backward(trace.hidden(last), &dlogits);
+            let mut dh = vec![vec![0.0f32; self.lstm.hidden_dim()]; trace.len()];
+            dh[last] = dh_last;
+            self.lstm.backward(&trace, &dh);
+            in_batch += 1;
+            if in_batch == batch {
+                self.lstm.apply_grads(batch);
+                self.head.apply_grads(batch);
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            self.lstm.apply_grads(in_batch);
+            self.head.apply_grads(in_batch);
+        }
+        total / examples.len().max(1) as f32
+    }
+
+    /// Top-1 accuracy over a labeled set.
+    #[must_use]
+    pub fn accuracy(&self, examples: &[SeqExample]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let hits = examples
+            .iter()
+            .filter(|ex| self.predict(&ex.xs) == ex.label)
+            .count();
+        hits as f64 / examples.len() as f64
+    }
+
+    /// Top-`k` accuracy over a labeled set.
+    #[must_use]
+    pub fn top_k_accuracy(&self, examples: &[SeqExample], k: usize) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let hits = examples
+            .iter()
+            .filter(|ex| self.predict_top_k(&ex.xs, k).contains(&ex.label))
+            .count();
+        hits as f64 / examples.len() as f64
+    }
+}
+
+/// A per-timestep labeled sequence for many-to-many tagging.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaggedExample {
+    /// Per-timestep feature vectors.
+    pub xs: Vec<Vec<f32>>,
+    /// Per-timestep class labels (same length as `xs`).
+    pub tags: Vec<usize>,
+}
+
+/// A BiLSTM → dense → softmax sequence tagger (many-to-many), the shape of
+/// the paper's DNN-architecture-segmentation model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqTagger {
+    bilstm: BiLstm,
+    head: Dense,
+}
+
+impl SeqTagger {
+    /// Creates a tagger with the given dimensions.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        input: usize,
+        hidden: usize,
+        classes: usize,
+        rng: &mut R,
+        adam: AdamConfig,
+    ) -> Self {
+        SeqTagger {
+            bilstm: BiLstm::new(input, hidden, rng, adam),
+            head: Dense::new(2 * hidden, classes, rng, adam),
+        }
+    }
+
+    /// Number of tag classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.head.output_dim()
+    }
+
+    /// Per-timestep predicted tags.
+    #[must_use]
+    pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<usize> {
+        let trace = self.bilstm.forward(xs);
+        (0..trace.len())
+            .map(|t| argmax(&self.head.forward(&trace.output(t))))
+            .collect()
+    }
+
+    /// One training epoch; returns the mean per-timestep loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an example's `tags` length differs from its `xs` length.
+    pub fn train_epoch(&mut self, examples: &[TaggedExample], batch: usize) -> f32 {
+        let mut total = 0.0f32;
+        let mut steps = 0usize;
+        let mut in_batch = 0usize;
+        for ex in examples {
+            assert_eq!(ex.xs.len(), ex.tags.len(), "tags must align with inputs");
+            let trace = self.bilstm.forward(&ex.xs);
+            let mut d_outs = Vec::with_capacity(trace.len());
+            for t in 0..trace.len() {
+                let features = trace.output(t);
+                let logits = self.head.forward(&features);
+                let (loss, dlogits) = softmax_cross_entropy(&logits, ex.tags[t]);
+                total += loss;
+                steps += 1;
+                d_outs.push(self.head.backward(&features, &dlogits));
+            }
+            self.bilstm.backward(&trace, &d_outs);
+            in_batch += 1;
+            if in_batch == batch {
+                self.bilstm.apply_grads(batch);
+                self.head.apply_grads(batch * trace.len().max(1));
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            self.bilstm.apply_grads(in_batch);
+            self.head.apply_grads(in_batch);
+        }
+        total / steps.max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Class c = constant level c/3 plus noise.
+    fn toy_seq_data(rng: &mut SmallRng, n_per_class: usize) -> Vec<SeqExample> {
+        let mut out = Vec::new();
+        for label in 0..3usize {
+            for _ in 0..n_per_class {
+                let xs = (0..10)
+                    .map(|_| vec![label as f32 / 3.0 + rng.gen_range(-0.05..0.05)])
+                    .collect();
+                out.push(SeqExample { xs, label });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn seq_classifier_learns_toy_classes() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let train = toy_seq_data(&mut rng, 20);
+        let test = toy_seq_data(&mut rng, 10);
+        let mut model = SeqClassifier::new(
+            1,
+            8,
+            3,
+            &mut rng,
+            AdamConfig {
+                lr: 0.02,
+                ..AdamConfig::default()
+            },
+        );
+        let initial = model.accuracy(&test);
+        for _ in 0..15 {
+            model.train_epoch(&train, 8);
+        }
+        let trained = model.accuracy(&test);
+        assert!(trained > 0.9, "accuracy {initial} -> {trained}");
+        assert!(model.top_k_accuracy(&test, 2) >= trained);
+        assert_eq!(model.classes(), 3);
+    }
+
+    #[test]
+    fn tagger_learns_level_segmentation() {
+        // Tag = 0 where signal < 0.5, else 1.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let make = |rng: &mut SmallRng| {
+            let flip = rng.gen_range(3..7);
+            let xs: Vec<Vec<f32>> = (0..10)
+                .map(|t| vec![if t < flip { 0.1 } else { 0.9 } + rng.gen_range(-0.05..0.05)])
+                .collect();
+            let tags: Vec<usize> = (0..10).map(|t| usize::from(t >= flip)).collect();
+            TaggedExample { xs, tags }
+        };
+        let train: Vec<_> = (0..40).map(|_| make(&mut rng)).collect();
+        let test: Vec<_> = (0..10).map(|_| make(&mut rng)).collect();
+        let mut model = SeqTagger::new(
+            1,
+            6,
+            2,
+            &mut rng,
+            AdamConfig {
+                lr: 0.02,
+                ..AdamConfig::default()
+            },
+        );
+        for _ in 0..12 {
+            model.train_epoch(&train, 8);
+        }
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for ex in &test {
+            let pred = model.predict(&ex.xs);
+            hits += pred.iter().zip(&ex.tags).filter(|(p, t)| p == t).count();
+            total += ex.tags.len();
+        }
+        let acc = hits as f64 / total as f64;
+        assert!(acc > 0.9, "per-timestep accuracy {acc}");
+        assert_eq!(model.classes(), 2);
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let train = toy_seq_data(&mut rng, 15);
+        let mut model = SeqClassifier::new(1, 6, 3, &mut rng, AdamConfig::default());
+        let first = model.train_epoch(&train, 8);
+        let mut last = first;
+        for _ in 0..10 {
+            last = model.train_epoch(&train, 8);
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let model = SeqClassifier::new(1, 4, 2, &mut rng, AdamConfig::default());
+        let _ = model.logits(&[]);
+    }
+}

@@ -1,0 +1,218 @@
+//! A minimal row-major matrix for the classifier networks.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` matrix.
+///
+/// Only the operations the LSTM/dense layers need are provided; this is a
+/// training substrate, not a linear-algebra library.
+///
+/// ```
+/// let m = nnet::Mat::zeros(2, 3);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m.get(1, 2), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// An all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    #[must_use]
+    pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat data buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data buffer (used by the optimizer).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `out += self * x` where `x.len() == cols` and `out.len() == rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec_acc(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec input length");
+        assert_eq!(out.len(), self.rows, "matvec output length");
+        #[allow(clippy::needless_range_loop)] // rows of two different buffers
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0f32;
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            out[r] += acc;
+        }
+    }
+
+    /// `out += selfᵀ * g` where `g.len() == rows` and `out.len() == cols`
+    /// (backpropagating through a matvec).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec_t_acc(&self, g: &[f32], out: &mut [f32]) {
+        assert_eq!(g.len(), self.rows, "matvec_t input length");
+        assert_eq!(out.len(), self.cols, "matvec_t output length");
+        #[allow(clippy::needless_range_loop)] // rows of two different buffers
+        for r in 0..self.rows {
+            let gr = g[r];
+            if gr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += gr * w;
+            }
+        }
+    }
+
+    /// `self += scale * g ⊗ x` (rank-1 gradient accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn outer_acc(&mut self, g: &[f32], x: &[f32], scale: f32) {
+        assert_eq!(g.len(), self.rows, "outer rows");
+        assert_eq!(x.len(), self.cols, "outer cols");
+        #[allow(clippy::needless_range_loop)] // rows of two different buffers
+        for r in 0..self.rows {
+            let gr = g[r] * scale;
+            if gr == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (w, xi) in row.iter_mut().zip(x) {
+                *w += gr * xi;
+            }
+        }
+    }
+
+    /// Sets every element to zero (gradient reset).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        let mut m = Mat::zeros(2, 3);
+        // [[1,2,3],[4,5,6]]
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0].iter().enumerate() {
+            m.as_mut_slice()[i] = *v;
+        }
+        let x = [1.0, 0.0, -1.0];
+        let mut y = [0.0; 2];
+        m.matvec_acc(&x, &mut y);
+        assert_eq!(y, [-2.0, -2.0]);
+        let g = [1.0, 1.0];
+        let mut gx = [0.0; 3];
+        m.matvec_t_acc(&g, &mut gx);
+        assert_eq!(gx, [5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_accumulates() {
+        let mut m = Mat::zeros(2, 2);
+        m.outer_acc(&[1.0, 2.0], &[3.0, 4.0], 0.5);
+        assert_eq!(m.get(0, 0), 1.5);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(1, 1), 4.0);
+        m.fill_zero();
+        assert_eq!(m.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let ma = Mat::xavier(8, 8, &mut a);
+        let mb = Mat::xavier(8, 8, &mut b);
+        assert_eq!(ma, mb);
+        let bound = (6.0f32 / 16.0).sqrt();
+        assert!(ma.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec input length")]
+    fn dimension_mismatch_panics() {
+        let m = Mat::zeros(2, 3);
+        let mut out = [0.0; 2];
+        m.matvec_acc(&[1.0; 4], &mut out);
+    }
+}

@@ -1,0 +1,154 @@
+//! Evaluation metrics: top-k accuracy helpers, Levenshtein Distance
+//! Accuracy (LDA), and Segment Accuracy (SA) — the two metrics the paper
+//! uses for DNN-architecture recovery (Table V).
+
+/// Levenshtein (edit) distance between two label sequences.
+///
+/// ```
+/// assert_eq!(nnet::levenshtein(&[1, 2, 3], &[1, 3]), 1);
+/// assert_eq!(nnet::levenshtein(&[], &[1, 2]), 2);
+/// ```
+#[must_use]
+pub fn levenshtein(a: &[usize], b: &[usize]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ai) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &bj) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ai != bj);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein Distance Accuracy: `1 - dist / max(len_a, len_b)` —
+/// similarity between a predicted structure and the ground truth
+/// (paper Section IV-C).
+#[must_use]
+pub fn levenshtein_accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    let denom = predicted.len().max(truth.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(predicted, truth) as f64 / denom as f64
+}
+
+/// Segment Accuracy: fraction of sampling points whose predicted tag
+/// matches the ground-truth tag (paper Section IV-C).
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+#[must_use]
+pub fn segment_accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "segment accuracy needs aligned sequences"
+    );
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Per-class segment accuracy: for each class in `0..classes`, the
+/// fraction of its ground-truth points predicted correctly (`None` for
+/// classes absent from the truth).
+#[must_use]
+pub fn per_class_segment_accuracy(
+    predicted: &[usize],
+    truth: &[usize],
+    classes: usize,
+) -> Vec<Option<f64>> {
+    let mut hits = vec![0usize; classes];
+    let mut totals = vec![0usize; classes];
+    for (&p, &t) in predicted.iter().zip(truth) {
+        if t < classes {
+            totals[t] += 1;
+            hits[t] += usize::from(p == t);
+        }
+    }
+    (0..classes)
+        .map(|c| {
+            if totals[c] == 0 {
+                None
+            } else {
+                Some(hits[c] as f64 / totals[c] as f64)
+            }
+        })
+        .collect()
+}
+
+/// Collapses consecutive duplicate tags into a layer *sequence*
+/// (`[C,C,B,B,R,R,R]` → `[C,B,R]`), the representation LDA compares.
+#[must_use]
+pub fn collapse_runs(tags: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for &t in tags {
+        if out.last() != Some(&t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_classics() {
+        assert_eq!(levenshtein(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(levenshtein(&[1, 2, 3], &[2, 2, 3]), 1);
+        assert_eq!(levenshtein(&[1, 2, 3, 4], &[1, 3, 4]), 1);
+        assert_eq!(levenshtein(&[], &[]), 0);
+        assert_eq!(levenshtein(&[7; 5], &[]), 5);
+    }
+
+    #[test]
+    fn lda_bounds() {
+        assert_eq!(levenshtein_accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(levenshtein_accuracy(&[], &[]), 1.0);
+        let lda = levenshtein_accuracy(&[1, 1, 1], &[2, 2, 2]);
+        assert_eq!(lda, 0.0);
+    }
+
+    #[test]
+    fn sa_counts_matches() {
+        assert_eq!(segment_accuracy(&[1, 2, 2, 3], &[1, 2, 3, 3]), 0.75);
+        assert_eq!(segment_accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn sa_rejects_misaligned() {
+        let _ = segment_accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn per_class_sa() {
+        let truth = [0, 0, 1, 1, 2];
+        let pred = [0, 1, 1, 1, 0];
+        let per = per_class_segment_accuracy(&pred, &truth, 4);
+        assert_eq!(per[0], Some(0.5));
+        assert_eq!(per[1], Some(1.0));
+        assert_eq!(per[2], Some(0.0));
+        assert_eq!(per[3], None);
+    }
+
+    #[test]
+    fn collapse() {
+        assert_eq!(collapse_runs(&[1, 1, 2, 2, 2, 1]), vec![1, 2, 1]);
+        assert_eq!(collapse_runs(&[]), Vec::<usize>::new());
+    }
+}

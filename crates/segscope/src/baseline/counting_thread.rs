@@ -1,0 +1,105 @@
+//! The counting-thread timer baseline (Lipp et al. / Schwarz et al.'s
+//! optimized-asm variant): a dedicated SMT-sibling thread increments a
+//! global counter that the attacker reads as a timestamp.
+
+use segsim::Machine;
+use serde::{Deserialize, Serialize};
+
+/// A counting-thread timer.
+///
+/// Unlike the SegScope timer it needs a second hardware thread, and its
+/// readings are disturbed by SMT port contention and (in the cloud)
+/// steal time — the stability gap of paper Table III. But it does not
+/// need any architectural timer, so it also works under `CR4.TSD`.
+///
+/// ```
+/// use segscope::CountingThreadTimer;
+/// use segsim::{Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::default(), 5);
+/// let mut ct = CountingThreadTimer::start(&mut m);
+/// m.spin(10_000);
+/// assert!(ct.elapsed(&mut m) > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountingThreadTimer {
+    started_at_count: u64,
+}
+
+impl CountingThreadTimer {
+    /// Spawns (conceptually) the sibling counting thread and snapshots its
+    /// counter.
+    #[must_use]
+    pub fn start(machine: &mut Machine) -> Self {
+        CountingThreadTimer {
+            started_at_count: machine.counting_thread_read(),
+        }
+    }
+
+    /// Reads the current counter value.
+    #[must_use]
+    pub fn read(&self, machine: &mut Machine) -> u64 {
+        machine.counting_thread_read()
+    }
+
+    /// Counter increments since [`CountingThreadTimer::start`].
+    #[must_use]
+    pub fn elapsed(&mut self, machine: &mut Machine) -> u64 {
+        let now = machine.counting_thread_read();
+        now.saturating_sub(self.started_at_count)
+    }
+
+    /// Times one execution of `f`, returning the counter delta across it.
+    #[must_use]
+    pub fn time<T>(machine: &mut Machine, f: impl FnOnce(&mut Machine) -> T) -> (T, u64) {
+        let before = machine.counting_thread_read();
+        let value = f(machine);
+        let after = machine.counting_thread_read();
+        (value, after.saturating_sub(before))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segsim::MachineConfig;
+
+    #[test]
+    fn longer_work_reads_larger() {
+        let mut m = Machine::new(MachineConfig::default(), 0xC7);
+        let (_, small) = CountingThreadTimer::time(&mut m, |mm| mm.spin(100_000));
+        let (_, large) = CountingThreadTimer::time(&mut m, |mm| mm.spin(1_000_000));
+        assert!(large > small * 5, "small {small} large {large}");
+    }
+
+    #[test]
+    fn granularity_matches_machine_parameter() {
+        let mut m = Machine::new(MachineConfig::default(), 0xC8);
+        let spin = 2_000_000u64;
+        let (_, delta) = CountingThreadTimer::time(&mut m, |mm| mm.spin(spin));
+        let expected = spin as f64 / m.config().counting_thread_iter_cycles;
+        let rel = (delta as f64 - expected).abs() / expected;
+        assert!(rel < 0.25, "delta {delta} vs expected {expected}");
+    }
+
+    #[test]
+    fn works_under_cr4_tsd() {
+        // The counting thread is exactly the "build your own timer"
+        // fallback: it must work when rdtsc does not.
+        let mut m = Machine::new(MachineConfig::default().with_cr4_tsd(true), 0xC9);
+        assert!(m.rdtsc().is_err());
+        let mut ct = CountingThreadTimer::start(&mut m);
+        m.spin(50_000);
+        assert!(ct.elapsed(&mut m) > 0);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let mut m = Machine::new(MachineConfig::default(), 0xCA);
+        let mut ct = CountingThreadTimer::start(&mut m);
+        let a = ct.elapsed(&mut m);
+        m.spin(500_000);
+        let b = ct.elapsed(&mut m);
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,14 @@
+//! The timer-based interrupt-probing baselines SegScope is compared
+//! against (paper Section III-B, Table II, Fig. 5), and the counting-thread
+//! timer baseline (paper Table III).
+//!
+//! All baselines require architectural timers and therefore fail under
+//! `CR4.TSD` — the scenario SegScope was designed for.
+
+mod counting_thread;
+mod loopcount;
+mod tsjump;
+
+pub use counting_thread::CountingThreadTimer;
+pub use loopcount::{LoopCountProber, LoopCountSample};
+pub use tsjump::{TsJumpProber, TsJumpSample};

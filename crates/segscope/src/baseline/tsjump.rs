@@ -1,0 +1,245 @@
+//! The high-resolution timestamp-jump prober (Schwarz et al. style):
+//! read `rdtsc` back-to-back in a loop and report an interrupt whenever
+//! consecutive timestamps differ by more than an empirical threshold.
+
+use irq::dist;
+use irq::time::Ps;
+use rand::Rng;
+use segsim::{Machine, SimError, SpanEnd};
+use serde::{Deserialize, Serialize};
+
+/// One timestamp-delta measurement (the data behind paper Fig. 5a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsJumpSample {
+    /// The observed timestamp delta, TSC cycles.
+    pub delta: u64,
+    /// Ground truth: whether an interrupt landed inside the measurement.
+    pub interrupted: bool,
+}
+
+/// The timestamp-jump interrupt prober.
+///
+/// Unlike SegScope, the detector is a *threshold test*: occasional
+/// heavy-tail stalls (SMIs, cache misses, TLB walks) also exceed the
+/// threshold, producing the false positives of paper Table II; and the
+/// threshold itself is an empirical, machine-specific constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TsJumpProber {
+    /// Detection threshold, TSC cycles (the paper calibrates 1000 via
+    /// eBPF).
+    pub threshold: u64,
+    /// Cost of one probe-loop iteration (two timestamp reads plus the
+    /// compare), cycles.
+    pub loop_cycles: u64,
+}
+
+impl TsJumpProber {
+    /// The paper's configuration: threshold 1000 cycles.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        TsJumpProber {
+            threshold: 1_000,
+            loop_cycles: 52,
+        }
+    }
+
+    /// Probability that a single *uninterrupted* loop iteration exceeds
+    /// the threshold under the machine's noise model (the analytic
+    /// false-positive rate per iteration).
+    #[must_use]
+    pub fn fp_prob_per_iter(&self, machine: &Machine) -> f64 {
+        let noise = &machine.config().noise;
+        if (self.threshold as f64) >= noise.tail_max {
+            return 0.0;
+        }
+        let thr = (self.threshold as f64).max(noise.tail_min);
+        // Tail stalls are log-uniform on [tail_min, tail_max].
+        let p_exceed_given_tail =
+            (noise.tail_max.ln() - thr.ln()) / (noise.tail_max.ln() - noise.tail_min.ln());
+        noise.tail_prob * p_exceed_given_tail.clamp(0.0, 1.0)
+    }
+
+    /// Runs the prober for `duration`, returning the number of reported
+    /// interrupt detections (true positives at every delivered interrupt —
+    /// kernel stints dwarf the threshold — plus threshold-crossing noise).
+    ///
+    /// Uses the machine's analytic fast path: per uninterrupted span of
+    /// `n` iterations, the number of tail-induced detections is
+    /// Poisson(`n × fp_prob`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimerRestricted`] when `CR4.TSD` disables `rdtsc` —
+    /// the technique simply does not work in the paper's threat model.
+    pub fn probe_for(&self, machine: &mut Machine, duration: Ps) -> Result<u64, SimError> {
+        // The technique requires the timestamp instruction.
+        let _ = machine.rdtsc()?;
+        let fp_prob = self.fp_prob_per_iter(machine);
+        let deadline = machine.now() + duration;
+        let mut detections = 0u64;
+        while machine.now() < deadline {
+            let span = machine.run_user_until(deadline);
+            let iters = span.cycles / self.loop_cycles as f64;
+            let lambda = iters * fp_prob;
+            detections += dist::poisson(machine.rng_mut(), lambda);
+            if let SpanEnd::Interrupt(_) = span.ended_by {
+                // The kernel stint inflates one delta far past any sane
+                // threshold: a guaranteed (true) detection.
+                detections += 1;
+            }
+        }
+        Ok(detections)
+    }
+
+    /// Collects labeled timestamp-delta measurements (the data of paper
+    /// Fig. 5a): `n_clean` deltas from uninterrupted iterations and
+    /// `n_dirty` deltas from iterations an interrupt landed in.
+    ///
+    /// Clean deltas are drawn from the machine's per-op noise model (loop
+    /// cost + Gaussian jitter + the occasional heavy-tail stall); dirty
+    /// deltas come from the actual kernel stints of delivered interrupts,
+    /// converted to TSC cycles.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimerRestricted`] when `rdtsc` is unavailable.
+    pub fn sample_measurements(
+        &self,
+        machine: &mut Machine,
+        n_clean: usize,
+        n_dirty: usize,
+    ) -> Result<Vec<TsJumpSample>, SimError> {
+        let _ = machine.rdtsc()?;
+        let mut out = Vec::with_capacity(n_clean + n_dirty);
+        let noise = machine.config().noise;
+        let base = self.loop_cycles as f64;
+        for _ in 0..n_clean {
+            let rng = machine.rng_mut();
+            let mut delta = base + dist::normal(rng, 0.0, noise.op_jitter_std * 1.5).abs();
+            if rng.gen::<f64>() < 2.0 * noise.tail_prob {
+                let u: f64 = rng.gen();
+                delta +=
+                    (noise.tail_min.ln() + u * (noise.tail_max.ln() - noise.tail_min.ln())).exp();
+            }
+            out.push(TsJumpSample {
+                delta: delta.round() as u64,
+                interrupted: false,
+            });
+        }
+        let base_khz = machine.config().tsc_khz();
+        while out.len() < n_clean + n_dirty {
+            let span = machine.run_user_until(Ps::MAX);
+            if let SpanEnd::Interrupt(irq) = span.ended_by {
+                let delta = self.loop_cycles + irq.kernel_span.cycles_at(base_khz);
+                out.push(TsJumpSample {
+                    delta,
+                    interrupted: true,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Default for TsJumpProber {
+    fn default() -> Self {
+        TsJumpProber::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segsim::MachineConfig;
+
+    fn machine(seed: u64) -> Machine {
+        Machine::new(MachineConfig::default(), seed)
+    }
+
+    #[test]
+    fn detects_more_than_ground_truth() {
+        // The prober never misses an interrupt but adds false positives:
+        // its count strictly dominates the true count.
+        let mut m = machine(0x7541);
+        m.ground_truth_mut().clear();
+        let prober = TsJumpProber::paper_default();
+        let detections = prober.probe_for(&mut m, Ps::from_secs(5)).unwrap();
+        let truth = m.ground_truth().len() as u64;
+        assert!(
+            detections >= truth,
+            "detections {detections} < truth {truth}"
+        );
+        assert!(
+            detections > truth + 10,
+            "expected visible false positives: {detections} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn requires_rdtsc() {
+        let mut m = Machine::new(MachineConfig::default().with_cr4_tsd(true), 1);
+        let prober = TsJumpProber::paper_default();
+        assert_eq!(
+            prober.probe_for(&mut m, Ps::from_ms(100)),
+            Err(SimError::TimerRestricted)
+        );
+    }
+
+    #[test]
+    fn fp_prob_reflects_threshold() {
+        let m = machine(2);
+        let low = TsJumpProber {
+            threshold: 700,
+            loop_cycles: 52,
+        };
+        let high = TsJumpProber {
+            threshold: 20_000,
+            loop_cycles: 52,
+        };
+        assert!(low.fp_prob_per_iter(&m) > high.fp_prob_per_iter(&m));
+        let impossible = TsJumpProber {
+            threshold: 1_000_000,
+            loop_cycles: 52,
+        };
+        assert_eq!(impossible.fp_prob_per_iter(&m), 0.0);
+    }
+
+    #[test]
+    fn interrupted_measurements_have_huge_deltas() {
+        let mut m = machine(3);
+        let prober = TsJumpProber::paper_default();
+        let samples = prober.sample_measurements(&mut m, 1_000, 200).unwrap();
+        let interrupted: Vec<_> = samples.iter().filter(|s| s.interrupted).collect();
+        assert_eq!(interrupted.len(), 200);
+        for s in &interrupted {
+            assert!(
+                s.delta > prober.threshold,
+                "interrupted delta {} under threshold",
+                s.delta
+            );
+        }
+        // The *typical* clean delta sits near the loop cost, far below the
+        // threshold — but the rare tail (seen at scale) crosses it, which
+        // is where Table II's false positives come from.
+        let clean_typical = samples
+            .iter()
+            .filter(|s| !s.interrupted)
+            .map(|s| s.delta)
+            .sum::<u64>() as f64
+            / 1_000.0;
+        assert!(clean_typical < 200.0, "typical clean delta {clean_typical}");
+    }
+
+    #[test]
+    fn clean_tail_crosses_threshold_at_scale() {
+        let mut m = machine(4);
+        let prober = TsJumpProber::paper_default();
+        // ~2 * tail_prob per measurement: 3M draws expect ~1.8 crossings.
+        let samples = prober.sample_measurements(&mut m, 3_000_000, 0).unwrap();
+        let crossings = samples
+            .iter()
+            .filter(|s| !s.interrupted && s.delta > prober.threshold)
+            .count();
+        assert!(crossings >= 1, "expected at least one tail false positive");
+    }
+}

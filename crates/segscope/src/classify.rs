@@ -1,0 +1,176 @@
+//! Separating interrupt kinds by their SegCnt statistics (paper Fig. 6).
+
+use crate::probe::ProbeSample;
+use crate::stats::ZScoreFilter;
+use irq::InterruptKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Classifies probe samples into "timer edge" vs "other interrupt" purely
+/// from attacker-visible SegCnt values.
+///
+/// Timer interrupts fire at a fixed period, so their SegCnt concentrates
+/// around `period × freq / k`; rescheduling IPIs, PMIs and device
+/// interrupts land *inside* an interval, splitting it into shorter pieces
+/// whose SegCnt scatters low. An iteratively-fit Z-score band around the
+/// dominant mode therefore retains (almost exactly) the timer samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimerEdgeClassifier {
+    filter: ZScoreFilter,
+}
+
+impl TimerEdgeClassifier {
+    /// Fits the classifier on attacker-visible SegCnt values.
+    #[must_use]
+    pub fn fit(segcnts: &[f64]) -> Self {
+        TimerEdgeClassifier {
+            filter: ZScoreFilter::fit_iterative(segcnts, 2.0, 8),
+        }
+    }
+
+    /// Whether a SegCnt value is classified as a timer edge.
+    #[must_use]
+    pub fn is_timer_edge(&self, segcnt: f64) -> bool {
+        self.filter.retains(segcnt)
+    }
+
+    /// The underlying Z-score filter.
+    #[must_use]
+    pub fn filter(&self) -> &ZScoreFilter {
+        &self.filter
+    }
+
+    /// Evaluates the classifier against ground-truth-labeled samples,
+    /// returning (true-positive rate on timer samples, false-positive
+    /// rate on non-timer samples).
+    #[must_use]
+    pub fn evaluate(&self, samples: &[ProbeSample]) -> (f64, f64) {
+        let mut timer_total = 0u32;
+        let mut timer_hit = 0u32;
+        let mut other_total = 0u32;
+        let mut other_hit = 0u32;
+        for s in samples {
+            let retained = self.is_timer_edge(s.segcnt as f64);
+            if s.kind == InterruptKind::Timer {
+                timer_total += 1;
+                timer_hit += u32::from(retained);
+            } else {
+                other_total += 1;
+                other_hit += u32::from(retained);
+            }
+        }
+        let tpr = if timer_total == 0 {
+            0.0
+        } else {
+            f64::from(timer_hit) / f64::from(timer_total)
+        };
+        let fpr = if other_total == 0 {
+            0.0
+        } else {
+            f64::from(other_hit) / f64::from(other_total)
+        };
+        (tpr, fpr)
+    }
+}
+
+/// Per-kind SegCnt statistics (the data behind paper Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct KindHistogram {
+    /// Per-kind (count, mean SegCnt, std SegCnt).
+    pub by_kind: BTreeMap<InterruptKind, (usize, f64, f64)>,
+}
+
+impl KindHistogram {
+    /// Builds the per-kind summary from ground-truth-labeled samples.
+    #[must_use]
+    pub fn from_samples(samples: &[ProbeSample]) -> Self {
+        let mut buckets: BTreeMap<InterruptKind, Vec<f64>> = BTreeMap::new();
+        for s in samples {
+            buckets.entry(s.kind).or_default().push(s.segcnt as f64);
+        }
+        let by_kind = buckets
+            .into_iter()
+            .map(|(kind, xs)| {
+                (
+                    kind,
+                    (
+                        xs.len(),
+                        crate::stats::mean(&xs),
+                        crate::stats::std_dev(&xs),
+                    ),
+                )
+            })
+            .collect();
+        KindHistogram { by_kind }
+    }
+
+    /// The kind with the most samples (the timer on any ticking system).
+    #[must_use]
+    pub fn dominant_kind(&self) -> Option<InterruptKind> {
+        self.by_kind
+            .iter()
+            .max_by_key(|(_, (count, _, _))| *count)
+            .map(|(&kind, _)| kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::SegProbe;
+    use segsim::{Machine, MachineConfig};
+
+    fn samples(seed: u64, n: usize) -> Vec<ProbeSample> {
+        // More non-timer activity so both classes are populated.
+        let cfg = MachineConfig {
+            pmi_rate_hz: 5.0,
+            resched_rate_hz: 5.0,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg, seed);
+        m.spin(200_000_000); // warm up the governor
+        SegProbe::new().probe_n(&mut m, n).unwrap()
+    }
+
+    #[test]
+    fn timer_dominates_and_concentrates() {
+        let samples = samples(0xC1A5, 400);
+        let hist = KindHistogram::from_samples(&samples);
+        assert_eq!(hist.dominant_kind(), Some(InterruptKind::Timer));
+        let (_, timer_mean, timer_std) = hist.by_kind[&InterruptKind::Timer];
+        assert!(
+            timer_std / timer_mean < 0.2,
+            "timer rel-std {}",
+            timer_std / timer_mean
+        );
+        // Non-timer kinds have clearly lower mean SegCnt (they cut
+        // intervals short).
+        for (&kind, &(count, mean, _)) in &hist.by_kind {
+            if kind != InterruptKind::Timer && count >= 5 {
+                assert!(
+                    mean < timer_mean * 0.9,
+                    "{kind} mean {mean} vs timer {timer_mean}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_separates_timer_edges() {
+        let samples = samples(0xC1A6, 500);
+        let segcnts: Vec<f64> = samples.iter().map(|s| s.segcnt as f64).collect();
+        let classifier = TimerEdgeClassifier::fit(&segcnts);
+        let (tpr, fpr) = classifier.evaluate(&samples);
+        assert!(tpr > 0.9, "timer retention {tpr}");
+        assert!(fpr < 0.3, "non-timer leakage {fpr}");
+        assert!(tpr > fpr + 0.5, "separation too weak: tpr {tpr} fpr {fpr}");
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_total() {
+        let samples = samples(0xC1A7, 200);
+        let hist = KindHistogram::from_samples(&samples);
+        let total: usize = hist.by_kind.values().map(|(c, _, _)| c).sum();
+        assert_eq!(total, samples.len());
+    }
+}

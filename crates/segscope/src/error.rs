@@ -1,0 +1,70 @@
+//! Errors reported by the SegScope probing and timing APIs.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of the SegScope probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeError {
+    /// The machine restricts unprivileged segment-register writes, so the
+    /// marker cannot be planted (the restriction mitigation from the
+    /// paper's Discussion section).
+    SegmentWriteDenied,
+    /// No footprint appeared within the wait bound: the machine preserves
+    /// selectors across privilege-level returns (the future-architecture
+    /// mitigation) or no interrupts arrive at all.
+    MitigatedMachine,
+    /// Not enough samples survived filtering to produce a calibration.
+    InsufficientSamples {
+        /// How many samples were available.
+        got: usize,
+        /// How many were required.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::SegmentWriteDenied => {
+                write!(f, "segment-register writes are restricted on this machine")
+            }
+            ProbeError::MitigatedMachine => write!(
+                f,
+                "no segment footprint observed: selectors preserved or interrupts absent"
+            ),
+            ProbeError::InsufficientSamples { got, needed } => {
+                write!(
+                    f,
+                    "insufficient samples after filtering: got {got}, needed {needed}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ProbeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        assert!(ProbeError::SegmentWriteDenied
+            .to_string()
+            .contains("restricted"));
+        assert!(ProbeError::MitigatedMachine
+            .to_string()
+            .contains("footprint"));
+        let e = ProbeError::InsufficientSamples { got: 3, needed: 10 };
+        assert!(e.to_string().contains("got 3"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<ProbeError>();
+    }
+}

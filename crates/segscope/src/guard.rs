@@ -1,0 +1,209 @@
+//! The interrupt guard: SegScope as a *noise filter* for other side
+//! channels (paper Sections III-B end and IV-D).
+
+use crate::error::ProbeError;
+use segsim::Machine;
+use serde::{Deserialize, Serialize};
+use x86seg::{PrivilegeLevel, Selector};
+
+/// Guards a measurement against interrupt noise.
+///
+/// Before a (non-interrupt) side-channel measurement, the attacker plants
+/// a non-zero null selector; after it, they check whether the value
+/// survived. If it changed, an interrupt landed inside the measurement
+/// window and the sample should be discarded. Unlike the timer-based
+/// probing baselines, this costs only two segment-register operations per
+/// measurement and never reports a false interrupt.
+///
+/// ```
+/// use segscope::InterruptGuard;
+/// use segsim::{Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::default(), 99);
+/// let guard = InterruptGuard::arm(&mut m)?;
+/// m.spin(500); // the measurement being protected
+/// let clean = guard.finish(&mut m);
+/// if clean { /* keep the sample */ }
+/// # Ok::<(), segscope::ProbeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use = "a guard reports nothing unless finished"]
+pub struct InterruptGuard {
+    marker: Selector,
+}
+
+impl InterruptGuard {
+    /// Arms the guard with the default marker (`0x2`).
+    ///
+    /// # Errors
+    ///
+    /// [`ProbeError::SegmentWriteDenied`] when segment writes are
+    /// restricted.
+    pub fn arm(machine: &mut Machine) -> Result<Self, ProbeError> {
+        Self::arm_with(machine, Selector::null_with_rpl(PrivilegeLevel::Ring2))
+    }
+
+    /// Arms the guard with a chosen non-zero null selector.
+    ///
+    /// # Errors
+    ///
+    /// [`ProbeError::SegmentWriteDenied`] when segment writes are
+    /// restricted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `marker` is not a non-zero null selector.
+    pub fn arm_with(machine: &mut Machine, marker: Selector) -> Result<Self, ProbeError> {
+        assert!(
+            marker.is_nonzero_null(),
+            "guard marker must be non-zero null"
+        );
+        machine
+            .wrgs(marker)
+            .map_err(|_| ProbeError::SegmentWriteDenied)?;
+        Ok(InterruptGuard { marker })
+    }
+
+    /// Finishes the guarded window: returns `true` if **no** interrupt
+    /// landed (the measurement is clean).
+    pub fn finish(self, machine: &mut Machine) -> bool {
+        machine.rdgs() == self.marker
+    }
+
+    /// Runs `measurement` under the guard and returns its output only when
+    /// the window was interrupt-free; interrupted measurements yield
+    /// `None` so the caller can retry.
+    ///
+    /// # Errors
+    ///
+    /// [`ProbeError::SegmentWriteDenied`] when arming fails.
+    pub fn run_clean<T>(
+        machine: &mut Machine,
+        mut measurement: impl FnMut(&mut Machine) -> T,
+    ) -> Result<Option<T>, ProbeError> {
+        let guard = InterruptGuard::arm(machine)?;
+        let value = measurement(machine);
+        Ok(guard.finish(machine).then_some(value))
+    }
+
+    /// Repeats `measurement` until `wanted` clean samples are collected or
+    /// `max_attempts` is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`ProbeError::SegmentWriteDenied`] when arming fails;
+    /// [`ProbeError::InsufficientSamples`] when the attempt budget ran out
+    /// first.
+    pub fn collect_clean<T>(
+        machine: &mut Machine,
+        wanted: usize,
+        max_attempts: usize,
+        mut measurement: impl FnMut(&mut Machine) -> T,
+    ) -> Result<Vec<T>, ProbeError> {
+        let mut out = Vec::with_capacity(wanted);
+        for _ in 0..max_attempts {
+            if out.len() == wanted {
+                break;
+            }
+            if let Some(v) = Self::run_clean(machine, &mut measurement)? {
+                out.push(v);
+            }
+        }
+        if out.len() < wanted {
+            return Err(ProbeError::InsufficientSamples {
+                got: out.len(),
+                needed: wanted,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irq::time::Ps;
+    use segsim::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default(), 0x6A4D)
+    }
+
+    #[test]
+    fn short_window_is_usually_clean() {
+        let mut m = machine();
+        let mut clean = 0;
+        for _ in 0..100 {
+            let guard = InterruptGuard::arm(&mut m).unwrap();
+            m.spin(100);
+            if guard.finish(&mut m) {
+                clean += 1;
+            }
+        }
+        assert!(clean > 95, "tiny windows rarely catch interrupts: {clean}");
+    }
+
+    #[test]
+    fn long_window_is_always_interrupted() {
+        let mut m = machine();
+        let guard = InterruptGuard::arm(&mut m).unwrap();
+        // Spin well past one 4 ms timer period.
+        let cycles = Ps::from_ms(20).cycles_at(m.current_freq_khz());
+        m.spin(cycles);
+        assert!(!guard.finish(&mut m), "20 ms at HZ=250 must be interrupted");
+    }
+
+    #[test]
+    fn guard_agrees_with_ground_truth() {
+        let mut m = machine();
+        for _ in 0..200 {
+            let t0 = m.now();
+            let guard = InterruptGuard::arm(&mut m).unwrap();
+            m.spin(50_000);
+            let clean = guard.finish(&mut m);
+            let t1 = m.now();
+            let truth_clean = !m.ground_truth().any_in(t0, t1);
+            assert_eq!(clean, truth_clean, "guard vs ground truth at {t0}");
+        }
+    }
+
+    #[test]
+    fn collect_clean_reaches_target() {
+        let mut m = machine();
+        let samples =
+            InterruptGuard::collect_clean(&mut m, 50, 1000, |mm| mm.mem_access(0x8000).cycles)
+                .unwrap();
+        assert_eq!(samples.len(), 50);
+    }
+
+    #[test]
+    fn collect_clean_reports_budget_exhaustion() {
+        let mut m = machine();
+        // Demand absurdly many clean samples of an always-interrupted window.
+        let big_spin = Ps::from_ms(10).cycles_at(m.current_freq_khz());
+        let err = InterruptGuard::collect_clean(&mut m, 5, 5, |mm| {
+            mm.spin(big_spin);
+        })
+        .unwrap_err();
+        assert!(matches!(err, ProbeError::InsufficientSamples { .. }));
+    }
+
+    #[test]
+    fn run_clean_returns_value_when_uninterrupted() {
+        let mut m = machine();
+        let mut got_value = false;
+        for _ in 0..20 {
+            if let Some(v) = InterruptGuard::run_clean(&mut m, |mm| {
+                mm.spin(10);
+                42
+            })
+            .unwrap()
+            {
+                assert_eq!(v, 42);
+                got_value = true;
+                break;
+            }
+        }
+        assert!(got_value);
+    }
+}

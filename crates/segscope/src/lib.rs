@@ -1,0 +1,63 @@
+//! `segscope` — the paper's primary contribution: probing fine-grained
+//! interrupts via the architectural footprint of x86 segment protection,
+//! with no timer and no procfs.
+//!
+//! # The technique (paper Section III)
+//!
+//! When an x86 CPU returns from kernel space to user space, it scrubs any
+//! data-segment register holding a *null* selector to exactly `0`
+//! (Algorithm 1 in the paper; implemented in the [`x86seg`] crate). The
+//! null family includes the non-zero values `0x1`–`0x3`, which load
+//! silently. A user process that parks such a value in `GS` and spins
+//! checking the visible selector therefore detects every interrupt —
+//! exactly once, with no threshold and no false positives.
+//!
+//! The crate provides, on top of the [`segsim`] machine simulator:
+//!
+//! * [`SegProbe`] — the probe itself, yielding per-interrupt `SegCnt`
+//!   interval counts (paper Fig. 2, Eq. 1);
+//! * [`InterruptGuard`] — SegScope as a noise filter for *other* side
+//!   channels (used by the enhanced Spectral attack, paper Section IV-D);
+//! * [`SegTimer`] — the clock-interpolation timer built from timer
+//!   interrupt edges with Z-score filtering (paper Section III-C), in the
+//!   denoising variants of paper Table VII;
+//! * [`TimerEdgeClassifier`] / [`KindHistogram`] — separating interrupt
+//!   kinds by SegCnt statistics (paper Fig. 6);
+//! * [`baseline`] — the timer-based probing techniques SegScope is
+//!   compared against: [`TsJumpProber`] (timestamp jumps),
+//!   [`LoopCountProber`] (low-resolution loop counting), and
+//!   [`CountingThreadTimer`] (SMT counting thread).
+//!
+//! # Quick start
+//!
+//! ```
+//! use segscope::SegProbe;
+//! use segsim::{Machine, MachineConfig};
+//!
+//! // An idle, isolated core of the paper's Xiaomi laptop.
+//! let mut machine = Machine::new(MachineConfig::xiaomi_air13(), 2024);
+//! let mut probe = SegProbe::new();
+//! let samples = probe.probe_n(&mut machine, 100)?;
+//! // Every delivered interrupt was observed — compare with ground truth.
+//! assert_eq!(samples.len(), machine.ground_truth().len());
+//! # Ok::<(), segscope::ProbeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod classify;
+mod error;
+mod guard;
+mod probe;
+mod stats;
+mod timer;
+
+pub use baseline::{CountingThreadTimer, LoopCountProber, TsJumpProber};
+pub use classify::{KindHistogram, TimerEdgeClassifier};
+pub use error::ProbeError;
+pub use guard::InterruptGuard;
+pub use probe::{ProbeSample, SegProbe};
+pub use stats::{mean, std_dev, z_score, ZScoreFilter};
+pub use timer::{Denoise, MeasureStats, SegTimer, TimedRun};

@@ -1,0 +1,173 @@
+//! Z-score statistics used by the SegScope timer (paper Eq. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a slice (0 when empty).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice (0 when fewer than 2 samples).
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The Z-score of `x` against a mean and standard deviation (paper Eq. 2).
+/// Returns 0 when the deviation is zero.
+#[must_use]
+pub fn z_score(x: f64, mu: f64, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        0.0
+    } else {
+        (x - mu) / sigma
+    }
+}
+
+/// A fitted Z-score filter: retains samples within `band` standard
+/// deviations of the mean.
+///
+/// The paper filters SegCnt with `band = 2.0` to retain timer-interrupt
+/// samples (concentrated) and drop other interrupt kinds (dispersed low
+/// outliers) — see paper Fig. 6 and Section III-C.
+///
+/// ```
+/// let samples = [10.0, 10.2, 9.9, 10.1, 3.0, 10.0];
+/// let filter = segscope::ZScoreFilter::fit(&samples, 2.0);
+/// assert!(filter.retains(10.05));
+/// assert!(!filter.retains(3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZScoreFilter {
+    mu: f64,
+    sigma: f64,
+    band: f64,
+}
+
+impl ZScoreFilter {
+    /// Fits the filter to a sample set.
+    #[must_use]
+    pub fn fit(samples: &[f64], band: f64) -> Self {
+        ZScoreFilter {
+            mu: mean(samples),
+            sigma: std_dev(samples),
+            band,
+        }
+    }
+
+    /// Constructs a filter from explicit parameters.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64, band: f64) -> Self {
+        ZScoreFilter { mu, sigma, band }
+    }
+
+    /// The fitted mean.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The fitted standard deviation.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Whether `x` falls within the retention band.
+    #[must_use]
+    pub fn retains(&self, x: f64) -> bool {
+        z_score(x, self.mu, self.sigma).abs() <= self.band
+    }
+
+    /// Retains the in-band subset of `samples`, preserving order.
+    #[must_use]
+    pub fn filter(&self, samples: &[f64]) -> Vec<f64> {
+        samples
+            .iter()
+            .copied()
+            .filter(|&x| self.retains(x))
+            .collect()
+    }
+
+    /// Iteratively re-fits on the retained subset until the retained set
+    /// (nearly) stops shrinking — losing less than 2 % of samples in a
+    /// round ends the iteration, so a clean Gaussian cluster is not
+    /// whittled down by its own tails. Robustifies the fit when outliers
+    /// are frequent enough to inflate the initial sigma.
+    #[must_use]
+    pub fn fit_iterative(samples: &[f64], band: f64, max_rounds: usize) -> Self {
+        let mut kept: Vec<f64> = samples.to_vec();
+        let mut filter = ZScoreFilter::fit(&kept, band);
+        for _ in 0..max_rounds {
+            let next = filter.filter(&kept);
+            let converged = next.len() + next.len() / 50 >= kept.len();
+            if next.is_empty() || converged {
+                break;
+            }
+            kept = next;
+            filter = ZScoreFilter::fit(&kept, band);
+        }
+        filter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(z_score(9.0, 5.0, 2.0), 2.0);
+        assert_eq!(z_score(1.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn band_two_matches_paper() {
+        let xs = [10.0, 10.5, 9.5, 10.0, 10.2, 9.8];
+        let f = ZScoreFilter::fit(&xs, 2.0);
+        // All original samples are within 2 sigma here.
+        assert_eq!(f.filter(&xs).len(), xs.len());
+        // A value far below (a resched-interrupt SegCnt) is dropped.
+        assert!(!f.retains(2.0));
+    }
+
+    #[test]
+    fn iterative_fit_tightens_around_mode() {
+        // 90% cluster at ~100, 10% outliers at ~10.
+        let mut xs: Vec<f64> = (0..90).map(|i| 100.0 + (i % 7) as f64 * 0.1).collect();
+        xs.extend((0..10).map(|i| 10.0 + i as f64));
+        let single = ZScoreFilter::fit(&xs, 2.0);
+        let iterative = ZScoreFilter::fit_iterative(&xs, 2.0, 8);
+        assert!(iterative.sigma() < single.sigma());
+        assert!(iterative.retains(100.3));
+        assert!(!iterative.retains(19.0));
+    }
+
+    #[test]
+    fn explicit_construction() {
+        let f = ZScoreFilter::new(50.0, 5.0, 2.0);
+        assert!(f.retains(59.9));
+        assert!(!f.retains(60.1));
+        assert_eq!(f.mu(), 50.0);
+        assert_eq!(f.sigma(), 5.0);
+    }
+}

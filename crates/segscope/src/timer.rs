@@ -1,0 +1,364 @@
+//! The SegScope-based timer: clock interpolation between timer-interrupt
+//! edges (paper Section III-C, Fig. 7), with the denoising variants of
+//! paper Table VII.
+
+use crate::error::ProbeError;
+use crate::probe::SegProbe;
+use crate::stats::{self, ZScoreFilter};
+use segsim::Machine;
+use serde::{Deserialize, Serialize};
+
+/// Denoising strategy for the SegScope timer (the rows of paper
+/// Table VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Denoise {
+    /// No denoising: a single raw estimate per measurement.
+    None,
+    /// Z-score filtering of repeated estimates (the paper's default).
+    #[default]
+    ZScore,
+    /// Frequency normalization via `scaling_cur_freq` only.
+    Freq,
+    /// Both Z-score filtering and frequency normalization.
+    ZScoreAndFreq,
+}
+
+impl Denoise {
+    /// Whether Z-score filtering is applied to repeated estimates.
+    #[must_use]
+    pub fn uses_zscore(self) -> bool {
+        matches!(self, Denoise::ZScore | Denoise::ZScoreAndFreq)
+    }
+
+    /// Whether SegCnt values are normalized by the observed frequency.
+    #[must_use]
+    pub fn uses_freq(self) -> bool {
+        matches!(self, Denoise::Freq | Denoise::ZScoreAndFreq)
+    }
+}
+
+/// Calibration state of the SegScope timer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Calibration {
+    /// Mean SegCnt of a full timer-interrupt interval (normalized if the
+    /// denoise mode uses frequency).
+    mu: f64,
+    /// Std of the same.
+    sigma: f64,
+    /// The edge filter retaining timer-interval samples.
+    filter: ZScoreFilter,
+    /// Reference frequency used for normalization, kHz.
+    ref_khz: u64,
+}
+
+/// One timed measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedRun<T> {
+    /// The measured code's return value.
+    pub value: T,
+    /// Estimated duration in SegCnt *ticks* (≈ one check-loop iteration
+    /// each, i.e. ~1 CPU cycle on the Table I machines). Durations longer
+    /// than a timer period alias modulo the period (the paper's stated
+    /// limitation).
+    pub ticks: f64,
+}
+
+/// Aggregate statistics over repeated timed measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasureStats {
+    /// Mean estimate, ticks.
+    pub mean_ticks: f64,
+    /// Standard deviation of retained estimates, ticks.
+    pub std_ticks: f64,
+    /// Number of estimates retained after filtering.
+    pub kept: usize,
+    /// Number of estimates taken.
+    pub total: usize,
+}
+
+/// A fine-grained timer built purely from SegScope interrupt probing.
+///
+/// The APIC timer fires every `1/HZ` seconds; those edges bound intervals
+/// whose SegCnt is tightly concentrated (paper Fig. 6). After calibrating
+/// the full-interval SegCnt `mu`, the attacker times a code fragment by
+/// (1) syncing to an edge, (2) running the fragment, (3) counting SegCnt
+/// until the next edge: the fragment consumed `mu - tail` ticks (paper
+/// Fig. 7).
+///
+/// ```no_run
+/// use segscope::{SegTimer, Denoise};
+/// use segsim::{Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::default(), 5);
+/// let mut timer = SegTimer::calibrate(&mut m, 200, Denoise::ZScore)?;
+/// let stats = timer.measure(&mut m, 10, |mm| { mm.spin(100_000); })?;
+/// println!("~{} ticks", stats.mean_ticks);
+/// # Ok::<(), segscope::ProbeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegTimer {
+    probe: SegProbe,
+    calib: Calibration,
+    denoise: Denoise,
+}
+
+impl SegTimer {
+    /// Calibrates the timer by probing `samples` interrupt intervals and
+    /// fitting the timer-edge filter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe errors; [`ProbeError::InsufficientSamples`] if
+    /// fewer than 16 samples survive filtering.
+    pub fn calibrate(
+        machine: &mut Machine,
+        samples: usize,
+        denoise: Denoise,
+    ) -> Result<Self, ProbeError> {
+        let mut probe = SegProbe::new();
+        let ref_khz = machine.scaling_cur_freq();
+        let mut values = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let s = probe.probe_once(machine)?;
+            let mut v = s.segcnt as f64;
+            if denoise.uses_freq() {
+                let cur = machine.scaling_cur_freq().max(1);
+                v *= ref_khz as f64 / cur as f64;
+            }
+            values.push(v);
+        }
+        let filter = ZScoreFilter::fit_iterative(&values, 2.0, 8);
+        let kept = filter.filter(&values);
+        if kept.len() < 16 {
+            return Err(ProbeError::InsufficientSamples {
+                got: kept.len(),
+                needed: 16,
+            });
+        }
+        Ok(SegTimer {
+            probe,
+            calib: Calibration {
+                mu: stats::mean(&kept),
+                sigma: stats::std_dev(&kept),
+                filter,
+                ref_khz,
+            },
+            denoise,
+        })
+    }
+
+    /// The calibrated full-interval SegCnt (ticks per timer period).
+    #[must_use]
+    pub fn interval_ticks(&self) -> f64 {
+        self.calib.mu
+    }
+
+    /// The calibrated interval standard deviation.
+    #[must_use]
+    pub fn interval_sigma(&self) -> f64 {
+        self.calib.sigma
+    }
+
+    /// The denoising mode.
+    #[must_use]
+    pub fn denoise(&self) -> Denoise {
+        self.denoise
+    }
+
+    /// Synchronizes to a timer edge: probes intervals until one matches
+    /// the calibrated full-interval statistics (its terminating edge is a
+    /// timer tick with high probability).
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe errors; gives up (with the last sample accepted)
+    /// after 32 attempts so a pathological interrupt storm cannot hang the
+    /// caller.
+    pub fn sync_to_edge(&mut self, machine: &mut Machine) -> Result<(), ProbeError> {
+        for _ in 0..32 {
+            let s = self.probe.probe_once(machine)?;
+            if self.calib.filter.retains(self.normalize(machine, s.segcnt)) {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Times one execution of `f` (paper Fig. 7): syncs to an edge, runs
+    /// `f`, counts the tail SegCnt to the next edge, and reports
+    /// `mu - tail` ticks (wrapped into `[0, mu)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe errors.
+    pub fn time<T>(
+        &mut self,
+        machine: &mut Machine,
+        f: impl FnOnce(&mut Machine) -> T,
+    ) -> Result<TimedRun<T>, ProbeError> {
+        self.sync_to_edge(machine)?;
+        let value = f(machine);
+        let tail = self.probe.probe_once(machine)?;
+        let tail_ticks = self.normalize(machine, tail.segcnt);
+        // Centered remainder: jitter on a near-zero-duration measurement
+        // can push `tail` past `mu`; wrapping that to ~mu would turn a
+        // fast operation into an apparently period-long one. Values land
+        // in [-mu/2, 3mu/2) centred so tiny durations may read slightly
+        // negative — harmless for comparisons.
+        let mu = self.calib.mu.max(1.0);
+        let raw = mu - tail_ticks;
+        let ticks = (raw + mu / 2.0).rem_euclid(mu) - mu / 2.0;
+        Ok(TimedRun { value, ticks })
+    }
+
+    /// Repeats [`SegTimer::time`] `repeats` times and aggregates, applying
+    /// the configured denoising.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probe errors; [`ProbeError::InsufficientSamples`] if
+    /// filtering discards everything.
+    pub fn measure(
+        &mut self,
+        machine: &mut Machine,
+        repeats: usize,
+        mut f: impl FnMut(&mut Machine),
+    ) -> Result<MeasureStats, ProbeError> {
+        let mut estimates = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let run = self.time(machine, &mut f)?;
+            estimates.push(run.ticks);
+        }
+        let kept: Vec<f64> = if self.denoise.uses_zscore() && estimates.len() >= 4 {
+            let filter = ZScoreFilter::fit(&estimates, 2.0);
+            let kept = filter.filter(&estimates);
+            if kept.is_empty() {
+                estimates.clone()
+            } else {
+                kept
+            }
+        } else {
+            estimates.clone()
+        };
+        if kept.is_empty() {
+            return Err(ProbeError::InsufficientSamples { got: 0, needed: 1 });
+        }
+        Ok(MeasureStats {
+            mean_ticks: stats::mean(&kept),
+            std_ticks: stats::std_dev(&kept),
+            kept: kept.len(),
+            total: estimates.len(),
+        })
+    }
+
+    fn normalize(&self, machine: &mut Machine, segcnt: u64) -> f64 {
+        let mut v = segcnt as f64;
+        if self.denoise.uses_freq() {
+            let cur = machine.scaling_cur_freq().max(1);
+            v *= self.calib.ref_khz as f64 / cur as f64;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segsim::MachineConfig;
+
+    fn machine(seed: u64) -> Machine {
+        Machine::new(MachineConfig::default(), seed)
+    }
+
+    /// Warm up the governor so the frequency is stable before calibrating
+    /// (the paper's "warm-up" guidance).
+    fn warmed(seed: u64) -> Machine {
+        let mut m = machine(seed);
+        m.spin(500_000_000);
+        m
+    }
+
+    #[test]
+    fn calibration_learns_the_timer_period() {
+        let mut m = warmed(0x71);
+        let timer = SegTimer::calibrate(&mut m, 150, Denoise::ZScore).unwrap();
+        // Timer period 4 ms at ~3.4 GHz, ~1.075 cycles/iter:
+        // mu ≈ 4e-3 * 3.4e9 / 1.075 ≈ 1.26e7.
+        let mu = timer.interval_ticks();
+        assert!((8.0e6..1.6e7).contains(&mu), "mu = {mu}");
+        // Timer edges concentrate: sigma well below 5% of mu.
+        assert!(
+            timer.interval_sigma() / mu < 0.05,
+            "sigma/mu = {}",
+            timer.interval_sigma() / mu
+        );
+    }
+
+    #[test]
+    fn short_code_measures_near_its_cycle_cost() {
+        let mut m = warmed(0x72);
+        let mut timer = SegTimer::calibrate(&mut m, 200, Denoise::ZScore).unwrap();
+        let spin_cycles = 1_000_000u64;
+        let stats = timer
+            .measure(&mut m, 30, |mm| mm.spin(spin_cycles))
+            .unwrap();
+        // One tick ≈ probe_iter_cycles cycles: expect ≈ spin/iter_cycles.
+        let expected = spin_cycles as f64 / m.probe_iter_cycles();
+        let rel = (stats.mean_ticks - expected).abs() / expected;
+        assert!(
+            rel < 0.35,
+            "mean {} vs expected {expected} (rel {rel})",
+            stats.mean_ticks
+        );
+    }
+
+    #[test]
+    fn longer_code_measures_larger() {
+        let mut m = warmed(0x73);
+        let mut timer = SegTimer::calibrate(&mut m, 200, Denoise::ZScore).unwrap();
+        let small = timer.measure(&mut m, 20, |mm| mm.spin(200_000)).unwrap();
+        let large = timer.measure(&mut m, 20, |mm| mm.spin(2_000_000)).unwrap();
+        assert!(
+            large.mean_ticks > small.mean_ticks * 2.0,
+            "small {} vs large {}",
+            small.mean_ticks,
+            large.mean_ticks
+        );
+    }
+
+    #[test]
+    fn zscore_mode_filters_outliers() {
+        let mut m = warmed(0x74);
+        let mut timer = SegTimer::calibrate(&mut m, 200, Denoise::ZScore).unwrap();
+        let stats = timer.measure(&mut m, 40, |mm| mm.spin(500_000)).unwrap();
+        assert!(stats.kept <= stats.total);
+        assert!(stats.kept >= stats.total / 2);
+    }
+
+    #[test]
+    fn denoise_flags() {
+        assert!(Denoise::ZScore.uses_zscore());
+        assert!(!Denoise::ZScore.uses_freq());
+        assert!(Denoise::Freq.uses_freq());
+        assert!(!Denoise::None.uses_zscore());
+        assert!(Denoise::ZScoreAndFreq.uses_zscore() && Denoise::ZScoreAndFreq.uses_freq());
+    }
+
+    #[test]
+    fn aliasing_wraps_modulo_period() {
+        let mut m = warmed(0x75);
+        let mut timer = SegTimer::calibrate(&mut m, 150, Denoise::ZScore).unwrap();
+        let period_cycles = (timer.interval_ticks() * m.probe_iter_cycles()) as u64;
+        // Code 1.2x the period: measured ticks alias into the centered
+        // window [-mu/2, mu/2).
+        let run = timer
+            .time(&mut m, |mm| mm.spin(period_cycles + period_cycles / 5))
+            .unwrap();
+        let half = timer.interval_ticks() / 2.0;
+        assert!(
+            run.ticks >= -half && run.ticks < half,
+            "ticks {}",
+            run.ticks
+        );
+    }
+}

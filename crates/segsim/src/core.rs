@@ -1,0 +1,954 @@
+//! The simulated machine: one attacker-observable logical core, its
+//! frequency domain, interrupt fabric, segment registers, caches, and
+//! kernel entry/exit behaviour.
+
+use crate::config::{MachineConfig, Vendor};
+use crate::error::SimError;
+use crate::freq::{FreqModel, StepFn};
+use irq::time::Ps;
+use irq::{GroundTruth, InterruptFabric, InterruptKind, SourceId};
+use memsim::{AccessOutcome, KaslrLayout, MemoryHierarchy};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use x86seg::{
+    load_data_segment, protected_mode_return, DataSegReg, DescriptorTables, PrivilegeLevel,
+    ReturnFootprint, SegmentRegisterFile, Selector,
+};
+
+/// One interrupt delivered to the simulated core, as the simulator (not
+/// the attacker) sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveredIrq {
+    /// Kind of the interrupt that ended the user span.
+    pub kind: InterruptKind,
+    /// Delivery instant.
+    pub at: Ps,
+    /// Handler routine cost (`w` in paper Eq. 1).
+    pub handler_cost: Ps,
+    /// Total time spent away from user space (handler + cascaded
+    /// interrupts + scheduler preemption).
+    pub kernel_span: Ps,
+    /// The segment-register footprint the return to user space left.
+    pub footprint: ReturnFootprint,
+}
+
+/// Why a [`Machine::run_user_until`] span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpanEnd {
+    /// An interrupt was delivered (and handled; the span's end is the
+    /// moment user execution resumed).
+    Interrupt(DeliveredIrq),
+    /// The requested deadline was reached without any interrupt.
+    Deadline,
+}
+
+/// A span of uninterrupted user-mode execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserSpan {
+    /// When user execution started.
+    pub start: Ps,
+    /// When the span ended (interrupt delivery or deadline).
+    pub end: Ps,
+    /// CPU cycles the user code executed during the span, integrated over
+    /// the (piecewise-constant) DVFS frequency.
+    pub cycles: f64,
+    /// What ended the span.
+    pub ended_by: SpanEnd,
+}
+
+/// A victim task sharing the attacker's logical core (the "default"
+/// setting of paper Table IV pins browser and attacker together).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoResident {
+    /// The scheduler preempts the attacker every this-many timer ticks…
+    pub preempt_every_ticks: u32,
+    /// …for a timeslice of this length.
+    pub slice: Ps,
+    /// If set, the victim occasionally leaves this (valid) selector in GS
+    /// instead of the scrubbed zero — the paper's observation that the
+    /// probe must detect *change*, not specifically zero.
+    pub gs_reload: Option<Selector>,
+    /// Probability per preemption that `gs_reload` happens.
+    pub gs_reload_prob: f64,
+}
+
+impl CoResident {
+    /// A browser-like co-resident: preempted every 2 ticks for 1.5 ms.
+    #[must_use]
+    pub fn browser() -> Self {
+        CoResident {
+            preempt_every_ticks: 2,
+            slice: Ps::from_us(1_500),
+            gs_reload: None,
+            gs_reload_prob: 0.0,
+        }
+    }
+}
+
+/// The simulated machine.
+///
+/// All stochastic behaviour draws from one seeded RNG, so a `(config,
+/// seed)` pair fully determines every experiment.
+///
+/// Guest code drives the machine through *operations* (`wrgs`, `rdgs`,
+/// `rdtsc`, `mem_access`, `spin`, …), each of which consumes simulated
+/// cycles at the current DVFS frequency; interrupts are delivered whenever
+/// simulated time crosses an arrival, running the kernel path and applying
+/// the segment-protection scrub of Algorithm 1 on the return to user
+/// space.
+///
+/// # Example
+///
+/// ```
+/// use segsim::{Machine, MachineConfig};
+/// use x86seg::Selector;
+///
+/// let mut m = Machine::new(MachineConfig::default(), 42);
+/// m.wrgs(Selector::from_bits(0x1)).unwrap();
+/// // Run until the first interrupt: the marker must be scrubbed.
+/// let span = m.run_user_until(irq::Ps::MAX);
+/// assert!(matches!(span.ended_by, segsim::SpanEnd::Interrupt(_)));
+/// assert_eq!(m.rdgs().bits(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    rng: SmallRng,
+    now: Ps,
+    freq: FreqModel,
+    fabric: InterruptFabric,
+    timer_source: Option<SourceId>,
+    ground_truth: GroundTruth,
+    regs: SegmentRegisterFile,
+    tables: DescriptorTables,
+    mem: MemoryHierarchy,
+    kaslr: Option<KaslrLayout>,
+    co_resident: Option<CoResident>,
+    timer_ticks_seen: u32,
+    kernel_entries: u64,
+    /// Total cycles elapsed in the frequency domain since t = 0 (user +
+    /// kernel), used by the counting-thread model.
+    domain_cycles: f64,
+    /// Accumulated counting-thread drift (SMT contention random walk).
+    ct_drift: f64,
+    /// Kernel-entry count at the last counting-thread read (stall kicks).
+    ct_last_kernel_entries: u64,
+    /// User-side cycles still owed to pipeline/cache refill after the last
+    /// interrupt (consumed before guest work makes progress).
+    pending_refill: f64,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration and an RNG seed.
+    #[must_use]
+    pub fn new(config: MachineConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut fabric = InterruptFabric::new();
+        let timer_source = if config.tickless {
+            None
+        } else {
+            Some(fabric.add_periodic_timer(config.timer_hz, config.timer_jitter, &mut rng))
+        };
+        if config.pmi_rate_hz > 0.0 {
+            fabric.add_poisson(InterruptKind::PerfMon, config.pmi_rate_hz, &mut rng);
+        }
+        if config.resched_rate_hz > 0.0 {
+            fabric.add_poisson(InterruptKind::Resched, config.resched_rate_hz, &mut rng);
+        }
+        let mut freq = FreqModel::new(config.freq);
+        // The attacker is a spin loop: full local load unless told
+        // otherwise.
+        freq.set_local_load(1.0);
+        Machine {
+            rng,
+            now: Ps::ZERO,
+            freq,
+            fabric,
+            timer_source,
+            ground_truth: GroundTruth::new(),
+            regs: SegmentRegisterFile::flat_user(),
+            tables: DescriptorTables::linux_flat(),
+            mem: MemoryHierarchy::default(),
+            kaslr: None,
+            co_resident: None,
+            timer_ticks_seen: 0,
+            kernel_entries: 0,
+            domain_cycles: 0.0,
+            ct_drift: 0.0,
+            ct_last_kernel_entries: 0,
+            pending_refill: 0.0,
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation-side accessors (not attacker-visible primitives).
+    // ------------------------------------------------------------------
+
+    /// Current simulated time. **Simulator API** — attacker code must not
+    /// use this as a timing source (that is the whole point of SegScope).
+    #[must_use]
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Instantaneous core frequency, kHz (simulator API).
+    #[must_use]
+    pub fn current_freq_khz(&self) -> u64 {
+        self.freq.current_khz()
+    }
+
+    /// The ground-truth interrupt trace (the eBPF analogue).
+    #[must_use]
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// Mutable access to the ground-truth trace (to clear or disable it).
+    pub fn ground_truth_mut(&mut self) -> &mut GroundTruth {
+        &mut self.ground_truth
+    }
+
+    /// Number of kernel entries so far.
+    #[must_use]
+    pub fn kernel_entries(&self) -> u64 {
+        self.kernel_entries
+    }
+
+    /// The cache hierarchy (for ground-truth inspection in tests).
+    #[must_use]
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Mutable cache hierarchy (victim-side effects, e.g. a Spectre
+    /// gadget running in another process touching shared lines).
+    pub fn memory_mut(&mut self) -> &mut MemoryHierarchy {
+        &mut self.mem
+    }
+
+    /// The machine's RNG (victim models share it for determinism).
+    pub fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Disjoint mutable borrows of the cache hierarchy and the RNG, for
+    /// victim models (e.g. a Spectre gadget) that need both at once.
+    pub fn memory_and_rng(&mut self) -> (&mut MemoryHierarchy, &mut SmallRng) {
+        (&mut self.mem, &mut self.rng)
+    }
+
+    /// Arrival time of the next pending interrupt, if any (simulator API;
+    /// used to model `umwait` wake-cause arbitration).
+    #[must_use]
+    pub fn next_interrupt_at(&self) -> Option<Ps> {
+        self.fabric.peek_next().map(|p| p.at)
+    }
+
+    // ------------------------------------------------------------------
+    // Environment / victim hooks.
+    // ------------------------------------------------------------------
+
+    /// Injects one-shot device interrupts (victim activity).
+    pub fn inject_interrupts<I: IntoIterator<Item = (Ps, InterruptKind)>>(&mut self, events: I) {
+        self.fabric.inject_all(events);
+    }
+
+    /// Sets the attacker task's contribution to the frequency governor's
+    /// load input (1.0 = spin loop, the default).
+    pub fn set_local_load(&mut self, load: f64) {
+        self.freq.set_local_load(load);
+    }
+
+    /// Installs a victim load schedule on the shared frequency domain.
+    pub fn set_victim_load(&mut self, schedule: StepFn) {
+        self.freq.set_external_load(schedule);
+    }
+
+    /// Installs a data-dependent power-draw schedule (Hertzbleed input).
+    pub fn set_power_excess(&mut self, schedule: StepFn) {
+        self.freq.set_power_excess(schedule);
+    }
+
+    /// Pins the core frequency (the "frequency scaling disabled" setting),
+    /// or unpins with `None`.
+    pub fn pin_frequency(&mut self, khz: Option<u64>) {
+        self.freq.pin(khz);
+    }
+
+    /// Installs or removes a co-resident victim task on this logical core.
+    pub fn set_co_resident(&mut self, victim: Option<CoResident>) {
+        self.co_resident = victim;
+    }
+
+    /// Reprograms the APIC timer frequency (HZ), effective immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics in tickless mode (there is no timer source to reprogram).
+    pub fn set_timer_hz(&mut self, hz: f64) {
+        let src = self.timer_source.expect("tickless machine has no timer");
+        self.fabric.set_timer_hz(src, hz, self.now, &mut self.rng);
+        self.config.timer_hz = hz;
+    }
+
+    /// Suppresses or re-enables the periodic timer at runtime (tickless
+    /// mode entering/leaving, e.g. when a co-located busy task appears).
+    pub fn set_timer_enabled(&mut self, enabled: bool) {
+        if let Some(src) = self.timer_source {
+            self.fabric
+                .set_enabled(src, enabled, self.now, &mut self.rng);
+        } else if enabled {
+            self.timer_source = Some(self.fabric.add_periodic_timer(
+                self.config.timer_hz,
+                self.config.timer_jitter,
+                &mut self.rng,
+            ));
+        }
+    }
+
+    /// Installs a KASLR'd kernel layout for the kernel-probing ops.
+    pub fn set_kaslr(&mut self, layout: KaslrLayout) {
+        self.kaslr = Some(layout);
+    }
+
+    /// The installed KASLR layout, if any.
+    #[must_use]
+    pub fn kaslr(&self) -> Option<&KaslrLayout> {
+        self.kaslr.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Guest operations (the attacker's instruction set).
+    // ------------------------------------------------------------------
+
+    /// Writes a selector into GS (`mov gs, r16`). The SegScope marker
+    /// placement.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SegmentWriteRestricted`] under the restriction
+    /// mitigation; [`SimError::Segment`] for an architecturally faulting
+    /// load.
+    pub fn wrgs(&mut self, selector: Selector) -> Result<(), SimError> {
+        self.wrseg(DataSegReg::Gs, selector)
+    }
+
+    /// Writes a selector into any data-segment register.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::wrgs`].
+    pub fn wrseg(&mut self, reg: DataSegReg, selector: Selector) -> Result<(), SimError> {
+        self.exec_op(self.config.wrseg_cycles);
+        if self.config.restrict_segment_writes {
+            return Err(SimError::SegmentWriteRestricted);
+        }
+        load_data_segment(
+            &mut self.regs,
+            reg,
+            selector,
+            &self.tables,
+            PrivilegeLevel::Ring3,
+        )
+        .map_err(SimError::Segment)
+    }
+
+    /// Reads the visible selector of GS (`mov r16, gs`). The SegScope
+    /// footprint check.
+    pub fn rdgs(&mut self) -> Selector {
+        self.rdseg(DataSegReg::Gs)
+    }
+
+    /// Reads the visible selector of any data-segment register.
+    pub fn rdseg(&mut self, reg: DataSegReg) -> Selector {
+        self.exec_op(self.config.rdseg_cycles);
+        self.regs.selector(reg)
+    }
+
+    /// The high-resolution timestamp (`rdtsc` on Intel, `rdpru` on AMD):
+    /// invariant TSC cycles at the base frequency.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimerRestricted`] when `CR4.TSD` is set (the paper's
+    /// timer-constrained threat model).
+    pub fn rdtsc(&mut self) -> Result<u64, SimError> {
+        if self.config.cr4_tsd {
+            return Err(SimError::TimerRestricted);
+        }
+        self.exec_op(self.config.rdtsc_cycles);
+        Ok(self.tsc_value())
+    }
+
+    /// The name of the high-resolution timestamp instruction this machine
+    /// offers.
+    #[must_use]
+    pub fn hires_timer_name(&self) -> &'static str {
+        match self.config.vendor {
+            Vendor::Intel => "rdtsc",
+            Vendor::Amd => "rdpru",
+        }
+    }
+
+    /// A coarse architectural clock read (vDSO `clock_gettime` truncated
+    /// to `resolution`), returning nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TimerRestricted`] when `CR4.TSD` is set — the paper's
+    /// defenders constrain all architectural timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    pub fn clock_read(&mut self, resolution: Ps) -> Result<u64, SimError> {
+        assert!(resolution > Ps::ZERO, "clock resolution must be positive");
+        if self.config.cr4_tsd {
+            return Err(SimError::TimerRestricted);
+        }
+        self.exec_op(self.config.clock_read_cycles);
+        let res_ps = resolution.as_ps();
+        let truncated = self.now.as_ps() / res_ps * res_ps;
+        Ok(truncated / 1_000)
+    }
+
+    /// Reads `scaling_cur_freq` through sysfs (unprivileged; ~10 ms stale),
+    /// returning kHz. Costs a few thousand cycles of syscall + file I/O.
+    pub fn scaling_cur_freq(&mut self) -> u64 {
+        self.exec_op(2_400);
+        self.freq.sysfs_khz(self.now)
+    }
+
+    /// Spins for `cycles` cycles of plain computation.
+    pub fn spin(&mut self, cycles: u64) {
+        self.exec_op(cycles);
+    }
+
+    /// Performs a demand load of `addr` through the cache hierarchy,
+    /// consuming its latency.
+    pub fn mem_access(&mut self, addr: u64) -> AccessOutcome {
+        let outcome = self.mem.access(addr);
+        self.exec_op(outcome.cycles);
+        outcome
+    }
+
+    /// Issues `clflush addr`.
+    pub fn clflush(&mut self, addr: u64) {
+        self.exec_op(45);
+        self.mem.clflush(addr);
+    }
+
+    /// Issues a software prefetch of `addr`.
+    pub fn prefetch(&mut self, addr: u64) {
+        let outcome = self.mem.prefetch(addr);
+        self.exec_op(outcome.cycles);
+    }
+
+    /// Probes a kernel address by *direct access* (faults; the registered
+    /// user SIGSEGV handler absorbs it). Requires [`Machine::set_kaslr`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no KASLR layout is installed.
+    pub fn kernel_probe_access(&mut self, addr: u64) {
+        let layout = self.kaslr.as_mut().expect("no KASLR layout installed");
+        let cycles = layout.probe_access(addr);
+        // The faulting access enters the kernel (SIGSEGV delivery): this
+        // is what disturbs an SMT-sibling counting thread so badly.
+        self.kernel_entries += 1;
+        self.exec_op(cycles);
+    }
+
+    /// Probes a kernel address by *prefetch* (never faults). Requires
+    /// [`Machine::set_kaslr`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no KASLR layout is installed.
+    pub fn kernel_probe_prefetch(&mut self, addr: u64) {
+        let layout = self.kaslr.as_mut().expect("no KASLR layout installed");
+        let cycles = layout.probe_prefetch(addr);
+        self.exec_op(cycles);
+    }
+
+    /// Reads the SMT-sibling counting thread's counter (the Lipp/Schwarz
+    /// timer baseline). The read costs a cross-core cache-line transfer.
+    pub fn counting_thread_read(&mut self) -> u64 {
+        self.exec_op(70);
+        // The sibling increments once per `counting_thread_iter_cycles`
+        // of domain cycles, perturbed by a port-contention random walk...
+        let ideal = self.domain_cycles / self.config.counting_thread_iter_cycles;
+        let step_std = ideal.max(1.0).sqrt() * self.config.counting_thread_noise * 40.0;
+        self.ct_drift += irq::dist::normal(&mut self.rng, 0.0, step_std);
+        // ...plus a stall kick per kernel entry on the shared physical
+        // core (faults/interrupts freeze the sibling's pipeline slots).
+        let kicks = self.kernel_entries - self.ct_last_kernel_entries;
+        self.ct_last_kernel_entries = self.kernel_entries;
+        if kicks > 0 {
+            let kick_std = self.config.counting_thread_kick * (kicks as f64).sqrt();
+            self.ct_drift += irq::dist::normal(&mut self.rng, 0.0, kick_std);
+        }
+        (ideal + self.ct_drift).max(0.0) as u64
+    }
+
+    /// Cycles per iteration of the SegScope check loop on this machine
+    /// (`k` in paper Eq. 1).
+    #[must_use]
+    pub fn probe_iter_cycles(&self) -> f64 {
+        self.config.probe_iter_cycles
+    }
+
+    // ------------------------------------------------------------------
+    // The analytic fast path.
+    // ------------------------------------------------------------------
+
+    /// Runs user code until `deadline` or the next interrupt, whichever
+    /// comes first, returning the executed span.
+    ///
+    /// This is the analytic primitive the SegScope probe and the baseline
+    /// probers build on: instead of simulating millions of loop
+    /// iterations, callers convert the span's integrated `cycles` into
+    /// iteration counts.
+    pub fn run_user_until(&mut self, deadline: Ps) -> UserSpan {
+        let start = self.now;
+        let mut cycles = 0.0f64;
+        loop {
+            // Governor updates due now?
+            while self.freq.next_update_at() <= self.now {
+                let at = self.freq.next_update_at();
+                self.freq.tick(at, &mut self.rng);
+            }
+            let khz = self.freq.current_khz();
+            let next_gov = self.freq.next_update_at();
+            let next_irq = self.fabric.peek_next();
+            let irq_at = next_irq.map_or(Ps::MAX, |p| p.at.max(self.now));
+            let boundary = deadline.min(next_gov).min(irq_at);
+            if boundary > self.now {
+                let span = boundary - self.now;
+                let mut c = span.as_ps() as f64 * khz as f64 / 1e9;
+                self.domain_cycles += c;
+                // Cycles owed to post-interrupt pipeline/cache refill do
+                // not advance guest work.
+                let refill = self.pending_refill.min(c);
+                self.pending_refill -= refill;
+                c -= refill;
+                cycles += c;
+                self.now = boundary;
+            }
+            if boundary == irq_at && next_irq.is_some() {
+                let delivered = self.deliver_interrupt();
+                return UserSpan {
+                    start,
+                    end: self.now,
+                    cycles,
+                    ended_by: SpanEnd::Interrupt(delivered),
+                };
+            }
+            if boundary == deadline {
+                return UserSpan {
+                    start,
+                    end: self.now,
+                    cycles,
+                    ended_by: SpanEnd::Deadline,
+                };
+            }
+            // Otherwise it was a governor boundary; loop.
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    fn tsc_value(&self) -> u64 {
+        self.now.cycles_at(self.config.tsc_khz())
+    }
+
+    /// Executes one guest operation of `nominal` cycles, applying the
+    /// machine's noise model and delivering any interrupts the elapsed
+    /// time crosses.
+    fn exec_op(&mut self, nominal: u64) {
+        let noise = &self.config.noise;
+        let mut cycles = nominal as f64
+            + irq::dist::normal(&mut self.rng, 0.0, noise.op_jitter_std)
+                .max(-(nominal as f64) * 0.5);
+        if self.rng.gen::<f64>() < noise.tail_prob {
+            let u: f64 = self.rng.gen();
+            cycles += (noise.tail_min.ln() + u * (noise.tail_max.ln() - noise.tail_min.ln())).exp();
+        }
+        cycles *= noise.smt_factor;
+        // The first work after an interrupt stalls on cold pipeline/caches.
+        cycles += std::mem::take(&mut self.pending_refill);
+        self.advance_cycles(cycles.max(0.0));
+    }
+
+    /// Advances simulated time by `cycles` of user execution, delivering
+    /// interrupts and governor updates on the way.
+    fn advance_cycles(&mut self, cycles: f64) {
+        let mut remaining = cycles;
+        while remaining > 0.0 {
+            while self.freq.next_update_at() <= self.now {
+                let at = self.freq.next_update_at();
+                self.freq.tick(at, &mut self.rng);
+            }
+            let khz = self.freq.current_khz();
+            let next_gov = self.freq.next_update_at();
+            let next_irq = self
+                .fabric
+                .peek_next()
+                .map_or(Ps::MAX, |p| p.at.max(self.now));
+            let boundary = next_gov.min(next_irq);
+            let span_to_boundary = boundary.saturating_sub(self.now);
+            let cycles_to_boundary = span_to_boundary.as_ps() as f64 * khz as f64 / 1e9;
+            if cycles_to_boundary >= remaining {
+                let ps = (remaining * 1e9 / khz as f64).ceil() as u64;
+                self.now += Ps::from_ps(ps);
+                self.domain_cycles += remaining;
+                remaining = 0.0;
+            } else {
+                remaining -= cycles_to_boundary;
+                self.domain_cycles += cycles_to_boundary;
+                self.now = boundary;
+                if boundary == next_irq && self.fabric.peek_next().is_some_and(|p| p.at <= self.now)
+                {
+                    let _ = self.deliver_interrupt();
+                }
+                // Governor boundaries handled at loop top.
+            }
+        }
+    }
+
+    /// Delivers the due interrupt: kernel entry, handler, cascades,
+    /// scheduler preemption, and the Algorithm 1 scrub on return.
+    fn deliver_interrupt(&mut self) -> DeliveredIrq {
+        let pending = self
+            .fabric
+            .pop(&mut self.rng)
+            .expect("deliver_interrupt called with nothing pending");
+        self.kernel_entries += 1;
+        let first_kind = pending.kind;
+        let first_at = pending.at;
+        let handler_cost = self.config.handler_model.sample(first_kind, &mut self.rng);
+        self.ground_truth.record(first_at, first_kind, handler_cost);
+        let mut kernel_span = handler_cost;
+        if first_kind == InterruptKind::Timer {
+            self.timer_ticks_seen = self.timer_ticks_seen.wrapping_add(1);
+        }
+        // Scheduler preemption by a co-resident task.
+        let mut gs_reload: Option<Selector> = None;
+        if let Some(co) = self.co_resident {
+            if first_kind == InterruptKind::Timer
+                && co.preempt_every_ticks > 0
+                && self.timer_ticks_seen.is_multiple_of(co.preempt_every_ticks)
+            {
+                kernel_span += co.slice;
+                if let Some(sel) = co.gs_reload {
+                    if self.rng.gen::<f64>() < co.gs_reload_prob {
+                        gs_reload = Some(sel);
+                    }
+                }
+            }
+        }
+        // Cascaded interrupts that land while we're still in the kernel
+        // are handled back-to-back (one combined return to user space).
+        loop {
+            let due = match self.fabric.peek_next() {
+                Some(p) if p.at <= self.now + kernel_span => p,
+                _ => break,
+            };
+            let p = self.fabric.pop(&mut self.rng).expect("peeked");
+            self.kernel_entries += 1;
+            let w = self.config.handler_model.sample(p.kind, &mut self.rng);
+            self.ground_truth.record(due.at.max(self.now), p.kind, w);
+            if p.kind == InterruptKind::Timer {
+                self.timer_ticks_seen = self.timer_ticks_seen.wrapping_add(1);
+            }
+            kernel_span += w;
+        }
+        // Kernel time elapses at the domain frequency too.
+        let kernel_end = self.now + kernel_span;
+        while self.freq.next_update_at() <= kernel_end {
+            let at = self.freq.next_update_at();
+            self.freq.tick(at, &mut self.rng);
+        }
+        self.domain_cycles += kernel_span.as_ps() as f64 * self.freq.current_khz() as f64 / 1e9;
+        self.now = kernel_end;
+        // Resuming user code pays a pipeline/cache refill penalty.
+        let noise = self.config.noise;
+        self.pending_refill +=
+            irq::dist::normal(&mut self.rng, noise.refill_mean, noise.refill_std).max(0.0);
+        // The return to user space: Algorithm 1 (unless the
+        // future-architecture mitigation preserves selectors).
+        let footprint = if self.config.preserve_selectors {
+            ReturnFootprint::default()
+        } else {
+            protected_mode_return(&mut self.regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0)
+        };
+        // The co-resident may have reloaded GS with a *valid* selector the
+        // scrub keeps (the paper's "still observable as a change" note).
+        if let Some(sel) = gs_reload {
+            let _ = load_data_segment(
+                &mut self.regs,
+                DataSegReg::Gs,
+                sel,
+                &self.tables,
+                PrivilegeLevel::Ring3,
+            );
+        }
+        DeliveredIrq {
+            kind: first_kind,
+            at: first_at,
+            handler_cost,
+            kernel_span,
+            footprint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default(), 0x5e65c0de)
+    }
+
+    #[test]
+    fn marker_survives_until_first_interrupt() {
+        let mut m = machine();
+        m.wrgs(Selector::from_bits(0x3)).unwrap();
+        assert_eq!(m.rdgs().bits(), 0x3, "no interrupt yet at t≈0");
+        let span = m.run_user_until(Ps::MAX);
+        match span.ended_by {
+            SpanEnd::Interrupt(irq) => {
+                assert!(irq.footprint.cleared_as_null(DataSegReg::Gs));
+            }
+            SpanEnd::Deadline => panic!("expected an interrupt"),
+        }
+        assert_eq!(m.rdgs().bits(), 0);
+    }
+
+    #[test]
+    fn deadline_span_reports_cycles() {
+        let mut m = machine();
+        let span = m.run_user_until(Ps::from_us(100));
+        assert!(matches!(span.ended_by, SpanEnd::Deadline));
+        assert!(span.cycles > 0.0);
+        // ~100 us at 1.6-3.4 GHz: between 1.6e5 and 3.4e5 cycles.
+        assert!(
+            (1.0e5..4.0e5).contains(&span.cycles),
+            "cycles {}",
+            span.cycles
+        );
+    }
+
+    #[test]
+    fn timer_interrupts_arrive_at_hz() {
+        let mut m = machine();
+        let mut timers = 0;
+        loop {
+            let span = m.run_user_until(Ps::from_secs(2));
+            match span.ended_by {
+                SpanEnd::Interrupt(irq) if irq.kind == InterruptKind::Timer => timers += 1,
+                SpanEnd::Interrupt(_) => {}
+                SpanEnd::Deadline => break,
+            }
+        }
+        // 250 Hz for 2 s.
+        assert!((495..=505).contains(&timers), "timer count {timers}");
+        assert_eq!(
+            m.ground_truth().of_kind(InterruptKind::Timer).count(),
+            timers
+        );
+    }
+
+    #[test]
+    fn rdtsc_is_monotone_and_tsd_gated() {
+        let mut m = machine();
+        let a = m.rdtsc().unwrap();
+        m.spin(10_000);
+        let b = m.rdtsc().unwrap();
+        assert!(b > a);
+        let mut restricted = Machine::new(MachineConfig::default().with_cr4_tsd(true), 1);
+        assert_eq!(restricted.rdtsc(), Err(SimError::TimerRestricted));
+        assert_eq!(
+            restricted.clock_read(Ps::from_ms(1)),
+            Err(SimError::TimerRestricted)
+        );
+    }
+
+    #[test]
+    fn clock_read_truncates_to_resolution() {
+        let mut m = machine();
+        m.spin(5_000_000);
+        let ns = m.clock_read(Ps::from_ms(1)).unwrap();
+        assert_eq!(ns % 1_000_000, 0, "1 ms resolution leaves ms multiples");
+    }
+
+    #[test]
+    fn preserve_selectors_mitigation_kills_footprint() {
+        let cfg = MachineConfig::default().with_preserve_selectors(true);
+        let mut m = Machine::new(cfg, 2);
+        m.wrgs(Selector::from_bits(0x1)).unwrap();
+        for _ in 0..5 {
+            let _ = m.run_user_until(Ps::MAX);
+        }
+        assert_eq!(
+            m.rdgs().bits(),
+            0x1,
+            "mitigated machine preserves the marker"
+        );
+    }
+
+    #[test]
+    fn restricted_segment_writes_fault() {
+        let cfg = MachineConfig::default().with_restricted_segment_writes(true);
+        let mut m = Machine::new(cfg, 3);
+        assert_eq!(
+            m.wrgs(Selector::from_bits(0x1)),
+            Err(SimError::SegmentWriteRestricted)
+        );
+    }
+
+    #[test]
+    fn tickless_machine_has_no_timer_until_reenabled() {
+        let cfg = MachineConfig::default().with_tickless(true);
+        let mut m = Machine::new(cfg, 4);
+        m.wrgs(Selector::from_bits(0x1)).unwrap();
+        let _span = m.run_user_until(Ps::from_secs(1));
+        // Only PMI/resched (rare) can arrive; overwhelmingly the deadline.
+        let timer_irqs = m.ground_truth().of_kind(InterruptKind::Timer).count();
+        assert_eq!(timer_irqs, 0);
+        // Co-locating a busy task re-activates the tick.
+        m.set_timer_enabled(true);
+        let mut saw_timer = false;
+        for _ in 0..10 {
+            if let SpanEnd::Interrupt(irq) = m.run_user_until(Ps::MAX).ended_by {
+                saw_timer |= irq.kind == InterruptKind::Timer;
+            }
+        }
+        assert!(saw_timer);
+    }
+
+    #[test]
+    fn co_resident_preemption_stretches_kernel_span() {
+        let mut m = machine();
+        m.set_co_resident(Some(CoResident::browser()));
+        let mut max_kernel = Ps::ZERO;
+        for _ in 0..10 {
+            if let SpanEnd::Interrupt(irq) = m.run_user_until(Ps::MAX).ended_by {
+                max_kernel = max_kernel.max(irq.kernel_span);
+            }
+        }
+        assert!(
+            max_kernel >= Ps::from_us(1_500),
+            "preemption slice should appear, max {max_kernel}"
+        );
+    }
+
+    #[test]
+    fn co_resident_gs_reload_still_changes_value() {
+        let mut m = machine();
+        let valid = DescriptorTables::user_data_selector();
+        m.set_co_resident(Some(CoResident {
+            preempt_every_ticks: 1,
+            slice: Ps::from_us(500),
+            gs_reload: Some(valid),
+            gs_reload_prob: 1.0,
+        }));
+        let marker = Selector::from_bits(0x2);
+        m.wrgs(marker).unwrap();
+        // Wait for a timer interrupt (PMI/resched don't preempt).
+        loop {
+            if let SpanEnd::Interrupt(irq) = m.run_user_until(Ps::MAX).ended_by {
+                if irq.kind == InterruptKind::Timer {
+                    break;
+                }
+            }
+        }
+        let after = m.rdgs();
+        assert_ne!(after, marker, "value changed even though it is not zero");
+        assert_eq!(after, valid);
+    }
+
+    #[test]
+    fn injected_device_interrupts_are_delivered() {
+        let mut m = machine();
+        m.inject_interrupts([
+            (Ps::from_us(50), InterruptKind::Network),
+            (Ps::from_us(90), InterruptKind::Gpu),
+        ]);
+        let mut kinds = Vec::new();
+        for _ in 0..2 {
+            if let SpanEnd::Interrupt(irq) = m.run_user_until(Ps::from_ms(1)).ended_by {
+                kinds.push(irq.kind);
+            }
+        }
+        assert_eq!(kinds, vec![InterruptKind::Network, InterruptKind::Gpu]);
+    }
+
+    #[test]
+    fn counting_thread_advances_with_time() {
+        let mut m = machine();
+        let a = m.counting_thread_read();
+        m.spin(1_000_000);
+        let b = m.counting_thread_read();
+        assert!(b > a, "counting thread must advance: {a} -> {b}");
+        let delta = (b - a) as f64;
+        // Roughly 1e6 / ct_iter_cycles increments.
+        let expected = 1.0e6 / m.config().counting_thread_iter_cycles;
+        assert!(
+            (delta / expected - 1.0).abs() < 0.2,
+            "delta {delta} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mem_ops_cost_cache_latencies() {
+        let mut m = machine();
+        let cold = m.mem_access(0x9000);
+        assert_eq!(cold.level, memsim::CacheLevel::Dram);
+        let warm = m.mem_access(0x9000);
+        assert_eq!(warm.level, memsim::CacheLevel::L1);
+        m.clflush(0x9000);
+        let cold2 = m.mem_access(0x9000);
+        assert_eq!(cold2.level, memsim::CacheLevel::Dram);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let run = |seed| {
+            let mut m = Machine::new(MachineConfig::default(), seed);
+            m.wrgs(Selector::from_bits(0x1)).unwrap();
+            let mut ends = Vec::new();
+            for _ in 0..20 {
+                ends.push(m.run_user_until(Ps::MAX).end);
+            }
+            ends
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn kaslr_probe_ops_consume_time() {
+        use memsim::KaslrLayout;
+        let mut m = machine();
+        m.set_kaslr(KaslrLayout::with_slot(17));
+        let base = m.kaslr().unwrap().slot_base(17);
+        let t0 = m.now();
+        m.kernel_probe_access(base);
+        assert!(m.now() > t0);
+        let t1 = m.now();
+        m.kernel_probe_prefetch(base);
+        assert!(m.now() > t1);
+    }
+}

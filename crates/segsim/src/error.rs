@@ -1,0 +1,69 @@
+//! Machine-level faults visible to guest code.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use x86seg::SegError;
+
+/// Faults a guest operation can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimError {
+    /// `CR4.TSD` is set: unprivileged timestamp instructions fault
+    /// (the paper's timer-constrained threat model).
+    TimerRestricted,
+    /// The segment-write restriction mitigation is active.
+    SegmentWriteRestricted,
+    /// An architectural segmentation fault (`#GP`/`#NP`).
+    Segment(SegError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TimerRestricted => {
+                write!(f, "unprivileged timestamp read faulted (CR4.TSD set)")
+            }
+            SimError::SegmentWriteRestricted => {
+                write!(
+                    f,
+                    "unprivileged segment-register write restricted by policy"
+                )
+            }
+            SimError::Segment(e) => write!(f, "segmentation fault: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Segment(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SegError> for SimError {
+    fn from(e: SegError) -> Self {
+        SimError::Segment(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::Segment(SegError::NullSegmentAccess);
+        assert!(e.to_string().contains("segmentation fault"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&SimError::TimerRestricted).is_none());
+    }
+
+    #[test]
+    fn from_seg_error() {
+        let e: SimError = SegError::NullSegmentAccess.into();
+        assert_eq!(e, SimError::Segment(SegError::NullSegmentAccess));
+    }
+}

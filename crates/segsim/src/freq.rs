@@ -1,0 +1,386 @@
+//! The DVFS frequency model: a P-state governor whose steady state depends
+//! on load and power draw, with first-order lag, quantized P-states, and
+//! Gaussian wander.
+//!
+//! This is the substrate for everything frequency-related in the paper:
+//! SegCnt ∝ Freq (Eq. 1, Fig. 3), the Hertzbleed-style CIRCL key
+//! extraction (Fig. 8: a correct key-bit guess triggers an anomalous-zero
+//! computation that draws *less* power, letting the core sustain a *higher*
+//! frequency), and the `scaling_cur_freq` sysfs interface the attacker may
+//! read for normalization.
+
+use irq::dist;
+use irq::time::Ps;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a core's frequency domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqConfig {
+    /// Minimum P-state, kHz.
+    pub min_khz: u64,
+    /// Base (guaranteed, non-turbo) frequency, kHz. The invariant TSC also
+    /// ticks at this rate.
+    pub base_khz: u64,
+    /// Maximum single-core turbo frequency, kHz.
+    pub max_khz: u64,
+    /// P-state quantization step, kHz (100 MHz on modern Intel/AMD).
+    pub step_khz: u64,
+    /// Governor re-evaluation period.
+    pub update_period: Ps,
+    /// First-order lag applied per update (0 = frozen, 1 = instant).
+    pub alpha: f64,
+    /// Gaussian wander added per update, kHz.
+    pub noise_std_khz: f64,
+    /// How strongly excess power draw depresses the sustained frequency,
+    /// kHz per unit of power-excess (the Hertzbleed coupling).
+    pub power_coeff_khz: f64,
+}
+
+impl FreqConfig {
+    /// A mobile-class CPU: 400 MHz–3.4 GHz turbo around a 1.6 GHz base.
+    #[must_use]
+    pub fn mobile(base_mhz: u64, max_mhz: u64) -> Self {
+        FreqConfig {
+            min_khz: 400_000,
+            base_khz: base_mhz * 1_000,
+            max_khz: max_mhz * 1_000,
+            step_khz: 100_000,
+            update_period: Ps::from_ms(1),
+            alpha: 0.35,
+            noise_std_khz: 7_000.0,
+            power_coeff_khz: 300_000.0,
+        }
+    }
+
+    /// A desktop/server CPU: higher base, tighter wander.
+    #[must_use]
+    pub fn desktop(base_mhz: u64, max_mhz: u64) -> Self {
+        FreqConfig {
+            min_khz: 800_000,
+            base_khz: base_mhz * 1_000,
+            max_khz: max_mhz * 1_000,
+            step_khz: 100_000,
+            update_period: Ps::from_ms(1),
+            alpha: 0.45,
+            noise_std_khz: 5_000.0,
+            power_coeff_khz: 250_000.0,
+        }
+    }
+}
+
+impl Default for FreqConfig {
+    fn default() -> Self {
+        FreqConfig::mobile(1_600, 3_400)
+    }
+}
+
+/// A right-continuous step function of time (used for victim load and
+/// power-draw schedules).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct StepFn {
+    /// (time, value) steps, strictly increasing in time.
+    steps: Vec<(Ps, f64)>,
+}
+
+impl StepFn {
+    /// A step function that is `0.0` everywhere.
+    #[must_use]
+    pub fn zero() -> Self {
+        StepFn::default()
+    }
+
+    /// A constant function.
+    #[must_use]
+    pub fn constant(value: f64) -> Self {
+        StepFn {
+            steps: vec![(Ps::ZERO, value)],
+        }
+    }
+
+    /// Appends a step at `at` (must not precede the last step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last step.
+    pub fn push(&mut self, at: Ps, value: f64) {
+        if let Some(&(last, _)) = self.steps.last() {
+            assert!(at >= last, "steps must be time-ordered");
+        }
+        self.steps.push((at, value));
+    }
+
+    /// The value at time `t` (0.0 before the first step).
+    #[must_use]
+    pub fn value_at(&self, t: Ps) -> f64 {
+        match self.steps.partition_point(|&(at, _)| at <= t) {
+            0 => 0.0,
+            n => self.steps[n - 1].1,
+        }
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the function has no steps (identically zero).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// The dynamic frequency model of one core's voltage/frequency domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreqModel {
+    config: FreqConfig,
+    cur_khz: u64,
+    next_update: Ps,
+    /// Load contributed by the locally running (attacker) task, 0..=1.
+    local_load: f64,
+    /// Load contributed by other tasks in the domain (victim workloads).
+    external_load: StepFn,
+    /// Data-dependent power excess (Hertzbleed input), arbitrary units.
+    power_excess: StepFn,
+    /// When set, DVFS is disabled and the frequency is pinned here
+    /// (the `cpufreq-set` setting of Table IV).
+    pinned_khz: Option<u64>,
+    /// Cached sysfs value: `scaling_cur_freq` only refreshes every ~10 ms.
+    sysfs_khz: u64,
+    sysfs_next_refresh: Ps,
+}
+
+impl FreqModel {
+    /// Creates a model idling at the base frequency.
+    #[must_use]
+    pub fn new(config: FreqConfig) -> Self {
+        FreqModel {
+            cur_khz: config.base_khz,
+            next_update: config.update_period,
+            local_load: 0.0,
+            external_load: StepFn::zero(),
+            power_excess: StepFn::zero(),
+            pinned_khz: None,
+            sysfs_khz: config.base_khz,
+            sysfs_next_refresh: Ps::ZERO,
+            config,
+        }
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &FreqConfig {
+        &self.config
+    }
+
+    /// The instantaneous core frequency, kHz.
+    #[must_use]
+    pub fn current_khz(&self) -> u64 {
+        self.pinned_khz.unwrap_or(self.cur_khz)
+    }
+
+    /// When the governor next re-evaluates.
+    #[must_use]
+    pub fn next_update_at(&self) -> Ps {
+        if self.pinned_khz.is_some() {
+            Ps::MAX
+        } else {
+            self.next_update
+        }
+    }
+
+    /// Sets the load of the locally running task (1.0 for a spin loop).
+    pub fn set_local_load(&mut self, load: f64) {
+        self.local_load = load.clamp(0.0, 1.0);
+    }
+
+    /// Replaces the external (victim) load schedule.
+    pub fn set_external_load(&mut self, schedule: StepFn) {
+        self.external_load = schedule;
+    }
+
+    /// Replaces the data-dependent power-excess schedule.
+    pub fn set_power_excess(&mut self, schedule: StepFn) {
+        self.power_excess = schedule;
+    }
+
+    /// Pins the frequency (DVFS disabled), or unpins with `None`.
+    pub fn pin(&mut self, khz: Option<u64>) {
+        self.pinned_khz = khz;
+        if let Some(k) = khz {
+            self.sysfs_khz = k;
+        }
+    }
+
+    /// Runs one governor update at time `now` (callers invoke this when
+    /// `now >= next_update_at()`).
+    pub fn tick<R: Rng + ?Sized>(&mut self, now: Ps, rng: &mut R) {
+        if self.pinned_khz.is_some() {
+            return;
+        }
+        let cfg = self.config;
+        let load = (self.local_load + self.external_load.value_at(now)).clamp(0.0, 1.0);
+        let span = (cfg.max_khz - cfg.min_khz) as f64;
+        let mut target = cfg.min_khz as f64 + span * load;
+        // Hertzbleed coupling: power-hungry data sequences depress the
+        // sustainable frequency.
+        target -= self.power_excess.value_at(now) * cfg.power_coeff_khz;
+        let cur = self.cur_khz as f64;
+        let mut next = cur + cfg.alpha * (target - cur) + dist::normal(rng, 0.0, cfg.noise_std_khz);
+        next = next.clamp(cfg.min_khz as f64, cfg.max_khz as f64);
+        // Quantize to P-states.
+        let step = cfg.step_khz as f64;
+        self.cur_khz = ((next / step).round() * step) as u64;
+        self.next_update = now + cfg.update_period;
+        // Refresh the sysfs snapshot at a coarser cadence.
+        if now >= self.sysfs_next_refresh {
+            self.sysfs_khz = self.cur_khz;
+            self.sysfs_next_refresh = now + Ps::from_ms(10);
+        }
+    }
+
+    /// The value an unprivileged read of `scaling_cur_freq` returns at
+    /// time `now` (a stale snapshot refreshed every ~10 ms).
+    #[must_use]
+    pub fn sysfs_khz(&self, _now: Ps) -> u64 {
+        self.pinned_khz.unwrap_or(self.sysfs_khz)
+    }
+}
+
+impl Default for FreqModel {
+    fn default() -> Self {
+        FreqModel::new(FreqConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run_until(model: &mut FreqModel, until: Ps, rng: &mut SmallRng) {
+        let mut now = model.next_update_at();
+        while now <= until {
+            model.tick(now, rng);
+            now = model.next_update_at();
+        }
+    }
+
+    #[test]
+    fn step_fn_basics() {
+        let mut f = StepFn::zero();
+        assert_eq!(f.value_at(Ps::from_ms(5)), 0.0);
+        f.push(Ps::from_ms(1), 0.5);
+        f.push(Ps::from_ms(3), 1.0);
+        assert_eq!(f.value_at(Ps::ZERO), 0.0);
+        assert_eq!(f.value_at(Ps::from_ms(1)), 0.5);
+        assert_eq!(f.value_at(Ps::from_ms(2)), 0.5);
+        assert_eq!(f.value_at(Ps::from_ms(3)), 1.0);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn step_fn_rejects_unordered() {
+        let mut f = StepFn::zero();
+        f.push(Ps::from_ms(2), 1.0);
+        f.push(Ps::from_ms(1), 0.0);
+    }
+
+    #[test]
+    fn full_load_drives_frequency_up() {
+        let mut rng = SmallRng::seed_from_u64(0xF0);
+        let mut model = FreqModel::default();
+        model.set_local_load(1.0);
+        run_until(&mut model, Ps::from_ms(200), &mut rng);
+        assert!(
+            model.current_khz() > 3_000_000,
+            "loaded core should turbo, got {} kHz",
+            model.current_khz()
+        );
+    }
+
+    #[test]
+    fn idle_core_settles_low() {
+        let mut rng = SmallRng::seed_from_u64(0xF1);
+        let mut model = FreqModel::default();
+        model.set_local_load(0.0);
+        run_until(&mut model, Ps::from_ms(200), &mut rng);
+        assert!(
+            model.current_khz() < 1_000_000,
+            "idle core should downclock, got {} kHz",
+            model.current_khz()
+        );
+    }
+
+    #[test]
+    fn power_excess_depresses_frequency() {
+        let mut rng = SmallRng::seed_from_u64(0xF2);
+        let mut hot = FreqModel::default();
+        hot.set_local_load(1.0);
+        hot.set_power_excess(StepFn::constant(1.0));
+        let mut cool = FreqModel::default();
+        cool.set_local_load(1.0);
+        run_until(&mut hot, Ps::from_ms(300), &mut rng);
+        let mut rng2 = SmallRng::seed_from_u64(0xF2);
+        run_until(&mut cool, Ps::from_ms(300), &mut rng2);
+        assert!(
+            hot.current_khz() + 150_000 < cool.current_khz(),
+            "hot {} vs cool {}",
+            hot.current_khz(),
+            cool.current_khz()
+        );
+    }
+
+    #[test]
+    fn pinning_freezes_frequency() {
+        let mut rng = SmallRng::seed_from_u64(0xF3);
+        let mut model = FreqModel::default();
+        model.pin(Some(2_500_000));
+        model.set_local_load(1.0);
+        assert_eq!(model.next_update_at(), Ps::MAX);
+        model.tick(Ps::from_ms(1), &mut rng);
+        assert_eq!(model.current_khz(), 2_500_000);
+        assert_eq!(model.sysfs_khz(Ps::from_ms(1)), 2_500_000);
+        model.pin(None);
+        assert!(model.next_update_at() < Ps::MAX);
+    }
+
+    #[test]
+    fn frequency_is_quantized_to_pstates() {
+        let mut rng = SmallRng::seed_from_u64(0xF4);
+        let mut model = FreqModel::default();
+        model.set_local_load(0.7);
+        run_until(&mut model, Ps::from_ms(50), &mut rng);
+        assert_eq!(model.current_khz() % model.config().step_khz, 0);
+    }
+
+    #[test]
+    fn sysfs_lags_behind_current() {
+        let mut rng = SmallRng::seed_from_u64(0xF5);
+        let mut model = FreqModel::default();
+        model.set_local_load(1.0);
+        // One tick at 1 ms: sysfs refreshes (first refresh due at 0).
+        model.tick(Ps::from_ms(1), &mut rng);
+        let snap = model.sysfs_khz(Ps::from_ms(1));
+        // Several more ticks within the 10 ms window must not move sysfs.
+        for ms in 2..9 {
+            model.tick(Ps::from_ms(ms), &mut rng);
+        }
+        assert_eq!(model.sysfs_khz(Ps::from_ms(8)), snap);
+    }
+
+    #[test]
+    fn external_load_counts_toward_target() {
+        let mut rng = SmallRng::seed_from_u64(0xF6);
+        let mut model = FreqModel::default();
+        model.set_local_load(0.0);
+        model.set_external_load(StepFn::constant(1.0));
+        run_until(&mut model, Ps::from_ms(200), &mut rng);
+        assert!(model.current_khz() > 3_000_000);
+    }
+}

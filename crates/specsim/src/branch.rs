@@ -1,0 +1,166 @@
+//! A pattern-history table of 2-bit saturating counters.
+
+use serde::{Deserialize, Serialize};
+
+/// The four states of a 2-bit saturating counter.
+#[allow(clippy::enum_variant_names)] // the textbook state names share a postfix
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+enum Counter {
+    StronglyNotTaken,
+    WeaklyNotTaken,
+    WeaklyTaken,
+    StronglyTaken,
+}
+
+impl Counter {
+    fn predicts_taken(self) -> bool {
+        matches!(self, Counter::WeaklyTaken | Counter::StronglyTaken)
+    }
+
+    fn update(self, taken: bool) -> Counter {
+        use Counter::*;
+        match (self, taken) {
+            (StronglyNotTaken, true) => WeaklyNotTaken,
+            (WeaklyNotTaken, true) => WeaklyTaken,
+            (WeaklyTaken, true) => StronglyTaken,
+            (StronglyTaken, true) => StronglyTaken,
+            (StronglyNotTaken, false) => StronglyNotTaken,
+            (WeaklyNotTaken, false) => StronglyNotTaken,
+            (WeaklyTaken, false) => WeaklyNotTaken,
+            (StronglyTaken, false) => WeaklyTaken,
+        }
+    }
+}
+
+/// A direct-mapped pattern-history table of 2-bit saturating counters,
+/// indexed by (a hash of) the branch address.
+///
+/// This is the structure Spectre-V1 mistraining manipulates: feeding the
+/// bounds check several in-bounds (taken) executions drives its counter to
+/// *strongly taken*, so the next out-of-bounds execution is predicted
+/// taken and the body runs transiently.
+///
+/// ```
+/// let mut pht = specsim::TwoBitPredictor::new(1024);
+/// let branch = 0x401000;
+/// for _ in 0..3 { pht.update(branch, true); }
+/// assert!(pht.predict(branch));
+/// pht.update(branch, false);       // one mispredict only weakens it
+/// assert!(pht.predict(branch));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoBitPredictor {
+    table: Vec<Counter>,
+}
+
+impl TwoBitPredictor {
+    /// Creates a predictor with `entries` counters, all initialized to
+    /// *weakly not taken*.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a nonzero power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "predictor size must be a power of two"
+        );
+        TwoBitPredictor {
+            table: vec![Counter::WeaklyNotTaken; entries],
+        }
+    }
+
+    fn index(&self, branch_addr: u64) -> usize {
+        // Cheap avalanche so nearby branches don't all collide.
+        let mut x = branch_addr;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        (x as usize) & (self.table.len() - 1)
+    }
+
+    /// Predicts whether the branch at `branch_addr` is taken.
+    #[must_use]
+    pub fn predict(&self, branch_addr: u64) -> bool {
+        self.table[self.index(branch_addr)].predicts_taken()
+    }
+
+    /// Records the resolved outcome of the branch at `branch_addr`.
+    pub fn update(&mut self, branch_addr: u64, taken: bool) {
+        let idx = self.index(branch_addr);
+        self.table[idx] = self.table[idx].update(taken);
+    }
+
+    /// Number of counters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Always `false`: the constructor rejects empty tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_prediction_is_not_taken() {
+        let pht = TwoBitPredictor::new(64);
+        assert!(!pht.predict(0x1234));
+    }
+
+    #[test]
+    fn training_to_taken_requires_two_updates() {
+        let mut pht = TwoBitPredictor::new(64);
+        pht.update(0x10, true); // weakly-not-taken -> weakly-taken
+        assert!(pht.predict(0x10));
+        let mut pht2 = TwoBitPredictor::new(64);
+        pht2.update(0x10, false);
+        pht2.update(0x10, true);
+        assert!(
+            !pht2.predict(0x10),
+            "one taken after strong-NT is not enough"
+        );
+    }
+
+    #[test]
+    fn hysteresis_survives_single_mispredict() {
+        let mut pht = TwoBitPredictor::new(64);
+        for _ in 0..4 {
+            pht.update(0x20, true);
+        }
+        pht.update(0x20, false);
+        assert!(pht.predict(0x20), "strongly-taken weathers one not-taken");
+        pht.update(0x20, false);
+        assert!(!pht.predict(0x20));
+    }
+
+    #[test]
+    fn distinct_branches_are_independent() {
+        let mut pht = TwoBitPredictor::new(1024);
+        for _ in 0..4 {
+            pht.update(0xAAAA_0000, true);
+        }
+        assert!(pht.predict(0xAAAA_0000));
+        assert!(!pht.predict(0xBBBB_0000));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        use super::Counter::*;
+        assert_eq!(StronglyTaken.update(true), StronglyTaken);
+        assert_eq!(StronglyNotTaken.update(false), StronglyNotTaken);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_panics() {
+        let _ = TwoBitPredictor::new(100);
+    }
+}

@@ -1,0 +1,256 @@
+//! The Spectre-V1 bounds-check-bypass gadget.
+
+use crate::branch::TwoBitPredictor;
+use memsim::MemoryHierarchy;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`SpectreV1Gadget`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GadgetConfig {
+    /// Length of the public array guarded by the bounds check.
+    pub array1_len: usize,
+    /// Base address of the shared probe array (`array2`).
+    pub probe_base: u64,
+    /// Stride between probe-array entries (one page defeats the adjacent
+    /// line prefetcher in the classic PoCs; we default to 512 bytes as the
+    /// paper's gadget does).
+    pub probe_stride: u64,
+    /// Simulated address of the bounds-check branch.
+    pub branch_addr: u64,
+    /// Probability that a mispredicted out-of-bounds call's speculation
+    /// window is long enough for the transient loads to complete.
+    pub window_success: f64,
+}
+
+impl GadgetConfig {
+    /// The classic 16-entry gadget with 512-byte probe stride.
+    #[must_use]
+    pub fn classic() -> Self {
+        GadgetConfig {
+            array1_len: 16,
+            probe_base: 0x20_0000,
+            probe_stride: 512,
+            branch_addr: 0x40_1000,
+            window_success: 0.92,
+        }
+    }
+}
+
+impl Default for GadgetConfig {
+    fn default() -> Self {
+        GadgetConfig::classic()
+    }
+}
+
+/// The outcome of one gadget invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GadgetCall {
+    /// Whether the bounds check architecturally passed (in-bounds index).
+    pub in_bounds: bool,
+    /// Whether the predictor predicted the check to pass.
+    pub predicted_taken: bool,
+    /// Whether a *transient* secret-dependent load reached the cache
+    /// (only possible on a mispredicted out-of-bounds call).
+    pub transient_leak: bool,
+}
+
+/// A victim function containing a Spectre-V1 gadget:
+///
+/// ```c
+/// if (x < array1_len)             // branch the attacker mistrains
+///     y = array2[array1[x] * stride];
+/// ```
+///
+/// In-bounds calls execute architecturally and train the bounds check
+/// toward *taken*. An out-of-bounds call with a trained predictor
+/// speculatively reads `secret[x - array1_len]` and touches
+/// `array2[secret_byte * stride]`, leaving the only architectural trace in
+/// the cache — which Flush+Reload (timed by SegScope) recovers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectreV1Gadget {
+    config: GadgetConfig,
+    predictor: TwoBitPredictor,
+    secret: Vec<u8>,
+}
+
+impl SpectreV1Gadget {
+    /// Creates a gadget guarding `secret` (the out-of-bounds bytes the
+    /// attacker wants).
+    #[must_use]
+    pub fn new(config: GadgetConfig, secret: impl Into<Vec<u8>>) -> Self {
+        SpectreV1Gadget {
+            config,
+            predictor: TwoBitPredictor::new(1024),
+            secret: secret.into(),
+        }
+    }
+
+    /// The gadget configuration.
+    #[must_use]
+    pub fn config(&self) -> &GadgetConfig {
+        &self.config
+    }
+
+    /// Length of the protected secret.
+    #[must_use]
+    pub fn secret_len(&self) -> usize {
+        self.secret.len()
+    }
+
+    /// The probe-array address a given byte value maps to.
+    #[must_use]
+    pub fn probe_addr(&self, byte: u8) -> u64 {
+        self.config.probe_base + u64::from(byte) * self.config.probe_stride
+    }
+
+    /// Ground-truth secret byte at out-of-bounds offset `i` (test support;
+    /// a real attacker cannot call this).
+    #[must_use]
+    pub fn secret_byte(&self, i: usize) -> u8 {
+        self.secret[i]
+    }
+
+    /// Invokes the victim function with index `x`.
+    ///
+    /// `x < array1_len` is an architectural in-bounds call: it loads the
+    /// corresponding probe line *architecturally* and trains the branch.
+    /// `x >= array1_len` is the attack call: whether the secret-indexed
+    /// probe line gets installed depends on the predictor state and the
+    /// speculation-window coin flip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an out-of-bounds `x` reaches past the protected secret.
+    pub fn call<R: Rng + ?Sized>(
+        &mut self,
+        x: usize,
+        mem: &mut MemoryHierarchy,
+        rng: &mut R,
+    ) -> GadgetCall {
+        let in_bounds = x < self.config.array1_len;
+        let predicted_taken = self.predictor.predict(self.config.branch_addr);
+        self.predictor.update(self.config.branch_addr, in_bounds);
+        if in_bounds {
+            // Architectural execution: publicly-known value, value itself
+            // irrelevant to the attack; model it as byte 0 of array1.
+            let public_byte = (x % 256) as u8;
+            mem.access(self.probe_addr(public_byte));
+            return GadgetCall {
+                in_bounds,
+                predicted_taken,
+                transient_leak: false,
+            };
+        }
+        let offset = x - self.config.array1_len;
+        assert!(
+            offset < self.secret.len(),
+            "out-of-bounds index past secret"
+        );
+        let mut transient_leak = false;
+        if predicted_taken && rng.gen::<f64>() < self.config.window_success {
+            // Transient path: the secret-dependent load completes before
+            // the squash and installs the probe line.
+            let byte = self.secret[offset];
+            mem.access(self.probe_addr(byte));
+            transient_leak = true;
+        }
+        GadgetCall {
+            in_bounds,
+            predicted_taken,
+            transient_leak,
+        }
+    }
+
+    /// Convenience mistraining helper: `n` in-bounds calls on index
+    /// `x % array1_len`.
+    pub fn mistrain<R: Rng + ?Sized>(&mut self, n: usize, mem: &mut MemoryHierarchy, rng: &mut R) {
+        for i in 0..n {
+            let _ = self.call(i % self.config.array1_len, mem, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SpectreV1Gadget, MemoryHierarchy, SmallRng) {
+        (
+            SpectreV1Gadget::new(GadgetConfig::classic(), *b"S"),
+            MemoryHierarchy::default(),
+            SmallRng::seed_from_u64(0x5bec),
+        )
+    }
+
+    #[test]
+    fn untrained_gadget_does_not_leak() {
+        let (mut gadget, mut mem, mut rng) = setup();
+        let call = gadget.call(gadget.config().array1_len, &mut mem, &mut rng);
+        assert!(!call.in_bounds);
+        assert!(!call.predicted_taken);
+        assert!(!call.transient_leak);
+        let secret_addr = gadget.probe_addr(b'S');
+        assert_eq!(mem.peek_level(secret_addr), None);
+    }
+
+    #[test]
+    fn mistrained_gadget_leaks_secret_line() {
+        let (mut gadget, mut mem, mut rng) = setup();
+        gadget.mistrain(5, &mut mem, &mut rng);
+        // Flush the probe array so only the transient access re-warms it.
+        for v in 0u16..=255 {
+            mem.clflush(gadget.probe_addr(v as u8));
+        }
+        let mut leaked = false;
+        for _ in 0..12 {
+            let call = gadget.call(gadget.config().array1_len, &mut mem, &mut rng);
+            leaked |= call.transient_leak;
+            gadget.mistrain(5, &mut mem, &mut rng);
+        }
+        assert!(leaked, "12 attempts at 92% window success should leak");
+        let secret_addr = gadget.probe_addr(b'S');
+        assert!(mem.peek_level(secret_addr).is_some(), "secret line cached");
+    }
+
+    #[test]
+    fn in_bounds_calls_never_flag_leak() {
+        let (mut gadget, mut mem, mut rng) = setup();
+        for i in 0..32 {
+            let call = gadget.call(i % 16, &mut mem, &mut rng);
+            assert!(call.in_bounds);
+            assert!(!call.transient_leak);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_resolution_retrains_predictor() {
+        let (mut gadget, mut mem, mut rng) = setup();
+        gadget.mistrain(5, &mut mem, &mut rng);
+        // Two resolved not-taken branches clear the training.
+        let _ = gadget.call(16, &mut mem, &mut rng);
+        let _ = gadget.call(16, &mut mem, &mut rng);
+        let call = gadget.call(16, &mut mem, &mut rng);
+        assert!(
+            !call.predicted_taken,
+            "predictor should have re-learned not-taken"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "past secret")]
+    fn oob_past_secret_panics() {
+        let (mut gadget, mut mem, mut rng) = setup();
+        let _ = gadget.call(16 + 1, &mut mem, &mut rng);
+    }
+
+    #[test]
+    fn probe_addresses_are_distinct_per_byte() {
+        let (gadget, _, _) = setup();
+        let a = gadget.probe_addr(1);
+        let b = gadget.probe_addr(2);
+        assert_eq!(b - a, gadget.config().probe_stride);
+    }
+}

@@ -1,0 +1,24 @@
+//! Speculative-execution substrate for the SegScope reproduction.
+//!
+//! Three mechanisms the paper's case studies build on:
+//!
+//! * [`TwoBitPredictor`] — a pattern-history table of 2-bit saturating
+//!   counters, the branch predictor that Spectre mistraining manipulates.
+//! * [`SpectreV1Gadget`] — a bounds-check-bypass gadget: in-bounds calls
+//!   train the predictor, an out-of-bounds call mis-speculates with some
+//!   probability and transiently installs a secret-indexed cache line in a
+//!   shared probe array (paper Sections IV-D and IV-F).
+//! * [`mwait`] — the `umonitor`/`umwait` semantics the Spectral attack
+//!   uses, including the architectural-state truth table of paper
+//!   Table VI (carry flag vs wake cause).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod gadget;
+pub mod mwait;
+
+pub use branch::TwoBitPredictor;
+pub use gadget::{GadgetCall, GadgetConfig, SpectreV1Gadget};
+pub use mwait::{resolve_wait, ArchState, WakeCause};

@@ -1,0 +1,203 @@
+//! `umonitor`/`umwait` semantics: the wait-for-cacheline-write primitive
+//! the Spectral attack turns into an architectural side channel, and the
+//! wake-cause truth table of paper Table VI.
+
+use irq_time::Ps;
+use serde::{Deserialize, Serialize};
+
+// `specsim` only needs the time unit from the interrupt substrate; alias the
+// module to keep the dependency surface obvious.
+use irq as irq_time;
+
+/// Why a `umwait` returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WakeCause {
+    /// The deadline passed with no event.
+    Timeout,
+    /// Another core wrote the monitored cache line.
+    CachelineWrite,
+    /// An interrupt was delivered to the waiting core.
+    Interrupt,
+}
+
+/// The architectural state a waker leaves behind, per paper Table VI.
+///
+/// `EFLAGS.CF` distinguishes timeouts from everything else; the monitored
+/// data-segment selector (planted by SegScope before the wait) additionally
+/// distinguishes interrupts from genuine cache-line writes — the refinement
+/// that removes Spectral's interrupt-induced bit errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArchState {
+    /// The carry flag after `umwait` (1 = deadline expired).
+    pub carry_flag: bool,
+    /// Whether a pre-set non-zero null selector survived (1 = survived,
+    /// 0 = an interrupt's kernel return cleared it).
+    pub selector_preserved: bool,
+}
+
+impl ArchState {
+    /// The Table VI mapping from wake cause to architectural state.
+    #[must_use]
+    pub fn of(cause: WakeCause) -> ArchState {
+        match cause {
+            WakeCause::Timeout => ArchState {
+                carry_flag: true,
+                selector_preserved: true,
+            },
+            WakeCause::CachelineWrite => ArchState {
+                carry_flag: false,
+                selector_preserved: true,
+            },
+            WakeCause::Interrupt => ArchState {
+                carry_flag: false,
+                selector_preserved: false,
+            },
+        }
+    }
+
+    /// What a *plain* Spectral attacker (carry flag only) concludes:
+    /// `true` = "the line was written". Interrupts alias to writes — the
+    /// noise source SegScope removes.
+    #[must_use]
+    pub fn naive_write_detected(&self) -> bool {
+        !self.carry_flag
+    }
+
+    /// What a SegScope-enhanced attacker concludes: a write is only
+    /// reported when the carry flag is clear *and* the planted selector
+    /// survived; wake-ups whose selector was scrubbed are discarded as
+    /// interrupt noise.
+    #[must_use]
+    pub fn filtered_write_detected(&self) -> Option<bool> {
+        if !self.selector_preserved {
+            None // interrupted measurement: discard
+        } else {
+            Some(!self.carry_flag)
+        }
+    }
+}
+
+/// Resolves which of the three wake causes fires first for a wait armed at
+/// `armed_at` with the given `timeout`, when the next cache-line write
+/// would land at `write_at` and the next interrupt at `irq_at` (either may
+/// be `None` = never).
+///
+/// Ties favour the earlier architectural event over the timeout, and the
+/// write over the interrupt (matching how a real core retires the
+/// monitor hit before taking the interrupt).
+///
+/// ```
+/// use specsim::{resolve_wait, WakeCause};
+/// use irq::Ps;
+/// let (cause, at) = resolve_wait(
+///     Ps::ZERO,
+///     Ps::from_us(100),
+///     Some(Ps::from_us(40)),
+///     Some(Ps::from_us(60)),
+/// );
+/// assert_eq!(cause, WakeCause::CachelineWrite);
+/// assert_eq!(at, Ps::from_us(40));
+/// ```
+#[must_use]
+pub fn resolve_wait(
+    armed_at: Ps,
+    timeout: Ps,
+    write_at: Option<Ps>,
+    irq_at: Option<Ps>,
+) -> (WakeCause, Ps) {
+    let deadline = armed_at + timeout;
+    let write = write_at.filter(|&t| t >= armed_at && t <= deadline);
+    let irq = irq_at.filter(|&t| t >= armed_at && t <= deadline);
+    match (write, irq) {
+        (Some(w), Some(i)) if w <= i => (WakeCause::CachelineWrite, w),
+        (Some(_), Some(i)) => (WakeCause::Interrupt, i),
+        (Some(w), None) => (WakeCause::CachelineWrite, w),
+        (None, Some(i)) => (WakeCause::Interrupt, i),
+        (None, None) => (WakeCause::Timeout, deadline),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_truth_table() {
+        // Rows of paper Table VI.
+        let timeout = ArchState::of(WakeCause::Timeout);
+        assert!(timeout.carry_flag && timeout.selector_preserved);
+        let write = ArchState::of(WakeCause::CachelineWrite);
+        assert!(!write.carry_flag && write.selector_preserved);
+        let irq = ArchState::of(WakeCause::Interrupt);
+        assert!(!irq.carry_flag && !irq.selector_preserved);
+    }
+
+    #[test]
+    fn naive_detector_confuses_interrupt_with_write() {
+        let write = ArchState::of(WakeCause::CachelineWrite);
+        let irq = ArchState::of(WakeCause::Interrupt);
+        assert!(write.naive_write_detected());
+        assert!(
+            irq.naive_write_detected(),
+            "this aliasing is Spectral's error source"
+        );
+    }
+
+    #[test]
+    fn filtered_detector_discards_interrupts() {
+        assert_eq!(
+            ArchState::of(WakeCause::CachelineWrite).filtered_write_detected(),
+            Some(true)
+        );
+        assert_eq!(
+            ArchState::of(WakeCause::Timeout).filtered_write_detected(),
+            Some(false)
+        );
+        assert_eq!(
+            ArchState::of(WakeCause::Interrupt).filtered_write_detected(),
+            None
+        );
+    }
+
+    #[test]
+    fn resolve_prefers_earliest_event() {
+        let (cause, at) = resolve_wait(
+            Ps::ZERO,
+            Ps::from_us(100),
+            Some(Ps::from_us(70)),
+            Some(Ps::from_us(30)),
+        );
+        assert_eq!(cause, WakeCause::Interrupt);
+        assert_eq!(at, Ps::from_us(30));
+    }
+
+    #[test]
+    fn resolve_times_out_when_events_are_late() {
+        let (cause, at) = resolve_wait(
+            Ps::ZERO,
+            Ps::from_us(100),
+            Some(Ps::from_us(150)),
+            Some(Ps::from_us(200)),
+        );
+        assert_eq!(cause, WakeCause::Timeout);
+        assert_eq!(at, Ps::from_us(100));
+    }
+
+    #[test]
+    fn resolve_ignores_events_before_arming() {
+        let (cause, _) = resolve_wait(
+            Ps::from_us(50),
+            Ps::from_us(100),
+            Some(Ps::from_us(10)), // stale write before umonitor
+            None,
+        );
+        assert_eq!(cause, WakeCause::Timeout);
+    }
+
+    #[test]
+    fn write_wins_ties() {
+        let t = Ps::from_us(42);
+        let (cause, _) = resolve_wait(Ps::ZERO, Ps::from_us(100), Some(t), Some(t));
+        assert_eq!(cause, WakeCause::CachelineWrite);
+    }
+}

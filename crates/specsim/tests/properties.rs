@@ -1,0 +1,94 @@
+//! Property-based tests for the speculation substrate.
+
+use irq::Ps;
+use memsim::MemoryHierarchy;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use specsim::{resolve_wait, ArchState, GadgetConfig, SpectreV1Gadget, TwoBitPredictor, WakeCause};
+
+proptest! {
+    /// The predictor's output only depends on its training history for
+    /// that branch: two identical histories agree.
+    #[test]
+    fn predictor_is_deterministic(
+        history in prop::collection::vec(any::<bool>(), 0..32),
+        branch in any::<u64>(),
+    ) {
+        let mut a = TwoBitPredictor::new(256);
+        let mut b = TwoBitPredictor::new(256);
+        for &t in &history {
+            a.update(branch, t);
+            b.update(branch, t);
+        }
+        prop_assert_eq!(a.predict(branch), b.predict(branch));
+    }
+
+    /// After two consecutive identical outcomes, the predictor always
+    /// agrees with that outcome (2-bit counter convergence).
+    #[test]
+    fn two_identical_outcomes_converge(
+        prefix in prop::collection::vec(any::<bool>(), 0..16),
+        outcome in any::<bool>(),
+        branch in any::<u64>(),
+    ) {
+        let mut pht = TwoBitPredictor::new(256);
+        for &t in &prefix {
+            pht.update(branch, t);
+        }
+        pht.update(branch, outcome);
+        pht.update(branch, outcome);
+        prop_assert_eq!(pht.predict(branch), outcome);
+    }
+
+    /// In-bounds gadget calls never leak, whatever the call sequence.
+    #[test]
+    fn in_bounds_never_leaks(calls in prop::collection::vec(0usize..16, 1..64)) {
+        let mut gadget = SpectreV1Gadget::new(GadgetConfig::classic(), *b"X");
+        let mut mem = MemoryHierarchy::default();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for &x in &calls {
+            let outcome = gadget.call(x, &mut mem, &mut rng);
+            prop_assert!(outcome.in_bounds);
+            prop_assert!(!outcome.transient_leak);
+        }
+    }
+
+    /// The wake-cause resolver returns a cause consistent with its
+    /// inputs: never a write when no write was scheduled, never later
+    /// than the deadline, never before the arming instant.
+    #[test]
+    fn resolve_wait_consistent(
+        timeout_us in 1u64..1_000,
+        write_us in proptest::option::of(0u64..2_000),
+        irq_us in proptest::option::of(0u64..2_000),
+    ) {
+        let armed = Ps::from_us(100);
+        let timeout = Ps::from_us(timeout_us);
+        let write_at = write_us.map(Ps::from_us);
+        let irq_at = irq_us.map(Ps::from_us);
+        let (cause, at) = resolve_wait(armed, timeout, write_at, irq_at);
+        prop_assert!(at >= armed);
+        prop_assert!(at <= armed + timeout);
+        match cause {
+            WakeCause::CachelineWrite => prop_assert_eq!(Some(at), write_at),
+            WakeCause::Interrupt => prop_assert_eq!(Some(at), irq_at),
+            WakeCause::Timeout => prop_assert_eq!(at, armed + timeout),
+        }
+        // Table VI invariant: only interrupts clear the selector; only
+        // timeouts set CF.
+        let arch = ArchState::of(cause);
+        prop_assert_eq!(arch.carry_flag, cause == WakeCause::Timeout);
+        prop_assert_eq!(!arch.selector_preserved, cause == WakeCause::Interrupt);
+    }
+
+    /// Probe addresses are injective per gadget: distinct byte values
+    /// map to distinct cache lines.
+    #[test]
+    fn probe_addresses_injective(a in any::<u8>(), b in any::<u8>()) {
+        prop_assume!(a != b);
+        let gadget = SpectreV1Gadget::new(GadgetConfig::classic(), *b"S");
+        let line = |v: u8| gadget.probe_addr(v) / 64;
+        prop_assert_ne!(line(a), line(b));
+    }
+}

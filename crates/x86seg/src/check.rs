@@ -1,0 +1,397 @@
+//! The protection checks: data-segment access (paper Fig. 1), segment-register
+//! loads, and the privilege-level-return scrub (paper Algorithm 1).
+
+use crate::error::SegError;
+use crate::regfile::{DataSegReg, SegmentRegister, SegmentRegisterFile};
+use crate::selector::{PrivilegeLevel, Selector};
+use crate::table::DescriptorTables;
+use serde::{Deserialize, Serialize};
+
+/// Data-segment access rule (paper Fig. 1): access is granted only when the
+/// CPL and the selector's RPL are both numerically less than or equal to the
+/// segment's DPL — i.e. the *effective* privilege `max(CPL, RPL)` must be at
+/// least as privileged as the segment requires.
+///
+/// ```
+/// use x86seg::{data_access_allowed, PrivilegeLevel::*};
+/// assert!(data_access_allowed(Ring0, Ring0, Ring3));  // kernel touching user data
+/// assert!(data_access_allowed(Ring3, Ring3, Ring3));  // user touching user data
+/// assert!(!data_access_allowed(Ring3, Ring3, Ring0)); // user touching kernel data
+/// assert!(!data_access_allowed(Ring0, Ring3, Ring0)); // kernel deliberately lowered by RPL
+/// ```
+#[must_use]
+pub fn data_access_allowed(cpl: PrivilegeLevel, rpl: PrivilegeLevel, dpl: PrivilegeLevel) -> bool {
+    cpl <= dpl && rpl <= dpl
+}
+
+/// Loads `selector` into data-segment register `reg`, performing the checks
+/// an x86 `mov sreg, r16` performs.
+///
+/// Null selectors (`0x0000..=0x0003`) load without any fault and leave the
+/// descriptor cache empty — the property that makes the SegScope marker
+/// placement silent. Non-null selectors fetch and validate a descriptor and
+/// cache it in the hidden part on success.
+///
+/// # Errors
+///
+/// Returns the fault a real load would raise: table/emptiness errors from
+/// the descriptor fetch, [`SegError::NotLoadable`] for unsuitable descriptor
+/// types, [`SegError::PrivilegeViolation`] when Fig. 1's check fails, and
+/// [`SegError::NotPresent`] for not-present segments.
+pub fn load_data_segment(
+    regs: &mut SegmentRegisterFile,
+    reg: DataSegReg,
+    selector: Selector,
+    tables: &DescriptorTables,
+    cpl: PrivilegeLevel,
+) -> Result<(), SegError> {
+    if selector.is_null() {
+        regs.load_null(reg, selector);
+        return Ok(());
+    }
+    let descriptor = tables.lookup(selector)?;
+    if !descriptor.kind().loadable_into_data_register() {
+        return Err(SegError::NotLoadable { selector });
+    }
+    if !data_access_allowed(cpl, selector.rpl(), descriptor.dpl()) {
+        return Err(SegError::PrivilegeViolation {
+            cpl,
+            rpl: selector.rpl(),
+            dpl: descriptor.dpl(),
+        });
+    }
+    if !descriptor.is_present() {
+        return Err(SegError::NotPresent { selector });
+    }
+    *regs.register_mut(reg) = SegmentRegister::loaded(selector, descriptor);
+    Ok(())
+}
+
+/// Validates a memory access *through* an already-loaded register, as the
+/// hardware does on every segmented access: null selectors fault with `#GP`,
+/// and the offset must satisfy the cached limit.
+///
+/// # Errors
+///
+/// [`SegError::NullSegmentAccess`] when the register holds a null selector,
+/// [`SegError::EmptyDescriptor`] when no descriptor is cached, and
+/// [`SegError::LimitViolation`] when `offset` exceeds the segment limit.
+pub fn access_through(register: &SegmentRegister, offset: u64) -> Result<u64, SegError> {
+    if register.selector().is_null() {
+        return Err(SegError::NullSegmentAccess);
+    }
+    let descriptor = register
+        .descriptor_cache()
+        .ok_or(SegError::EmptyDescriptor {
+            selector: register.selector(),
+        })?;
+    descriptor
+        .translate(offset)
+        .ok_or(SegError::LimitViolation {
+            offset,
+            limit: descriptor.limit(),
+        })
+}
+
+/// Which registers a privilege-level return scrubbed, and why.
+///
+/// This is the *architectural footprint* of paper Algorithm 1 that the
+/// SegScope probe observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ReturnFootprint {
+    cleared_null: [bool; 4],
+    cleared_sensitive: [bool; 4],
+}
+
+impl ReturnFootprint {
+    fn idx(reg: DataSegReg) -> usize {
+        match reg {
+            DataSegReg::Ds => 0,
+            DataSegReg::Es => 1,
+            DataSegReg::Fs => 2,
+            DataSegReg::Gs => 3,
+        }
+    }
+
+    /// Returns `true` if `reg` was cleared for any reason.
+    #[must_use]
+    pub fn was_cleared(&self, reg: DataSegReg) -> bool {
+        let i = Self::idx(reg);
+        self.cleared_null[i] || self.cleared_sensitive[i]
+    }
+
+    /// Returns `true` if `reg` was cleared because it held a null selector
+    /// (the SegScope marker path).
+    #[must_use]
+    pub fn cleared_as_null(&self, reg: DataSegReg) -> bool {
+        self.cleared_null[Self::idx(reg)]
+    }
+
+    /// Returns `true` if `reg` was cleared because its descriptor cache
+    /// pointed at a higher-privileged (sensitive) segment.
+    #[must_use]
+    pub fn cleared_as_sensitive(&self, reg: DataSegReg) -> bool {
+        self.cleared_sensitive[Self::idx(reg)]
+    }
+
+    /// Returns `true` if no register was touched (e.g. same-privilege
+    /// return).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !DataSegReg::ALL.iter().any(|&r| self.was_cleared(r))
+    }
+
+    /// Number of registers cleared.
+    #[must_use]
+    pub fn cleared_count(&self) -> usize {
+        DataSegReg::ALL
+            .iter()
+            .filter(|&&r| self.was_cleared(r))
+            .count()
+    }
+}
+
+/// Paper Algorithm 1: the check x86 CPUs perform when an `iret` (or far
+/// return) transfers control to an *outer* (less privileged) level.
+///
+/// `return_rpl` is `CS.RPL` of the frame being returned to; `cpl` is the
+/// privilege level executing the return (ring 0 for an interrupt handler).
+/// When `return_rpl > cpl` — a genuine outward transition — each of
+/// DS/ES/FS/GS is scrubbed to the zero selector if it either
+///
+/// 1. holds a *null* selector (including the non-zero null values `0x1`,
+///    `0x2`, `0x3` — this is the SegScope footprint), or
+/// 2. caches a descriptor whose DPL is more privileged than the destination
+///    level and whose type is sensitive (data or non-conforming code), so
+///    that no kernel-segment access capability leaks to user code.
+///
+/// Same- or inward-privilege returns leave all registers untouched.
+pub fn protected_mode_return(
+    regs: &mut SegmentRegisterFile,
+    return_rpl: PrivilegeLevel,
+    cpl: PrivilegeLevel,
+) -> ReturnFootprint {
+    let mut footprint = ReturnFootprint::default();
+    // Line 5 of Algorithm 1: only act when returning to an outer level.
+    if return_rpl <= cpl {
+        return footprint;
+    }
+    for reg in DataSegReg::ALL {
+        let i = ReturnFootprint::idx(reg);
+        let register = regs.register(reg);
+        if register.selector().is_null() {
+            // First condition: null selector (any RPL) — reset to exactly 0.
+            footprint.cleared_null[i] = !register.selector().is_zero();
+            regs.register_mut(reg).clear();
+            continue;
+        }
+        if let Some(descriptor) = register.descriptor_cache() {
+            // Second condition: the cached descriptor protects content
+            // more privileged than the destination ring.
+            if descriptor.dpl() < return_rpl && descriptor.is_sensitive() {
+                footprint.cleared_sensitive[i] = true;
+                regs.register_mut(reg).clear();
+            }
+        }
+    }
+    footprint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{DescriptorKind, SegmentDescriptor};
+    use crate::selector::TableIndicator;
+
+    fn tables() -> DescriptorTables {
+        DescriptorTables::linux_flat()
+    }
+
+    #[test]
+    fn fig1_truth_table() {
+        use PrivilegeLevel::*;
+        // (cpl, rpl, dpl, allowed)
+        let cases = [
+            (Ring0, Ring0, Ring0, true),
+            (Ring0, Ring0, Ring3, true),
+            (Ring3, Ring3, Ring3, true),
+            (Ring3, Ring0, Ring3, true),
+            (Ring3, Ring3, Ring0, false),
+            (Ring0, Ring3, Ring0, false), // RPL deliberately weakens kernel
+            (Ring3, Ring0, Ring0, false), // CPL still too weak
+            (Ring1, Ring2, Ring2, true),
+            (Ring2, Ring1, Ring1, false),
+        ];
+        for (cpl, rpl, dpl, want) in cases {
+            assert_eq!(
+                data_access_allowed(cpl, rpl, dpl),
+                want,
+                "cpl={cpl} rpl={rpl} dpl={dpl}"
+            );
+        }
+    }
+
+    #[test]
+    fn null_loads_never_fault() {
+        let mut regs = SegmentRegisterFile::flat_user();
+        for raw in 0u16..=3 {
+            let sel = Selector::from_bits(raw);
+            load_data_segment(
+                &mut regs,
+                DataSegReg::Gs,
+                sel,
+                &tables(),
+                PrivilegeLevel::Ring3,
+            )
+            .expect("null selector load must not fault");
+            assert_eq!(regs.selector(DataSegReg::Gs), sel);
+            assert!(regs.register(DataSegReg::Gs).descriptor_cache().is_none());
+        }
+    }
+
+    #[test]
+    fn user_cannot_load_kernel_data() {
+        let mut regs = SegmentRegisterFile::flat_user();
+        let err = load_data_segment(
+            &mut regs,
+            DataSegReg::Es,
+            DescriptorTables::kernel_data_selector().with_rpl(PrivilegeLevel::Ring3),
+            &tables(),
+            PrivilegeLevel::Ring3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SegError::PrivilegeViolation { .. }));
+    }
+
+    #[test]
+    fn kernel_cannot_use_rpl3_selector_for_kernel_data() {
+        // RPL acts as an override that *weakens* privilege (confused-deputy
+        // defense): even at CPL0, an RPL3 selector cannot reach DPL0 data.
+        let mut regs = SegmentRegisterFile::flat_user();
+        let sel = DescriptorTables::kernel_data_selector().with_rpl(PrivilegeLevel::Ring3);
+        let err = load_data_segment(
+            &mut regs,
+            DataSegReg::Ds,
+            sel,
+            &tables(),
+            PrivilegeLevel::Ring0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SegError::PrivilegeViolation { .. }));
+    }
+
+    #[test]
+    fn not_present_descriptor_faults_np() {
+        let mut tb = tables();
+        tb.gdt.install(
+            6,
+            SegmentDescriptor::flat_data(PrivilegeLevel::Ring3).not_present(),
+        );
+        let sel = Selector::new(6, TableIndicator::Gdt, PrivilegeLevel::Ring3);
+        let mut regs = SegmentRegisterFile::flat_user();
+        let err = load_data_segment(&mut regs, DataSegReg::Ds, sel, &tb, PrivilegeLevel::Ring3)
+            .unwrap_err();
+        assert_eq!(err, SegError::NotPresent { selector: sel });
+    }
+
+    #[test]
+    fn system_descriptor_not_loadable() {
+        let mut tb = tables();
+        tb.gdt.install(
+            7,
+            SegmentDescriptor::new(0, 0xfff, PrivilegeLevel::Ring3, DescriptorKind::System),
+        );
+        let sel = Selector::new(7, TableIndicator::Gdt, PrivilegeLevel::Ring3);
+        let mut regs = SegmentRegisterFile::flat_user();
+        let err = load_data_segment(&mut regs, DataSegReg::Gs, sel, &tb, PrivilegeLevel::Ring3)
+            .unwrap_err();
+        assert_eq!(err, SegError::NotLoadable { selector: sel });
+    }
+
+    #[test]
+    fn access_through_null_selector_is_gp() {
+        let regs = SegmentRegisterFile::flat_user();
+        // GS starts cleared (zero null selector).
+        assert_eq!(
+            access_through(regs.register(DataSegReg::Gs), 0),
+            Err(SegError::NullSegmentAccess)
+        );
+    }
+
+    #[test]
+    fn access_through_loaded_register_translates() {
+        let regs = SegmentRegisterFile::flat_user();
+        assert_eq!(
+            access_through(regs.register(DataSegReg::Ds), 0x1234),
+            Ok(0x1234)
+        );
+    }
+
+    #[test]
+    fn outward_return_clears_nonzero_null_marker() {
+        let mut regs = SegmentRegisterFile::flat_user();
+        regs.load_null(DataSegReg::Gs, Selector::from_bits(0x1));
+        let fp = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        assert!(fp.cleared_as_null(DataSegReg::Gs));
+        assert!(regs.selector(DataSegReg::Gs).is_zero());
+    }
+
+    #[test]
+    fn same_level_return_is_a_noop() {
+        let mut regs = SegmentRegisterFile::flat_user();
+        regs.load_null(DataSegReg::Gs, Selector::from_bits(0x2));
+        let fp = protected_mode_return(&mut regs, PrivilegeLevel::Ring0, PrivilegeLevel::Ring0);
+        assert!(fp.is_empty());
+        assert_eq!(regs.selector(DataSegReg::Gs).bits(), 0x2);
+    }
+
+    #[test]
+    fn outward_return_scrubs_kernel_cached_registers() {
+        let mut regs = SegmentRegisterFile::flat_user();
+        // Simulate the kernel having loaded its own data segment in DS.
+        let kd = tables()
+            .lookup(DescriptorTables::kernel_data_selector())
+            .unwrap();
+        *regs.register_mut(DataSegReg::Ds) =
+            SegmentRegister::loaded(DescriptorTables::kernel_data_selector(), kd);
+        let fp = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        assert!(fp.cleared_as_sensitive(DataSegReg::Ds));
+        assert!(regs.selector(DataSegReg::Ds).is_zero());
+    }
+
+    #[test]
+    fn outward_return_preserves_user_segments() {
+        let mut regs = SegmentRegisterFile::flat_user();
+        let before_ds = regs.selector(DataSegReg::Ds);
+        let fp = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        // DS/ES/FS hold DPL3 user data: untouched. GS held selector 0 (null,
+        // already zero): cleared but with no *observable* change.
+        assert_eq!(regs.selector(DataSegReg::Ds), before_ds);
+        assert!(!fp.cleared_as_null(DataSegReg::Ds));
+        assert!(
+            !fp.cleared_as_null(DataSegReg::Gs),
+            "zero selector has no footprint"
+        );
+    }
+
+    #[test]
+    fn zero_selector_clear_is_unobservable() {
+        // Footprint only counts clears that change the visible value:
+        // parking 0x0 in GS yields no signal, which is exactly why SegScope
+        // must use 0x1..=0x3.
+        let mut regs = SegmentRegisterFile::flat_user();
+        regs.load_null(DataSegReg::Gs, Selector::NULL);
+        let fp = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        assert!(!fp.was_cleared(DataSegReg::Gs));
+    }
+
+    #[test]
+    fn footprint_counts() {
+        let mut regs = SegmentRegisterFile::flat_user();
+        regs.load_null(DataSegReg::Es, Selector::from_bits(0x3));
+        regs.load_null(DataSegReg::Gs, Selector::from_bits(0x1));
+        let fp = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        assert_eq!(fp.cleared_count(), 2);
+        assert!(!fp.is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Segment descriptors: the protection parameters cached in the hidden part
+//! of a segment register.
+
+use crate::selector::PrivilegeLevel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of a segment descriptor, as far as the data-segment protection
+/// checks care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DescriptorKind {
+    /// An ordinary data segment.
+    Data {
+        /// Whether writes through the segment are permitted.
+        writable: bool,
+        /// Whether the limit grows downward (stack-style segments).
+        expand_down: bool,
+    },
+    /// A code segment. Conforming code segments are readable from less
+    /// privileged code and are therefore *not* "sensitive" for the
+    /// privilege-return clearing check.
+    Code {
+        /// Whether data reads through the segment are permitted.
+        readable: bool,
+        /// Whether the segment is conforming (callable from outer rings
+        /// without a privilege-level change).
+        conforming: bool,
+    },
+    /// A system descriptor (TSS, LDT pointer, gates). Never loadable into a
+    /// data-segment register.
+    System,
+}
+
+impl DescriptorKind {
+    /// A plain read/write data segment — the common case for DS/ES/GS.
+    #[must_use]
+    pub fn plain_data() -> Self {
+        DescriptorKind::Data {
+            writable: true,
+            expand_down: false,
+        }
+    }
+
+    /// Returns `true` if a data-segment register may hold this descriptor.
+    #[must_use]
+    pub fn loadable_into_data_register(self) -> bool {
+        match self {
+            DescriptorKind::Data { .. } => true,
+            DescriptorKind::Code { readable, .. } => readable,
+            DescriptorKind::System => false,
+        }
+    }
+
+    /// Returns `true` if the descriptor is *sensitive* in the sense of the
+    /// paper's Algorithm 1: it protects higher-privileged content, so a
+    /// register caching it must be scrubbed when control returns to an
+    /// outer privilege level.
+    ///
+    /// On real hardware this is "data or non-conforming code": conforming
+    /// code segments are intentionally accessible across rings.
+    #[must_use]
+    pub fn is_sensitive(self) -> bool {
+        match self {
+            DescriptorKind::Data { .. } => true,
+            DescriptorKind::Code { conforming, .. } => !conforming,
+            DescriptorKind::System => true,
+        }
+    }
+}
+
+/// A segment descriptor: base, limit, privilege, and type.
+///
+/// This is the protection state that the CPU caches into the hidden part of
+/// a segment register on a successful load, so that subsequent accesses do
+/// not have to re-read the GDT/LDT.
+///
+/// ```
+/// use x86seg::{SegmentDescriptor, PrivilegeLevel};
+/// let user_data = SegmentDescriptor::flat_data(PrivilegeLevel::Ring3);
+/// assert!(user_data.contains(0));
+/// assert!(user_data.contains(u32::MAX as u64));
+/// assert!(!user_data.contains(1 << 40));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SegmentDescriptor {
+    base: u64,
+    limit: u64,
+    dpl: PrivilegeLevel,
+    kind: DescriptorKind,
+    present: bool,
+}
+
+impl SegmentDescriptor {
+    /// Creates a descriptor with explicit fields.
+    #[must_use]
+    pub fn new(base: u64, limit: u64, dpl: PrivilegeLevel, kind: DescriptorKind) -> Self {
+        SegmentDescriptor {
+            base,
+            limit,
+            dpl,
+            kind,
+            present: true,
+        }
+    }
+
+    /// A flat 4 GiB read/write data segment at the given privilege level —
+    /// the descriptor shape used by every modern flat-memory-model OS.
+    #[must_use]
+    pub fn flat_data(dpl: PrivilegeLevel) -> Self {
+        SegmentDescriptor::new(0, u64::from(u32::MAX), dpl, DescriptorKind::plain_data())
+    }
+
+    /// A flat 4 GiB code segment at the given privilege level.
+    #[must_use]
+    pub fn flat_code(dpl: PrivilegeLevel) -> Self {
+        SegmentDescriptor::new(
+            0,
+            u64::from(u32::MAX),
+            dpl,
+            DescriptorKind::Code {
+                readable: true,
+                conforming: false,
+            },
+        )
+    }
+
+    /// Marks the descriptor not-present (loads fault with `#NP`).
+    #[must_use]
+    pub fn not_present(mut self) -> Self {
+        self.present = false;
+        self
+    }
+
+    /// The linear base address of the segment.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The segment limit (highest valid offset for expand-up segments).
+    #[must_use]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// The descriptor privilege level.
+    #[must_use]
+    pub fn dpl(&self) -> PrivilegeLevel {
+        self.dpl
+    }
+
+    /// The descriptor type class.
+    #[must_use]
+    pub fn kind(&self) -> DescriptorKind {
+        self.kind
+    }
+
+    /// Whether the segment is present in memory.
+    #[must_use]
+    pub fn is_present(&self) -> bool {
+        self.present
+    }
+
+    /// Returns `true` if `offset` lies within the segment limit.
+    #[must_use]
+    pub fn contains(&self, offset: u64) -> bool {
+        match self.kind {
+            DescriptorKind::Data {
+                expand_down: true, ..
+            } => offset > self.limit,
+            _ => offset <= self.limit,
+        }
+    }
+
+    /// Translates a segment-relative offset to a linear address, or `None`
+    /// if the offset violates the limit check.
+    #[must_use]
+    pub fn translate(&self, offset: u64) -> Option<u64> {
+        if self.contains(offset) {
+            Some(self.base.wrapping_add(offset))
+        } else {
+            None
+        }
+    }
+
+    /// See [`DescriptorKind::is_sensitive`].
+    #[must_use]
+    pub fn is_sensitive(&self) -> bool {
+        self.kind.is_sensitive()
+    }
+}
+
+impl fmt::Display for SegmentDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seg[base={:#x}, limit={:#x}, dpl={}, {:?}{}]",
+            self.base,
+            self.limit,
+            self.dpl.bits(),
+            self.kind,
+            if self.present { "" } else { ", not-present" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_data_spans_4gib() {
+        let d = SegmentDescriptor::flat_data(PrivilegeLevel::Ring3);
+        assert!(d.contains(0));
+        assert!(d.contains(u64::from(u32::MAX)));
+        assert!(!d.contains(u64::from(u32::MAX) + 1));
+        assert_eq!(d.translate(0x1000), Some(0x1000));
+    }
+
+    #[test]
+    fn expand_down_inverts_limit_check() {
+        let d = SegmentDescriptor::new(
+            0,
+            0xffff,
+            PrivilegeLevel::Ring0,
+            DescriptorKind::Data {
+                writable: true,
+                expand_down: true,
+            },
+        );
+        assert!(!d.contains(0));
+        assert!(!d.contains(0xffff));
+        assert!(d.contains(0x1_0000));
+    }
+
+    #[test]
+    fn translate_applies_base() {
+        let d = SegmentDescriptor::new(
+            0x8000,
+            0xfff,
+            PrivilegeLevel::Ring3,
+            DescriptorKind::plain_data(),
+        );
+        assert_eq!(d.translate(0x10), Some(0x8010));
+        assert_eq!(d.translate(0x1000), None);
+    }
+
+    #[test]
+    fn sensitivity_classification() {
+        assert!(DescriptorKind::plain_data().is_sensitive());
+        assert!(DescriptorKind::Code {
+            readable: true,
+            conforming: false
+        }
+        .is_sensitive());
+        assert!(!DescriptorKind::Code {
+            readable: true,
+            conforming: true
+        }
+        .is_sensitive());
+        assert!(DescriptorKind::System.is_sensitive());
+    }
+
+    #[test]
+    fn loadability_into_data_registers() {
+        assert!(DescriptorKind::plain_data().loadable_into_data_register());
+        assert!(DescriptorKind::Code {
+            readable: true,
+            conforming: false
+        }
+        .loadable_into_data_register());
+        assert!(!DescriptorKind::Code {
+            readable: false,
+            conforming: false
+        }
+        .loadable_into_data_register());
+        assert!(!DescriptorKind::System.loadable_into_data_register());
+    }
+
+    #[test]
+    fn not_present_builder() {
+        let d = SegmentDescriptor::flat_data(PrivilegeLevel::Ring0).not_present();
+        assert!(!d.is_present());
+    }
+}

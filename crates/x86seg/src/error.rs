@@ -1,0 +1,116 @@
+//! Segmentation faults and protection errors.
+
+use crate::selector::{PrivilegeLevel, Selector};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the segmentation protection checks.
+///
+/// These correspond to the hardware exceptions (`#GP`, `#NP`) that a real
+/// x86 CPU would raise; the simulator surfaces them as values so guest code
+/// (and tests) can observe them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegError {
+    /// `#GP`: the selector's index exceeds the descriptor-table limit.
+    IndexOutOfRange {
+        /// The offending selector.
+        selector: Selector,
+        /// Number of entries in the targeted table.
+        table_len: u16,
+    },
+    /// `#GP`: the table entry is empty (never initialized by the OS).
+    EmptyDescriptor {
+        /// The offending selector.
+        selector: Selector,
+    },
+    /// `#GP`: descriptor type cannot be loaded into a data-segment register.
+    NotLoadable {
+        /// The offending selector.
+        selector: Selector,
+    },
+    /// `#GP`: the CPL/RPL-vs-DPL check of paper Fig. 1 failed.
+    PrivilegeViolation {
+        /// Current privilege level of the executing code.
+        cpl: PrivilegeLevel,
+        /// Requested privilege level from the selector.
+        rpl: PrivilegeLevel,
+        /// Descriptor privilege level of the target segment.
+        dpl: PrivilegeLevel,
+    },
+    /// `#NP`: the descriptor is marked not-present.
+    NotPresent {
+        /// The offending selector.
+        selector: Selector,
+    },
+    /// `#GP`: a memory access was attempted through a register holding a
+    /// null selector (this is the fault the null-selector convention is
+    /// designed to guarantee).
+    NullSegmentAccess,
+    /// `#GP`: the access offset violated the segment limit.
+    LimitViolation {
+        /// The faulting segment-relative offset.
+        offset: u64,
+        /// The segment limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegError::IndexOutOfRange {
+                selector,
+                table_len,
+            } => write!(
+                f,
+                "selector {selector} indexes past descriptor table of {table_len} entries"
+            ),
+            SegError::EmptyDescriptor { selector } => {
+                write!(f, "selector {selector} refers to an empty descriptor slot")
+            }
+            SegError::NotLoadable { selector } => write!(
+                f,
+                "selector {selector} refers to a descriptor not loadable into a data register"
+            ),
+            SegError::PrivilegeViolation { cpl, rpl, dpl } => write!(
+                f,
+                "privilege violation: cpl={cpl}, rpl={rpl} may not access dpl={dpl} segment"
+            ),
+            SegError::NotPresent { selector } => {
+                write!(f, "selector {selector} refers to a not-present segment")
+            }
+            SegError::NullSegmentAccess => {
+                write!(f, "memory access through a null segment selector")
+            }
+            SegError::LimitViolation { offset, limit } => {
+                write!(f, "offset {offset:#x} exceeds segment limit {limit:#x}")
+            }
+        }
+    }
+}
+
+impl Error for SegError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = SegError::PrivilegeViolation {
+            cpl: PrivilegeLevel::Ring3,
+            rpl: PrivilegeLevel::Ring3,
+            dpl: PrivilegeLevel::Ring0,
+        };
+        let text = e.to_string();
+        assert!(text.contains("cpl=ring3"));
+        assert!(text.contains("dpl=ring0"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SegError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! x86 segmentation semantics for the SegScope reproduction.
+//!
+//! This crate models the architectural machinery that the SegScope technique
+//! (HPCA 2024) abuses: segment *selectors*, segment *descriptors* stored in
+//! the GDT/LDT, the per-register *descriptor cache* (hidden part), the
+//! data-segment privilege check (paper Fig. 1), and — crucially — the
+//! selector-clearing rule applied on every return to an outer privilege
+//! level (paper Algorithm 1, [`protected_mode_return`]).
+//!
+//! The key architectural subtlety reproduced here is that the *null segment
+//! selector* is not a single value: any selector whose 13-bit index is 0 and
+//! whose table indicator selects the GDT is null, so `0x0000`–`0x0003` are
+//! all null (they differ only in RPL bits). Loading such a selector into a
+//! data-segment register raises no fault, but when the CPU IRETs from ring 0
+//! back to ring 3 it resets the selector to exactly `0` — leaving the
+//! architectural footprint SegScope observes.
+//!
+//! # Example
+//!
+//! ```
+//! use x86seg::{Selector, SegmentRegisterFile, DataSegReg, PrivilegeLevel, protected_mode_return};
+//!
+//! let mut regs = SegmentRegisterFile::flat_user();
+//! // Park a non-zero null selector in GS, as the SegScope probe does.
+//! regs.load_null(DataSegReg::Gs, Selector::null_with_rpl(PrivilegeLevel::Ring1));
+//! assert!(regs.selector(DataSegReg::Gs).is_null());
+//! assert_ne!(regs.selector(DataSegReg::Gs).bits(), 0);
+//!
+//! // An interrupt fires; the kernel runs at ring 0 and then returns to ring 3.
+//! let footprint = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+//! assert!(footprint.was_cleared(DataSegReg::Gs));
+//! assert_eq!(regs.selector(DataSegReg::Gs).bits(), 0);
+//! ```
+//!
+//! The crate is self-contained and deterministic; it performs no I/O and has
+//! no unsafe code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod descriptor;
+mod error;
+mod regfile;
+mod selector;
+mod table;
+
+pub use check::{
+    access_through, data_access_allowed, load_data_segment, protected_mode_return, ReturnFootprint,
+};
+pub use descriptor::{DescriptorKind, SegmentDescriptor};
+pub use error::SegError;
+pub use regfile::{DataSegReg, SegmentRegister, SegmentRegisterFile};
+pub use selector::{PrivilegeLevel, Selector, TableIndicator};
+pub use table::{DescriptorTable, DescriptorTables};

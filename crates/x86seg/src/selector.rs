@@ -1,0 +1,354 @@
+//! Segment selectors and privilege levels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An x86 privilege level (ring), `Ring0` being the most privileged.
+///
+/// Used for the Current Privilege Level (CPL), Requested Privilege Level
+/// (RPL), and Descriptor Privilege Level (DPL). Ordering follows the
+/// numeric encoding: `Ring0 < Ring3`, so "at least as privileged as" is
+/// expressed with `<=` on the numeric level (smaller = more privileged).
+///
+/// ```
+/// use x86seg::PrivilegeLevel;
+/// assert!(PrivilegeLevel::Ring0 < PrivilegeLevel::Ring3);
+/// assert_eq!(PrivilegeLevel::Ring2 as u8, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum PrivilegeLevel {
+    /// Ring 0: kernel / most privileged.
+    Ring0 = 0,
+    /// Ring 1: historically device drivers; unused by mainstream OSes.
+    Ring1 = 1,
+    /// Ring 2: historically device drivers; unused by mainstream OSes.
+    Ring2 = 2,
+    /// Ring 3: user mode / least privileged.
+    Ring3 = 3,
+}
+
+impl PrivilegeLevel {
+    /// All four privilege levels in ascending numeric order.
+    pub const ALL: [PrivilegeLevel; 4] = [
+        PrivilegeLevel::Ring0,
+        PrivilegeLevel::Ring1,
+        PrivilegeLevel::Ring2,
+        PrivilegeLevel::Ring3,
+    ];
+
+    /// Constructs a privilege level from its 2-bit encoding.
+    ///
+    /// Only the low two bits are used, mirroring how hardware decodes the
+    /// RPL field of a selector.
+    #[must_use]
+    pub fn from_bits_truncate(bits: u8) -> Self {
+        match bits & 0b11 {
+            0 => PrivilegeLevel::Ring0,
+            1 => PrivilegeLevel::Ring1,
+            2 => PrivilegeLevel::Ring2,
+            _ => PrivilegeLevel::Ring3,
+        }
+    }
+
+    /// Returns the 2-bit numeric encoding of the level.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Returns `true` if `self` is at least as privileged as `other`
+    /// (i.e. numerically less than or equal).
+    #[must_use]
+    pub fn at_least_as_privileged_as(self, other: PrivilegeLevel) -> bool {
+        self <= other
+    }
+}
+
+impl Default for PrivilegeLevel {
+    /// Defaults to user mode (`Ring3`), the level unprivileged code runs at.
+    fn default() -> Self {
+        PrivilegeLevel::Ring3
+    }
+}
+
+impl fmt::Display for PrivilegeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ring{}", self.bits())
+    }
+}
+
+/// Which descriptor table a selector refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TableIndicator {
+    /// Table Indicator bit clear: the Global Descriptor Table.
+    #[default]
+    Gdt,
+    /// Table Indicator bit set: the Local Descriptor Table.
+    Ldt,
+}
+
+impl TableIndicator {
+    /// Decodes the TI bit (bit 2 of a selector).
+    #[must_use]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            TableIndicator::Ldt
+        } else {
+            TableIndicator::Gdt
+        }
+    }
+
+    /// Returns the TI bit value.
+    #[must_use]
+    pub fn bit(self) -> bool {
+        matches!(self, TableIndicator::Ldt)
+    }
+}
+
+/// A 16-bit segment selector: 13-bit table index, 1-bit table indicator,
+/// 2-bit requested privilege level.
+///
+/// ```text
+///  15                    3   2   1 0
+/// +-----------------------+----+----+
+/// |        index          | TI |RPL |
+/// +-----------------------+----+----+
+/// ```
+///
+/// A selector is *null* when it points at entry 0 of the GDT, regardless of
+/// its RPL bits — so `0x0000`, `0x0001`, `0x0002` and `0x0003` are all null.
+/// This is the property SegScope exploits: a **non-zero null** selector can
+/// be loaded without faulting yet is architecturally reset to `0` when the
+/// CPU returns to an outer privilege level.
+///
+/// ```
+/// use x86seg::Selector;
+/// for raw in 0u16..=3 {
+///     assert!(Selector::from_bits(raw).is_null());
+/// }
+/// assert!(!Selector::from_bits(0x0004).is_null()); // GDT entry 1: not null
+/// assert!(!Selector::from_bits(0x0007).is_null()); // LDT entry 0: not null
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Selector(u16);
+
+impl Selector {
+    /// The canonical zero null selector.
+    pub const NULL: Selector = Selector(0);
+
+    /// Constructs a selector from its fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 13 bits (>= 8192).
+    #[must_use]
+    pub fn new(index: u16, table: TableIndicator, rpl: PrivilegeLevel) -> Self {
+        assert!(index < 8192, "selector index {index} out of 13-bit range");
+        Selector((index << 3) | (u16::from(table.bit()) << 2) | u16::from(rpl.bits()))
+    }
+
+    /// Reinterprets raw bits as a selector (always valid: every 16-bit
+    /// pattern is a structurally well-formed selector).
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        Selector(bits)
+    }
+
+    /// A null selector carrying the given RPL in its low bits.
+    ///
+    /// `null_with_rpl(Ring0)` is the zero selector; the other three are the
+    /// non-zero null values (`0x1`, `0x2`, `0x3`) used by the SegScope probe.
+    #[must_use]
+    pub fn null_with_rpl(rpl: PrivilegeLevel) -> Self {
+        Selector(u16::from(rpl.bits()))
+    }
+
+    /// Returns the raw 16-bit encoding.
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the 13-bit descriptor-table index.
+    #[must_use]
+    pub fn index(self) -> u16 {
+        self.0 >> 3
+    }
+
+    /// Returns which descriptor table the selector refers to.
+    #[must_use]
+    pub fn table(self) -> TableIndicator {
+        TableIndicator::from_bit(self.0 & 0b100 != 0)
+    }
+
+    /// Returns the requested privilege level encoded in the low two bits.
+    #[must_use]
+    pub fn rpl(self) -> PrivilegeLevel {
+        PrivilegeLevel::from_bits_truncate(self.0 as u8)
+    }
+
+    /// Returns a copy of the selector with its RPL replaced.
+    #[must_use]
+    pub fn with_rpl(self, rpl: PrivilegeLevel) -> Self {
+        Selector((self.0 & !0b11) | u16::from(rpl.bits()))
+    }
+
+    /// Returns `true` if this selector is a *null segment selector*:
+    /// index 0 in the GDT, any RPL. Values `0x0000..=0x0003`.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0 & !0b11 == 0
+    }
+
+    /// Returns `true` if this is the all-zero selector (what the hardware
+    /// writes back when clearing a register on privilege-level return).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if this selector is null but not zero — the exact
+    /// family of values (`0x1`, `0x2`, `0x3`) a SegScope probe parks in a
+    /// data-segment register so the kernel-return clear is observable.
+    #[must_use]
+    pub fn is_nonzero_null(self) -> bool {
+        self.is_null() && !self.is_zero()
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#06x} (idx={}, {}, rpl={})",
+            self.0,
+            self.index(),
+            match self.table() {
+                TableIndicator::Gdt => "gdt",
+                TableIndicator::Ldt => "ldt",
+            },
+            self.rpl().bits()
+        )
+    }
+}
+
+impl fmt::LowerHex for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Selector> for u16 {
+    fn from(sel: Selector) -> u16 {
+        sel.bits()
+    }
+}
+
+impl From<u16> for Selector {
+    fn from(bits: u16) -> Selector {
+        Selector::from_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privilege_ordering_matches_numeric_levels() {
+        assert!(PrivilegeLevel::Ring0 < PrivilegeLevel::Ring1);
+        assert!(PrivilegeLevel::Ring1 < PrivilegeLevel::Ring2);
+        assert!(PrivilegeLevel::Ring2 < PrivilegeLevel::Ring3);
+        assert!(PrivilegeLevel::Ring0.at_least_as_privileged_as(PrivilegeLevel::Ring3));
+        assert!(!PrivilegeLevel::Ring3.at_least_as_privileged_as(PrivilegeLevel::Ring0));
+        assert!(PrivilegeLevel::Ring2.at_least_as_privileged_as(PrivilegeLevel::Ring2));
+    }
+
+    #[test]
+    fn privilege_from_bits_truncates_to_two_bits() {
+        assert_eq!(PrivilegeLevel::from_bits_truncate(0), PrivilegeLevel::Ring0);
+        assert_eq!(PrivilegeLevel::from_bits_truncate(3), PrivilegeLevel::Ring3);
+        assert_eq!(PrivilegeLevel::from_bits_truncate(4), PrivilegeLevel::Ring0);
+        assert_eq!(
+            PrivilegeLevel::from_bits_truncate(0xff),
+            PrivilegeLevel::Ring3
+        );
+    }
+
+    #[test]
+    fn selector_field_round_trip() {
+        let sel = Selector::new(42, TableIndicator::Ldt, PrivilegeLevel::Ring3);
+        assert_eq!(sel.index(), 42);
+        assert_eq!(sel.table(), TableIndicator::Ldt);
+        assert_eq!(sel.rpl(), PrivilegeLevel::Ring3);
+        assert_eq!(sel.bits(), (42 << 3) | 0b100 | 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 13-bit range")]
+    fn selector_index_overflow_panics() {
+        let _ = Selector::new(8192, TableIndicator::Gdt, PrivilegeLevel::Ring0);
+    }
+
+    #[test]
+    fn exactly_the_four_low_values_are_null() {
+        for raw in 0u16..=0xff {
+            let sel = Selector::from_bits(raw);
+            assert_eq!(sel.is_null(), raw <= 3, "selector {raw:#06x}");
+        }
+    }
+
+    #[test]
+    fn ldt_entry_zero_is_not_null() {
+        // TI=1, index=0: structurally points at LDT entry 0, which is NOT
+        // the architectural null selector.
+        let sel = Selector::new(0, TableIndicator::Ldt, PrivilegeLevel::Ring0);
+        assert!(!sel.is_null());
+    }
+
+    #[test]
+    fn nonzero_null_family() {
+        assert!(!Selector::NULL.is_nonzero_null());
+        for rpl in [
+            PrivilegeLevel::Ring1,
+            PrivilegeLevel::Ring2,
+            PrivilegeLevel::Ring3,
+        ] {
+            let sel = Selector::null_with_rpl(rpl);
+            assert!(sel.is_nonzero_null());
+            assert!(sel.is_null());
+            assert_eq!(sel.rpl(), rpl);
+        }
+    }
+
+    #[test]
+    fn with_rpl_only_touches_low_bits() {
+        let sel = Selector::new(7, TableIndicator::Gdt, PrivilegeLevel::Ring0);
+        let re = sel.with_rpl(PrivilegeLevel::Ring3);
+        assert_eq!(re.index(), 7);
+        assert_eq!(re.table(), TableIndicator::Gdt);
+        assert_eq!(re.rpl(), PrivilegeLevel::Ring3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let sel = Selector::new(2, TableIndicator::Gdt, PrivilegeLevel::Ring3);
+        let text = sel.to_string();
+        assert!(text.contains("idx=2"));
+        assert!(text.contains("rpl=3"));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let sel: Selector = 0x002bu16.into();
+        let raw: u16 = sel.into();
+        assert_eq!(raw, 0x002b);
+    }
+}

@@ -1,0 +1,223 @@
+//! Descriptor tables (GDT/LDT).
+
+use crate::descriptor::SegmentDescriptor;
+use crate::error::SegError;
+use crate::selector::{PrivilegeLevel, Selector, TableIndicator};
+use serde::{Deserialize, Serialize};
+
+/// A descriptor table: an indexed array of optional segment descriptors.
+///
+/// For the GDT, entry 0 is architecturally reserved: the CPU never reads a
+/// descriptor through a null selector, so the slot is left empty and
+/// [`DescriptorTable::lookup`] is never consulted for it (callers detect
+/// null selectors first).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DescriptorTable {
+    entries: Vec<Option<SegmentDescriptor>>,
+}
+
+impl DescriptorTable {
+    /// Creates an empty table with `len` slots.
+    #[must_use]
+    pub fn with_len(len: u16) -> Self {
+        DescriptorTable {
+            entries: vec![None; usize::from(len)],
+        }
+    }
+
+    /// Number of slots in the table.
+    #[must_use]
+    pub fn len(&self) -> u16 {
+        self.entries.len() as u16
+    }
+
+    /// Returns `true` if the table has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Installs a descriptor at `index`, growing the table if needed.
+    /// Returns the previously installed descriptor, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8192` (beyond what any selector can address).
+    pub fn install(
+        &mut self,
+        index: u16,
+        descriptor: SegmentDescriptor,
+    ) -> Option<SegmentDescriptor> {
+        assert!(index < 8192, "descriptor index {index} out of range");
+        let idx = usize::from(index);
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        self.entries[idx].replace(descriptor)
+    }
+
+    /// Removes the descriptor at `index`, returning it if one was present.
+    pub fn remove(&mut self, index: u16) -> Option<SegmentDescriptor> {
+        self.entries
+            .get_mut(usize::from(index))
+            .and_then(Option::take)
+    }
+
+    /// Reads the descriptor a selector points at, performing the index and
+    /// emptiness checks a hardware descriptor fetch performs.
+    ///
+    /// # Errors
+    ///
+    /// [`SegError::IndexOutOfRange`] if the selector indexes past the table,
+    /// [`SegError::EmptyDescriptor`] if the slot holds no descriptor.
+    pub fn lookup(&self, selector: Selector) -> Result<SegmentDescriptor, SegError> {
+        let idx = usize::from(selector.index());
+        match self.entries.get(idx) {
+            None => Err(SegError::IndexOutOfRange {
+                selector,
+                table_len: self.len(),
+            }),
+            Some(None) => Err(SegError::EmptyDescriptor { selector }),
+            Some(Some(descriptor)) => Ok(*descriptor),
+        }
+    }
+}
+
+/// The pair of descriptor tables visible to one CPU context: the system GDT
+/// and the per-process LDT.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DescriptorTables {
+    /// The Global Descriptor Table.
+    pub gdt: DescriptorTable,
+    /// The Local Descriptor Table (often empty on modern systems).
+    pub ldt: DescriptorTable,
+}
+
+impl DescriptorTables {
+    /// Builds the descriptor-table layout Linux uses on x86: flat kernel
+    /// code/data at ring 0 and flat user code/data at ring 3.
+    ///
+    /// Index assignments (loosely mirroring Linux's `GDT_ENTRY_*`):
+    ///
+    /// | index | descriptor        |
+    /// |-------|-------------------|
+    /// | 0     | (reserved null)   |
+    /// | 1     | kernel code, DPL0 |
+    /// | 2     | kernel data, DPL0 |
+    /// | 3     | user code, DPL3   |
+    /// | 4     | user data, DPL3   |
+    #[must_use]
+    pub fn linux_flat() -> Self {
+        let mut gdt = DescriptorTable::with_len(8);
+        gdt.install(1, SegmentDescriptor::flat_code(PrivilegeLevel::Ring0));
+        gdt.install(2, SegmentDescriptor::flat_data(PrivilegeLevel::Ring0));
+        gdt.install(3, SegmentDescriptor::flat_code(PrivilegeLevel::Ring3));
+        gdt.install(4, SegmentDescriptor::flat_data(PrivilegeLevel::Ring3));
+        DescriptorTables {
+            gdt,
+            ldt: DescriptorTable::default(),
+        }
+    }
+
+    /// The user-data selector for the [`linux_flat`](Self::linux_flat)
+    /// layout (index 4, RPL 3).
+    #[must_use]
+    pub fn user_data_selector() -> Selector {
+        Selector::new(4, TableIndicator::Gdt, PrivilegeLevel::Ring3)
+    }
+
+    /// The kernel-data selector for the [`linux_flat`](Self::linux_flat)
+    /// layout (index 2, RPL 0).
+    #[must_use]
+    pub fn kernel_data_selector() -> Selector {
+        Selector::new(2, TableIndicator::Gdt, PrivilegeLevel::Ring0)
+    }
+
+    /// Resolves a selector through the table its TI bit picks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`DescriptorTable::lookup`] errors of the chosen table.
+    pub fn lookup(&self, selector: Selector) -> Result<SegmentDescriptor, SegError> {
+        match selector.table() {
+            TableIndicator::Gdt => self.gdt.lookup(selector),
+            TableIndicator::Ldt => self.ldt.lookup(selector),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_reports_out_of_range() {
+        let table = DescriptorTable::with_len(4);
+        let sel = Selector::new(9, TableIndicator::Gdt, PrivilegeLevel::Ring3);
+        assert_eq!(
+            table.lookup(sel),
+            Err(SegError::IndexOutOfRange {
+                selector: sel,
+                table_len: 4
+            })
+        );
+    }
+
+    #[test]
+    fn lookup_reports_empty_slot() {
+        let table = DescriptorTable::with_len(4);
+        let sel = Selector::new(2, TableIndicator::Gdt, PrivilegeLevel::Ring3);
+        assert_eq!(
+            table.lookup(sel),
+            Err(SegError::EmptyDescriptor { selector: sel })
+        );
+    }
+
+    #[test]
+    fn install_grows_and_replaces() {
+        let mut table = DescriptorTable::default();
+        assert!(table.is_empty());
+        let d0 = SegmentDescriptor::flat_data(PrivilegeLevel::Ring3);
+        assert_eq!(table.install(5, d0), None);
+        assert_eq!(table.len(), 6);
+        let d1 = SegmentDescriptor::flat_data(PrivilegeLevel::Ring0);
+        assert_eq!(table.install(5, d1), Some(d0));
+        let sel = Selector::new(5, TableIndicator::Gdt, PrivilegeLevel::Ring0);
+        assert_eq!(table.lookup(sel), Ok(d1));
+    }
+
+    #[test]
+    fn remove_empties_slot() {
+        let mut table = DescriptorTable::with_len(4);
+        table.install(1, SegmentDescriptor::flat_data(PrivilegeLevel::Ring3));
+        assert!(table.remove(1).is_some());
+        assert!(table.remove(1).is_none());
+        let sel = Selector::new(1, TableIndicator::Gdt, PrivilegeLevel::Ring3);
+        assert!(table.lookup(sel).is_err());
+    }
+
+    #[test]
+    fn linux_flat_layout_resolves_user_and_kernel_data() {
+        let tables = DescriptorTables::linux_flat();
+        let user = tables
+            .lookup(DescriptorTables::user_data_selector())
+            .unwrap();
+        assert_eq!(user.dpl(), PrivilegeLevel::Ring3);
+        let kernel = tables
+            .lookup(DescriptorTables::kernel_data_selector())
+            .unwrap();
+        assert_eq!(kernel.dpl(), PrivilegeLevel::Ring0);
+    }
+
+    #[test]
+    fn ti_bit_selects_table() {
+        let mut tables = DescriptorTables::linux_flat();
+        tables
+            .ldt
+            .install(1, SegmentDescriptor::flat_data(PrivilegeLevel::Ring3));
+        let ldt_sel = Selector::new(1, TableIndicator::Ldt, PrivilegeLevel::Ring3);
+        let gdt_sel = Selector::new(1, TableIndicator::Gdt, PrivilegeLevel::Ring3);
+        assert_eq!(tables.lookup(ldt_sel).unwrap().dpl(), PrivilegeLevel::Ring3);
+        assert_eq!(tables.lookup(gdt_sel).unwrap().dpl(), PrivilegeLevel::Ring0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the segmentation invariants SegScope relies on.
+
+use proptest::prelude::*;
+use x86seg::{
+    data_access_allowed, load_data_segment, protected_mode_return, DataSegReg, DescriptorTables,
+    PrivilegeLevel, SegmentRegisterFile, Selector,
+};
+
+fn any_level() -> impl Strategy<Value = PrivilegeLevel> {
+    (0u8..4).prop_map(PrivilegeLevel::from_bits_truncate)
+}
+
+proptest! {
+    /// Exactly the raw values 0..=3 are null selectors.
+    #[test]
+    fn null_iff_low_two_bits_only(raw in any::<u16>()) {
+        let sel = Selector::from_bits(raw);
+        prop_assert_eq!(sel.is_null(), raw & !0b11 == 0);
+    }
+
+    /// Selector field extraction round-trips through construction.
+    #[test]
+    fn selector_round_trip(index in 0u16..8192, ti in any::<bool>(), rpl in any_level()) {
+        let table = x86seg::TableIndicator::from_bit(ti);
+        let sel = Selector::new(index, table, rpl);
+        prop_assert_eq!(sel.index(), index);
+        prop_assert_eq!(sel.table(), table);
+        prop_assert_eq!(sel.rpl(), rpl);
+    }
+
+    /// Fig. 1: access allowed iff max(cpl, rpl) <= dpl, and monotone in dpl.
+    #[test]
+    fn access_rule_is_max_rule(cpl in any_level(), rpl in any_level(), dpl in any_level()) {
+        let allowed = data_access_allowed(cpl, rpl, dpl);
+        prop_assert_eq!(allowed, cpl.max(rpl) <= dpl);
+    }
+
+    /// Loading any null selector never faults and caches nothing.
+    #[test]
+    fn null_load_is_silent(raw in 0u16..4, cpl in any_level()) {
+        let mut regs = SegmentRegisterFile::flat_user();
+        let tables = DescriptorTables::linux_flat();
+        let sel = Selector::from_bits(raw);
+        prop_assert!(load_data_segment(&mut regs, DataSegReg::Gs, sel, &tables, cpl).is_ok());
+        prop_assert_eq!(regs.selector(DataSegReg::Gs), sel);
+        prop_assert!(regs.register(DataSegReg::Gs).descriptor_cache().is_none());
+    }
+
+    /// After an outward return, no register ever holds a non-zero null
+    /// selector: the footprint is guaranteed.
+    #[test]
+    fn outward_return_leaves_no_nonzero_null(
+        marker in 0u16..4,
+        reg_pick in 0usize..4,
+    ) {
+        let mut regs = SegmentRegisterFile::flat_user();
+        let reg = DataSegReg::ALL[reg_pick];
+        regs.load_null(reg, Selector::from_bits(marker));
+        let fp = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        for r in DataSegReg::ALL {
+            prop_assert!(!regs.selector(r).is_nonzero_null(), "{} kept a marker", r);
+        }
+        // Footprint observed iff the marker was non-zero.
+        prop_assert_eq!(fp.cleared_as_null(reg), marker != 0);
+    }
+
+    /// Inward or same-level transitions never change any selector.
+    #[test]
+    fn non_outward_return_is_identity(
+        marker in 0u16..4,
+        cpl_bits in 0u8..4,
+        rpl_bits in 0u8..4,
+    ) {
+        let cpl = PrivilegeLevel::from_bits_truncate(cpl_bits);
+        let rpl = PrivilegeLevel::from_bits_truncate(rpl_bits);
+        prop_assume!(rpl <= cpl); // not an outward transition
+        let mut regs = SegmentRegisterFile::flat_user();
+        regs.load_null(DataSegReg::Gs, Selector::from_bits(marker));
+        let before = regs.clone();
+        let fp = protected_mode_return(&mut regs, rpl, cpl);
+        prop_assert!(fp.is_empty());
+        prop_assert_eq!(regs, before);
+    }
+
+    /// The scrub is idempotent: a second outward return adds no footprint.
+    #[test]
+    fn scrub_is_idempotent(marker in 1u16..4) {
+        let mut regs = SegmentRegisterFile::flat_user();
+        regs.load_null(DataSegReg::Gs, Selector::from_bits(marker));
+        let first = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        prop_assert!(first.cleared_as_null(DataSegReg::Gs));
+        let second = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        prop_assert!(!second.was_cleared(DataSegReg::Gs));
+    }
+}

@@ -1,0 +1,58 @@
+//! Build the SegScope clock-interpolation timer and measure code with it,
+//! comparing against the counting thread and `rdtsc` (paper Table III's
+//! setting).
+//!
+//! ```sh
+//! cargo run --release --example segscope_timer
+//! ```
+
+use segscope_repro::segscope::{CountingThreadTimer, Denoise, SegTimer};
+use segscope_repro::segsim::{Machine, MachineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for config in [
+        MachineConfig::xiaomi_air13(),
+        MachineConfig::amazon_c5_large(),
+    ] {
+        println!("== {} ==", config.name);
+        let mut machine = Machine::new(config, 77);
+        machine.spin(500_000_000); // warm up the frequency governor
+
+        let mut timer = SegTimer::calibrate(&mut machine, 200, Denoise::ZScore)?;
+        println!(
+            "calibrated: {:.0} ticks per {}-Hz timer period (sigma {:.0})",
+            timer.interval_ticks(),
+            machine.config().timer_hz,
+            timer.interval_sigma()
+        );
+
+        // A workload of 1 million cycles, measured three ways.
+        let work = 1_000_000u64;
+        let seg = timer.measure(&mut machine, 20, |m| m.spin(work))?;
+        let iter_cycles = machine.probe_iter_cycles();
+        println!(
+            "segscope timer : {:>10.0} ticks (≈{:>9.0} cycles), std ≈ {:>6.0} cycles over {} kept runs",
+            seg.mean_ticks,
+            seg.mean_ticks * iter_cycles,
+            seg.std_ticks * iter_cycles,
+            seg.kept
+        );
+
+        let (_, ct_delta) = CountingThreadTimer::time(&mut machine, |m| m.spin(work));
+        println!(
+            "counting thread: {:>10} increments (≈{:>9.0} cycles)",
+            ct_delta,
+            ct_delta as f64 * machine.config().counting_thread_iter_cycles
+        );
+
+        let t0 = machine.rdtsc()?;
+        machine.spin(work);
+        let t1 = machine.rdtsc()?;
+        println!(
+            "{:<15}: {:>10} TSC cycles (ground truth at base frequency)\n",
+            machine.hires_timer_name(),
+            t1 - t0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! `segscope-repro` — the umbrella crate of the SegScope (HPCA 2024)
+//! reproduction.
+//!
+//! This crate re-exports the whole workspace so the examples and
+//! integration tests have a single dependency, and hosts nothing else:
+//!
+//! * [`x86seg`] — segmentation semantics (selectors, Algorithm 1);
+//! * [`irq`] — interrupt fabric, handler-cost model, ground truth;
+//! * [`memsim`] — caches, TLB, KASLR layout;
+//! * [`specsim`] — branch prediction, Spectre gadget, umonitor/umwait;
+//! * [`segsim`] — the machine simulator tying the substrates together;
+//! * [`segscope`] — the paper's contribution: the probe, the guard, the
+//!   timer, and the timer-based baselines;
+//! * [`nnet`] — the LSTM/BiLSTM classifiers;
+//! * [`attacks`] — the six end-to-end case studies.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the per-experiment
+//! index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use irq;
+pub use memsim;
+pub use nnet;
+pub use segscope;
+pub use segsim;
+pub use specsim;
+pub use x86seg;
+
+/// The case-study crate, re-exported under its module name.
+pub use segscope_attacks as attacks;

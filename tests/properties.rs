@@ -1,0 +1,112 @@
+//! Property-based integration tests: the invariants that make SegScope
+//! "fine-grained without false positives" must hold under randomized
+//! machine configurations.
+
+use proptest::prelude::*;
+use segscope_repro::irq::Ps;
+use segscope_repro::segscope::{InterruptGuard, SegProbe, ZScoreFilter};
+use segscope_repro::segsim::{Machine, MachineConfig};
+use segscope_repro::x86seg::Selector;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any seed and any HZ, the probe count equals the ground-truth
+    /// interrupt count over the probing window.
+    #[test]
+    fn probe_count_equals_ground_truth(seed in 0u64..1_000_000, hz_idx in 0usize..3) {
+        let hz = [100.0, 250.0, 1000.0][hz_idx];
+        let mut machine = Machine::new(MachineConfig::xiaomi_air13().with_hz(hz), seed);
+        machine.ground_truth_mut().clear();
+        let mut probe = SegProbe::new();
+        let samples = probe.probe_for(&mut machine, Ps::from_ms(400)).expect("probe");
+        prop_assert_eq!(samples.len(), machine.ground_truth().len());
+    }
+
+    /// The interrupt guard's verdict always agrees with ground truth,
+    /// for any window length.
+    #[test]
+    fn guard_agrees_with_ground_truth(seed in 0u64..1_000_000, spin in 100u64..2_000_000) {
+        let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), seed);
+        for _ in 0..5 {
+            let t0 = machine.now();
+            let guard = InterruptGuard::arm(&mut machine).expect("arm");
+            machine.spin(spin);
+            let clean = guard.finish(&mut machine);
+            let t1 = machine.now();
+            prop_assert_eq!(clean, !machine.ground_truth().any_in(t0, t1));
+        }
+    }
+
+    /// SegCnt is always at least 1 and bounded by the physically possible
+    /// iteration count for the observed interval.
+    #[test]
+    fn segcnt_is_physical(seed in 0u64..1_000_000) {
+        let mut machine = Machine::new(MachineConfig::honor_magicbook(), seed);
+        let mut probe = SegProbe::new();
+        let max_khz = machine.config().freq.max_khz;
+        let k = machine.probe_iter_cycles();
+        for _ in 0..10 {
+            let s = probe.probe_once(&mut machine).expect("probe");
+            prop_assert!(s.segcnt >= 1);
+            let interval = s.ended_at - s.started_at;
+            let max_iters = interval.cycles_at(max_khz) as f64 / k * 1.02 + 2.0;
+            prop_assert!(
+                (s.segcnt as f64) <= max_iters,
+                "segcnt {} exceeds physical bound {}", s.segcnt, max_iters
+            );
+        }
+    }
+
+    /// Machines are fully deterministic: same (config, seed) => identical
+    /// probe traces.
+    #[test]
+    fn machine_determinism(seed in 0u64..1_000_000) {
+        let run = |seed: u64| {
+            let mut machine = Machine::new(MachineConfig::amazon_c5_large(), seed);
+            let mut probe = SegProbe::new();
+            probe
+                .probe_n(&mut machine, 20)
+                .expect("probe")
+                .iter()
+                .map(|s| s.segcnt)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Whatever data it is fit on, the Z-score filter always retains the
+    /// sample closest to the mean of what it retains (non-degeneracy).
+    #[test]
+    fn zscore_filter_retains_its_own_center(
+        samples in prop::collection::vec(-1.0e6f64..1.0e6, 4..64),
+    ) {
+        let filter = ZScoreFilter::fit(&samples, 2.0);
+        prop_assert!(filter.retains(filter.mu()));
+        let kept = filter.filter(&samples);
+        // Retention is a subset, order-preserving.
+        prop_assert!(kept.len() <= samples.len());
+        for k in &kept {
+            prop_assert!(samples.contains(k));
+        }
+    }
+
+    /// Loading any selector that is *not* null either faults or leaves a
+    /// non-null selector in GS — the probe can only ever be built from the
+    /// four null values.
+    #[test]
+    fn only_null_selectors_make_silent_markers(raw in 0u16..512) {
+        let mut machine = Machine::new(MachineConfig::default(), u64::from(raw));
+        let sel = Selector::from_bits(raw);
+        match machine.wrgs(sel) {
+            Ok(()) => {
+                let readback = machine.rdgs();
+                prop_assert_eq!(readback, sel);
+                if !sel.is_null() {
+                    prop_assert!(!readback.is_null());
+                }
+            }
+            Err(_) => prop_assert!(!sel.is_null(), "null selectors never fault"),
+        }
+    }
+}

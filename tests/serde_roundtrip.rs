@@ -1,0 +1,85 @@
+//! Serde round-trip tests for the workspace's public data types
+//! (C-SERDE): configurations and results must serialize losslessly so
+//! experiment setups and outcomes can be persisted and replayed.
+
+use segscope_repro::attacks::covert::CovertConfig;
+use segscope_repro::attacks::kaslr::{KaslrConfig, KaslrResult};
+use segscope_repro::attacks::spectral::SpectralConfig;
+use segscope_repro::attacks::website::{Browser, Setting, WebsiteFpConfig, WebsiteProfile};
+use segscope_repro::irq::{HandlerCostModel, InterruptKind, Ps};
+use segscope_repro::memsim::{HierarchyConfig, KaslrLayout, KaslrTiming, MemoryHierarchy};
+use segscope_repro::segscope::{Denoise, ZScoreFilter};
+use segscope_repro::segsim::{FreqConfig, MachineConfig, NoiseModel, StepFn};
+use segscope_repro::x86seg::{
+    DescriptorTables, PrivilegeLevel, SegmentDescriptor, SegmentRegisterFile, Selector,
+};
+use serde::{de::DeserializeOwned, Serialize};
+use std::fmt::Debug;
+
+fn round_trip<T: Serialize + DeserializeOwned + PartialEq + Debug>(value: &T) {
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, value, "round trip changed the value");
+}
+
+#[test]
+fn machine_configs_round_trip() {
+    for config in MachineConfig::table1() {
+        round_trip(&config);
+    }
+    round_trip(&FreqConfig::desktop(3_600, 4_000));
+    round_trip(&NoiseModel::quiet());
+    round_trip(&NoiseModel::virtualized());
+    round_trip(&HandlerCostModel::paper_default());
+}
+
+#[test]
+fn substrate_types_round_trip() {
+    round_trip(&HierarchyConfig::client_default());
+    round_trip(&KaslrTiming::client_default());
+    round_trip(&KaslrLayout::with_slot(99));
+    round_trip(&Selector::from_bits(0x2b));
+    round_trip(&PrivilegeLevel::Ring2);
+    round_trip(&SegmentDescriptor::flat_data(PrivilegeLevel::Ring3));
+    round_trip(&DescriptorTables::linux_flat());
+    round_trip(&SegmentRegisterFile::flat_user());
+    round_trip(&Ps::from_us(1234));
+    for kind in InterruptKind::ALL {
+        round_trip(&kind);
+    }
+    // A warm cache hierarchy (non-trivial internal state).
+    let mut mem = MemoryHierarchy::default();
+    mem.access(0x1000);
+    mem.access(0x2000);
+    round_trip(&mem);
+}
+
+#[test]
+fn attack_configs_round_trip() {
+    round_trip(&KaslrConfig::paper_default());
+    round_trip(&SpectralConfig::paper_default());
+    round_trip(&CovertConfig::slow());
+    round_trip(&WebsiteFpConfig::quick(Browser::Tor, Setting::Default));
+    round_trip(&WebsiteProfile::for_site(12));
+    round_trip(&Denoise::ZScoreAndFreq);
+    round_trip(&ZScoreFilter::new(10.0, 2.0, 2.0));
+    let mut step = StepFn::zero();
+    step.push(Ps::from_ms(1), 0.5);
+    step.push(Ps::from_ms(2), 1.0);
+    round_trip(&step);
+}
+
+#[test]
+fn results_round_trip_and_replay() {
+    // A real experiment result survives persistence (the replay story).
+    let result = KaslrResult {
+        ranking: vec![17, 3, 255],
+        secret_slot: 17,
+        elapsed_s: 10.5,
+    };
+    round_trip(&result);
+    let json = serde_json::to_string(&result).expect("serialize");
+    let back: KaslrResult = serde_json::from_str(&json).expect("deserialize");
+    assert!(back.top1_hit());
+    assert!(back.top_n_hit(2));
+}

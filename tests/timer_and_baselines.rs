@@ -1,0 +1,134 @@
+//! Integration tests for the SegScope timer and the timer-based
+//! baselines across the crate boundary.
+
+use segscope_repro::irq::Ps;
+use segscope_repro::segscope::{
+    CountingThreadTimer, Denoise, LoopCountProber, SegTimer, TsJumpProber,
+};
+use segscope_repro::segsim::{Machine, MachineConfig, SimError};
+
+fn warmed(config: MachineConfig, seed: u64) -> Machine {
+    let mut machine = Machine::new(config, seed);
+    machine.spin(600_000_000);
+    machine
+}
+
+/// The timer calibrates and measures on every Table I machine, and the
+/// measured ticks scale ~linearly with the workload size.
+#[test]
+fn timer_linearity_across_machines() {
+    for (i, config) in MachineConfig::table1().into_iter().enumerate() {
+        let mut machine = warmed(config.clone(), 0x71E + i as u64);
+        let mut timer = SegTimer::calibrate(&mut machine, 150, Denoise::ZScore).expect("calibrate");
+        let a = timer
+            .measure(&mut machine, 15, |m| m.spin(500_000))
+            .expect("measure");
+        let b = timer
+            .measure(&mut machine, 15, |m| m.spin(2_000_000))
+            .expect("measure");
+        let ratio = b.mean_ticks / a.mean_ticks.max(1.0);
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "{}: 4x workload should read ~4x ticks, got {ratio:.2}",
+            config.name
+        );
+    }
+}
+
+/// The whole point: the SegScope timer works under CR4.TSD while both
+/// architectural-timer baselines fault.
+#[test]
+fn only_segscope_survives_the_threat_model() {
+    let config = MachineConfig::lenovo_yangtian().with_cr4_tsd(true);
+    let mut machine = warmed(config, 0x71F);
+    // Baselines: dead.
+    assert_eq!(
+        TsJumpProber::paper_default().probe_for(&mut machine, Ps::from_ms(50)),
+        Err(SimError::TimerRestricted)
+    );
+    assert_eq!(
+        LoopCountProber::paper_default().sample_window(&mut machine),
+        Err(SimError::TimerRestricted)
+    );
+    // SegScope timer: alive.
+    let mut timer = SegTimer::calibrate(&mut machine, 120, Denoise::ZScore).expect("calibrate");
+    let stats = timer
+        .measure(&mut machine, 10, |m| m.spin(1_000_000))
+        .expect("measure");
+    assert!(stats.mean_ticks > 0.0);
+    // The counting thread also survives (it needs no architectural
+    // timer), as the paper acknowledges — it is just less stable.
+    let mut ct = CountingThreadTimer::start(&mut machine);
+    machine.spin(100_000);
+    assert!(ct.elapsed(&mut machine) > 0);
+}
+
+/// Denoising strictly helps: the Z-score timer's spread on a fixed
+/// workload is no worse than the raw timer's.
+#[test]
+fn zscore_denoising_tightens_measurements() {
+    let mut machine = warmed(MachineConfig::xiaomi_air13(), 0x720);
+    let mut raw = SegTimer::calibrate(&mut machine, 150, Denoise::None).expect("calibrate");
+    let mut samples_raw = Vec::new();
+    for _ in 0..40 {
+        samples_raw.push(
+            raw.time(&mut machine, |m| m.spin(800_000))
+                .expect("time")
+                .ticks,
+        );
+    }
+    let mut z = SegTimer::calibrate(&mut machine, 150, Denoise::ZScore).expect("calibrate");
+    let stats = z
+        .measure(&mut machine, 40, |m| m.spin(800_000))
+        .expect("measure");
+    let raw_std = segscope_repro::segscope::std_dev(&samples_raw);
+    assert!(
+        stats.std_ticks <= raw_std * 1.1,
+        "zscore std {} vs raw std {}",
+        stats.std_ticks,
+        raw_std
+    );
+}
+
+/// Baseline cross-check (paper Section III-B): the timestamp-jump prober
+/// never undercounts but does overcount; SegScope never does either.
+#[test]
+fn overcount_asymmetry() {
+    let mut machine = warmed(MachineConfig::lenovo_yangtian(), 0x721);
+    machine.ground_truth_mut().clear();
+    let detections = TsJumpProber::paper_default()
+        .probe_for(&mut machine, Ps::from_secs(3))
+        .expect("rdtsc allowed");
+    let truth = machine.ground_truth().len() as u64;
+    assert!(
+        detections > truth,
+        "baseline should overcount: {detections} vs {truth}"
+    );
+
+    let mut machine = warmed(MachineConfig::lenovo_yangtian(), 0x722);
+    machine.ground_truth_mut().clear();
+    let samples = segscope_repro::segscope::SegProbe::new()
+        .probe_for(&mut machine, Ps::from_secs(3))
+        .expect("probe");
+    assert_eq!(samples.len(), machine.ground_truth().len());
+}
+
+/// The interrupt guard makes micro-benchmarks noise-free (the paper's
+/// Discussion-section use case): guarded cache-latency measurements are
+/// exactly the model's latencies.
+#[test]
+fn guarded_microbenchmark_is_noise_free() {
+    use segscope_repro::segscope::InterruptGuard;
+    let mut machine = warmed(MachineConfig::xiaomi_air13(), 0x723);
+    let outcomes = InterruptGuard::collect_clean(&mut machine, 40, 4_000, |m| {
+        m.clflush(0xA000);
+        let cold = m.mem_access(0xA000).cycles;
+        let warm = m.mem_access(0xA000).cycles;
+        (cold, warm)
+    })
+    .expect("clean samples");
+    for (cold, warm) in outcomes {
+        assert_eq!(cold, machine.memory().config().dram_cycles);
+        assert_eq!(warm, machine.memory().config().l1_cycles);
+    }
+}
