@@ -1,0 +1,507 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! Parses `struct`/`enum` definitions directly from the raw
+//! `proc_macro` token stream (no syn/quote available offline) and emits
+//! `serde::Serialize` / `serde::Deserialize` impls against the
+//! Value-tree model. Supports the shapes this workspace actually
+//! derives on: named-field structs, tuple/newtype/unit structs, enums
+//! with unit / newtype / tuple / struct variants, and simple type
+//! parameters (`struct TimedRun<T> { ... }`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Type parameter identifiers, in declaration order.
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Consumes leading outer attributes (`#[...]`, including expanded doc
+/// comments) starting at `i`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses a generics declaration starting at the `<` at `i`, returning
+/// the type-parameter names. Lifetimes are skipped; bounds are skipped.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    // Tracks whether the next ident at depth 1 starts a parameter (true
+    // right after `<` or a depth-1 comma).
+    let mut at_param_start = false;
+    let mut in_lifetime = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    if depth == 1 {
+                        at_param_start = true;
+                    }
+                }
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        break;
+                    }
+                }
+                ',' if depth == 1 => at_param_start = true,
+                ':' if depth == 1 => at_param_start = false,
+                '\'' => in_lifetime = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                if in_lifetime {
+                    in_lifetime = false;
+                } else if depth == 1 && at_param_start {
+                    let name = id.to_string();
+                    if name == "const" {
+                        // `const N: usize` — the following ident is a
+                        // const parameter, not a type parameter.
+                        at_param_start = false;
+                    } else {
+                        params.push(name);
+                        at_param_start = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Parses the contents of a `{ ... }` field block into field names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `:` and the type, up to a top-level comma. Generic
+        // arguments in the type nest via `<`/`>` puncts; grouped tokens
+        // (parens for tuples, brackets for arrays) arrive as single
+        // atoms, so only angle-bracket depth needs tracking.
+        let mut angle_depth = 0isize;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant `( ... )` block.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0isize;
+    for (idx, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                // A separating comma (a trailing one is ignored).
+                ',' if angle_depth == 0 && idx + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+/// Parses the contents of an enum `{ ... }` block into variants.
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip any explicit discriminant, up to the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    let generics = match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => parse_generics(&tokens, &mut i),
+        _ => Vec::new(),
+    };
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Shape::Struct(Fields::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Renders `impl<T: Bound, ...> Trait for Name<T, ...>` header pieces:
+/// `(impl_generics, ty_generics)`.
+fn generics_split(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_generics = format!(
+        "<{}>",
+        item.generics
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let ty_generics = format!("<{}>", item.generics.join(", "));
+    (impl_generics, ty_generics)
+}
+
+fn serialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(::std::vec![{items}])")
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|i| format!("f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                format!("::serde::Value::Seq(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {inner})]),"
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    }
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(map, \"{f}\")?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "let map = value.as_map()?;\n        \
+                 ::std::result::Result::Ok({name} {{\n            {inits}\n        }})"
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let seq = value.as_seq()?;\n        \
+                 if seq.len() != {n} {{\n            \
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple struct arity for {name}\"));\n        }}\n        \
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let data_arms = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "\"{vname}\" => {{\n                    \
+                                 let seq = inner.as_seq()?;\n                    \
+                                 if seq.len() != {n} {{\n                        \
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong arity for variant {vname}\"));\n                    }}\n                    \
+                                 ::std::result::Result::Ok({name}::{vname}({items}))\n                }}"
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::get_field(map, \"{f}\")?)?,"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(" ");
+                            format!(
+                                "\"{vname}\" => {{\n                    \
+                                 let map = inner.as_map()?;\n                    \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n                }}"
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            format!(
+                "match value {{\n            \
+                 ::serde::Value::Str(s) => match s.as_str() {{\n                \
+                 {unit_arms}\n                \
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown unit variant `{{other}}` for {name}\"))),\n            }},\n            \
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n                \
+                 let (tag, inner) = &entries[0];\n                \
+                 match tag.as_str() {{\n                \
+                 {data_arms}\n                \
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n                }}\n            }}\n            \
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"invalid enum encoding for {name}\")),\n        }}"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty_generics) = generics_split(&item, "::serde::Serialize");
+    let name = &item.name;
+    let body = serialize_body(&item);
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n    \
+         fn to_value(&self) -> ::serde::Value {{\n        \
+         {body}\n    \
+         }}\n\
+         }}\n"
+    );
+    code.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty_generics) = generics_split(&item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = deserialize_body(&item);
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n    \
+         fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n        \
+         {body}\n    \
+         }}\n\
+         }}\n"
+    );
+    code.parse().expect("derived Deserialize impl parses")
+}

@@ -194,7 +194,10 @@ fn measure_challenge(
 pub fn run_extraction(config: &CirclConfig) -> CirclResult {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let victim = CirclVictim::random_key(config.key_bits, &mut rng);
-    let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), config.seed ^ 0x11);
+    let mut machine = Machine::new(
+        MachineConfig::lenovo_yangtian(),
+        exec::derive_seed(config.seed, exec::AUX_STREAM),
+    );
     machine.spin(100_000_000); // warm-up
                                // Calibration: the attacker knows which crafted ciphertexts trigger
                                // the anomaly on their *own* key material; here we calibrate with

@@ -209,6 +209,30 @@ pub fn transmit(config: &CovertConfig, message: &[bool], seed: u64) -> CovertRes
     }
 }
 
+/// Runs `trials` independent transmissions of `message` in parallel —
+/// fresh machine per trial, per-trial seeds derived from
+/// `experiment_seed` — and returns the outcomes in trial order
+/// (bit-identical at any worker count).
+///
+/// # Panics
+///
+/// Panics if `message` is empty.
+#[must_use]
+pub fn transmit_trials(
+    config: &CovertConfig,
+    message: &[bool],
+    experiment_seed: u64,
+    trials: usize,
+    threads: Option<usize>,
+) -> Vec<CovertResult> {
+    exec::parallel_trials(
+        experiment_seed,
+        trials,
+        exec::resolve_threads(threads),
+        |_i, seed| transmit(config, message, seed),
+    )
+}
+
 /// Transmits with an `r`-fold repetition code and majority-vote decode:
 /// the standard fix for the channel's ~1 % residual bit errors, trading
 /// rate for reliability.

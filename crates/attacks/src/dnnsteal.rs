@@ -249,7 +249,7 @@ pub fn collect_annotated_trace(arch: &Architecture, seed: u64) -> Option<TaggedE
     let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), seed);
     machine.spin(100_000_000); // warm-up
     let t0 = machine.now();
-    let mut sched_rng = SmallRng::seed_from_u64(seed ^ 0xD4);
+    let mut sched_rng = SmallRng::seed_from_u64(exec::derive_seed(seed, exec::AUX_STREAM));
     let (windows, power) = arch.inference_schedule(t0, &mut sched_rng);
     machine.set_power_excess(power);
     let end = windows.last().map(|&(_, e, _)| e)?;
@@ -276,19 +276,29 @@ pub fn collect_annotated_trace(arch: &Architecture, seed: u64) -> Option<TaggedE
 }
 
 /// Runs the full offline-train / online-classify pipeline.
+///
+/// Trace collection fans out one task per model: each task derives its
+/// own seed (used for both the architecture draw and the inference
+/// trace) from `config.seed`, so the dataset is bit-identical at any
+/// worker count.
 #[must_use]
 pub fn run_experiment(config: &DnnStealConfig) -> DnnStealResult {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let collect = |n: usize, rng: &mut SmallRng| -> Vec<TaggedExample> {
-        (0..n)
-            .filter_map(|i| {
-                let arch = Architecture::sample(rng);
-                collect_annotated_trace(&arch, config.seed.wrapping_add(i as u64 * 7919))
-            })
-            .collect()
+    // Train and test sets draw from disjoint task-index ranges of the
+    // same experiment stream.
+    let collect = |n: usize, base: usize| -> Vec<TaggedExample> {
+        exec::parallel_map_auto(n, |i| {
+            let model_seed = exec::derive_seed(config.seed, (base + i) as u64);
+            let mut arch_rng = SmallRng::seed_from_u64(model_seed);
+            let arch = Architecture::sample(&mut arch_rng);
+            collect_annotated_trace(&arch, exec::derive_seed(model_seed, exec::AUX_STREAM))
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     };
-    let train = collect(config.train_models, &mut rng);
-    let test = collect(config.test_models, &mut rng);
+    let train = collect(config.train_models, 0);
+    let test = collect(config.test_models, config.train_models);
+    let mut rng = SmallRng::seed_from_u64(exec::derive_seed(config.seed, exec::AUX_STREAM));
     let mut model = SeqTagger::new(
         1,
         config.hidden,

@@ -286,6 +286,45 @@ pub fn break_kaslr_fresh(
     break_kaslr(&mut machine, config)
 }
 
+/// Runs `trials` independent fresh-machine KASLR breaks in parallel and
+/// returns the per-trial outcomes in trial order.
+///
+/// Each trial derives its own seed from `(experiment_seed, trial index)`
+/// via [`exec::derive_seed`], so the result vector is bit-identical at
+/// any worker count (`threads`: explicit override, else the
+/// `SEGSCOPE_THREADS` environment variable, else all cores).
+#[must_use]
+pub fn run_trials(
+    machine_cfg: &MachineConfig,
+    config: &KaslrConfig,
+    experiment_seed: u64,
+    trials: usize,
+    threads: Option<usize>,
+) -> Vec<Result<KaslrResult, KaslrError>> {
+    exec::parallel_trials(
+        experiment_seed,
+        trials,
+        exec::resolve_threads(threads),
+        |_i, seed| break_kaslr_fresh(machine_cfg.clone(), config, seed),
+    )
+}
+
+/// Top-1 and top-`n` hit rates over a batch of [`run_trials`] outcomes
+/// (failed trials count as misses).
+#[must_use]
+pub fn hit_rates(results: &[Result<KaslrResult, KaslrError>], n: usize) -> (f64, f64) {
+    let total = results.len().max(1) as f64;
+    let top1 = results
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(KaslrResult::top1_hit))
+        .count() as f64;
+    let topn = results
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(|k| k.top_n_hit(n)))
+        .count() as f64;
+    (top1 / total, topn / total)
+}
+
 /// Collects SegCnt-tick distributions for mapped vs unmapped probing at a
 /// given `K` (the data of paper Figs. 10 and 11).
 ///

@@ -226,7 +226,7 @@ impl KeystrokeConfig {
 fn collect_trace(profile: &TypistProfile, seed: u64, keys: usize) -> KeystrokeTrace {
     let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
     machine.spin(100_000_000);
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4B45_5953);
+    let mut rng = SmallRng::seed_from_u64(exec::derive_seed(seed, exec::AUX_STREAM));
     let start = machine.now() + Ps::from_ms(1_600); // calibration quiet time
     let session = profile.type_session(start, keys, &mut rng);
     KeystrokeMonitor::new().monitor(&mut machine, &session)
@@ -234,49 +234,56 @@ fn collect_trace(profile: &TypistProfile, seed: u64, keys: usize) -> KeystrokeTr
 
 /// Runs the identification experiment: enroll per-user log-stat
 /// centroids, then attribute test sessions by nearest centroid.
+///
+/// Sessions are monitored in parallel — one task per `(user, session)`
+/// pair with a seed derived from `config.seed`, so the result is
+/// bit-identical at any worker count. Enrollment sessions occupy task
+/// indices `0..users * enroll_sessions`; test sessions continue from
+/// there, so the two sets never share a seed.
 #[must_use]
 pub fn identify_users(config: &KeystrokeConfig) -> IdentifyResult {
     let profiles: Vec<TypistProfile> = (0..config.users).map(TypistProfile::for_user).collect();
     // Enrollment.
-    let mut centroids = Vec::with_capacity(config.users);
-    for (u, profile) in profiles.iter().enumerate() {
-        let mut mus = Vec::new();
-        let mut sigmas = Vec::new();
-        for s in 0..config.enroll_sessions {
-            let seed = config.seed + (u as u64) * 1_000 + s as u64;
-            let trace = collect_trace(profile, seed, config.keys_per_session);
-            let (m, sd) = trace.log_stats();
-            mus.push(m);
-            sigmas.push(sd);
-        }
-        centroids.push((segscope::mean(&mus), segscope::mean(&sigmas)));
-    }
+    let enroll_tasks = config.users * config.enroll_sessions;
+    let enroll_stats: Vec<(f64, f64)> =
+        exec::parallel_trials_auto(config.seed, enroll_tasks, |i, seed| {
+            let u = i / config.enroll_sessions;
+            collect_trace(&profiles[u], seed, config.keys_per_session).log_stats()
+        });
+    let centroids: Vec<(f64, f64)> = enroll_stats
+        .chunks(config.enroll_sessions.max(1))
+        .map(|stats| {
+            let mus: Vec<f64> = stats.iter().map(|s| s.0).collect();
+            let sigmas: Vec<f64> = stats.iter().map(|s| s.1).collect();
+            (segscope::mean(&mus), segscope::mean(&sigmas))
+        })
+        .collect();
     // Identification.
+    let test_tasks = config.users * config.test_sessions;
+    let test_stats: Vec<(f64, f64)> = exec::parallel_map_auto(test_tasks, |i| {
+        let u = i / config.test_sessions;
+        let seed = exec::derive_seed(config.seed, (enroll_tasks + i) as u64);
+        collect_trace(&profiles[u], seed, config.keys_per_session).log_stats()
+    });
     let mut hits = 0usize;
-    let mut total = 0usize;
-    for (u, profile) in profiles.iter().enumerate() {
-        for s in 0..config.test_sessions {
-            let seed = config.seed + 0xBEEF + (u as u64) * 1_000 + s as u64;
-            let trace = collect_trace(profile, seed, config.keys_per_session);
-            let (m, sd) = trace.log_stats();
-            let guess = centroids
-                .iter()
-                .enumerate()
-                .min_by(|a, b| {
-                    let da = (a.1 .0 - m).powi(2) + 4.0 * (a.1 .1 - sd).powi(2);
-                    let db = (b.1 .0 - m).powi(2) + 4.0 * (b.1 .1 - sd).powi(2);
-                    da.partial_cmp(&db).expect("finite")
-                })
-                .map(|(i, _)| i)
-                .expect("non-empty cohort");
-            hits += usize::from(guess == u);
-            total += 1;
-        }
+    for (i, &(m, sd)) in test_stats.iter().enumerate() {
+        let u = i / config.test_sessions;
+        let guess = centroids
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let da = (a.1 .0 - m).powi(2) + 4.0 * (a.1 .1 - sd).powi(2);
+                let db = (b.1 .0 - m).powi(2) + 4.0 * (b.1 .1 - sd).powi(2);
+                da.partial_cmp(&db).expect("finite")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty cohort");
+        hits += usize::from(guess == u);
     }
     IdentifyResult {
-        accuracy: hits as f64 / total.max(1) as f64,
+        accuracy: hits as f64 / test_tasks.max(1) as f64,
         users: config.users,
-        sessions: total,
+        sessions: test_tasks,
     }
 }
 
@@ -304,7 +311,7 @@ mod tests {
             mu: -1.6,
             sigma: 0.4,
         };
-        let trace = collect_trace(&profile, 0xAC, 35);
+        let trace = collect_trace(&profile, 0xC21, 35);
         // Compare normalized signatures where counts line up.
         let recovered = trace.signature();
         let truth: Vec<f64> = trace

@@ -147,7 +147,7 @@ pub fn observe(app: AppClass, seed: u64, window: Ps, probes: usize) -> ProcFeatu
     let calib_median = calib_cnts[calib_cnts.len() / 2];
     // Start the victim application and record the raw SegCnt stream.
     let t0 = machine.now();
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9F0C);
+    let mut rng = SmallRng::seed_from_u64(exec::derive_seed(seed, exec::AUX_STREAM));
     let (events, load) = app.activity(t0, window, &mut rng);
     machine.inject_interrupts(events);
     machine.set_victim_load(load);
@@ -221,15 +221,29 @@ impl ProcFpConfig {
 }
 
 /// Runs enrollment + nearest-centroid identification.
+///
+/// Windows are observed in parallel — one task per `(class, window)`
+/// pair with a seed derived from `config.seed`, so the result is
+/// bit-identical at any worker count. Enrollment windows occupy task
+/// indices `0..classes * enroll`; test windows continue from there.
 #[must_use]
 pub fn run_experiment(config: &ProcFpConfig) -> ProcFpResult {
+    let classes = AppClass::ALL.len();
     // Enroll centroids.
+    let enroll_tasks = classes * config.enroll;
+    let enroll_feats: Vec<ProcFeatures> =
+        exec::parallel_trials_auto(config.seed, enroll_tasks, |i, seed| {
+            observe(
+                AppClass::ALL[i / config.enroll],
+                seed,
+                config.window,
+                config.probes,
+            )
+        });
     let centroids: Vec<(AppClass, ProcFeatures)> = AppClass::ALL
         .iter()
-        .map(|&app| {
-            let feats: Vec<ProcFeatures> = (0..config.enroll)
-                .map(|i| observe(app, config.seed + i as u64, config.window, config.probes))
-                .collect();
+        .zip(enroll_feats.chunks(config.enroll.max(1)))
+        .map(|(&app, feats)| {
             let centroid = ProcFeatures {
                 q10: segscope::mean(&feats.iter().map(|f| f.q10).collect::<Vec<_>>()),
                 q50: segscope::mean(&feats.iter().map(|f| f.q50).collect::<Vec<_>>()),
@@ -239,37 +253,41 @@ pub fn run_experiment(config: &ProcFpConfig) -> ProcFpResult {
         })
         .collect();
     // Identify.
+    let test_tasks = classes * config.test;
+    let test_feats: Vec<ProcFeatures> = exec::parallel_map_auto(test_tasks, |i| {
+        let seed = exec::derive_seed(config.seed, (enroll_tasks + i) as u64);
+        observe(
+            AppClass::ALL[i / config.test],
+            seed,
+            config.window,
+            config.probes,
+        )
+    });
     let mut hits = 0usize;
-    let mut windows = 0usize;
-    let mut per_class = Vec::with_capacity(AppClass::ALL.len());
-    for &app in &AppClass::ALL {
-        let mut class_hits = 0usize;
-        for i in 0..config.test {
-            let f = observe(
-                app,
-                config.seed + 0xBEEF + i as u64,
-                config.window,
-                config.probes,
-            );
-            let guess = centroids
-                .iter()
-                .min_by(|a, b| {
-                    f.distance2(&a.1)
-                        .partial_cmp(&f.distance2(&b.1))
-                        .expect("finite")
-                })
-                .map(|(app, _)| *app)
-                .expect("non-empty");
-            class_hits += usize::from(guess == app);
-            windows += 1;
-        }
+    let mut per_class = Vec::with_capacity(classes);
+    for (c, &app) in AppClass::ALL.iter().enumerate() {
+        let class_hits = test_feats[c * config.test..(c + 1) * config.test]
+            .iter()
+            .filter(|f| {
+                centroids
+                    .iter()
+                    .min_by(|a, b| {
+                        f.distance2(&a.1)
+                            .partial_cmp(&f.distance2(&b.1))
+                            .expect("finite")
+                    })
+                    .map(|(app, _)| *app)
+                    .expect("non-empty")
+                    == app
+            })
+            .count();
         hits += class_hits;
         per_class.push(class_hits as f64 / config.test as f64);
     }
     ProcFpResult {
-        accuracy: hits as f64 / windows.max(1) as f64,
+        accuracy: hits as f64 / test_tasks.max(1) as f64,
         per_class,
-        windows,
+        windows: test_tasks,
     }
 }
 

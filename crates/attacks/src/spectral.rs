@@ -167,7 +167,7 @@ pub fn run_attack(
     machine.spin(50_000_000); // warm-up
     let mut secret_rng = {
         use rand::SeedableRng;
-        rand::rngs::SmallRng::seed_from_u64(seed ^ 0x5EC2E7)
+        rand::rngs::SmallRng::seed_from_u64(exec::derive_seed(seed, exec::AUX_STREAM))
     };
     let secret: Vec<bool> = (0..bits).map(|_| secret_rng.gen()).collect();
     let start = machine.now();

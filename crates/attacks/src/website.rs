@@ -274,7 +274,7 @@ pub fn collect_trace(config: &WebsiteFpConfig, site: usize, visit_seed: u64) -> 
     machine.spin(50_000_000);
     let t0 = machine.now();
     let profile = WebsiteProfile::for_site(site);
-    let mut visit_rng = SmallRng::seed_from_u64(visit_seed ^ 0xFACE);
+    let mut visit_rng = SmallRng::seed_from_u64(exec::derive_seed(visit_seed, exec::AUX_STREAM));
     let (events, load) = profile.visit(t0, config.browser, &mut visit_rng);
     machine.inject_interrupts(events);
     machine.set_victim_load(load);
@@ -314,31 +314,37 @@ pub fn trace_to_example(trace: &[f64], pooled_len: usize, label: usize) -> SeqEx
 
 /// Runs the full fingerprinting experiment: trace collection, k-fold CV,
 /// LSTM training, and evaluation.
+///
+/// Trace collection fans out one task per `(site, visit)` pair and the
+/// CV folds train concurrently; every task derives its own seed from
+/// `config.seed`, so the result is bit-identical at any worker count
+/// (`SEGSCOPE_THREADS` selects it).
 #[must_use]
 pub fn run_experiment(config: &WebsiteFpConfig) -> FingerprintResult {
-    let mut dataset = Vec::with_capacity(config.n_sites * config.traces_per_site);
-    for site in 0..config.n_sites {
-        for visit in 0..config.traces_per_site {
-            let visit_seed = config
-                .seed
-                .wrapping_add((site as u64) << 20)
-                .wrapping_add(visit as u64);
+    let visits = config.n_sites * config.traces_per_site;
+    let dataset: Vec<SeqExample> =
+        exec::parallel_trials_auto(config.seed, visits, |i, visit_seed| {
+            let site = i / config.traces_per_site;
             let trace = collect_trace(config, site, visit_seed);
-            dataset.push(trace_to_example(&trace, config.pooled_len, site));
-        }
-    }
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xF01D);
-    let folds = nnet::k_fold_indices(dataset.len(), config.folds, &mut rng);
-    let mut top1s = Vec::new();
-    let mut top5s = Vec::new();
-    for (train_idx, test_idx) in folds {
+            trace_to_example(&trace, config.pooled_len, site)
+        });
+    // The fold split and each fold's model init draw from their own
+    // auxiliary streams so folds are independent of each other.
+    let mut fold_rng = SmallRng::seed_from_u64(exec::derive_seed(config.seed, exec::AUX_STREAM));
+    let folds = nnet::k_fold_indices(dataset.len(), config.folds, &mut fold_rng);
+    let fold_scores: Vec<(f64, f64)> = exec::parallel_map_auto(folds.len(), |f| {
+        let (train_idx, test_idx) = &folds[f];
         let train: Vec<SeqExample> = train_idx.iter().map(|&i| dataset[i].clone()).collect();
         let test: Vec<SeqExample> = test_idx.iter().map(|&i| dataset[i].clone()).collect();
+        let mut model_rng = SmallRng::seed_from_u64(exec::derive_seed(
+            config.seed,
+            exec::AUX_STREAM + 1 + f as u64,
+        ));
         let mut model = SeqClassifier::new(
             2, // channels: SegCnt level + burst density
             config.hidden,
             config.n_sites,
-            &mut rng,
+            &mut model_rng,
             AdamConfig {
                 lr: 0.015,
                 ..AdamConfig::default()
@@ -347,9 +353,10 @@ pub fn run_experiment(config: &WebsiteFpConfig) -> FingerprintResult {
         for _ in 0..config.epochs {
             model.train_epoch(&train, 16);
         }
-        top1s.push(model.accuracy(&test));
-        top5s.push(model.top_k_accuracy(&test, 5));
-    }
+        (model.accuracy(&test), model.top_k_accuracy(&test, 5))
+    });
+    let top1s: Vec<f64> = fold_scores.iter().map(|s| s.0).collect();
+    let top5s: Vec<f64> = fold_scores.iter().map(|s| s.1).collect();
     FingerprintResult {
         top1: segscope::mean(&top1s),
         top1_std: segscope::std_dev(&top1s),

@@ -24,13 +24,18 @@ fn main() {
         ],
         &widths,
     );
-    let mut best_clean_rate = 0.0f64;
-    for slot_ms in [40u64, 20, 12, 8, 6] {
+    // One parallel task per slot duration, each with a derived seed.
+    let slots = [40u64, 20, 12, 8, 6];
+    let sweep = exec::parallel_trials_auto(0xC0, slots.len(), |i, seed| {
         let config = CovertConfig {
-            slot: Ps::from_ms(slot_ms),
+            slot: Ps::from_ms(slots[i]),
             ..CovertConfig::slow()
         };
-        let result = transmit(&config, &bits, 0xC0 + slot_ms);
+        let result = transmit(&config, &bits, seed);
+        (config, result)
+    });
+    let mut best_clean_rate = 0.0f64;
+    for (slot_ms, (config, result)) in slots.iter().zip(&sweep) {
         segscope_bench::print_row(
             &[
                 slot_ms.to_string(),

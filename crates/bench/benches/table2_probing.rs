@@ -43,16 +43,14 @@ fn main() {
     // --- SegScope: exact, threshold-free ---
     let mut cells = vec!["SegScope".to_owned()];
     for hz in [100.0, 250.0, 1000.0] {
-        let counts: Vec<f64> = (0..reps)
-            .map(|r| {
-                let mut m = make_machine(hz, 0x7AB2_0000 + r as u64);
-                let mut probe = SegProbe::new();
-                probe
-                    .probe_for(&mut m, duration)
-                    .expect("probe works")
-                    .len() as f64
-            })
-            .collect();
+        let counts: Vec<f64> = exec::parallel_trials_auto(0x7AB2, reps, |_r, seed| {
+            let mut m = make_machine(hz, seed);
+            let mut probe = SegProbe::new();
+            probe
+                .probe_for(&mut m, duration)
+                .expect("probe works")
+                .len() as f64
+        });
         let (mu, sd) = mean_std(&counts);
         cells.push(segscope_bench::pm(mu, sd));
     }
@@ -61,14 +59,12 @@ fn main() {
     // --- Schwarz et al. (timestamp jumps, threshold 1000 cycles) ---
     let mut cells = vec!["Schwarz et al.".to_owned()];
     for hz in [100.0, 250.0, 1000.0] {
-        let counts: Vec<f64> = (0..reps)
-            .map(|r| {
-                let mut m = make_machine(hz, 0x7AB3_0000 + r as u64);
-                TsJumpProber::paper_default()
-                    .probe_for(&mut m, duration)
-                    .expect("rdtsc available") as f64
-            })
-            .collect();
+        let counts: Vec<f64> = exec::parallel_trials_auto(0x7AB3, reps, |_r, seed| {
+            let mut m = make_machine(hz, seed);
+            TsJumpProber::paper_default()
+                .probe_for(&mut m, duration)
+                .expect("rdtsc available") as f64
+        });
         let (mu, sd) = mean_std(&counts);
         cells.push(segscope_bench::pm(mu, sd));
     }
@@ -77,14 +73,12 @@ fn main() {
     // --- Lipp et al. (loop counting sampled every 5 ms) ---
     let mut cells = vec!["Lipp et al.".to_owned()];
     for hz in [100.0, 250.0, 1000.0] {
-        let counts: Vec<f64> = (0..reps)
-            .map(|r| {
-                let mut m = make_machine(hz, 0x7AB4_0000 + r as u64);
-                let mut prober = LoopCountProber::paper_default();
-                prober.calibrate(&mut m, 200).expect("clock available");
-                prober.probe_for(&mut m, duration).expect("clock available") as f64
-            })
-            .collect();
+        let counts: Vec<f64> = exec::parallel_trials_auto(0x7AB4, reps, |_r, seed| {
+            let mut m = make_machine(hz, seed);
+            let mut prober = LoopCountProber::paper_default();
+            prober.calibrate(&mut m, 200).expect("clock available");
+            prober.probe_for(&mut m, duration).expect("clock available") as f64
+        });
         let (mu, sd) = mean_std(&counts);
         cells.push(segscope_bench::pm(mu, sd));
     }

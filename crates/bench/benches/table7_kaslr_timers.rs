@@ -8,7 +8,7 @@
 
 use irq::time::Ps;
 use segscope::Denoise;
-use segscope_attacks::kaslr::{break_kaslr_fresh, KaslrConfig, ProbeMethod, TimerKind};
+use segscope_attacks::kaslr::{hit_rates, run_trials, KaslrConfig, ProbeMethod, TimerKind};
 use segsim::MachineConfig;
 
 fn run_cell(timer: TimerKind, c: usize, trials: usize, seed0: u64) -> Option<(f64, f64, f64)> {
@@ -19,24 +19,20 @@ fn run_cell(timer: TimerKind, c: usize, trials: usize, seed0: u64) -> Option<(f6
         k: 64,
         ..KaslrConfig::paper_default()
     };
-    let mut top1 = 0usize;
-    let mut top5 = 0usize;
-    let mut secs = 0.0f64;
-    for t in 0..trials {
-        match break_kaslr_fresh(MachineConfig::lenovo_yangtian(), &config, seed0 + t as u64) {
-            Ok(result) => {
-                top1 += usize::from(result.top1_hit());
-                top5 += usize::from(result.top_n_hit(5));
-                secs += result.elapsed_s;
-            }
-            Err(_) => return None,
-        }
+    // Parallel fan-out over independent trials (SEGSCOPE_THREADS workers).
+    let results = run_trials(
+        &MachineConfig::lenovo_yangtian(),
+        &config,
+        seed0,
+        trials,
+        None,
+    );
+    if results.iter().any(Result::is_err) {
+        return None;
     }
-    Some((
-        secs / trials as f64,
-        top1 as f64 / trials as f64,
-        top5 as f64 / trials as f64,
-    ))
+    let (top1, top5) = hit_rates(&results, 5);
+    let secs: f64 = results.iter().flatten().map(|r| r.elapsed_s).sum();
+    Some((secs / trials as f64, top1, top5))
 }
 
 fn main() {

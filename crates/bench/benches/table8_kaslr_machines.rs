@@ -4,7 +4,7 @@
 //! Paper shape: C = 1 gives good-but-imperfect top-1 with near-perfect
 //! top-5 in ~2 s; C = 5 reaches 100 % / 100 % in ~10 s on every machine.
 
-use segscope_attacks::kaslr::{break_kaslr_fresh, KaslrConfig};
+use segscope_attacks::kaslr::{hit_rates, run_trials, KaslrConfig};
 use segsim::MachineConfig;
 
 fn main() {
@@ -36,22 +36,23 @@ fn main() {
                 c,
                 ..KaslrConfig::paper_default()
             };
-            let mut top1 = 0usize;
-            let mut top5 = 0usize;
-            let mut secs = 0.0;
-            for t in 0..trials {
-                let result = break_kaslr_fresh(
-                    machine_cfg.clone(),
-                    &config,
-                    0xF16E_0000 + ((i as u64) << 8) + t as u64,
-                )
-                .expect("SegScope timer always available");
-                top1 += usize::from(result.top1_hit());
-                top5 += usize::from(result.top_n_hit(5));
-                secs += result.elapsed_s;
-            }
-            let top1 = top1 as f64 / trials as f64;
-            let top5 = top5 as f64 / trials as f64;
+            // Parallel fan-out over independent trials.
+            let results = run_trials(
+                &machine_cfg,
+                &config,
+                0xF16E_0000 + ((i as u64) << 8),
+                trials,
+                None,
+            );
+            let (top1, top5) = hit_rates(&results, 5);
+            let secs: f64 = results
+                .iter()
+                .map(|r| {
+                    r.as_ref()
+                        .expect("SegScope timer always available")
+                        .elapsed_s
+                })
+                .sum();
             segscope_bench::print_row(
                 &[
                     machine_cfg.name.clone(),

@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod parallel_report;
+
 use std::fmt::Write as _;
 
 /// Whether the harness should run at full scale

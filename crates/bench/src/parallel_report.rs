@@ -1,0 +1,190 @@
+//! Machine-readable performance report for the parallel experiment
+//! engine and the optimized LSTM kernels (`BENCH_parallel.json`).
+//!
+//! The `bench_parallel` target regenerates the file; it records host
+//! wall-clock numbers, so absolute values vary by machine. Determinism is
+//! asserted (serial and parallel runs must produce identical results)
+//! regardless of the observed speedup — on a single-CPU host the speedup
+//! is ~1×, which the `note` field calls out.
+
+use nnet::reference::NaiveLstm;
+use nnet::{AdamConfig, Lstm};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use segscope_attacks::kaslr::{run_trials, KaslrConfig};
+use segsim::MachineConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Serial-vs-parallel engine throughput on independent KASLR trials.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineBench {
+    /// Trials per run.
+    pub trials: usize,
+    /// Worker threads the parallel run used.
+    pub parallel_threads: usize,
+    /// Serial (1-thread) wall-clock seconds.
+    pub serial_s: f64,
+    /// Parallel wall-clock seconds.
+    pub parallel_s: f64,
+    /// Serial throughput, trials per second.
+    pub serial_trials_per_s: f64,
+    /// Parallel throughput, trials per second.
+    pub parallel_trials_per_s: f64,
+    /// Parallel speedup over serial (wall-clock ratio).
+    pub speedup: f64,
+    /// Whether serial and parallel runs returned bit-identical results.
+    pub deterministic: bool,
+}
+
+/// Old-vs-new LSTM training epoch time at the paper's model size.
+#[derive(Debug, Clone, Serialize)]
+pub struct LstmBench {
+    /// Sequence length per example.
+    pub steps: usize,
+    /// Input feature dimension.
+    pub input: usize,
+    /// Hidden units.
+    pub hidden: usize,
+    /// Epochs timed (after warmup).
+    pub epochs: usize,
+    /// Naive (pre-optimization) mean epoch time, milliseconds.
+    pub naive_epoch_ms: f64,
+    /// Optimized mean epoch time, milliseconds.
+    pub optimized_epoch_ms: f64,
+    /// Naive/optimized epoch-time ratio.
+    pub speedup: f64,
+}
+
+/// The full `BENCH_parallel.json` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelBenchReport {
+    /// Host parallelism available to the engine.
+    pub host_threads: usize,
+    /// Engine throughput comparison.
+    pub kaslr_engine: EngineBench,
+    /// LSTM kernel comparison.
+    pub lstm_kernels: LstmBench,
+    /// Human-readable caveat about the measurement host.
+    pub note: String,
+}
+
+fn time_s<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Measures engine throughput: the same KASLR trial set, serial vs
+/// parallel.
+#[must_use]
+pub fn measure_engine(trials: usize) -> EngineBench {
+    let machine = MachineConfig::lenovo_yangtian();
+    let config = KaslrConfig {
+        c: 2,
+        k: 32,
+        ..KaslrConfig::paper_default()
+    };
+    let seed = 0xB3CC_0001;
+    // Warmup run (page-in, branch training).
+    let _ = run_trials(&machine, &config, seed, 1.min(trials), Some(1));
+    let (serial_s, serial) = time_s(|| run_trials(&machine, &config, seed, trials, Some(1)));
+    let parallel_threads = exec::resolve_threads(None);
+    let (parallel_s, parallel) = time_s(|| run_trials(&machine, &config, seed, trials, None));
+    EngineBench {
+        trials,
+        parallel_threads,
+        serial_s,
+        parallel_s,
+        serial_trials_per_s: trials as f64 / serial_s.max(1e-9),
+        parallel_trials_per_s: trials as f64 / parallel_s.max(1e-9),
+        speedup: serial_s / parallel_s.max(1e-9),
+        deterministic: serial == parallel,
+    }
+}
+
+/// Measures LSTM epoch time, naive reference vs optimized kernels.
+#[must_use]
+pub fn measure_lstm(epochs: usize) -> LstmBench {
+    let (steps, input, hidden) = (64usize, 8usize, 32usize);
+    let xs: Vec<Vec<f32>> = (0..steps)
+        .map(|t| {
+            (0..input)
+                .map(|k| ((t * input + k) as f32 * 0.13).sin())
+                .collect()
+        })
+        .collect();
+    let dh_last = vec![1.0f32; hidden];
+
+    let mut rng = SmallRng::seed_from_u64(0xB3CC_0002);
+    let mut naive = NaiveLstm::new(input, hidden, &mut rng, AdamConfig::default());
+    let mut dh = vec![vec![0.0f32; hidden]; steps];
+    dh[steps - 1] = dh_last.clone();
+    let naive_epoch = || {
+        let trace = naive.forward(&xs);
+        naive.backward(&trace, &dh);
+        naive.apply_grads(1);
+    };
+    let (naive_s, ()) = {
+        let mut run = naive_epoch;
+        run(); // warmup
+        time_s(|| (0..epochs).for_each(|_| run()))
+    };
+
+    let mut rng = SmallRng::seed_from_u64(0xB3CC_0002);
+    let mut fast = Lstm::new(input, hidden, &mut rng, AdamConfig::default());
+    let fast_epoch = || {
+        let trace = fast.forward(&xs);
+        fast.backward_last(&trace, &dh_last);
+        fast.apply_grads(1);
+    };
+    let (fast_s, ()) = {
+        let mut run = fast_epoch;
+        run(); // warmup
+        time_s(|| (0..epochs).for_each(|_| run()))
+    };
+
+    let naive_epoch_ms = naive_s * 1e3 / epochs as f64;
+    let optimized_epoch_ms = fast_s * 1e3 / epochs as f64;
+    LstmBench {
+        steps,
+        input,
+        hidden,
+        epochs,
+        naive_epoch_ms,
+        optimized_epoch_ms,
+        speedup: naive_epoch_ms / optimized_epoch_ms.max(1e-9),
+    }
+}
+
+/// Runs both measurements and assembles the report.
+#[must_use]
+pub fn measure(trials: usize, epochs: usize) -> ParallelBenchReport {
+    let host_threads = exec::resolve_threads(None);
+    let note = if host_threads < 2 {
+        "measured on a single-CPU host: the parallel speedup is not \
+         observable here (expect ~1x); determinism is still asserted. \
+         Re-run `cargo bench -p segscope-bench --bench bench_parallel` on \
+         a multicore host for the >=2x engine speedup."
+            .to_string()
+    } else {
+        format!("measured with {host_threads} worker threads")
+    };
+    ParallelBenchReport {
+        host_threads,
+        kaslr_engine: measure_engine(trials),
+        lstm_kernels: measure_lstm(epochs),
+        note,
+    }
+}
+
+/// Serializes a report to JSON and writes it to `path`.
+///
+/// # Errors
+///
+/// Returns any filesystem error from the write.
+pub fn write_report(report: &ParallelBenchReport, path: &str) -> std::io::Result<()> {
+    let json = serde_json::to_string(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json + "\n")
+}

@@ -3,7 +3,7 @@
 //! DNN-layer-segmentation BiLSTM).
 
 use crate::dense::Dense;
-use crate::loss::{argmax, softmax_cross_entropy, top_k};
+use crate::loss::{argmax, softmax_cross_entropy_into, top_k};
 use crate::lstm::{BiLstm, Lstm};
 use crate::optim::AdamConfig;
 use rand::Rng;
@@ -77,16 +77,18 @@ impl SeqClassifier {
     pub fn train_epoch(&mut self, examples: &[SeqExample], batch: usize) -> f32 {
         let mut total = 0.0f32;
         let mut in_batch = 0usize;
+        // Per-example scratch, allocated once per epoch.
+        let mut logits = vec![0.0f32; self.head.output_dim()];
+        let mut dlogits = vec![0.0f32; self.head.output_dim()];
+        let mut dh_last = vec![0.0f32; self.lstm.hidden_dim()];
         for ex in examples {
             let trace = self.lstm.forward(&ex.xs);
             let last = trace.len() - 1;
-            let logits = self.head.forward(trace.hidden(last));
-            let (loss, dlogits) = softmax_cross_entropy(&logits, ex.label);
-            total += loss;
-            let dh_last = self.head.backward(trace.hidden(last), &dlogits);
-            let mut dh = vec![vec![0.0f32; self.lstm.hidden_dim()]; trace.len()];
-            dh[last] = dh_last;
-            self.lstm.backward(&trace, &dh);
+            self.head.forward_into(trace.hidden(last), &mut logits);
+            total += softmax_cross_entropy_into(&logits, ex.label, &mut dlogits);
+            self.head
+                .backward_into(trace.hidden(last), &dlogits, &mut dh_last);
+            self.lstm.backward_last(&trace, &dh_last);
             in_batch += 1;
             if in_batch == batch {
                 self.lstm.apply_grads(batch);
@@ -171,8 +173,14 @@ impl SeqTagger {
     #[must_use]
     pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<usize> {
         let trace = self.bilstm.forward(xs);
+        let mut features = vec![0.0f32; self.bilstm.output_dim()];
+        let mut logits = vec![0.0f32; self.head.output_dim()];
         (0..trace.len())
-            .map(|t| argmax(&self.head.forward(&trace.output(t))))
+            .map(|t| {
+                trace.output_into(t, &mut features);
+                self.head.forward_into(&features, &mut logits);
+                argmax(&logits)
+            })
             .collect()
     }
 
@@ -185,19 +193,30 @@ impl SeqTagger {
         let mut total = 0.0f32;
         let mut steps = 0usize;
         let mut in_batch = 0usize;
+        let width = self.bilstm.output_dim();
+        // Per-timestep scratch, allocated once per epoch; the flat
+        // per-example gradient buffer is reused across examples too.
+        let mut features = vec![0.0f32; width];
+        let mut logits = vec![0.0f32; self.head.output_dim()];
+        let mut dlogits = vec![0.0f32; self.head.output_dim()];
+        let mut d_out = Vec::new();
         for ex in examples {
             assert_eq!(ex.xs.len(), ex.tags.len(), "tags must align with inputs");
             let trace = self.bilstm.forward(&ex.xs);
-            let mut d_outs = Vec::with_capacity(trace.len());
+            d_out.clear();
+            d_out.resize(trace.len() * width, 0.0f32);
             for t in 0..trace.len() {
-                let features = trace.output(t);
-                let logits = self.head.forward(&features);
-                let (loss, dlogits) = softmax_cross_entropy(&logits, ex.tags[t]);
-                total += loss;
+                trace.output_into(t, &mut features);
+                self.head.forward_into(&features, &mut logits);
+                total += softmax_cross_entropy_into(&logits, ex.tags[t], &mut dlogits);
                 steps += 1;
-                d_outs.push(self.head.backward(&features, &dlogits));
+                self.head.backward_into(
+                    &features,
+                    &dlogits,
+                    &mut d_out[t * width..(t + 1) * width],
+                );
             }
-            self.bilstm.backward(&trace, &d_outs);
+            self.bilstm.backward_flat(&trace, &d_out);
             in_batch += 1;
             if in_batch == batch {
                 self.bilstm.apply_grads(batch);
@@ -225,7 +244,7 @@ mod tests {
         for label in 0..3usize {
             for _ in 0..n_per_class {
                 let xs = (0..10)
-                    .map(|_| vec![label as f32 / 3.0 + rng.gen_range(-0.05..0.05)])
+                    .map(|_| vec![label as f32 / 3.0 + rng.gen_range(-0.05f32..0.05)])
                     .collect();
                 out.push(SeqExample { xs, label });
             }
@@ -265,7 +284,7 @@ mod tests {
         let make = |rng: &mut SmallRng| {
             let flip = rng.gen_range(3..7);
             let xs: Vec<Vec<f32>> = (0..10)
-                .map(|t| vec![if t < flip { 0.1 } else { 0.9 } + rng.gen_range(-0.05..0.05)])
+                .map(|t| vec![if t < flip { 0.1f32 } else { 0.9 } + rng.gen_range(-0.05f32..0.05)])
                 .collect();
             let tags: Vec<usize> = (0..10).map(|t| usize::from(t >= flip)).collect();
             TaggedExample { xs, tags }

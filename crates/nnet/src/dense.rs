@@ -54,12 +54,21 @@ impl Dense {
     /// Panics on input dimension mismatch.
     #[must_use]
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.input, "dense input dimension");
-        let mut ext = x.to_vec();
-        ext.push(1.0);
         let mut out = vec![0.0f32; self.output];
-        self.w.matvec_acc(&ext, &mut out);
+        self.forward_into(x, &mut out);
         out
+    }
+
+    /// Allocation-free forward pass into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.input, "dense input dimension");
+        assert_eq!(out.len(), self.output, "dense output dimension");
+        out.fill(0.0);
+        self.w.matvec_bias_acc(x, out);
     }
 
     /// Backward pass: accumulates the weight gradient and returns the
@@ -69,15 +78,24 @@ impl Dense {
     ///
     /// Panics on dimension mismatch.
     pub fn backward(&mut self, x: &[f32], d_out: &[f32]) -> Vec<f32> {
+        let mut dx = vec![0.0f32; self.input];
+        self.backward_into(x, d_out, &mut dx);
+        dx
+    }
+
+    /// Allocation-free backward pass: accumulates the weight gradient and
+    /// writes the input gradient into `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn backward_into(&mut self, x: &[f32], d_out: &[f32], dx: &mut [f32]) {
         assert_eq!(x.len(), self.input, "dense input dimension");
         assert_eq!(d_out.len(), self.output, "dense output-grad dimension");
-        let mut ext = x.to_vec();
-        ext.push(1.0);
-        self.grad.outer_acc(d_out, &ext, 1.0);
-        let mut d_ext = vec![0.0f32; self.input + 1];
-        self.w.matvec_t_acc(d_out, &mut d_ext);
-        d_ext.truncate(self.input);
-        d_ext
+        assert_eq!(dx.len(), self.input, "dense input-grad dimension");
+        self.grad.outer_acc_bias(d_out, x, 1.0);
+        dx.fill(0.0);
+        self.w.matvec_t_narrow(d_out, dx);
     }
 
     /// Applies accumulated gradients (scaled by `1/batch`) with Adam.

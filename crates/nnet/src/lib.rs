@@ -44,11 +44,12 @@ mod lstm;
 mod mat;
 mod metrics;
 mod optim;
+pub mod reference;
 
 pub use classifier::{SeqClassifier, SeqExample, SeqTagger, TaggedExample};
 pub use data::{average_pool, k_fold_indices, standardize, to_features, train_test_split};
 pub use dense::Dense;
-pub use loss::{argmax, softmax, softmax_cross_entropy, top_k};
+pub use loss::{argmax, softmax, softmax_cross_entropy, softmax_cross_entropy_into, top_k};
 pub use lstm::{BiLstm, BiLstmTrace, Lstm, LstmTrace};
 pub use mat::Mat;
 pub use metrics::{

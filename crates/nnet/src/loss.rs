@@ -22,12 +22,33 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 /// Panics if `target` is out of range.
 #[must_use]
 pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
-    assert!(target < logits.len(), "target class out of range");
-    let probs = softmax(logits);
-    let loss = -(probs[target].max(1e-12)).ln();
-    let mut grad = probs;
-    grad[target] -= 1.0;
+    let mut grad = vec![0.0f32; logits.len()];
+    let loss = softmax_cross_entropy_into(logits, target, &mut grad);
     (loss, grad)
+}
+
+/// Allocation-free [`softmax_cross_entropy`]: writes the logit gradient
+/// into a caller-provided buffer and returns the loss.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range or `grad` has the wrong length.
+pub fn softmax_cross_entropy_into(logits: &[f32], target: usize, grad: &mut [f32]) -> f32 {
+    assert!(target < logits.len(), "target class out of range");
+    assert_eq!(grad.len(), logits.len(), "grad buffer length");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (g, &l) in grad.iter_mut().zip(logits) {
+        let e = (l - max).exp();
+        *g = e;
+        sum += e;
+    }
+    for g in grad.iter_mut() {
+        *g /= sum;
+    }
+    let loss = -(grad[target].max(1e-12)).ln();
+    grad[target] -= 1.0;
+    loss
 }
 
 /// Index of the maximum logit (prediction).

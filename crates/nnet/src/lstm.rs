@@ -26,32 +26,54 @@ pub struct Lstm {
 }
 
 /// Cached activations of one forward pass (needed by BPTT).
+///
+/// All per-timestep state lives in flat stride-indexed buffers, so a
+/// forward pass performs a fixed number of allocations regardless of
+/// sequence length.
 #[derive(Debug, Clone, Default)]
 pub struct LstmTrace {
-    xs: Vec<Vec<f32>>,
-    hs: Vec<Vec<f32>>,    // h_0 .. h_T (h_0 = zeros)
-    cs: Vec<Vec<f32>>,    // c_0 .. c_T
-    gates: Vec<Vec<f32>>, // per step: [i, f, g, o] post-nonlinearity
+    xs: Vec<f32>,    // T × input
+    hs: Vec<f32>,    // (T+1) × hidden: h_0 .. h_T (h_0 = zeros)
+    cs: Vec<f32>,    // (T+1) × hidden: c_0 .. c_T
+    gates: Vec<f32>, // T × 4·hidden, per step [i, f, g, o] post-nonlinearity
+    input: usize,
+    hidden: usize,
+    steps: usize,
 }
 
 impl LstmTrace {
     /// Hidden state after step `t` (0-based step index).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range.
     #[must_use]
     pub fn hidden(&self, t: usize) -> &[f32] {
-        &self.hs[t + 1]
+        assert!(t < self.steps, "trace step out of range");
+        &self.hs[(t + 1) * self.hidden..(t + 2) * self.hidden]
     }
 
     /// Number of timesteps traced.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.xs.len()
+        self.steps
     }
 
     /// Whether the trace is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.xs.is_empty()
+        self.steps == 0
     }
+}
+
+/// Where [`Lstm::backward_impl`] reads each timestep's output gradient.
+enum DhSrc<'a> {
+    /// One gradient vector per timestep.
+    PerStep(&'a [Vec<f32>]),
+    /// Flat `T × hidden` buffer.
+    Flat(&'a [f32]),
+    /// Gradient only at the final timestep (many-to-one heads).
+    LastOnly(&'a [f32]),
 }
 
 impl Lstm {
@@ -98,26 +120,45 @@ impl Lstm {
     /// Panics if any input vector has the wrong dimensionality.
     #[must_use]
     pub fn forward(&self, xs: &[Vec<f32>]) -> LstmTrace {
+        self.forward_iter(xs.iter().map(Vec::as_slice))
+    }
+
+    /// Forward pass over an iterator of timestep slices (lets the reverse
+    /// direction of [`BiLstm`] run without materializing a reversed copy).
+    fn forward_iter<'a, I>(&self, xs: I) -> LstmTrace
+    where
+        I: ExactSizeIterator<Item = &'a [f32]>,
+    {
         let h = self.hidden;
+        let n = self.input;
+        let steps = xs.len();
         let mut trace = LstmTrace {
-            xs: xs.to_vec(),
-            hs: vec![vec![0.0; h]],
-            cs: vec![vec![0.0; h]],
-            gates: Vec::with_capacity(xs.len()),
+            xs: Vec::with_capacity(steps * n),
+            hs: vec![0.0f32; (steps + 1) * h],
+            cs: vec![0.0f32; (steps + 1) * h],
+            gates: vec![0.0f32; steps * 4 * h],
+            input: n,
+            hidden: h,
+            steps,
         };
-        let mut concat = vec![0.0f32; self.input + h + 1];
-        for x in xs {
-            assert_eq!(x.len(), self.input, "lstm input dimension");
-            let h_prev = trace.hs.last().expect("h_0 exists").clone();
-            let c_prev = trace.cs.last().expect("c_0 exists").clone();
-            concat[..self.input].copy_from_slice(x);
-            concat[self.input..self.input + h].copy_from_slice(&h_prev);
-            concat[self.input + h] = 1.0;
-            let mut pre = vec![0.0f32; 4 * h];
-            self.w.matvec_acc(&concat, &mut pre);
-            let mut gates = vec![0.0f32; 4 * h];
-            let mut c = vec![0.0f32; h];
-            let mut hv = vec![0.0f32; h];
+        // Step-to-step scratch, allocated once for the whole sequence.
+        let mut concat = vec![0.0f32; n + h];
+        let mut pre = vec![0.0f32; 4 * h];
+        for (t, x) in xs.enumerate() {
+            assert_eq!(x.len(), n, "lstm input dimension");
+            trace.xs.extend_from_slice(x);
+            concat[..n].copy_from_slice(x);
+            concat[n..].copy_from_slice(&trace.hs[t * h..(t + 1) * h]);
+            pre.fill(0.0);
+            self.w.matvec_bias_acc(&concat, &mut pre);
+            // One fused pass computes all four gates, the new cell state
+            // and the new hidden state, writing straight into the flat
+            // trace buffers.
+            let gates = &mut trace.gates[t * 4 * h..(t + 1) * 4 * h];
+            let (cs_head, cs_tail) = trace.cs.split_at_mut((t + 1) * h);
+            let c_prev = &cs_head[t * h..];
+            let c_new = &mut cs_tail[..h];
+            let h_new = &mut trace.hs[(t + 1) * h..(t + 2) * h];
             for j in 0..h {
                 let i_g = sigmoid(pre[j]);
                 let f_g = sigmoid(pre[h + j]);
@@ -127,12 +168,10 @@ impl Lstm {
                 gates[h + j] = f_g;
                 gates[2 * h + j] = g_g;
                 gates[3 * h + j] = o_g;
-                c[j] = f_g * c_prev[j] + i_g * g_g;
-                hv[j] = o_g * c[j].tanh();
+                let cv = f_g * c_prev[j] + i_g * g_g;
+                c_new[j] = cv;
+                h_new[j] = o_g * cv.tanh();
             }
-            trace.gates.push(gates);
-            trace.cs.push(c);
-            trace.hs.push(hv);
         }
         trace
     }
@@ -147,20 +186,59 @@ impl Lstm {
     ///
     /// Panics if `dh` does not match the trace length or hidden size.
     pub fn backward(&mut self, trace: &LstmTrace, dh: &[Vec<f32>]) {
+        assert_eq!(dh.len(), trace.len(), "dh length");
+        self.backward_impl(trace, DhSrc::PerStep(dh));
+    }
+
+    /// Backpropagates a gradient applied only at the final hidden state —
+    /// the many-to-one classifier case — without materializing per-step
+    /// zero gradient vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dh_last` does not match the hidden size.
+    pub fn backward_last(&mut self, trace: &LstmTrace, dh_last: &[f32]) {
+        assert_eq!(dh_last.len(), self.hidden, "dh dimension");
+        self.backward_impl(trace, DhSrc::LastOnly(dh_last));
+    }
+
+    /// Backpropagates per-timestep gradients given as one flat
+    /// `trace.len() × hidden` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dh` does not match the trace length times hidden size.
+    pub fn backward_flat(&mut self, trace: &LstmTrace, dh: &[f32]) {
+        assert_eq!(dh.len(), trace.len() * self.hidden, "dh length");
+        self.backward_impl(trace, DhSrc::Flat(dh));
+    }
+
+    fn backward_impl(&mut self, trace: &LstmTrace, src: DhSrc<'_>) {
         let h = self.hidden;
+        let n = self.input;
+        assert_eq!(trace.input, n, "trace from a different layer shape");
+        assert_eq!(trace.hidden, h, "trace from a different layer shape");
         let steps = trace.len();
-        assert_eq!(dh.len(), steps, "dh length");
+        // Scratch allocated once for the whole sequence.
         let mut dh_next = vec![0.0f32; h];
         let mut dc_next = vec![0.0f32; h];
-        let mut concat = vec![0.0f32; self.input + h + 1];
+        let mut concat = vec![0.0f32; n + h];
+        let mut dpre = vec![0.0f32; 4 * h];
+        let mut dconcat = vec![0.0f32; n + h];
         for t in (0..steps).rev() {
-            assert_eq!(dh[t].len(), h, "dh dimension");
-            let c = &trace.cs[t + 1];
-            let c_prev = &trace.cs[t];
-            let gates = &trace.gates[t];
-            let mut dpre = vec![0.0f32; 4 * h];
+            let dh_t: Option<&[f32]> = match src {
+                DhSrc::PerStep(v) => {
+                    assert_eq!(v[t].len(), h, "dh dimension");
+                    Some(&v[t])
+                }
+                DhSrc::Flat(d) => Some(&d[t * h..(t + 1) * h]),
+                DhSrc::LastOnly(d) => (t + 1 == steps).then_some(d),
+            };
+            let c = &trace.cs[(t + 1) * h..(t + 2) * h];
+            let c_prev = &trace.cs[t * h..(t + 1) * h];
+            let gates = &trace.gates[t * 4 * h..(t + 1) * 4 * h];
             for j in 0..h {
-                let dh_total = dh[t][j] + dh_next[j];
+                let dh_total = dh_t.map_or(0.0, |d| d[j]) + dh_next[j];
                 let i_g = gates[j];
                 let f_g = gates[h + j];
                 let g_g = gates[2 * h + j];
@@ -174,13 +252,12 @@ impl Lstm {
                 dpre[3 * h + j] = dh_total * tc * o_g * (1.0 - o_g);
                 dc_next[j] = dc * f_g;
             }
-            concat[..self.input].copy_from_slice(&trace.xs[t]);
-            concat[self.input..self.input + h].copy_from_slice(&trace.hs[t]);
-            concat[self.input + h] = 1.0;
-            self.grad.outer_acc(&dpre, &concat, 1.0);
-            let mut dconcat = vec![0.0f32; self.input + h + 1];
-            self.w.matvec_t_acc(&dpre, &mut dconcat);
-            dh_next.copy_from_slice(&dconcat[self.input..self.input + h]);
+            concat[..n].copy_from_slice(&trace.xs[t * n..(t + 1) * n]);
+            concat[n..].copy_from_slice(&trace.hs[t * h..(t + 1) * h]);
+            self.grad.outer_acc_bias(&dpre, &concat, 1.0);
+            dconcat.fill(0.0);
+            self.w.matvec_t_narrow(&dpre, &mut dconcat);
+            dh_next.copy_from_slice(&dconcat[n..]);
         }
     }
 
@@ -224,6 +301,19 @@ impl BiLstmTrace {
         out
     }
 
+    /// Writes the concatenated output at timestep `t` into `out`
+    /// (allocation-free variant of [`BiLstmTrace::output`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not `2 × hidden` or `t` is out of range.
+    pub fn output_into(&self, t: usize, out: &mut [f32]) {
+        let f = self.fwd.hidden(t);
+        let b = self.bwd.hidden(self.len - 1 - t);
+        out[..f.len()].copy_from_slice(f);
+        out[f.len()..].copy_from_slice(b);
+    }
+
     /// Number of timesteps.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -261,10 +351,9 @@ impl BiLstm {
     /// Runs both directions over `xs`.
     #[must_use]
     pub fn forward(&self, xs: &[Vec<f32>]) -> BiLstmTrace {
-        let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
         BiLstmTrace {
-            fwd: self.fwd.forward(xs),
-            bwd: self.bwd.forward(&rev),
+            fwd: self.fwd.forward_iter(xs.iter().map(Vec::as_slice)),
+            bwd: self.bwd.forward_iter(xs.iter().rev().map(Vec::as_slice)),
             len: xs.len(),
         }
     }
@@ -277,11 +366,39 @@ impl BiLstm {
     /// Panics on dimension mismatch.
     pub fn backward(&mut self, trace: &BiLstmTrace, d_out: &[Vec<f32>]) {
         let h = self.fwd.hidden_dim();
-        assert_eq!(d_out.len(), trace.len(), "d_out length");
-        let dh_fwd: Vec<Vec<f32>> = d_out.iter().map(|d| d[..h].to_vec()).collect();
-        let dh_bwd: Vec<Vec<f32>> = d_out.iter().rev().map(|d| d[h..].to_vec()).collect();
-        self.fwd.backward(&trace.fwd, &dh_fwd);
-        self.bwd.backward(&trace.bwd, &dh_bwd);
+        let steps = trace.len();
+        assert_eq!(d_out.len(), steps, "d_out length");
+        let mut dh_fwd = vec![0.0f32; steps * h];
+        let mut dh_bwd = vec![0.0f32; steps * h];
+        for (t, d) in d_out.iter().enumerate() {
+            assert_eq!(d.len(), 2 * h, "d_out dimension");
+            dh_fwd[t * h..(t + 1) * h].copy_from_slice(&d[..h]);
+            let rt = steps - 1 - t;
+            dh_bwd[rt * h..(rt + 1) * h].copy_from_slice(&d[h..]);
+        }
+        self.fwd.backward_flat(&trace.fwd, &dh_fwd);
+        self.bwd.backward_flat(&trace.bwd, &dh_bwd);
+    }
+
+    /// Like [`BiLstm::backward`] with the output gradients in one flat
+    /// `trace.len() × 2·hidden` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn backward_flat(&mut self, trace: &BiLstmTrace, d_out: &[f32]) {
+        let h = self.fwd.hidden_dim();
+        let steps = trace.len();
+        assert_eq!(d_out.len(), steps * 2 * h, "d_out length");
+        let mut dh_fwd = vec![0.0f32; steps * h];
+        let mut dh_bwd = vec![0.0f32; steps * h];
+        for (t, d) in d_out.chunks_exact(2 * h).enumerate() {
+            dh_fwd[t * h..(t + 1) * h].copy_from_slice(&d[..h]);
+            let rt = steps - 1 - t;
+            dh_bwd[rt * h..(rt + 1) * h].copy_from_slice(&d[h..]);
+        }
+        self.fwd.backward_flat(&trace.fwd, &dh_fwd);
+        self.bwd.backward_flat(&trace.bwd, &dh_bwd);
     }
 
     /// Applies accumulated gradients in both directions.
@@ -365,6 +482,49 @@ mod tests {
             .bwd
             .forward(&[xs[2].clone(), xs[1].clone(), xs[0].clone()]);
         assert_eq!(&trace.output(0)[3..], full_bwd.hidden(2));
+    }
+
+    /// The optimized forward/backward must agree with the naive reference
+    /// implementation (identical weights, same inputs) to float tolerance.
+    #[test]
+    fn optimized_path_matches_naive_reference() {
+        use crate::reference::NaiveLstm;
+        let mut rng_a = SmallRng::seed_from_u64(9);
+        let mut rng_b = SmallRng::seed_from_u64(9);
+        let mut fast = Lstm::new(3, 6, &mut rng_a, AdamConfig::default());
+        let mut naive = NaiveLstm::new(3, 6, &mut rng_b, AdamConfig::default());
+        let xs: Vec<Vec<f32>> = (0..12)
+            .map(|t| (0..3).map(|k| ((t * 3 + k) as f32 * 0.37).sin()).collect())
+            .collect();
+        let ft = fast.forward(&xs);
+        let nt = naive.forward(&xs);
+        for t in 0..xs.len() {
+            for (a, b) in ft.hidden(t).iter().zip(nt.hidden(t)) {
+                assert!((a - b).abs() < 1e-5, "h[{t}]: {a} vs {b}");
+            }
+        }
+        let mut dh = vec![vec![0.0f32; 6]; xs.len()];
+        dh[xs.len() - 1] = vec![1.0; 6];
+        fast.backward(&ft, &dh);
+        naive.backward(&nt, &dh);
+        for (i, (a, b)) in fast
+            .grad
+            .as_slice()
+            .iter()
+            .zip(naive.grad_slice())
+            .enumerate()
+        {
+            assert!((a - b).abs() < 1e-4, "grad[{i}]: {a} vs {b}");
+        }
+        // backward_last is equivalent to a per-step dh that is zero
+        // everywhere but the final step.
+        let mut fast2 = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            Lstm::new(3, 6, &mut rng, AdamConfig::default())
+        };
+        let ft2 = fast2.forward(&xs);
+        fast2.backward_last(&ft2, &[1.0; 6]);
+        assert_eq!(fast2.grad.as_slice(), fast.grad.as_slice());
     }
 
     #[test]

@@ -102,14 +102,29 @@ impl Mat {
     pub fn matvec_acc(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec input length");
         assert_eq!(out.len(), self.rows, "matvec output length");
-        #[allow(clippy::needless_range_loop)] // rows of two different buffers
-        for r in 0..self.rows {
-            let row = self.row(r);
-            let mut acc = 0.0f32;
-            for (w, xi) in row.iter().zip(x) {
-                acc += w * xi;
-            }
-            out[r] += acc;
+        if self.cols == 0 {
+            return;
+        }
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o += dot(row, x);
+        }
+    }
+
+    /// `out += self * [x, 1]` where the matrix's last column is a folded-in
+    /// bias (`x.len() + 1 == cols`, `out.len() == rows`).
+    ///
+    /// Lets layers with a `[x, h, 1]` input convention skip materializing
+    /// the extended vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec_bias_acc(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len() + 1, self.cols, "matvec_bias input length");
+        assert_eq!(out.len(), self.rows, "matvec_bias output length");
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            let (w, bias) = row.split_at(self.cols - 1);
+            *o += dot(w, x) + bias[0];
         }
     }
 
@@ -120,15 +135,47 @@ impl Mat {
     ///
     /// Panics on dimension mismatch.
     pub fn matvec_t_acc(&self, g: &[f32], out: &mut [f32]) {
-        assert_eq!(g.len(), self.rows, "matvec_t input length");
         assert_eq!(out.len(), self.cols, "matvec_t output length");
-        #[allow(clippy::needless_range_loop)] // rows of two different buffers
-        for r in 0..self.rows {
-            let gr = g[r];
+        self.matvec_t_narrow(g, out);
+    }
+
+    /// Like [`Mat::matvec_t_acc`] but accumulates only into the first
+    /// `out.len()` columns (`out.len() <= cols`) — the common case of
+    /// backpropagating past a folded-in bias column.
+    ///
+    /// Rows are processed in blocks of four so each `out` element is
+    /// loaded and stored once per block instead of once per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec_t_narrow(&self, g: &[f32], out: &mut [f32]) {
+        assert_eq!(g.len(), self.rows, "matvec_t input length");
+        assert!(out.len() <= self.cols, "matvec_t output length");
+        let cols = self.cols;
+        if cols == 0 {
+            return;
+        }
+        let blocks = self.rows / 4;
+        for b in 0..blocks {
+            let r = b * 4;
+            let (g0, g1, g2, g3) = (g[r], g[r + 1], g[r + 2], g[r + 3]);
+            if g0 == 0.0 && g1 == 0.0 && g2 == 0.0 && g3 == 0.0 {
+                continue;
+            }
+            let block = &self.data[r * cols..(r + 4) * cols];
+            let (r0, rest) = block.split_at(cols);
+            let (r1, rest) = rest.split_at(cols);
+            let (r2, r3) = rest.split_at(cols);
+            for ((((o, w0), w1), w2), w3) in out.iter_mut().zip(r0).zip(r1).zip(r2).zip(r3) {
+                *o += g0 * w0 + g1 * w1 + g2 * w2 + g3 * w3;
+            }
+        }
+        for (r, &gr) in g.iter().enumerate().skip(blocks * 4) {
             if gr == 0.0 {
                 continue;
             }
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let row = &self.data[r * cols..r * cols + out.len()];
             for (o, w) in out.iter_mut().zip(row) {
                 *o += gr * w;
             }
@@ -143,16 +190,40 @@ impl Mat {
     pub fn outer_acc(&mut self, g: &[f32], x: &[f32], scale: f32) {
         assert_eq!(g.len(), self.rows, "outer rows");
         assert_eq!(x.len(), self.cols, "outer cols");
-        #[allow(clippy::needless_range_loop)] // rows of two different buffers
-        for r in 0..self.rows {
-            let gr = g[r] * scale;
+        if self.cols == 0 {
+            return;
+        }
+        for (row, &gv) in self.data.chunks_exact_mut(self.cols).zip(g) {
+            let gr = gv * scale;
             if gr == 0.0 {
                 continue;
             }
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (w, xi) in row.iter_mut().zip(x) {
                 *w += gr * xi;
             }
+        }
+    }
+
+    /// `self += scale * g ⊗ [x, 1]` where the last column is a folded-in
+    /// bias (`x.len() + 1 == cols`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn outer_acc_bias(&mut self, g: &[f32], x: &[f32], scale: f32) {
+        assert_eq!(g.len(), self.rows, "outer rows");
+        assert_eq!(x.len() + 1, self.cols, "outer cols");
+        let cols = self.cols;
+        for (row, &gv) in self.data.chunks_exact_mut(cols).zip(g) {
+            let gr = gv * scale;
+            if gr == 0.0 {
+                continue;
+            }
+            let (w, bias) = row.split_at_mut(cols - 1);
+            for (wi, xi) in w.iter_mut().zip(x) {
+                *wi += gr * xi;
+            }
+            bias[0] += gr;
         }
     }
 
@@ -160,6 +231,28 @@ impl Mat {
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
     }
+}
+
+/// Dot product with four independent accumulators, so the multiplies are
+/// not serialized behind one add chain (and auto-vectorize cleanly).
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks_a = a.chunks_exact(4);
+    let chunks_b = b.chunks_exact(4);
+    let rem_a = chunks_a.remainder();
+    let rem_b = chunks_b.remainder();
+    for (ca, cb) in chunks_a.zip(chunks_b) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0f32;
+    for (xa, xb) in rem_a.iter().zip(rem_b) {
+        tail += xa * xb;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 #[cfg(test)]
@@ -214,5 +307,72 @@ mod tests {
         let m = Mat::zeros(2, 3);
         let mut out = [0.0; 2];
         m.matvec_acc(&[1.0; 4], &mut out);
+    }
+
+    /// The unrolled/blocked kernels must agree with naive loops on sizes
+    /// that exercise both the 4-wide blocks and the scalar remainders.
+    #[test]
+    #[allow(clippy::needless_range_loop)] // the oracle loops are naive on purpose
+    fn fast_kernels_match_naive_loops() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for (rows, cols) in [(1, 1), (3, 5), (4, 8), (7, 9), (12, 13), (16, 16)] {
+            let m = Mat::xavier(rows, cols, &mut rng);
+            let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.7).sin()).collect();
+            let g: Vec<f32> = (0..rows).map(|i| (i as f32 * 0.3).cos()).collect();
+
+            let mut fast = vec![0.0f32; rows];
+            m.matvec_acc(&x, &mut fast);
+            for (r, &got) in fast.iter().enumerate() {
+                let naive: f32 = m.row(r).iter().zip(&x).map(|(w, xi)| w * xi).sum();
+                assert!((got - naive).abs() < 1e-5, "matvec[{r}]: {got} vs {naive}");
+            }
+
+            let mut bias_fast = vec![0.0f32; rows];
+            m.matvec_bias_acc(&x[..cols - 1], &mut bias_fast);
+            for (r, &got) in bias_fast.iter().enumerate() {
+                let naive: f32 = m.row(r)[..cols - 1]
+                    .iter()
+                    .zip(&x[..cols - 1])
+                    .map(|(w, xi)| w * xi)
+                    .sum::<f32>()
+                    + m.get(r, cols - 1);
+                assert!((got - naive).abs() < 1e-5, "matvec_bias[{r}]");
+            }
+
+            let mut t_fast = vec![0.0f32; cols];
+            m.matvec_t_acc(&g, &mut t_fast);
+            for (c, &got) in t_fast.iter().enumerate() {
+                let naive: f32 = (0..rows).map(|r| g[r] * m.get(r, c)).sum();
+                assert!(
+                    (got - naive).abs() < 1e-5,
+                    "matvec_t[{c}]: {got} vs {naive}"
+                );
+            }
+
+            let mut narrow = vec![0.0f32; cols - 1];
+            m.matvec_t_narrow(&g, &mut narrow);
+            assert_eq!(&narrow[..], &t_fast[..cols - 1]);
+
+            let mut full = Mat::zeros(rows, cols);
+            full.outer_acc(&g, &x, 0.5);
+            let mut bias = Mat::zeros(rows, cols);
+            bias.outer_acc_bias(&g, &x[..cols - 1], 0.5);
+            for r in 0..rows {
+                for c in 0..cols - 1 {
+                    assert!((full.get(r, c) - 0.5 * g[r] * x[c]).abs() < 1e-6);
+                    assert_eq!(bias.get(r, c), full.get(r, c), "outer_bias[{r},{c}]");
+                }
+                assert!((bias.get(r, cols - 1) - 0.5 * g[r]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_kernels_are_noops() {
+        let m = Mat::zeros(0, 0);
+        m.matvec_acc(&[], &mut []);
+        m.matvec_t_acc(&[], &mut []);
+        let mut z = Mat::zeros(0, 0);
+        z.outer_acc(&[], &[], 1.0);
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, tests, lints, formatting.
+#
+# The build is hermetic (no registry access); --offline keeps cargo from
+# trying the network. SEGSCOPE_THREADS caps the experiment engine's
+# worker count if the CI host is oversubscribed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "CI OK"

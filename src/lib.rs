@@ -4,6 +4,7 @@
 //! This crate re-exports the whole workspace so the examples and
 //! integration tests have a single dependency, and hosts nothing else:
 //!
+//! * [`exec`] — the deterministic parallel experiment engine;
 //! * [`x86seg`] — segmentation semantics (selectors, Algorithm 1);
 //! * [`irq`] — interrupt fabric, handler-cost model, ground truth;
 //! * [`memsim`] — caches, TLB, KASLR layout;
@@ -20,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use exec;
 pub use irq;
 pub use memsim;
 pub use nnet;
