@@ -4,8 +4,10 @@
 //! - case generation is **deterministic**: case `i` of every test uses a
 //!   fixed seed derived from `i`, so failures reproduce without a
 //!   persistence file;
-//! - no shrinking: a failing case reports the panic from the property
-//!   body directly (`prop_assert!` panics rather than returning `Err`);
+//! - no integrated shrinking: a failing case reports the panic from the
+//!   property body directly (`prop_assert!` panics rather than returning
+//!   `Err`). Harnesses that replay concrete op sequences shrink them
+//!   explicitly with [`shrink::minimize_sequence`];
 //! - only the strategies this workspace uses exist: ranges, `any`,
 //!   `prop::collection::vec`, `prop::option::of`, and `prop_map`.
 //!
@@ -251,6 +253,113 @@ pub mod prop {
     //! Namespace mirror of upstream's `prop` module.
     pub use crate::collection;
     pub use crate::option;
+}
+
+pub mod shrink {
+    //! Explicit sequence shrinking (delta debugging).
+    //!
+    //! Upstream proptest shrinks through its strategy tree; this stand-in
+    //! instead offers one generic minimizer for harnesses whose failing
+    //! input is a *replayable sequence of operations*: greedily remove
+    //! chunks (halves, then quarters, … down to single elements) as long
+    //! as the predicate keeps failing, until a fixpoint.
+
+    /// Shrinks `input` to a (locally) minimal subsequence for which
+    /// `still_fails` returns `true`.
+    ///
+    /// `still_fails` must be a pure predicate of the subsequence and must
+    /// hold for `input` itself; the returned subsequence preserves the
+    /// relative order of the surviving elements, and removing any single
+    /// remaining element makes the predicate pass (1-minimality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `still_fails(input)` is `false` (nothing to shrink).
+    pub fn minimize_sequence<T: Clone, F: FnMut(&[T]) -> bool>(
+        input: &[T],
+        mut still_fails: F,
+    ) -> Vec<T> {
+        assert!(
+            still_fails(input),
+            "minimize_sequence: the input does not fail"
+        );
+        let mut current: Vec<T> = input.to_vec();
+        let mut chunk = current.len().div_ceil(2).max(1);
+        loop {
+            let mut removed_any = false;
+            let mut start = 0;
+            while start < current.len() && current.len() > 1 {
+                let end = (start + chunk).min(current.len());
+                let mut candidate = Vec::with_capacity(current.len() - (end - start));
+                candidate.extend_from_slice(&current[..start]);
+                candidate.extend_from_slice(&current[end..]);
+                if !candidate.is_empty() && still_fails(&candidate) {
+                    current = candidate;
+                    removed_any = true;
+                    // Re-test the same offset: it now holds new elements.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 && !removed_any {
+                return current;
+            }
+            if !removed_any {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::minimize_sequence;
+
+        #[test]
+        fn shrinks_to_single_culprit() {
+            let input: Vec<u32> = (0..100).collect();
+            let out = minimize_sequence(&input, |s| s.contains(&73));
+            assert_eq!(out, vec![73]);
+        }
+
+        #[test]
+        fn preserves_order_of_interacting_elements() {
+            // Fails only when 7 appears before 42.
+            let input: Vec<u32> = vec![1, 7, 9, 13, 42, 50];
+            let fails = |s: &[u32]| {
+                let a = s.iter().position(|&x| x == 7);
+                let b = s.iter().position(|&x| x == 42);
+                matches!((a, b), (Some(i), Some(j)) if i < j)
+            };
+            let out = minimize_sequence(&input, fails);
+            assert_eq!(out, vec![7, 42]);
+        }
+
+        #[test]
+        fn result_is_one_minimal() {
+            let input: Vec<u32> = (0..64).collect();
+            // Fails when at least three even elements are present.
+            let fails = |s: &[u32]| s.iter().filter(|&&x| x % 2 == 0).count() >= 3;
+            let out = minimize_sequence(&input, fails);
+            assert!(fails(&out));
+            for i in 0..out.len() {
+                let mut smaller = out.clone();
+                smaller.remove(i);
+                assert!(!fails(&smaller), "removing index {i} should pass");
+            }
+        }
+
+        #[test]
+        fn already_minimal_input_is_returned_unchanged() {
+            let out = minimize_sequence(&[5u8], |s| !s.is_empty());
+            assert_eq!(out, vec![5]);
+        }
+
+        #[test]
+        #[should_panic(expected = "does not fail")]
+        fn rejects_passing_input() {
+            let _ = minimize_sequence(&[1u8, 2, 3], |_| false);
+        }
+    }
 }
 
 pub mod prelude {

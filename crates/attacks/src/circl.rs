@@ -16,7 +16,7 @@ use irq::time::Ps;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use segscope::SegProbe;
-use segsim::{Machine, MachineConfig, StepFn};
+use segsim::{FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
 
 /// The simulated CIRCL victim.
@@ -119,6 +119,9 @@ pub struct CirclConfig {
     pub calibration: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Optional interrupt-path fault plan installed on the simulated
+    /// machine (`None` = nominal fault-free run).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl CirclConfig {
@@ -131,6 +134,7 @@ impl CirclConfig {
             samples_per_challenge: 10,
             calibration: 12,
             seed: 0xC19C1,
+            fault_plan: None,
         }
     }
 
@@ -143,7 +147,15 @@ impl CirclConfig {
             window: Ps::from_ms(60),
             calibration: 20,
             seed: 0xC19C1,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a fault plan on the machine the extraction runs on.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -198,6 +210,7 @@ pub fn run_extraction(config: &CirclConfig) -> CirclResult {
         MachineConfig::lenovo_yangtian(),
         exec::derive_seed(config.seed, exec::AUX_STREAM),
     );
+    machine.set_fault_plan(config.fault_plan);
     machine.spin(100_000_000); // warm-up
                                // Calibration: the attacker knows which crafted ciphertexts trigger
                                // the anomaly on their *own* key material; here we calibrate with

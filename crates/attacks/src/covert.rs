@@ -12,7 +12,7 @@
 
 use irq::time::Ps;
 use segscope::SegProbe;
-use segsim::{Machine, MachineConfig, StepFn};
+use segsim::{FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
 
 /// Channel configuration shared by sender and receiver.
@@ -27,6 +27,9 @@ pub struct CovertConfig {
     /// Number of alternating calibration slots preceding the payload
     /// (`1010…`, also the synchronization preamble).
     pub preamble_bits: usize,
+    /// Optional interrupt-path fault plan installed on the receiver's
+    /// machine (`None` = nominal fault-free run).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl CovertConfig {
@@ -38,6 +41,7 @@ impl CovertConfig {
             high_power: 0.8,
             low_power: 0.1,
             preamble_bits: 8,
+            fault_plan: None,
         }
     }
 
@@ -52,7 +56,15 @@ impl CovertConfig {
             high_power: 0.8,
             low_power: 0.1,
             preamble_bits: 8,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a fault plan on the receiver's machine.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Raw channel rate, bits per second.
@@ -122,6 +134,7 @@ pub struct CovertResult {
 pub fn transmit(config: &CovertConfig, message: &[bool], seed: u64) -> CovertResult {
     assert!(!message.is_empty(), "need a payload");
     let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), seed);
+    machine.set_fault_plan(config.fault_plan);
     machine.spin(200_000_000); // governor steady state
     let t0 = machine.now() + Ps::from_ms(2);
     let (schedule, _end) = sender_schedule(config, message, t0);

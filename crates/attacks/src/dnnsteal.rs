@@ -14,7 +14,7 @@ use nnet::{AdamConfig, SeqTagger, TaggedExample};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use segscope::SegProbe;
-use segsim::{Machine, MachineConfig, StepFn};
+use segsim::{FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
 
 /// The layer types distinguished in paper Table V.
@@ -200,6 +200,9 @@ pub struct DnnStealConfig {
     pub epochs: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Optional interrupt-path fault plan installed on every victim
+    /// machine traces are collected from (`None` = nominal run).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl DnnStealConfig {
@@ -212,6 +215,7 @@ impl DnnStealConfig {
             hidden: 12,
             epochs: 10,
             seed: 0xD2212,
+            fault_plan: None,
         }
     }
 
@@ -224,7 +228,15 @@ impl DnnStealConfig {
             hidden: 16,
             epochs: 16,
             seed: 0xD2212,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a fault plan on every trace-collection machine.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -246,7 +258,19 @@ pub struct DnnStealResult {
 /// at HZ = 250 with realistic layer durations).
 #[must_use]
 pub fn collect_annotated_trace(arch: &Architecture, seed: u64) -> Option<TaggedExample> {
+    collect_annotated_trace_with(arch, seed, None)
+}
+
+/// [`collect_annotated_trace`] with an optional fault plan installed on
+/// the victim machine.
+#[must_use]
+pub fn collect_annotated_trace_with(
+    arch: &Architecture,
+    seed: u64,
+    fault_plan: Option<FaultPlan>,
+) -> Option<TaggedExample> {
     let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), seed);
+    machine.set_fault_plan(fault_plan);
     machine.spin(100_000_000); // warm-up
     let t0 = machine.now();
     let mut sched_rng = SmallRng::seed_from_u64(exec::derive_seed(seed, exec::AUX_STREAM));
@@ -290,7 +314,11 @@ pub fn run_experiment(config: &DnnStealConfig) -> DnnStealResult {
             let model_seed = exec::derive_seed(config.seed, (base + i) as u64);
             let mut arch_rng = SmallRng::seed_from_u64(model_seed);
             let arch = Architecture::sample(&mut arch_rng);
-            collect_annotated_trace(&arch, exec::derive_seed(model_seed, exec::AUX_STREAM))
+            collect_annotated_trace_with(
+                &arch,
+                exec::derive_seed(model_seed, exec::AUX_STREAM),
+                config.fault_plan,
+            )
         })
         .into_iter()
         .flatten()

@@ -19,7 +19,7 @@ use irq::InterruptKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use segscope::{SegProbe, TimerEdgeClassifier};
-use segsim::{Machine, MachineConfig};
+use segsim::{FaultPlan, Machine, MachineConfig};
 use serde::{Deserialize, Serialize};
 
 /// A typing-rhythm profile: per-user inter-keystroke timing parameters.
@@ -207,6 +207,9 @@ pub struct KeystrokeConfig {
     pub keys_per_session: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Optional interrupt-path fault plan installed on every monitoring
+    /// machine (`None` = nominal fault-free run).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl KeystrokeConfig {
@@ -219,12 +222,26 @@ impl KeystrokeConfig {
             test_sessions: 2,
             keys_per_session: 40,
             seed: 0x5E55,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a fault plan on every monitoring machine.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
-fn collect_trace(profile: &TypistProfile, seed: u64, keys: usize) -> KeystrokeTrace {
+fn collect_trace(
+    profile: &TypistProfile,
+    seed: u64,
+    keys: usize,
+    fault_plan: Option<FaultPlan>,
+) -> KeystrokeTrace {
     let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
+    machine.set_fault_plan(fault_plan);
     machine.spin(100_000_000);
     let mut rng = SmallRng::seed_from_u64(exec::derive_seed(seed, exec::AUX_STREAM));
     let start = machine.now() + Ps::from_ms(1_600); // calibration quiet time
@@ -248,7 +265,13 @@ pub fn identify_users(config: &KeystrokeConfig) -> IdentifyResult {
     let enroll_stats: Vec<(f64, f64)> =
         exec::parallel_trials_auto(config.seed, enroll_tasks, |i, seed| {
             let u = i / config.enroll_sessions;
-            collect_trace(&profiles[u], seed, config.keys_per_session).log_stats()
+            collect_trace(
+                &profiles[u],
+                seed,
+                config.keys_per_session,
+                config.fault_plan,
+            )
+            .log_stats()
         });
     let centroids: Vec<(f64, f64)> = enroll_stats
         .chunks(config.enroll_sessions.max(1))
@@ -263,7 +286,13 @@ pub fn identify_users(config: &KeystrokeConfig) -> IdentifyResult {
     let test_stats: Vec<(f64, f64)> = exec::parallel_map_auto(test_tasks, |i| {
         let u = i / config.test_sessions;
         let seed = exec::derive_seed(config.seed, (enroll_tasks + i) as u64);
-        collect_trace(&profiles[u], seed, config.keys_per_session).log_stats()
+        collect_trace(
+            &profiles[u],
+            seed,
+            config.keys_per_session,
+            config.fault_plan,
+        )
+        .log_stats()
     });
     let mut hits = 0usize;
     for (i, &(m, sd)) in test_stats.iter().enumerate() {
@@ -294,7 +323,7 @@ mod tests {
     #[test]
     fn monitor_recovers_keystroke_count() {
         let profile = TypistProfile::for_user(0);
-        let trace = collect_trace(&profile, 0xAB, 30);
+        let trace = collect_trace(&profile, 0xAB, 30, None);
         // Detected count within a small tolerance of the truth (PMIs add
         // the occasional extra edge; overlapping keys may merge).
         let detected = trace.detected_keys() as i64;
@@ -311,7 +340,7 @@ mod tests {
             mu: -1.6,
             sigma: 0.4,
         };
-        let trace = collect_trace(&profile, 0xC21, 35);
+        let trace = collect_trace(&profile, 0xC21, 35, None);
         // Compare normalized signatures where counts line up.
         let recovered = trace.signature();
         let truth: Vec<f64> = trace

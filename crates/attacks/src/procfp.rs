@@ -13,7 +13,7 @@ use irq::InterruptKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use segscope::SegProbe;
-use segsim::{Machine, MachineConfig, StepFn};
+use segsim::{FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
 
 /// The application classes the attacker distinguishes.
@@ -136,7 +136,20 @@ impl ProcFeatures {
 /// Extracts features from one observation window on a fresh machine.
 #[must_use]
 pub fn observe(app: AppClass, seed: u64, window: Ps, probes: usize) -> ProcFeatures {
+    observe_with(app, seed, window, probes, None)
+}
+
+/// [`observe`] with an optional fault plan installed on the machine.
+#[must_use]
+pub fn observe_with(
+    app: AppClass,
+    seed: u64,
+    window: Ps,
+    probes: usize,
+    fault_plan: Option<FaultPlan>,
+) -> ProcFeatures {
     let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
+    machine.set_fault_plan(fault_plan);
     machine.set_local_load(0.3); // the spy keeps a low profile
     machine.spin(100_000_000);
     // Calibrate the quiet baseline (the spy alone): robust SegCnt level.
@@ -204,6 +217,9 @@ pub struct ProcFpConfig {
     pub probes: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Optional interrupt-path fault plan installed on every observation
+    /// machine (`None` = nominal fault-free run).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ProcFpConfig {
@@ -216,7 +232,15 @@ impl ProcFpConfig {
             window: Ps::from_ms(400),
             probes: 300,
             seed: 0x9F0C,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a fault plan on every observation machine.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -233,11 +257,12 @@ pub fn run_experiment(config: &ProcFpConfig) -> ProcFpResult {
     let enroll_tasks = classes * config.enroll;
     let enroll_feats: Vec<ProcFeatures> =
         exec::parallel_trials_auto(config.seed, enroll_tasks, |i, seed| {
-            observe(
+            observe_with(
                 AppClass::ALL[i / config.enroll],
                 seed,
                 config.window,
                 config.probes,
+                config.fault_plan,
             )
         });
     let centroids: Vec<(AppClass, ProcFeatures)> = AppClass::ALL
@@ -256,11 +281,12 @@ pub fn run_experiment(config: &ProcFpConfig) -> ProcFpResult {
     let test_tasks = classes * config.test;
     let test_feats: Vec<ProcFeatures> = exec::parallel_map_auto(test_tasks, |i| {
         let seed = exec::derive_seed(config.seed, (enroll_tasks + i) as u64);
-        observe(
+        observe_with(
             AppClass::ALL[i / config.test],
             seed,
             config.window,
             config.probes,
+            config.fault_plan,
         )
     });
     let mut hits = 0usize;

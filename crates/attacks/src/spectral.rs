@@ -14,7 +14,7 @@
 use irq::time::Ps;
 use rand::Rng;
 use segscope::InterruptGuard;
-use segsim::{Machine, MachineConfig};
+use segsim::{FaultPlan, Machine, MachineConfig};
 use serde::{Deserialize, Serialize};
 use specsim::{resolve_wait, ArchState};
 
@@ -38,6 +38,9 @@ pub struct SpectralConfig {
     /// Overhead per measurement beyond the wait itself (re-arming,
     /// mistraining), cycles.
     pub per_bit_overhead_cycles: u64,
+    /// Optional interrupt-path fault plan installed on the monitoring
+    /// machine (`None` = nominal fault-free run).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SpectralConfig {
@@ -51,6 +54,7 @@ impl SpectralConfig {
             victim_latency: Ps::from_us(2),
             spurious_write_prob: 1.0e-4,
             per_bit_overhead_cycles: 9_000,
+            fault_plan: None,
         }
     }
 
@@ -58,6 +62,13 @@ impl SpectralConfig {
     #[must_use]
     pub fn with_timeout(mut self, cycles: u64) -> Self {
         self.timeout_cycles = cycles;
+        self
+    }
+
+    /// Installs a fault plan on the monitoring machine.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -164,6 +175,7 @@ pub fn run_attack(
 ) -> SpectralResult {
     // The i9-12900H is the only Table I machine with umonitor/umwait.
     let mut machine = Machine::new(MachineConfig::lenovo_savior(), seed);
+    machine.set_fault_plan(config.fault_plan);
     machine.spin(50_000_000); // warm-up
     let mut secret_rng = {
         use rand::SeedableRng;

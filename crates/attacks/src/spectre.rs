@@ -9,7 +9,7 @@
 //! `G × miss` otherwise (~4000+ cycles apart at `G = 200`).
 
 use segscope::{Denoise, ProbeError, SegTimer};
-use segsim::{Machine, MachineConfig};
+use segsim::{FaultPlan, Machine, MachineConfig};
 use serde::{Deserialize, Serialize};
 use specsim::{GadgetConfig, SpectreV1Gadget};
 
@@ -29,6 +29,9 @@ pub struct SpectreConfig {
     /// Candidate byte values tried (256 in the paper; tests may restrict
     /// to a smaller alphabet containing the secret).
     pub candidates: usize,
+    /// Optional interrupt-path fault plan installed on the attacking
+    /// machine (`None` = nominal fault-free run).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SpectreConfig {
@@ -42,6 +45,7 @@ impl SpectreConfig {
             rounds_per_candidate: 1,
             calibration: 120,
             candidates: 256,
+            fault_plan: None,
         }
     }
 
@@ -55,7 +59,15 @@ impl SpectreConfig {
             rounds_per_candidate: 1,
             calibration: 80,
             candidates: 128,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a fault plan on the attacking machine.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -220,6 +232,7 @@ pub fn leak_secret(
         "secret bytes must be within the candidate alphabet"
     );
     let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
+    machine.set_fault_plan(config.fault_plan);
     machine.spin(50_000_000); // warm-up
     let mut timer = SegTimer::calibrate(&mut machine, config.calibration, Denoise::ZScore)?;
     let mut bank = AmplifiedSpectre::new(config.gadgets, secret);

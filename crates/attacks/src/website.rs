@@ -15,7 +15,7 @@ use nnet::{AdamConfig, SeqClassifier, SeqExample};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use segscope::SegProbe;
-use segsim::{CoResident, Machine, MachineConfig, StepFn};
+use segsim::{CoResident, FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
 
 /// The browser rendering the site.
@@ -190,6 +190,9 @@ pub struct WebsiteFpConfig {
     pub setting: Setting,
     /// RNG seed.
     pub seed: u64,
+    /// Optional interrupt-path fault plan installed on every visit
+    /// machine (`None` = nominal fault-free run).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl WebsiteFpConfig {
@@ -207,6 +210,7 @@ impl WebsiteFpConfig {
             browser,
             setting,
             seed: 0x7AB1E4,
+            fault_plan: None,
         }
     }
 
@@ -224,7 +228,15 @@ impl WebsiteFpConfig {
             browser,
             setting,
             seed: 0x7AB1E4,
+            fault_plan: None,
         }
+    }
+
+    /// Installs a fault plan on every visit machine.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -257,6 +269,7 @@ pub fn collect_trace(config: &WebsiteFpConfig, site: usize, visit_seed: u64) -> 
     } else {
         machine_cfg.noise.smt_factor = 1.04;
     }
+    machine_cfg.fault_plan = config.fault_plan;
     let mut machine = Machine::new(machine_cfg, visit_seed);
     match config.setting {
         Setting::Default => {

@@ -1,0 +1,353 @@
+//! The differential engine: drives op sequences through the reference
+//! and naive models, compares [`StepOutcome`]s, and shrinks any
+//! divergence to a minimal replayable case.
+
+use crate::naive::{Mutation, NaiveModel};
+use crate::ops::{generate_ops, DescClass, SegOp, StepOutcome};
+use proptest::shrink::minimize_sequence;
+use serde::Serialize;
+use std::fmt;
+use x86seg::{
+    load_data_segment, protected_mode_return, DataSegReg, DescriptorKind, DescriptorTables,
+    PrivilegeLevel, SegError, SegmentDescriptor, SegmentRegisterFile, Selector,
+};
+
+fn reg_of(raw: u8) -> DataSegReg {
+    match raw % 4 {
+        0 => DataSegReg::Ds,
+        1 => DataSegReg::Es,
+        2 => DataSegReg::Fs,
+        _ => DataSegReg::Gs,
+    }
+}
+
+fn kind_of(class: DescClass) -> DescriptorKind {
+    match class {
+        DescClass::Data => DescriptorKind::Data {
+            writable: true,
+            expand_down: false,
+        },
+        DescClass::DataExpandDown => DescriptorKind::Data {
+            writable: true,
+            expand_down: true,
+        },
+        DescClass::CodeReadable => DescriptorKind::Code {
+            readable: true,
+            conforming: false,
+        },
+        DescClass::CodeNonReadable => DescriptorKind::Code {
+            readable: false,
+            conforming: false,
+        },
+        DescClass::CodeConforming => DescriptorKind::Code {
+            readable: true,
+            conforming: true,
+        },
+        DescClass::System => DescriptorKind::System,
+    }
+}
+
+fn fault_tag(err: &SegError) -> &'static str {
+    match err {
+        SegError::IndexOutOfRange { .. } => "index-out-of-range",
+        SegError::EmptyDescriptor { .. } => "empty-descriptor",
+        SegError::NotLoadable { .. } => "not-loadable",
+        SegError::PrivilegeViolation { .. } => "privilege",
+        SegError::NotPresent { .. } => "not-present",
+        // Access-path errors cannot arise from a register load/return.
+        _ => "unexpected",
+    }
+}
+
+/// The reference model: [`x86seg`] driven through its public API.
+#[derive(Debug, Clone)]
+pub struct RefModel {
+    regs: SegmentRegisterFile,
+    tables: DescriptorTables,
+}
+
+impl RefModel {
+    /// Fresh flat-model user state (`flat_user` + `linux_flat`).
+    #[must_use]
+    pub fn new() -> Self {
+        RefModel {
+            regs: SegmentRegisterFile::flat_user(),
+            tables: DescriptorTables::linux_flat(),
+        }
+    }
+
+    /// Applies one op and reports the observable outcome.
+    pub fn apply(&mut self, op: SegOp) -> StepOutcome {
+        let mut fault = None;
+        let mut footprint = None;
+        match op {
+            SegOp::Load { reg, selector, cpl } => {
+                let result = load_data_segment(
+                    &mut self.regs,
+                    reg_of(reg),
+                    Selector::from_bits(selector),
+                    &self.tables,
+                    PrivilegeLevel::from_bits_truncate(cpl),
+                );
+                fault = result.err().map(|e| fault_tag(&e).to_owned());
+            }
+            SegOp::Return { return_rpl, cpl } => {
+                let fp = protected_mode_return(
+                    &mut self.regs,
+                    PrivilegeLevel::from_bits_truncate(return_rpl),
+                    PrivilegeLevel::from_bits_truncate(cpl),
+                );
+                footprint = Some(serde_json::to_string(&fp).expect("footprint serializes"));
+            }
+            SegOp::InstallGdt {
+                index,
+                dpl,
+                class,
+                present,
+            } => {
+                let mut desc = SegmentDescriptor::new(
+                    0,
+                    u64::from(u32::MAX),
+                    PrivilegeLevel::from_bits_truncate(dpl),
+                    kind_of(class),
+                );
+                if !present {
+                    desc = desc.not_present();
+                }
+                self.tables.gdt.install(index, desc);
+            }
+            SegOp::InstallLdt {
+                index,
+                dpl,
+                class,
+                present,
+            } => {
+                let mut desc = SegmentDescriptor::new(
+                    0,
+                    u64::from(u32::MAX),
+                    PrivilegeLevel::from_bits_truncate(dpl),
+                    kind_of(class),
+                );
+                if !present {
+                    desc = desc.not_present();
+                }
+                self.tables.ldt.install(index, desc);
+            }
+            SegOp::RemoveGdt { index } => {
+                self.tables.gdt.remove(index);
+            }
+            SegOp::RemoveLdt { index } => {
+                self.tables.ldt.remove(index);
+            }
+        }
+        let selectors = [
+            DataSegReg::Ds,
+            DataSegReg::Es,
+            DataSegReg::Fs,
+            DataSegReg::Gs,
+        ]
+        .map(|r| self.regs.selector(r).bits());
+        let caches = [
+            DataSegReg::Ds,
+            DataSegReg::Es,
+            DataSegReg::Fs,
+            DataSegReg::Gs,
+        ]
+        .map(|r| {
+            self.regs
+                .register(r)
+                .descriptor_cache()
+                .map(|d| (d.dpl().bits(), d.is_present(), d.is_sensitive()))
+        });
+        StepOutcome {
+            fault,
+            footprint,
+            selectors,
+            caches,
+        }
+    }
+}
+
+impl Default for RefModel {
+    fn default() -> Self {
+        RefModel::new()
+    }
+}
+
+/// The first step at which the two models disagreed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Divergence {
+    /// Index of the diverging op within the replayed sequence.
+    pub step: usize,
+    /// The op both models executed when they split.
+    pub op: SegOp,
+    /// What the reference observed.
+    pub reference: StepOutcome,
+    /// What the naive model observed.
+    pub naive: StepOutcome,
+}
+
+/// Replays `ops` through both models (the naive one carrying `mutation`)
+/// and returns the first divergence, or `None` on full agreement.
+#[must_use]
+pub fn replay(ops: &[SegOp], mutation: Option<Mutation>) -> Option<Divergence> {
+    let mut reference = RefModel::new();
+    let mut naive = NaiveModel::new(mutation);
+    for (step, &op) in ops.iter().enumerate() {
+        let want = reference.apply(op);
+        let got = naive.apply(op);
+        if want != got {
+            return Some(Divergence {
+                step,
+                op,
+                reference: want,
+                naive: got,
+            });
+        }
+    }
+    None
+}
+
+/// A shrunk, replayable divergence: everything needed to reproduce the
+/// disagreement from scratch.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseReport {
+    /// Which generated case (task index into the experiment stream)
+    /// diverged first.
+    pub case_index: u64,
+    /// The per-case seed (`exec::derive_seed(experiment_seed,
+    /// case_index)`); `generate_ops(case_seed, ops_per_case)` rebuilds
+    /// the full sequence.
+    pub case_seed: u64,
+    /// Length of the originally generated sequence.
+    pub full_len: usize,
+    /// The 1-minimal op sequence that still diverges.
+    pub shrunk_ops: Vec<SegOp>,
+    /// The divergence observed when replaying `shrunk_ops`.
+    pub divergence: Divergence,
+}
+
+impl fmt::Display for CaseReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "conformance divergence in case {} (seed {:#x}, {} ops generated), \
+             shrunk to {} op(s):",
+            self.case_index,
+            self.case_seed,
+            self.full_len,
+            self.shrunk_ops.len()
+        )?;
+        for (i, op) in self.shrunk_ops.iter().enumerate() {
+            writeln!(f, "  [{i}] {op:?}")?;
+        }
+        writeln!(
+            f,
+            "diverges at step {}: {:?}",
+            self.divergence.step, self.divergence.op
+        )?;
+        writeln!(f, "  reference: {:?}", self.divergence.reference)?;
+        write!(f, "  naive:     {:?}", self.divergence.naive)
+    }
+}
+
+/// The outcome of a differential run.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiffReport {
+    /// Cases executed (stops early at the first divergence).
+    pub cases: u64,
+    /// Total ops replayed through both models.
+    pub ops: u64,
+    /// The first divergence, shrunk — `None` means full conformance.
+    pub divergence: Option<CaseReport>,
+}
+
+impl DiffReport {
+    /// `true` when every generated op agreed.
+    #[must_use]
+    pub fn is_conformant(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Runs the differential harness: `cases` independent sequences of
+/// `ops_per_case` random ops each, seeded from `experiment_seed` via
+/// [`exec::derive_seed`] so any case is replayable in isolation.
+///
+/// Stops at (and shrinks) the first divergence.
+#[must_use]
+pub fn run_differential(
+    experiment_seed: u64,
+    cases: u64,
+    ops_per_case: usize,
+    mutation: Option<Mutation>,
+) -> DiffReport {
+    let mut ops_done = 0u64;
+    for case_index in 0..cases {
+        let case_seed = exec::derive_seed(experiment_seed, case_index);
+        let ops = generate_ops(case_seed, ops_per_case);
+        if replay(&ops, mutation).is_some() {
+            let shrunk_ops =
+                minimize_sequence(&ops, |candidate| replay(candidate, mutation).is_some());
+            let divergence =
+                replay(&shrunk_ops, mutation).expect("shrinker preserves the failure predicate");
+            ops_done += divergence.step as u64 + 1;
+            return DiffReport {
+                cases: case_index + 1,
+                ops: ops_done,
+                divergence: Some(CaseReport {
+                    case_index,
+                    case_seed,
+                    full_len: ops.len(),
+                    shrunk_ops,
+                    divergence,
+                }),
+            };
+        }
+        ops_done += ops.len() as u64;
+    }
+    DiffReport {
+        cases,
+        ops: ops_done,
+        divergence: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_models_agree_on_a_quick_run() {
+        let report = run_differential(0xD1FF, 64, 128, None);
+        assert!(
+            report.is_conformant(),
+            "unexpected divergence:\n{}",
+            report.divergence.unwrap()
+        );
+        assert_eq!(report.ops, 64 * 128);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let ops = generate_ops(99, 512);
+        assert_eq!(replay(&ops, None), replay(&ops, None));
+    }
+
+    #[test]
+    fn canary_script_diverges_under_mutation() {
+        let ops = [
+            SegOp::Load {
+                reg: 3,
+                selector: 0x3,
+                cpl: 3,
+            },
+            SegOp::Return {
+                return_rpl: 3,
+                cpl: 0,
+            },
+        ];
+        assert!(replay(&ops, None).is_none());
+        assert!(replay(&ops, Some(Mutation::TreatNullThreeAsValid)).is_some());
+    }
+}

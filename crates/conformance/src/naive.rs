@@ -1,0 +1,404 @@
+//! The naive model: a from-scratch, deliberately unsophisticated
+//! re-implementation of the segment-protection state machine.
+//!
+//! Nothing here imports an [`x86seg`] type. Selectors are bare `u16`s,
+//! privilege levels bare `u8`s, tables are `BTreeMap`s with an explicit
+//! length counter, and every check is an if-chain transcribed straight
+//! from the SDM pseudocode / paper Algorithm 1 — the point is to agree
+//! with the reference by *construction from the spec*, not by sharing
+//! code. Where the reference decodes bit fields, the naive model
+//! compares integer ranges; where the reference dispatches on enums, the
+//! naive model matches on a flat class tag.
+//!
+//! [`Mutation`] seeds one deliberate bug at a time, so the differential
+//! harness can prove it actually catches divergences (and shrinks them).
+
+use crate::ops::{DescClass, SegOp, StepOutcome};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A deliberately-introduced bug in the naive model, used to verify the
+/// differential harness detects (and shrinks) real divergences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The null family shrinks to `0x0..=0x2`: selector `0x3` goes
+    /// through a descriptor fetch instead of loading silently.
+    TreatNullThreeAsValid,
+    /// Algorithm 1 skips ES: a marker parked there survives the return.
+    SkipEsScrub,
+    /// The load privilege check ignores RPL (only CPL ≤ DPL is
+    /// enforced) — the classic confused-deputy bug.
+    RplIgnoredOnLoad,
+    /// The sensitive-cache scrub fires on `DPL <= return_rpl` instead of
+    /// `DPL < return_rpl`, scrubbing user segments on return to user.
+    SensitiveScrubOffByOne,
+    /// Clearing an already-zero selector is (wrongly) recorded as an
+    /// observable null footprint.
+    ZeroNullLeavesFootprint,
+    /// Conforming code segments are treated as sensitive and scrubbed.
+    ConformingCodeSensitive,
+}
+
+impl Mutation {
+    /// Every seedable bug.
+    pub const ALL: [Mutation; 6] = [
+        Mutation::TreatNullThreeAsValid,
+        Mutation::SkipEsScrub,
+        Mutation::RplIgnoredOnLoad,
+        Mutation::SensitiveScrubOffByOne,
+        Mutation::ZeroNullLeavesFootprint,
+        Mutation::ConformingCodeSensitive,
+    ];
+}
+
+/// Field-for-field shadow of [`x86seg::ReturnFootprint`]'s serialized
+/// shape, produced without touching the reference type.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+struct NaiveFootprint {
+    cleared_null: [bool; 4],
+    cleared_sensitive: [bool; 4],
+}
+
+/// One cached/installed descriptor, reduced to the protection-relevant
+/// triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NaiveDesc {
+    dpl: u8,
+    present: bool,
+    class: DescClass,
+}
+
+fn class_loadable(class: DescClass) -> bool {
+    matches!(
+        class,
+        DescClass::Data
+            | DescClass::DataExpandDown
+            | DescClass::CodeReadable
+            | DescClass::CodeConforming
+    )
+}
+
+fn class_sensitive(class: DescClass, mutation: Option<Mutation>) -> bool {
+    if class == DescClass::CodeConforming {
+        return mutation == Some(Mutation::ConformingCodeSensitive);
+    }
+    // Data, expand-down data, non-conforming code (readable or not) and
+    // system descriptors all protect ring-private content.
+    true
+}
+
+/// The naive segment-protection state machine.
+#[derive(Debug, Clone)]
+pub struct NaiveModel {
+    /// Visible selector values, DS/ES/FS/GS.
+    vis: [u16; 4],
+    /// Hidden descriptor caches.
+    hid: [Option<NaiveDesc>; 4],
+    gdt: BTreeMap<u16, NaiveDesc>,
+    ldt: BTreeMap<u16, NaiveDesc>,
+    gdt_len: u16,
+    ldt_len: u16,
+    mutation: Option<Mutation>,
+}
+
+impl NaiveModel {
+    /// The freshly-exec'd flat-model user state, mirroring what Linux
+    /// leaves a process with (and what the reference calls
+    /// `SegmentRegisterFile::flat_user()` + `DescriptorTables::
+    /// linux_flat()`) — written out longhand from the documented layout.
+    #[must_use]
+    pub fn new(mutation: Option<Mutation>) -> Self {
+        let mut gdt = BTreeMap::new();
+        // index 1: kernel code, DPL 0. index 2: kernel data, DPL 0.
+        // index 3: user code, DPL 3.   index 4: user data, DPL 3.
+        gdt.insert(
+            1,
+            NaiveDesc {
+                dpl: 0,
+                present: true,
+                class: DescClass::CodeReadable,
+            },
+        );
+        gdt.insert(
+            2,
+            NaiveDesc {
+                dpl: 0,
+                present: true,
+                class: DescClass::Data,
+            },
+        );
+        gdt.insert(
+            3,
+            NaiveDesc {
+                dpl: 3,
+                present: true,
+                class: DescClass::CodeReadable,
+            },
+        );
+        gdt.insert(
+            4,
+            NaiveDesc {
+                dpl: 3,
+                present: true,
+                class: DescClass::Data,
+            },
+        );
+        let user_data = NaiveDesc {
+            dpl: 3,
+            present: true,
+            class: DescClass::Data,
+        };
+        // DS/ES/FS hold the user-data selector (index 4, RPL 3 →
+        // 4*8 + 3 = 0x23); GS starts zeroed.
+        NaiveModel {
+            vis: [0x23, 0x23, 0x23, 0],
+            hid: [Some(user_data), Some(user_data), Some(user_data), None],
+            gdt,
+            ldt: BTreeMap::new(),
+            gdt_len: 8,
+            ldt_len: 0,
+            mutation,
+        }
+    }
+
+    fn is_null_value(&self, sel: u16) -> bool {
+        // A null selector is GDT index 0 with any RPL: the four values
+        // 0, 1, 2, 3 (the mutation shrinks the family by one).
+        if self.mutation == Some(Mutation::TreatNullThreeAsValid) {
+            sel <= 2
+        } else {
+            sel <= 3
+        }
+    }
+
+    fn load(&mut self, reg: usize, sel: u16, cpl: u8) -> Option<&'static str> {
+        if self.is_null_value(sel) {
+            self.vis[reg] = sel;
+            self.hid[reg] = None;
+            return None;
+        }
+        let index = sel / 8;
+        let uses_ldt = sel % 8 >= 4;
+        let rpl = (sel % 4) as u8;
+        let (table, len) = if uses_ldt {
+            (&self.ldt, self.ldt_len)
+        } else {
+            (&self.gdt, self.gdt_len)
+        };
+        if index >= len {
+            return Some("index-out-of-range");
+        }
+        let Some(desc) = table.get(&index).copied() else {
+            return Some("empty-descriptor");
+        };
+        if !class_loadable(desc.class) {
+            return Some("not-loadable");
+        }
+        let rpl_ok = self.mutation == Some(Mutation::RplIgnoredOnLoad) || rpl <= desc.dpl;
+        if cpl > desc.dpl || !rpl_ok {
+            return Some("privilege");
+        }
+        if !desc.present {
+            return Some("not-present");
+        }
+        self.vis[reg] = sel;
+        self.hid[reg] = Some(desc);
+        None
+    }
+
+    fn protected_return(&mut self, return_rpl: u8, cpl: u8) -> NaiveFootprint {
+        let mut fp = NaiveFootprint::default();
+        if return_rpl <= cpl {
+            return fp;
+        }
+        for i in 0..4 {
+            if i == 1 && self.mutation == Some(Mutation::SkipEsScrub) {
+                continue;
+            }
+            if self.vis[i] <= 3 {
+                // Null selector parked: scrub to exactly zero. Only a
+                // *non-zero* null leaves an observable footprint.
+                fp.cleared_null[i] =
+                    self.vis[i] != 0 || self.mutation == Some(Mutation::ZeroNullLeavesFootprint);
+                self.vis[i] = 0;
+                self.hid[i] = None;
+            } else if let Some(desc) = self.hid[i] {
+                let inner = if self.mutation == Some(Mutation::SensitiveScrubOffByOne) {
+                    desc.dpl <= return_rpl
+                } else {
+                    desc.dpl < return_rpl
+                };
+                if inner && class_sensitive(desc.class, self.mutation) {
+                    fp.cleared_sensitive[i] = true;
+                    self.vis[i] = 0;
+                    self.hid[i] = None;
+                }
+            }
+        }
+        fp
+    }
+
+    /// Applies one op and reports the observable outcome.
+    pub fn apply(&mut self, op: SegOp) -> StepOutcome {
+        let mut fault = None;
+        let mut footprint = None;
+        match op {
+            SegOp::Load { reg, selector, cpl } => {
+                fault = self.load(usize::from(reg % 4), selector, cpl % 4);
+            }
+            SegOp::Return { return_rpl, cpl } => {
+                let fp = self.protected_return(return_rpl % 4, cpl % 4);
+                footprint = Some(serde_json::to_string(&fp).expect("footprint serializes"));
+            }
+            SegOp::InstallGdt {
+                index,
+                dpl,
+                class,
+                present,
+            } => {
+                self.gdt.insert(
+                    index,
+                    NaiveDesc {
+                        dpl: dpl % 4,
+                        present,
+                        class,
+                    },
+                );
+                if index + 1 > self.gdt_len {
+                    self.gdt_len = index + 1;
+                }
+            }
+            SegOp::InstallLdt {
+                index,
+                dpl,
+                class,
+                present,
+            } => {
+                self.ldt.insert(
+                    index,
+                    NaiveDesc {
+                        dpl: dpl % 4,
+                        present,
+                        class,
+                    },
+                );
+                if index + 1 > self.ldt_len {
+                    self.ldt_len = index + 1;
+                }
+            }
+            SegOp::RemoveGdt { index } => {
+                // Removal empties the slot but never shrinks the table.
+                self.gdt.remove(&index);
+            }
+            SegOp::RemoveLdt { index } => {
+                self.ldt.remove(&index);
+            }
+        }
+        StepOutcome {
+            fault: fault.map(str::to_owned),
+            footprint,
+            selectors: self.vis,
+            caches: self
+                .hid
+                .map(|h| h.map(|d| (d.dpl, d.present, class_sensitive(d.class, self.mutation)))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_matches_linux_flat_user() {
+        let m = NaiveModel::new(None);
+        assert_eq!(m.vis, [0x23, 0x23, 0x23, 0]);
+        assert!(m.hid[3].is_none());
+        assert_eq!(m.gdt_len, 8);
+        assert_eq!(m.ldt_len, 0);
+    }
+
+    #[test]
+    fn nonzero_null_load_and_scrub() {
+        let mut m = NaiveModel::new(None);
+        let out = m.apply(SegOp::Load {
+            reg: 3,
+            selector: 0x1,
+            cpl: 3,
+        });
+        assert_eq!(out.fault, None);
+        assert_eq!(out.selectors[3], 0x1);
+        let out = m.apply(SegOp::Return {
+            return_rpl: 3,
+            cpl: 0,
+        });
+        assert_eq!(out.selectors[3], 0);
+        assert!(out
+            .footprint
+            .expect("return yields footprint")
+            .contains("true"));
+    }
+
+    #[test]
+    fn user_cannot_load_kernel_data() {
+        let mut m = NaiveModel::new(None);
+        // Kernel data = GDT index 2; selector 2*8 + 0 = 0x10.
+        let out = m.apply(SegOp::Load {
+            reg: 0,
+            selector: 0x10,
+            cpl: 3,
+        });
+        assert_eq!(out.fault.as_deref(), Some("privilege"));
+        assert_eq!(out.selectors[0], 0x23, "failed load must not move DS");
+    }
+
+    #[test]
+    fn every_mutation_changes_some_behavior() {
+        // Sanity: each mutation must be *live* — a short handwritten
+        // scenario on which it flips an outcome.
+        for mutation in Mutation::ALL {
+            let script = [
+                SegOp::Load {
+                    reg: 1,
+                    selector: 0x3,
+                    cpl: 3,
+                },
+                SegOp::Load {
+                    reg: 2,
+                    selector: 0x10, // kernel data, RPL 0 — kernel-only
+                    cpl: 0,
+                },
+                SegOp::InstallGdt {
+                    index: 5,
+                    dpl: 0,
+                    class: DescClass::CodeConforming,
+                    present: true,
+                },
+                SegOp::Load {
+                    reg: 2,
+                    selector: 0x28, // the conforming kernel code segment
+                    cpl: 0,
+                },
+                SegOp::Load {
+                    reg: 0,
+                    selector: 0x13, // kernel data with RPL 3: confused deputy
+                    cpl: 0,
+                },
+                SegOp::Return {
+                    return_rpl: 3,
+                    cpl: 0,
+                },
+                SegOp::Return {
+                    return_rpl: 3,
+                    cpl: 0,
+                },
+            ];
+            let mut clean = NaiveModel::new(None);
+            let mut mutated = NaiveModel::new(Some(mutation));
+            let diverged = script
+                .iter()
+                .any(|&op| clean.apply(op) != mutated.apply(op));
+            assert!(diverged, "{mutation:?} is dead on the canary script");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The operation vocabulary both models speak, and the seeded generator
+//! that produces random operation sequences.
+//!
+//! An operation sequence is the *only* interface between the two models:
+//! each [`SegOp`] is applied to the reference ([`x86seg`]) and to the
+//! naive re-implementation, and the resulting [`StepOutcome`]s must be
+//! bit-identical. Everything in this module is deliberately primitive —
+//! raw `u16` selectors, raw `u8` privilege levels — so that neither
+//! model's type vocabulary leaks into the other.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The descriptor classes the generator can install, spelled without
+/// reference to [`x86seg::DescriptorKind`] so the naive model can give
+/// them independent semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DescClass {
+    /// Ordinary read/write data segment.
+    Data,
+    /// Expand-down (stack-style) data segment.
+    DataExpandDown,
+    /// Readable, non-conforming code segment.
+    CodeReadable,
+    /// Execute-only, non-conforming code segment.
+    CodeNonReadable,
+    /// Readable, conforming code segment.
+    CodeConforming,
+    /// System descriptor (TSS, gates): never loadable into a data
+    /// register.
+    System,
+}
+
+impl DescClass {
+    /// All classes, for exhaustive sweeps.
+    pub const ALL: [DescClass; 6] = [
+        DescClass::Data,
+        DescClass::DataExpandDown,
+        DescClass::CodeReadable,
+        DescClass::CodeNonReadable,
+        DescClass::CodeConforming,
+        DescClass::System,
+    ];
+}
+
+/// One operation on the segment-protection state machine.
+///
+/// Fields are raw integers on purpose: the sequence must be replayable
+/// from a printed debug dump with no interpretation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegOp {
+    /// `mov sreg, r16`: load `selector` into data register `reg`
+    /// (0 = DS, 1 = ES, 2 = FS, 3 = GS) at privilege level `cpl`.
+    Load {
+        /// Target data-segment register, 0..4.
+        reg: u8,
+        /// Raw 16-bit selector value.
+        selector: u16,
+        /// Current privilege level performing the load, 0..4.
+        cpl: u8,
+    },
+    /// `iret` to `CS.RPL = return_rpl` from privilege level `cpl`
+    /// (paper Algorithm 1).
+    Return {
+        /// RPL of the code segment being returned to, 0..4.
+        return_rpl: u8,
+        /// Privilege level executing the return, 0..4.
+        cpl: u8,
+    },
+    /// Install a descriptor in the GDT.
+    InstallGdt {
+        /// Table slot.
+        index: u16,
+        /// Descriptor privilege level, 0..4.
+        dpl: u8,
+        /// Descriptor class.
+        class: DescClass,
+        /// Present bit.
+        present: bool,
+    },
+    /// Install a descriptor in the LDT.
+    InstallLdt {
+        /// Table slot.
+        index: u16,
+        /// Descriptor privilege level, 0..4.
+        dpl: u8,
+        /// Descriptor class.
+        class: DescClass,
+        /// Present bit.
+        present: bool,
+    },
+    /// Empty a GDT slot (the descriptor-cache staleness source: loaded
+    /// registers keep their hidden copy).
+    RemoveGdt {
+        /// Table slot.
+        index: u16,
+    },
+    /// Empty an LDT slot.
+    RemoveLdt {
+        /// Table slot.
+        index: u16,
+    },
+}
+
+/// Everything observable after one op — the comparison unit of the
+/// differential harness.
+///
+/// `footprint` is the serialized [`x86seg::ReturnFootprint`] (or the
+/// naive model's identically-shaped answer): comparing JSON strings makes
+/// the check bit-exact without giving the naive model access to the
+/// reference type's internals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StepOutcome {
+    /// Canonical fault tag, `None` when the op succeeded.
+    pub fault: Option<String>,
+    /// Serialized return footprint (`Return` ops only).
+    pub footprint: Option<String>,
+    /// Visible selector values after the op, DS/ES/FS/GS.
+    pub selectors: [u16; 4],
+    /// Hidden descriptor caches after the op, as
+    /// `(dpl, present, sensitive)` triples.
+    pub caches: [Option<(u8, bool, bool)>; 4],
+}
+
+/// Highest slot index the generator installs descriptors at. Small on
+/// purpose: collisions between installs, removes and loads are where the
+/// interesting transitions live, and the reference table never grows
+/// past a few dozen bytes.
+pub const MAX_INSTALL_INDEX: u16 = 11;
+
+fn random_selector<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+    match rng.gen_range(0u32..100) {
+        // Null family, the SegScope marker values.
+        0..=24 => rng.gen_range(0u16..4),
+        // In-table and just-past-table indices, both tables, any RPL.
+        25..=84 => {
+            let index = rng.gen_range(0u16..=MAX_INSTALL_INDEX + 2);
+            let ti = u16::from(rng.gen::<bool>());
+            let rpl = rng.gen_range(0u16..4);
+            (index << 3) | (ti << 2) | rpl
+        }
+        // Anything a `mov` can encode.
+        _ => rng.gen::<u16>(),
+    }
+}
+
+fn random_class<R: Rng + ?Sized>(rng: &mut R) -> DescClass {
+    DescClass::ALL[rng.gen_range(0..DescClass::ALL.len())]
+}
+
+/// Draws one random operation.
+///
+/// Weights favour loads (the fault-richest op) and outward returns (the
+/// footprint-producing op); installs and removes churn the tables so
+/// loads keep hitting different descriptor states.
+pub fn random_op<R: Rng + ?Sized>(rng: &mut R) -> SegOp {
+    match rng.gen_range(0u32..100) {
+        0..=44 => SegOp::Load {
+            reg: rng.gen_range(0u8..4),
+            selector: random_selector(rng),
+            cpl: rng.gen_range(0u8..4),
+        },
+        45..=64 => {
+            // Bias toward the kernel→user shape (cpl 0, return 3) that
+            // actually occurs on interrupt exit, but keep every pair
+            // reachable.
+            if rng.gen::<f64>() < 0.6 {
+                SegOp::Return {
+                    return_rpl: 3,
+                    cpl: 0,
+                }
+            } else {
+                SegOp::Return {
+                    return_rpl: rng.gen_range(0u8..4),
+                    cpl: rng.gen_range(0u8..4),
+                }
+            }
+        }
+        65..=74 => SegOp::InstallGdt {
+            index: rng.gen_range(0..=MAX_INSTALL_INDEX),
+            dpl: rng.gen_range(0u8..4),
+            class: random_class(rng),
+            present: rng.gen::<f64>() < 0.85,
+        },
+        75..=84 => SegOp::InstallLdt {
+            index: rng.gen_range(0..=MAX_INSTALL_INDEX),
+            dpl: rng.gen_range(0u8..4),
+            class: random_class(rng),
+            present: rng.gen::<f64>() < 0.85,
+        },
+        85..=92 => SegOp::RemoveGdt {
+            index: rng.gen_range(0..=MAX_INSTALL_INDEX),
+        },
+        _ => SegOp::RemoveLdt {
+            index: rng.gen_range(0..=MAX_INSTALL_INDEX),
+        },
+    }
+}
+
+/// Generates a deterministic op sequence from a case seed.
+#[must_use]
+pub fn generate_ops(seed: u64, n: usize) -> Vec<SegOp> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| random_op(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_ops(42, 256), generate_ops(42, 256));
+        assert_ne!(generate_ops(42, 256), generate_ops(43, 256));
+    }
+
+    #[test]
+    fn generator_covers_every_op_shape() {
+        let ops = generate_ops(7, 4096);
+        let mut load = 0;
+        let mut ret = 0;
+        let mut install = 0;
+        let mut remove = 0;
+        for op in &ops {
+            match op {
+                SegOp::Load { .. } => load += 1,
+                SegOp::Return { .. } => ret += 1,
+                SegOp::InstallGdt { .. } | SegOp::InstallLdt { .. } => install += 1,
+                SegOp::RemoveGdt { .. } | SegOp::RemoveLdt { .. } => remove += 1,
+            }
+        }
+        assert!(load > 1000, "loads under-represented: {load}");
+        assert!(ret > 400, "returns under-represented: {ret}");
+        assert!(install > 200, "installs under-represented: {install}");
+        assert!(remove > 200, "removes under-represented: {remove}");
+    }
+
+    #[test]
+    fn generator_emits_null_family_selectors() {
+        let ops = generate_ops(11, 4096);
+        let nulls = ops
+            .iter()
+            .filter(|op| matches!(op, SegOp::Load { selector, .. } if *selector < 4))
+            .count();
+        assert!(nulls > 100, "null-family loads too rare: {nulls}");
+    }
+}

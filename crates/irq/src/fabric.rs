@@ -2,6 +2,7 @@
 //! timer, stochastic sources, and trace-driven device sources.
 
 use crate::dist;
+use crate::fault::{FaultLog, FaultPlan, FaultedPop};
 use crate::kind::InterruptKind;
 use crate::time::Ps;
 use rand::Rng;
@@ -264,6 +265,33 @@ impl InterruptFabric {
         Some(next)
     }
 
+    /// Consumes the earliest pending interrupt through a [`FaultPlan`]:
+    /// the event may be dropped (never reaching the core) or spawn a
+    /// ghost duplicate scheduled `duplicate_delay` later, with every
+    /// injected fault counted in `log`.
+    ///
+    /// With a zeroed plan this is behaviourally identical to
+    /// [`pop`](Self::pop) apart from the fault rolls consuming RNG draws;
+    /// callers that want bit-identical RNG streams gate on
+    /// [`FaultPlan::has_delivery_faults`] and call `pop` directly.
+    pub fn pop_with_faults<R: Rng + ?Sized>(
+        &mut self,
+        plan: &FaultPlan,
+        log: &mut FaultLog,
+        rng: &mut R,
+    ) -> Option<FaultedPop> {
+        let next = self.pop(rng)?;
+        if plan.drop_prob > 0.0 && rng.gen::<f64>() < plan.drop_prob {
+            log.dropped += 1;
+            return Some(FaultedPop::Dropped(next));
+        }
+        if plan.duplicate_prob > 0.0 && rng.gen::<f64>() < plan.duplicate_prob {
+            log.duplicated += 1;
+            self.inject(next.at + plan.duplicate_delay, next.kind);
+        }
+        Some(FaultedPop::Delivered(next))
+    }
+
     /// Number of sources (not counting one-shot injections).
     #[must_use]
     pub fn source_count(&self) -> usize {
@@ -417,6 +445,72 @@ mod tests {
         let mut fabric = InterruptFabric::new();
         assert!(fabric.pop(&mut r).is_none());
         assert_eq!(fabric.source_count(), 0);
+    }
+
+    #[test]
+    fn faulted_pop_with_inert_plan_matches_plain_pop() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut f1 = InterruptFabric::new();
+        let mut f2 = InterruptFabric::new();
+        f1.add_periodic_timer(250.0, Ps::from_us(1), &mut r1);
+        f2.add_periodic_timer(250.0, Ps::from_us(1), &mut r2);
+        let plan = FaultPlan::none();
+        let mut log = FaultLog::default();
+        for _ in 0..200 {
+            let a = f1.pop(&mut r1).unwrap();
+            let b = match f2.pop_with_faults(&plan, &mut log, &mut r2).unwrap() {
+                FaultedPop::Delivered(p) => p,
+                FaultedPop::Dropped(_) => panic!("inert plan dropped an interrupt"),
+            };
+            assert_eq!(a, b);
+        }
+        assert!(log.is_clean());
+    }
+
+    #[test]
+    fn drop_prob_drops_roughly_that_fraction() {
+        let mut r = rng();
+        let mut fabric = InterruptFabric::new();
+        fabric.add_periodic_timer(1000.0, Ps::ZERO, &mut r);
+        let plan = FaultPlan::none().with_drop_prob(0.3);
+        let mut log = FaultLog::default();
+        let mut delivered = 0u64;
+        for _ in 0..2000 {
+            match fabric.pop_with_faults(&plan, &mut log, &mut r).unwrap() {
+                FaultedPop::Delivered(_) => delivered += 1,
+                FaultedPop::Dropped(_) => {}
+            }
+        }
+        assert_eq!(delivered + log.dropped, 2000);
+        assert!(
+            (450..=750).contains(&log.dropped),
+            "dropped {}",
+            log.dropped
+        );
+    }
+
+    #[test]
+    fn duplicates_enqueue_ghost_events() {
+        let mut r = rng();
+        let mut fabric = InterruptFabric::new();
+        fabric.inject(Ps::from_us(10), InterruptKind::Network);
+        let plan = FaultPlan::none()
+            .with_duplicate_prob(1.0)
+            .with_duplicate_delay(Ps::from_us(5));
+        let mut log = FaultLog::default();
+        let first = match fabric.pop_with_faults(&plan, &mut log, &mut r).unwrap() {
+            FaultedPop::Delivered(p) => p,
+            FaultedPop::Dropped(_) => panic!("nothing should drop"),
+        };
+        assert_eq!(first.at, Ps::from_us(10));
+        assert_eq!(log.duplicated, 1);
+        // The ghost sits in the injected queue, 5 us after the original
+        // (and would itself re-duplicate if popped through the same plan).
+        assert_eq!(fabric.injected_backlog(), 1);
+        let ghost = fabric.pop(&mut r).unwrap();
+        assert_eq!(ghost.at, Ps::from_us(15));
+        assert_eq!(ghost.kind, InterruptKind::Network);
     }
 
     #[test]

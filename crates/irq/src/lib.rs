@@ -39,12 +39,14 @@
 
 pub mod dist;
 mod fabric;
+mod fault;
 mod handler;
 mod kind;
 pub mod time;
 mod trace;
 
 pub use fabric::{InterruptFabric, PendingInterrupt, SourceId};
+pub use fault::{FaultLog, FaultPlan, FaultedPop};
 pub use handler::{HandlerCostModel, HandlerCostParams};
 pub use kind::InterruptKind;
 pub use time::Ps;

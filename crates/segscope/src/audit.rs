@@ -1,0 +1,171 @@
+//! Delivery auditing: detecting when interrupt-path faults broke the
+//! probe's per-interrupt exactness.
+//!
+//! SegScope's headline claim — every interrupt observed exactly once —
+//! only holds when the interrupt fabric delivers faithfully. Under an
+//! injected [`FaultPlan`](segsim::FaultPlan) with *delivery* faults
+//! (drops, duplicates, coalescing) the observed count is wrong by
+//! construction; the conformance harness requires that this damage be
+//! *detectable* rather than silently reported as a confident count. A
+//! [`DeliveryAudit`] reconciles three books:
+//!
+//! * **observed** — probe samples the attacker collected (one per return
+//!   to user space that flipped the marker);
+//! * **delivered** — ground-truth records (every handler that actually
+//!   ran, including coalesced cascades and ghost duplicates);
+//! * the [`FaultLog`](segsim::FaultLog) counters of injected faults.
+//!
+//! `intended = delivered + dropped − duplicated` reconstructs how many
+//! interrupts the nominal machine would have delivered. Comparing it with
+//! `observed` yields a typed verdict instead of a wrong-but-confident
+//! number.
+
+use segsim::Machine;
+use serde::{Deserialize, Serialize};
+
+/// Reconciliation of observed probe samples against the simulator's
+/// ground-truth and fault accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryAudit {
+    /// Interrupts the probe observed (marker flips / returns to user).
+    pub observed: u64,
+    /// Interrupts actually delivered to the core (ground-truth records).
+    pub delivered: u64,
+    /// Interrupts the fault plan dropped before delivery.
+    pub dropped: u64,
+    /// Ghost duplicates the fault plan injected. Counted at injection
+    /// time, so a ghost still pending when the run ends inflates the
+    /// spurious estimate by one — an upper bound, never an undercount.
+    pub duplicated: u64,
+    /// Interrupts merged into an earlier kernel stint by coalescing
+    /// (delivered, but with no return to user space of their own).
+    pub coalesced: u64,
+}
+
+/// The audit's verdict on the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditVerdict {
+    /// Every intended interrupt was observed exactly once.
+    Exact,
+    /// Delivery faults broke the correspondence: the probe's counts are
+    /// degraded and must not be trusted as exact.
+    Degraded {
+        /// Intended interrupts the probe never saw (drops + coalesces).
+        missed: u64,
+        /// Observations with no intended interrupt behind them
+        /// (duplicate ghosts).
+        spurious: u64,
+    },
+}
+
+impl DeliveryAudit {
+    /// Builds the audit for a finished run on `machine`, given how many
+    /// samples the probe observed.
+    ///
+    /// Call with the same machine the probe ran on, without clearing its
+    /// ground truth between the probed window and this call.
+    #[must_use]
+    pub fn for_machine(machine: &Machine, observed: usize) -> Self {
+        let log = machine.fault_log();
+        DeliveryAudit {
+            observed: observed as u64,
+            delivered: machine.ground_truth().len() as u64,
+            dropped: log.dropped,
+            duplicated: log.duplicated,
+            coalesced: log.coalesced,
+        }
+    }
+
+    /// How many interrupts the nominal (fault-free) machine would have
+    /// delivered: actual deliveries, plus the dropped ones, minus the
+    /// injected ghosts.
+    #[must_use]
+    pub fn intended(&self) -> u64 {
+        (self.delivered + self.dropped).saturating_sub(self.duplicated)
+    }
+
+    /// The typed verdict: [`AuditVerdict::Exact`] only when observation
+    /// and intent reconcile perfectly with no delivery fault on record.
+    #[must_use]
+    pub fn verdict(&self) -> AuditVerdict {
+        let intended = self.intended();
+        let delivery_faults = self.dropped + self.duplicated + self.coalesced;
+        if delivery_faults == 0 && self.observed == intended {
+            return AuditVerdict::Exact;
+        }
+        AuditVerdict::Degraded {
+            missed: intended.saturating_sub(self.observed),
+            spurious: self.observed.saturating_sub(intended),
+        }
+    }
+
+    /// Whether the verdict is [`AuditVerdict::Exact`].
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.verdict() == AuditVerdict::Exact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SegProbe;
+    use segsim::{FaultPlan, MachineConfig};
+
+    fn audit_run(cfg: MachineConfig, seed: u64, n: usize) -> DeliveryAudit {
+        let mut machine = Machine::new(cfg, seed);
+        let mut probe = SegProbe::new();
+        let samples = probe.probe_n(&mut machine, n).expect("probe runs");
+        DeliveryAudit::for_machine(&machine, samples.len())
+    }
+
+    #[test]
+    fn clean_run_is_exact() {
+        let audit = audit_run(MachineConfig::default(), 0xA0D1, 200);
+        assert_eq!(audit.verdict(), AuditVerdict::Exact);
+        assert!(audit.is_exact());
+        assert_eq!(audit.observed, audit.intended());
+    }
+
+    #[test]
+    fn timing_storm_stays_exact() {
+        let cfg = MachineConfig::default().with_fault_plan(FaultPlan::timing_storm());
+        let audit = audit_run(cfg, 0xA0D2, 200);
+        assert_eq!(audit.verdict(), AuditVerdict::Exact);
+    }
+
+    #[test]
+    fn drops_surface_as_missed() {
+        let cfg = MachineConfig::default().with_fault_plan(FaultPlan::none().with_drop_prob(0.3));
+        let audit = audit_run(cfg, 0xA0D3, 200);
+        match audit.verdict() {
+            AuditVerdict::Degraded { missed, .. } => assert!(missed > 0, "audit: {audit:?}"),
+            AuditVerdict::Exact => panic!("30% drops cannot be exact: {audit:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicates_surface_as_spurious() {
+        let cfg =
+            MachineConfig::default().with_fault_plan(FaultPlan::none().with_duplicate_prob(0.4));
+        let audit = audit_run(cfg, 0xA0D4, 200);
+        match audit.verdict() {
+            AuditVerdict::Degraded { spurious, .. } => {
+                assert!(spurious > 0, "audit: {audit:?}");
+            }
+            AuditVerdict::Exact => panic!("40% duplicates cannot be exact: {audit:?}"),
+        }
+    }
+
+    #[test]
+    fn coalescing_surfaces_as_missed() {
+        let cfg = MachineConfig::default()
+            .with_fault_plan(FaultPlan::none().with_coalesce_window(irq::Ps::from_ms(5)));
+        let audit = audit_run(cfg, 0xA0D5, 100);
+        match audit.verdict() {
+            AuditVerdict::Degraded { missed, .. } => assert!(missed > 0, "audit: {audit:?}"),
+            AuditVerdict::Exact => panic!("5 ms coalescing cannot be exact: {audit:?}"),
+        }
+        assert!(audit.coalesced > 0);
+    }
+}

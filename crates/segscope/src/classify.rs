@@ -120,7 +120,7 @@ mod tests {
     use crate::probe::SegProbe;
     use segsim::{Machine, MachineConfig};
 
-    fn samples(seed: u64, n: usize) -> Vec<ProbeSample> {
+    fn samples(seed: u64, n: usize) -> (Vec<ProbeSample>, Machine) {
         // More non-timer activity so both classes are populated.
         let cfg = MachineConfig {
             pmi_rate_hz: 5.0,
@@ -129,14 +129,29 @@ mod tests {
         };
         let mut m = Machine::new(cfg, seed);
         m.spin(200_000_000); // warm up the governor
-        SegProbe::new().probe_n(&mut m, n).unwrap()
+                             // Trace only the probed window so per-kind ground-truth counts
+                             // can be compared against the classifier's counts exactly.
+        m.ground_truth_mut().clear();
+        let samples = SegProbe::new().probe_n(&mut m, n).unwrap();
+        (samples, m)
     }
 
     #[test]
     fn timer_dominates_and_concentrates() {
-        let samples = samples(0xC1A5, 400);
+        let (samples, machine) = samples(0xC1A5, 400);
         let hist = KindHistogram::from_samples(&samples);
         assert_eq!(hist.dominant_kind(), Some(InterruptKind::Timer));
+        // The histogram is not merely non-empty: its per-kind counts match
+        // the simulator's ground truth delivery-for-delivery.
+        let truth = machine.ground_truth().count_by_kind();
+        for (&kind, &(count, _, _)) in &hist.by_kind {
+            assert_eq!(
+                count, truth[&kind],
+                "{kind} histogram count {count} != ground truth {}",
+                truth[&kind]
+            );
+        }
+        assert_eq!(hist.by_kind.len(), truth.len(), "kinds differ from truth");
         let (_, timer_mean, timer_std) = hist.by_kind[&InterruptKind::Timer];
         assert!(
             timer_std / timer_mean < 0.2,
@@ -157,20 +172,35 @@ mod tests {
 
     #[test]
     fn classifier_separates_timer_edges() {
-        let samples = samples(0xC1A6, 500);
+        let (samples, machine) = samples(0xC1A6, 500);
         let segcnts: Vec<f64> = samples.iter().map(|s| s.segcnt as f64).collect();
         let classifier = TimerEdgeClassifier::fit(&segcnts);
         let (tpr, fpr) = classifier.evaluate(&samples);
         assert!(tpr > 0.9, "timer retention {tpr}");
         assert!(fpr < 0.3, "non-timer leakage {fpr}");
         assert!(tpr > fpr + 0.5, "separation too weak: tpr {tpr} fpr {fpr}");
+        // The number of samples the classifier retains tracks the number
+        // of timer interrupts the machine actually delivered.
+        let retained = samples
+            .iter()
+            .filter(|s| classifier.is_timer_edge(s.segcnt as f64))
+            .count();
+        let truth_timers = machine.ground_truth().of_kind(InterruptKind::Timer).count();
+        let slack = truth_timers / 10;
+        assert!(
+            retained.abs_diff(truth_timers) <= slack,
+            "classifier retained {retained}, ground truth delivered {truth_timers} timers"
+        );
     }
 
     #[test]
     fn histogram_counts_sum_to_total() {
-        let samples = samples(0xC1A7, 200);
+        let (samples, machine) = samples(0xC1A7, 200);
         let hist = KindHistogram::from_samples(&samples);
         let total: usize = hist.by_kind.values().map(|(c, _, _)| c).sum();
         assert_eq!(total, samples.len());
+        // One observation per delivered interrupt: the histogram total is
+        // also the ground-truth delivery count for the probed window.
+        assert_eq!(total, machine.ground_truth().len());
     }
 }

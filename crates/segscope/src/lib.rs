@@ -23,6 +23,10 @@
 //!   denoising variants of paper Table VII;
 //! * [`TimerEdgeClassifier`] / [`KindHistogram`] — separating interrupt
 //!   kinds by SegCnt statistics (paper Fig. 6);
+//! * [`DeliveryAudit`] — reconciliation of observed samples against the
+//!   simulator's ground truth and fault log, turning injected delivery
+//!   faults (dropped/duplicated/coalesced interrupts) into a typed
+//!   verdict instead of a wrong-but-confident count;
 //! * [`baseline`] — the timer-based probing techniques SegScope is
 //!   compared against: [`TsJumpProber`] (timestamp jumps),
 //!   [`LoopCountProber`] (low-resolution loop counting), and
@@ -46,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 pub mod baseline;
 mod classify;
 mod error;
@@ -54,6 +59,7 @@ mod probe;
 mod stats;
 mod timer;
 
+pub use audit::{AuditVerdict, DeliveryAudit};
 pub use baseline::{CountingThreadTimer, LoopCountProber, TsJumpProber};
 pub use classify::{KindHistogram, TimerEdgeClassifier};
 pub use error::ProbeError;

@@ -3,7 +3,7 @@
 
 use crate::freq::FreqConfig;
 use irq::time::Ps;
-use irq::HandlerCostModel;
+use irq::{FaultPlan, HandlerCostModel};
 use serde::{Deserialize, Serialize};
 
 /// CPU vendor: selects which high-resolution timestamp instruction the
@@ -147,6 +147,9 @@ pub struct MachineConfig {
     pub preserve_selectors: bool,
     /// Mitigation: unprivileged writes to data-segment registers fault.
     pub restrict_segment_writes: bool,
+    /// Opt-in interrupt-path fault injection (conformance testing only;
+    /// `None` preserves the machine's RNG stream bit-for-bit).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -190,6 +193,7 @@ impl MachineConfig {
             tickless: false,
             preserve_selectors: false,
             restrict_segment_writes: false,
+            fault_plan: None,
         }
     }
 
@@ -222,6 +226,7 @@ impl MachineConfig {
             tickless: false,
             preserve_selectors: false,
             restrict_segment_writes: false,
+            fault_plan: None,
         }
     }
 
@@ -252,6 +257,7 @@ impl MachineConfig {
             tickless: false,
             preserve_selectors: false,
             restrict_segment_writes: false,
+            fault_plan: None,
         }
     }
 
@@ -284,6 +290,7 @@ impl MachineConfig {
             tickless: false,
             preserve_selectors: false,
             restrict_segment_writes: false,
+            fault_plan: None,
         }
     }
 
@@ -316,6 +323,7 @@ impl MachineConfig {
             tickless: false,
             preserve_selectors: false,
             restrict_segment_writes: false,
+            fault_plan: None,
         }
     }
 
@@ -348,6 +356,7 @@ impl MachineConfig {
             tickless: false,
             preserve_selectors: false,
             restrict_segment_writes: false,
+            fault_plan: None,
         }
     }
 
@@ -397,6 +406,13 @@ impl MachineConfig {
     #[must_use]
     pub fn with_restricted_segment_writes(mut self, restrict: bool) -> Self {
         self.restrict_segment_writes = restrict;
+        self
+    }
+
+    /// Installs an interrupt-path fault-injection plan (builder style).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }

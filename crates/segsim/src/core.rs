@@ -6,7 +6,7 @@ use crate::config::{MachineConfig, Vendor};
 use crate::error::SimError;
 use crate::freq::{FreqModel, StepFn};
 use irq::time::Ps;
-use irq::{GroundTruth, InterruptFabric, InterruptKind, SourceId};
+use irq::{FaultLog, FaultPlan, FaultedPop, GroundTruth, InterruptFabric, InterruptKind, SourceId};
 use memsim::{AccessOutcome, KaslrLayout, MemoryHierarchy};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -15,6 +15,11 @@ use x86seg::{
     load_data_segment, protected_mode_return, DataSegReg, DescriptorTables, PrivilegeLevel,
     ReturnFootprint, SegmentRegisterFile, Selector,
 };
+
+/// Most near-miss interrupts one kernel stint may absorb through the
+/// fault plan's coalescing window (rate-limit style coalescing merges a
+/// bounded burst, it does not stall delivery forever).
+const COALESCE_BURST_CAP: u32 = 4;
 
 /// One interrupt delivered to the simulated core, as the simulator (not
 /// the attacker) sees it.
@@ -137,6 +142,13 @@ pub struct Machine {
     /// User-side cycles still owed to pipeline/cache refill after the last
     /// interrupt (consumed before guest work makes progress).
     pending_refill: f64,
+    /// Opt-in interrupt-path fault injection (`None` = nominal machine,
+    /// bit-identical RNG stream to a build without fault injection).
+    fault_plan: Option<FaultPlan>,
+    /// Accounting of every fault actually injected.
+    fault_log: FaultLog,
+    /// Remaining guest operations in the current SMT-noise burst.
+    smt_burst_left: u32,
 }
 
 impl Machine {
@@ -160,6 +172,8 @@ impl Machine {
         // The attacker is a spin loop: full local load unless told
         // otherwise.
         freq.set_local_load(1.0);
+        freq.set_step_clamp(config.fault_plan.and_then(|p| p.freq_step_clamp_khz));
+        let fault_plan = config.fault_plan;
         Machine {
             rng,
             now: Ps::ZERO,
@@ -178,6 +192,9 @@ impl Machine {
             ct_drift: 0.0,
             ct_last_kernel_entries: 0,
             pending_refill: 0.0,
+            fault_plan,
+            fault_log: FaultLog::default(),
+            smt_burst_left: 0,
             config,
         }
     }
@@ -220,6 +237,29 @@ impl Machine {
     #[must_use]
     pub fn kernel_entries(&self) -> u64 {
         self.kernel_entries
+    }
+
+    /// The active fault-injection plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan
+    }
+
+    /// Installs or removes a fault-injection plan at runtime.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+        self.freq
+            .set_step_clamp(plan.and_then(|p| p.freq_step_clamp_khz));
+        if plan.is_none() {
+            self.smt_burst_left = 0;
+        }
+    }
+
+    /// Accounting of every fault injected so far (the auditor's view;
+    /// attacker code never reads this).
+    #[must_use]
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
     }
 
     /// The cache hierarchy (for ground-truth inspection in tests).
@@ -524,7 +564,7 @@ impl Machine {
             // Governor updates due now?
             while self.freq.next_update_at() <= self.now {
                 let at = self.freq.next_update_at();
-                self.freq.tick(at, &mut self.rng);
+                self.governor_tick(at);
             }
             let khz = self.freq.current_khz();
             let next_gov = self.freq.next_update_at();
@@ -544,13 +584,17 @@ impl Machine {
                 self.now = boundary;
             }
             if boundary == irq_at && next_irq.is_some() {
-                let delivered = self.deliver_interrupt();
-                return UserSpan {
-                    start,
-                    end: self.now,
-                    cycles,
-                    ended_by: SpanEnd::Interrupt(delivered),
-                };
+                if let Some(delivered) = self.deliver_interrupt() {
+                    return UserSpan {
+                        start,
+                        end: self.now,
+                        cycles,
+                        ended_by: SpanEnd::Interrupt(delivered),
+                    };
+                }
+                // The fault plan dropped the interrupt: user execution
+                // continues, unaware anything was pending.
+                continue;
             }
             if boundary == deadline {
                 return UserSpan {
@@ -572,6 +616,13 @@ impl Machine {
         self.now.cycles_at(self.config.tsc_khz())
     }
 
+    /// Runs one governor update, tracking fault-injection step clamps.
+    fn governor_tick(&mut self, at: Ps) {
+        if self.freq.tick(at, &mut self.rng) {
+            self.fault_log.clamped_steps += 1;
+        }
+    }
+
     /// Executes one guest operation of `nominal` cycles, applying the
     /// machine's noise model and delivering any interrupts the elapsed
     /// time crosses.
@@ -585,6 +636,19 @@ impl Machine {
             cycles += (noise.tail_min.ln() + u * (noise.tail_max.ln() - noise.tail_min.ln())).exp();
         }
         cycles *= noise.smt_factor;
+        // Fault injection: SMT-noise bursts stretch a run of operations.
+        if let Some(plan) = self.fault_plan {
+            if plan.smt_burst_prob > 0.0 {
+                if self.smt_burst_left == 0 && self.rng.gen::<f64>() < plan.smt_burst_prob {
+                    self.smt_burst_left = plan.smt_burst_ops;
+                    self.fault_log.bursts += 1;
+                }
+                if self.smt_burst_left > 0 {
+                    self.smt_burst_left -= 1;
+                    cycles *= plan.smt_burst_factor;
+                }
+            }
+        }
         // The first work after an interrupt stalls on cold pipeline/caches.
         cycles += std::mem::take(&mut self.pending_refill);
         self.advance_cycles(cycles.max(0.0));
@@ -597,7 +661,7 @@ impl Machine {
         while remaining > 0.0 {
             while self.freq.next_update_at() <= self.now {
                 let at = self.freq.next_update_at();
-                self.freq.tick(at, &mut self.rng);
+                self.governor_tick(at);
             }
             let khz = self.freq.current_khz();
             let next_gov = self.freq.next_update_at();
@@ -626,17 +690,53 @@ impl Machine {
         }
     }
 
+    /// Pops the due interrupt through the fault plan's delivery faults.
+    /// `None` means the plan dropped it (the core never sees it).
+    fn pop_due_interrupt(&mut self) -> Option<irq::PendingInterrupt> {
+        match self.fault_plan.filter(FaultPlan::has_delivery_faults) {
+            Some(plan) => {
+                let popped = self
+                    .fabric
+                    .pop_with_faults(&plan, &mut self.fault_log, &mut self.rng)
+                    .expect("deliver_interrupt called with nothing pending");
+                match popped {
+                    FaultedPop::Delivered(p) => Some(p),
+                    FaultedPop::Dropped(_) => None,
+                }
+            }
+            None => Some(
+                self.fabric
+                    .pop(&mut self.rng)
+                    .expect("deliver_interrupt called with nothing pending"),
+            ),
+        }
+    }
+
+    /// Samples one handler routine cost, applying fault-injection jitter.
+    fn sample_handler_cost(&mut self, kind: InterruptKind) -> Ps {
+        let w = self.config.handler_model.sample(kind, &mut self.rng);
+        match self.fault_plan {
+            Some(plan) if plan.handler_jitter_std > 0.0 => {
+                self.fault_log.jittered += 1;
+                let factor = irq::dist::normal(&mut self.rng, 0.0, plan.handler_jitter_std).exp();
+                Ps::from_ps(((w.as_ps() as f64 * factor) as u64).max(1))
+            }
+            _ => w,
+        }
+    }
+
     /// Delivers the due interrupt: kernel entry, handler, cascades,
     /// scheduler preemption, and the Algorithm 1 scrub on return.
-    fn deliver_interrupt(&mut self) -> DeliveredIrq {
-        let pending = self
-            .fabric
-            .pop(&mut self.rng)
-            .expect("deliver_interrupt called with nothing pending");
+    ///
+    /// Returns `None` when the fault plan dropped the interrupt before it
+    /// reached the core (no kernel entry, no footprint, no ground-truth
+    /// record — exactly like a lost wakeup on real hardware).
+    fn deliver_interrupt(&mut self) -> Option<DeliveredIrq> {
+        let pending = self.pop_due_interrupt()?;
         self.kernel_entries += 1;
         let first_kind = pending.kind;
         let first_at = pending.at;
-        let handler_cost = self.config.handler_model.sample(first_kind, &mut self.rng);
+        let handler_cost = self.sample_handler_cost(first_kind);
         self.ground_truth.record(first_at, first_kind, handler_cost);
         let mut kernel_span = handler_cost;
         if first_kind == InterruptKind::Timer {
@@ -659,25 +759,47 @@ impl Machine {
         }
         // Cascaded interrupts that land while we're still in the kernel
         // are handled back-to-back (one combined return to user space).
+        // The fault plan's coalescing window widens what counts as
+        // "still in the kernel", merging near-misses into this stint —
+        // bounded per stint so a window wider than a periodic source's
+        // period cannot swallow the rest of the run in one cascade.
+        let window = self.fault_plan.map_or(Ps::ZERO, |p| p.coalesce_window);
+        let mut coalesce_budget: u32 = if window > Ps::ZERO {
+            COALESCE_BURST_CAP
+        } else {
+            0
+        };
         loop {
+            let horizon = if coalesce_budget > 0 {
+                kernel_span + window
+            } else {
+                kernel_span
+            };
             let due = match self.fabric.peek_next() {
-                Some(p) if p.at <= self.now + kernel_span => p,
+                Some(p) if p.at <= self.now + horizon => p,
                 _ => break,
             };
-            let p = self.fabric.pop(&mut self.rng).expect("peeked");
+            let natural = due.at <= self.now + kernel_span;
+            let Some(p) = self.pop_due_interrupt() else {
+                continue;
+            };
+            if !natural {
+                self.fault_log.coalesced += 1;
+                coalesce_budget -= 1;
+            }
             self.kernel_entries += 1;
-            let w = self.config.handler_model.sample(p.kind, &mut self.rng);
+            let w = self.sample_handler_cost(p.kind);
             self.ground_truth.record(due.at.max(self.now), p.kind, w);
             if p.kind == InterruptKind::Timer {
                 self.timer_ticks_seen = self.timer_ticks_seen.wrapping_add(1);
             }
-            kernel_span += w;
+            kernel_span = kernel_span.max(due.at.saturating_sub(self.now)) + w;
         }
         // Kernel time elapses at the domain frequency too.
         let kernel_end = self.now + kernel_span;
         while self.freq.next_update_at() <= kernel_end {
             let at = self.freq.next_update_at();
-            self.freq.tick(at, &mut self.rng);
+            self.governor_tick(at);
         }
         self.domain_cycles += kernel_span.as_ps() as f64 * self.freq.current_khz() as f64 / 1e9;
         self.now = kernel_end;
@@ -703,13 +825,13 @@ impl Machine {
                 PrivilegeLevel::Ring3,
             );
         }
-        DeliveredIrq {
+        Some(DeliveredIrq {
             kind: first_kind,
             at: first_at,
             handler_cost,
             kernel_span,
             footprint,
-        }
+        })
     }
 }
 
@@ -936,6 +1058,139 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    /// Counts spans ending in an interrupt over a fixed horizon.
+    fn observed_returns(mut m: Machine, horizon: Ps) -> (u64, Machine) {
+        let mut observed = 0;
+        while let SpanEnd::Interrupt(_) = m.run_user_until(horizon).ended_by {
+            observed += 1;
+        }
+        (observed, m)
+    }
+
+    #[test]
+    fn no_fault_plan_preserves_rng_stream() {
+        // A machine with no plan must behave bit-identically to the seed
+        // repo: compare against a machine with an inert (zeroed) plan
+        // removed at runtime before any event fires.
+        let mut plain = Machine::new(MachineConfig::default(), 0xFA117);
+        let mut cleared = Machine::new(
+            MachineConfig::default().with_fault_plan(irq::FaultPlan::none()),
+            0xFA117,
+        );
+        cleared.set_fault_plan(None);
+        for _ in 0..50 {
+            let a = plain.run_user_until(Ps::MAX);
+            let b = cleared.run_user_until(Ps::MAX);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn inert_fault_plan_changes_nothing() {
+        // A zeroed plan has no delivery faults, so the machine never takes
+        // the fault-rolling pop path and the stream is preserved too.
+        let mut plain = Machine::new(MachineConfig::default(), 0xFA118);
+        let mut inert = Machine::new(
+            MachineConfig::default().with_fault_plan(irq::FaultPlan::none()),
+            0xFA118,
+        );
+        for _ in 0..50 {
+            assert_eq!(plain.run_user_until(Ps::MAX), inert.run_user_until(Ps::MAX));
+        }
+        assert!(inert.fault_log().is_clean());
+    }
+
+    #[test]
+    fn dropped_interrupts_never_reach_the_core() {
+        let horizon = Ps::from_ms(400);
+        let clean = Machine::new(MachineConfig::default(), 0xD10);
+        let (clean_observed, clean_m) = observed_returns(clean, horizon);
+        let faulted = Machine::new(
+            MachineConfig::default().with_fault_plan(irq::FaultPlan::none().with_drop_prob(0.4)),
+            0xD10,
+        );
+        let (observed, m) = observed_returns(faulted, horizon);
+        let log = m.fault_log();
+        assert!(log.dropped > 0, "40% drops over 100 ticks must fire");
+        assert!(observed < clean_observed);
+        // Every delivery is recorded; drops are not.
+        assert_eq!(m.ground_truth().len() as u64, observed);
+        // Intended = delivered + dropped reproduces the clean tick count
+        // (jitter can shift the boundary tick by one).
+        let intended = observed + log.dropped;
+        assert!(
+            intended.abs_diff(clean_observed) <= 1,
+            "intended {intended} vs clean {clean_observed}"
+        );
+        drop(clean_m);
+    }
+
+    #[test]
+    fn duplicated_interrupts_add_spurious_returns() {
+        let horizon = Ps::from_ms(400);
+        let faulted = Machine::new(
+            MachineConfig::default()
+                .with_fault_plan(irq::FaultPlan::none().with_duplicate_prob(0.5)),
+            0xD11,
+        );
+        let (observed, m) = observed_returns(faulted, horizon);
+        let log = m.fault_log();
+        assert!(log.duplicated > 0);
+        // Ghost deliveries inflate the observed count past the intended
+        // one (ghosts still pending at the horizon stay unobserved).
+        let intended = observed + log.dropped - log.duplicated;
+        assert!(observed > intended);
+    }
+
+    #[test]
+    fn coalescing_merges_near_misses_into_one_return() {
+        // A window wider than the 4 ms tick period merges every
+        // subsequent tick into the first kernel stint.
+        let faulted = Machine::new(
+            MachineConfig::default()
+                .with_fault_plan(irq::FaultPlan::none().with_coalesce_window(Ps::from_ms(5))),
+            0xD12,
+        );
+        let (observed, m) = observed_returns(faulted, Ps::from_ms(100));
+        assert!(m.fault_log().coalesced > 0);
+        // Many deliveries, few observable returns.
+        assert!(m.ground_truth().len() as u64 > observed);
+    }
+
+    #[test]
+    fn timing_faults_keep_per_interrupt_exactness() {
+        let horizon = Ps::from_ms(400);
+        let faulted = Machine::new(
+            MachineConfig::default().with_fault_plan(irq::FaultPlan::timing_storm()),
+            0xD13,
+        );
+        let (observed, m) = observed_returns(faulted, horizon);
+        let log = *m.fault_log();
+        assert!(log.jittered > 0 && log.clamped_steps > 0);
+        assert_eq!(log.delivery_faults(), 0);
+        // Every intended interrupt produced exactly one observable return.
+        assert_eq!(m.ground_truth().len() as u64, observed);
+    }
+
+    #[test]
+    fn smt_bursts_stretch_operations() {
+        let cfg = MachineConfig::default()
+            .with_fault_plan(irq::FaultPlan::none().with_smt_bursts(1.0, 3.0, 8));
+        let mut m = Machine::new(cfg, 0xD14);
+        let t0 = m.now();
+        m.spin(10_000);
+        let stretched = m.now() - t0;
+        let mut clean = Machine::new(MachineConfig::default(), 0xD14);
+        let c0 = clean.now();
+        clean.spin(10_000);
+        let nominal = clean.now() - c0;
+        assert!(m.fault_log().bursts > 0);
+        assert!(
+            stretched.as_ps() > nominal.as_ps() * 2,
+            "burst factor 3 must show: {stretched} vs {nominal}"
+        );
     }
 
     #[test]

@@ -150,6 +150,8 @@ pub struct FreqModel {
     /// Cached sysfs value: `scaling_cur_freq` only refreshes every ~10 ms.
     sysfs_khz: u64,
     sysfs_next_refresh: Ps,
+    /// Fault injection: bound on how far one update may move `cur_khz`.
+    step_clamp_khz: Option<u64>,
 }
 
 impl FreqModel {
@@ -165,8 +167,15 @@ impl FreqModel {
             pinned_khz: None,
             sysfs_khz: config.base_khz,
             sysfs_next_refresh: Ps::ZERO,
+            step_clamp_khz: None,
             config,
         }
+    }
+
+    /// Installs (or removes) a fault-injection clamp on the per-update
+    /// frequency step. [`FreqModel::tick`] reports when it bites.
+    pub fn set_step_clamp(&mut self, khz: Option<u64>) {
+        self.step_clamp_khz = khz;
     }
 
     /// The static configuration.
@@ -215,10 +224,11 @@ impl FreqModel {
     }
 
     /// Runs one governor update at time `now` (callers invoke this when
-    /// `now >= next_update_at()`).
-    pub fn tick<R: Rng + ?Sized>(&mut self, now: Ps, rng: &mut R) {
+    /// `now >= next_update_at()`), returning whether the fault-injection
+    /// step clamp limited the move.
+    pub fn tick<R: Rng + ?Sized>(&mut self, now: Ps, rng: &mut R) -> bool {
         if self.pinned_khz.is_some() {
-            return;
+            return false;
         }
         let cfg = self.config;
         let load = (self.local_load + self.external_load.value_at(now)).clamp(0.0, 1.0);
@@ -230,6 +240,15 @@ impl FreqModel {
         let cur = self.cur_khz as f64;
         let mut next = cur + cfg.alpha * (target - cur) + dist::normal(rng, 0.0, cfg.noise_std_khz);
         next = next.clamp(cfg.min_khz as f64, cfg.max_khz as f64);
+        let mut clamped = false;
+        if let Some(limit) = self.step_clamp_khz {
+            let limit = limit as f64;
+            let delta = next - cur;
+            if delta.abs() > limit {
+                next = cur + delta.signum() * limit;
+                clamped = true;
+            }
+        }
         // Quantize to P-states.
         let step = cfg.step_khz as f64;
         self.cur_khz = ((next / step).round() * step) as u64;
@@ -239,6 +258,7 @@ impl FreqModel {
             self.sysfs_khz = self.cur_khz;
             self.sysfs_next_refresh = now + Ps::from_ms(10);
         }
+        clamped
     }
 
     /// The value an unprivileged read of `scaling_cur_freq` returns at
@@ -357,6 +377,30 @@ mod tests {
         model.set_local_load(0.7);
         run_until(&mut model, Ps::from_ms(50), &mut rng);
         assert_eq!(model.current_khz() % model.config().step_khz, 0);
+    }
+
+    #[test]
+    fn step_clamp_limits_per_update_moves() {
+        let mut rng = SmallRng::seed_from_u64(0xF7);
+        let mut model = FreqModel::default();
+        model.set_local_load(1.0);
+        model.set_step_clamp(Some(100_000));
+        let mut any_clamped = false;
+        let mut prev = model.current_khz();
+        for ms in 1..=100 {
+            let clamped = model.tick(Ps::from_ms(ms), &mut rng);
+            any_clamped |= clamped;
+            let cur = model.current_khz();
+            // One quantization step of slack on top of the clamp.
+            assert!(
+                cur.abs_diff(prev) <= 100_000 + model.config().step_khz / 2,
+                "step {} -> {} exceeds clamp",
+                prev,
+                cur
+            );
+            prev = cur;
+        }
+        assert!(any_clamped, "a cold loaded core must hit a 100 MHz clamp");
     }
 
     #[test]

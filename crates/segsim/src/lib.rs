@@ -49,3 +49,8 @@ pub use freq::{FreqConfig, FreqModel, StepFn};
 
 // Re-export the time unit so downstream crates need not spell `irq::Ps`.
 pub use irq::Ps;
+
+// Re-export the fault-injection types configured via
+// [`MachineConfig::with_fault_plan`] and audited via
+// [`Machine::fault_log`].
+pub use irq::{FaultLog, FaultPlan};

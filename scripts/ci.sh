@@ -13,6 +13,18 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test -q --offline --workspace
 
+echo "==> examples (release, seeded)"
+for example in covert_channel kaslr_break keystroke_monitor quickstart \
+               segscope_timer spectral_enhance spectre_leak website_fingerprint; do
+    echo "--> $example"
+    cargo run --release --offline --example "$example" >/dev/null
+done
+
+if [[ "${SEGSCOPE_CONFORMANCE_FULL:-0}" == "1" ]]; then
+    echo "==> full conformance sweep (SEGSCOPE_CONFORMANCE_FULL=1)"
+    cargo test -q --offline -p conformance --release -- --include-ignored
+fi
+
 echo "==> cargo clippy -D warnings"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 

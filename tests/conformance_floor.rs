@@ -1,0 +1,31 @@
+//! Tier-1 hook for the differential conformance harness: the ≥ 1e6-op
+//! floor and the mutation-detection canary must run on every plain
+//! `cargo test`, not only on workspace-wide CI (the full suite lives in
+//! `crates/conformance/tests/differential.rs`).
+
+use conformance::{replay, run_differential, Mutation};
+
+/// Same stream as the conformance crate's acceptance test; a second
+/// seed keeps the two suites from silently testing identical cases.
+const EXPERIMENT_SEED: u64 = 0x5E65_C09F;
+
+#[test]
+fn reference_model_survives_a_million_generated_ops() {
+    let report = run_differential(EXPERIMENT_SEED, 2_048, 512, None);
+    assert!(
+        report.is_conformant(),
+        "models diverged:\n{}",
+        report.divergence.unwrap()
+    );
+    assert_eq!(report.ops, 1_048_576, "op floor regressed");
+}
+
+#[test]
+fn harness_catches_a_seeded_bug() {
+    let report = run_differential(EXPERIMENT_SEED, 128, 256, Some(Mutation::SkipEsScrub));
+    let case = report.divergence.expect("seeded bug must be caught");
+    assert!(
+        replay(&case.shrunk_ops, Some(Mutation::SkipEsScrub)).is_some(),
+        "shrunk case must replay"
+    );
+}

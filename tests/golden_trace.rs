@@ -1,0 +1,174 @@
+//! Golden-trace snapshot tests: one canonical `Machine` run per Table I
+//! vendor configuration, snapshotted to `tests/golden/*.json`.
+//!
+//! Each snapshot captures the three observable layers of a SegScope run:
+//! the attacker-visible SegCnt stream, the simulator's ground-truth
+//! delivered-interrupt trace, and the raw per-return segment footprints.
+//! Any behavioural drift in the simulator, the interrupt fabric, or the
+//! scrub semantics shows up as a JSON diff against the blessed file.
+//!
+//! Regenerate intentionally with:
+//!
+//! ```text
+//! SEGSCOPE_BLESS=1 cargo test --test golden_trace
+//! ```
+
+use segscope::SegProbe;
+use segsim::{Machine, MachineConfig, SpanEnd};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use x86seg::{PrivilegeLevel, Selector};
+
+/// Fixed seed for every golden run; the config name is the only varying
+/// input.
+const GOLDEN_SEED: u64 = 0x601D;
+/// Probe samples snapshotted per config.
+const PROBE_SAMPLES: usize = 24;
+/// Raw user spans (with footprints) snapshotted per config.
+const RAW_SPANS: usize = 12;
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenSample {
+    segcnt: u64,
+    kind: String,
+    started_at_ps: u64,
+    ended_at_ps: u64,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenIrq {
+    at_ps: u64,
+    kind: String,
+    handler_cost_ps: u64,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenSpan {
+    kind: String,
+    at_ps: u64,
+    kernel_span_ps: u64,
+    /// Serialized `ReturnFootprint` of the kernel→user return.
+    footprint: String,
+    /// GS selector value observed right after the return.
+    gs_after: u16,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenTrace {
+    config: String,
+    seed: u64,
+    samples: Vec<GoldenSample>,
+    delivered: Vec<GoldenIrq>,
+    spans: Vec<GoldenSpan>,
+    final_now_ps: u64,
+}
+
+fn record_trace(name: &str, config: MachineConfig) -> GoldenTrace {
+    let mut machine = Machine::new(config, GOLDEN_SEED);
+    let samples = SegProbe::new()
+        .probe_n(&mut machine, PROBE_SAMPLES)
+        .expect("golden configs never mitigate the probe")
+        .into_iter()
+        .map(|s| GoldenSample {
+            segcnt: s.segcnt,
+            kind: format!("{:?}", s.kind),
+            started_at_ps: s.started_at.as_ps(),
+            ended_at_ps: s.ended_at.as_ps(),
+        })
+        .collect();
+    // Raw spans: park the 0x2 marker and watch each return's footprint.
+    let mut spans = Vec::with_capacity(RAW_SPANS);
+    while spans.len() < RAW_SPANS {
+        machine
+            .wrgs(Selector::null_with_rpl(PrivilegeLevel::Ring2))
+            .expect("golden configs never restrict segment writes");
+        let span = machine.run_user_until(irq::Ps::MAX);
+        let SpanEnd::Interrupt(irq) = span.ended_by else {
+            panic!("unbounded span must end in an interrupt");
+        };
+        spans.push(GoldenSpan {
+            kind: format!("{:?}", irq.kind),
+            at_ps: irq.at.as_ps(),
+            kernel_span_ps: irq.kernel_span.as_ps(),
+            footprint: serde_json::to_string(&irq.footprint).expect("footprint serializes"),
+            gs_after: machine.rdgs().bits(),
+        });
+    }
+    let delivered = machine
+        .ground_truth()
+        .records()
+        .iter()
+        .map(|r| GoldenIrq {
+            at_ps: r.at.as_ps(),
+            kind: format!("{:?}", r.kind),
+            handler_cost_ps: r.handler_cost.as_ps(),
+        })
+        .collect();
+    GoldenTrace {
+        config: name.to_owned(),
+        seed: GOLDEN_SEED,
+        samples,
+        delivered,
+        spans,
+        final_now_ps: machine.now().as_ps(),
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn check_golden(name: &str, config: MachineConfig) {
+    let actual = record_trace(name, config);
+    let path = golden_path(name);
+    let serialized = serde_json::to_string(&actual).expect("trace serializes");
+    if std::env::var("SEGSCOPE_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, serialized + "\n").expect("golden file writable");
+        return;
+    }
+    let blessed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SEGSCOPE_BLESS=1",
+            path.display()
+        )
+    });
+    let expected: GoldenTrace =
+        serde_json::from_str(&blessed).expect("golden file parses as GoldenTrace");
+    assert_eq!(
+        actual, expected,
+        "golden trace drift for {name}; if intentional, regenerate with \
+         SEGSCOPE_BLESS=1 cargo test --test golden_trace"
+    );
+}
+
+#[test]
+fn golden_xiaomi_air13() {
+    check_golden("xiaomi_air13", MachineConfig::xiaomi_air13());
+}
+
+#[test]
+fn golden_lenovo_yangtian() {
+    check_golden("lenovo_yangtian", MachineConfig::lenovo_yangtian());
+}
+
+#[test]
+fn golden_lenovo_savior() {
+    check_golden("lenovo_savior", MachineConfig::lenovo_savior());
+}
+
+#[test]
+fn golden_honor_magicbook() {
+    check_golden("honor_magicbook", MachineConfig::honor_magicbook());
+}
+
+#[test]
+fn golden_amazon_t2_large() {
+    check_golden("amazon_t2_large", MachineConfig::amazon_t2_large());
+}
+
+#[test]
+fn golden_amazon_c5_large() {
+    check_golden("amazon_c5_large", MachineConfig::amazon_c5_large());
+}

@@ -6,7 +6,10 @@ use proptest::prelude::*;
 use segscope_repro::irq::Ps;
 use segscope_repro::segscope::{InterruptGuard, SegProbe, ZScoreFilter};
 use segscope_repro::segsim::{Machine, MachineConfig};
-use segscope_repro::x86seg::Selector;
+use segscope_repro::x86seg::{
+    load_data_segment, protected_mode_return, DataSegReg, DescriptorKind, DescriptorTables,
+    PrivilegeLevel, SegError, SegmentDescriptor, SegmentRegisterFile, Selector, TableIndicator,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -108,5 +111,157 @@ proptest! {
             }
             Err(_) => prop_assert!(!sel.is_null(), "null selectors never fault"),
         }
+    }
+}
+
+const DATA_REGS: [DataSegReg; 4] = [
+    DataSegReg::Ds,
+    DataSegReg::Es,
+    DataSegReg::Fs,
+    DataSegReg::Gs,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1's core primitive: every non-zero null selector
+    /// (0x1–0x3) loads silently into *every* data register at any CPL,
+    /// caches no descriptor, and is scrubbed back to zero — flagged as a
+    /// null clear — on the next outward kernel→user return.
+    #[test]
+    fn nonzero_nulls_load_everywhere_and_scrub(
+        reg_idx in 0usize..4,
+        raw in 1u16..4,
+        cpl_bits in 0u8..4,
+    ) {
+        let reg = DATA_REGS[reg_idx];
+        let mut regs = SegmentRegisterFile::flat_user();
+        let tables = DescriptorTables::linux_flat();
+        let cpl = PrivilegeLevel::from_bits_truncate(cpl_bits);
+        let sel = Selector::from_bits(raw);
+        prop_assert!(sel.is_null() && !sel.is_zero());
+        load_data_segment(&mut regs, reg, sel, &tables, cpl).expect("null loads never fault");
+        prop_assert_eq!(regs.selector(reg).bits(), raw, "marker stored verbatim");
+        prop_assert!(
+            regs.register(reg).descriptor_cache().is_none(),
+            "null loads must not cache a descriptor"
+        );
+        let fp = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        prop_assert!(fp.cleared_as_null(reg), "non-zero null must be flagged on return");
+        prop_assert!(regs.selector(reg).is_zero(), "marker must be scrubbed to 0");
+    }
+
+    /// RPL weakening: loading a kernel descriptor (DPL 0) with any
+    /// non-zero RPL fails the privilege check even from ring 0, and the
+    /// failed load leaves the register byte-identical.
+    #[test]
+    fn rpl_above_dpl_faults_and_leaves_register(
+        reg_idx in 0usize..4,
+        kernel_index in 1u16..3,
+        rpl_bits in 1u8..4,
+    ) {
+        let reg = DATA_REGS[reg_idx];
+        let mut regs = SegmentRegisterFile::flat_user();
+        let tables = DescriptorTables::linux_flat();
+        let before_sel = regs.selector(reg);
+        let before_cache = regs.register(reg).descriptor_cache().copied();
+        let sel = Selector::new(
+            kernel_index,
+            TableIndicator::Gdt,
+            PrivilegeLevel::from_bits_truncate(rpl_bits),
+        );
+        let err = load_data_segment(&mut regs, reg, sel, &tables, PrivilegeLevel::Ring0)
+            .expect_err("RPL > DPL must fault");
+        prop_assert!(
+            matches!(err, SegError::PrivilegeViolation { .. }),
+            "expected a privilege fault, got {err:?}"
+        );
+        prop_assert_eq!(regs.selector(reg), before_sel, "failed load must not touch selector");
+        prop_assert_eq!(
+            regs.register(reg).descriptor_cache().copied(),
+            before_cache,
+            "failed load must not touch the cache"
+        );
+    }
+
+    /// The Linux flat model ships an empty LDT: any LDT-bit selector is
+    /// out of range no matter the index, RPL, or CPL, and the register
+    /// survives untouched.
+    #[test]
+    fn ldt_selectors_fault_on_empty_ldt(
+        reg_idx in 0usize..4,
+        index in 0u16..512,
+        rpl_bits in 0u8..4,
+        cpl_bits in 0u8..4,
+    ) {
+        let reg = DATA_REGS[reg_idx];
+        let mut regs = SegmentRegisterFile::flat_user();
+        let tables = DescriptorTables::linux_flat();
+        let before_sel = regs.selector(reg);
+        let sel = Selector::new(
+            index,
+            TableIndicator::Ldt,
+            PrivilegeLevel::from_bits_truncate(rpl_bits),
+        );
+        prop_assert!(!sel.is_null(), "TI=1 selectors are never null");
+        let err = load_data_segment(
+            &mut regs,
+            reg,
+            sel,
+            &tables,
+            PrivilegeLevel::from_bits_truncate(cpl_bits),
+        )
+        .expect_err("empty LDT has no valid entries");
+        prop_assert!(
+            matches!(err, SegError::IndexOutOfRange { .. }),
+            "expected index-out-of-range, got {err:?}"
+        );
+        prop_assert_eq!(regs.selector(reg), before_sel);
+    }
+
+    /// Descriptor-cache staleness: once loaded, the cached descriptor —
+    /// not the live GDT — decides the outward-return scrub. Removing or
+    /// re-installing the entry after the load must not change the
+    /// verdict.
+    #[test]
+    fn return_scrub_uses_stale_descriptor_cache(
+        reg_idx in 0usize..4,
+        index in 5u16..12,
+        remove_flag in 0u8..2,
+    ) {
+        let remove_instead_of_weaken = remove_flag == 1;
+        let reg = DATA_REGS[reg_idx];
+        let mut regs = SegmentRegisterFile::flat_user();
+        let mut tables = DescriptorTables::linux_flat();
+        let kernel_data = SegmentDescriptor::new(
+            0,
+            u64::from(u32::MAX),
+            PrivilegeLevel::Ring0,
+            DescriptorKind::Data { writable: true, expand_down: false },
+        );
+        tables.gdt.install(index, kernel_data);
+        let sel = Selector::new(index, TableIndicator::Gdt, PrivilegeLevel::Ring0);
+        load_data_segment(&mut regs, reg, sel, &tables, PrivilegeLevel::Ring0)
+            .expect("fresh kernel data segment loads at ring 0");
+        // Mutate the table out from under the loaded register.
+        if remove_instead_of_weaken {
+            tables.gdt.remove(index);
+        } else {
+            let user_data = SegmentDescriptor::new(
+                0,
+                u64::from(u32::MAX),
+                PrivilegeLevel::Ring3,
+                DescriptorKind::Data { writable: true, expand_down: false },
+            );
+            tables.gdt.install(index, user_data);
+        }
+        let cached = regs.register(reg).descriptor_cache().expect("cache survives table edits");
+        prop_assert_eq!(cached.dpl(), PrivilegeLevel::Ring0, "cache holds the load-time DPL");
+        let fp = protected_mode_return(&mut regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0);
+        prop_assert!(
+            fp.cleared_as_sensitive(reg),
+            "stale DPL-0 cache must still trigger the sensitive scrub"
+        );
+        prop_assert!(regs.selector(reg).is_zero());
     }
 }
