@@ -132,9 +132,46 @@ pub struct CovertResult {
 /// Panics if `message` is empty.
 #[must_use]
 pub fn transmit(config: &CovertConfig, message: &[bool], seed: u64) -> CovertResult {
-    assert!(!message.is_empty(), "need a payload");
     let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), seed);
     machine.set_fault_plan(config.fault_plan);
+    transmit_on(&mut machine, config, message)
+}
+
+/// [`transmit`] with an observability trace: runs the transmission on a
+/// machine with a [`obs::TraceSink`] of `capacity` events installed, so
+/// the trace shows the channel working — `FreqTransition` counter events
+/// track the sender's power modulation while `ProbeSample` events carry
+/// the receiver's per-interval SegCnt.
+///
+/// Tracing is RNG- and timing-neutral: the [`CovertResult`] is identical
+/// to what [`transmit`] returns for the same inputs.
+///
+/// # Panics
+///
+/// Panics if `message` is empty.
+#[must_use]
+pub fn transmit_traced(
+    config: &CovertConfig,
+    message: &[bool],
+    seed: u64,
+    capacity: usize,
+) -> (CovertResult, obs::TraceSink) {
+    let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), seed);
+    machine.set_fault_plan(config.fault_plan);
+    machine.install_trace_sink(obs::TraceSink::with_capacity(capacity));
+    let result = transmit_on(&mut machine, config, message);
+    (result, machine.take_trace_sink().expect("sink installed"))
+}
+
+/// Runs one full transmission on a caller-provided `machine` (fault plan
+/// and any trace sink already installed) and decodes it.
+///
+/// # Panics
+///
+/// Panics if `message` is empty.
+#[must_use]
+pub fn transmit_on(machine: &mut Machine, config: &CovertConfig, message: &[bool]) -> CovertResult {
+    assert!(!message.is_empty(), "need a payload");
     machine.spin(200_000_000); // governor steady state
     let t0 = machine.now() + Ps::from_ms(2);
     let (schedule, _end) = sender_schedule(config, message, t0);
@@ -156,7 +193,7 @@ pub fn transmit(config: &CovertConfig, message: &[bool], seed: u64) -> CovertRes
             // Bound the probe by the slot end so a quiet slot cannot
             // swallow the next one.
             let remaining = slot_end.saturating_sub(machine.now());
-            match probe.probe_once_bounded(&mut machine, remaining) {
+            match probe.probe_once_bounded(machine, remaining) {
                 Ok(s) => cnts.push(s.segcnt as f64),
                 Err(_) => break, // deadline inside the slot: move on
             }
@@ -370,6 +407,19 @@ mod tests {
             fast.error_rate
         );
         assert!(slow.error_rate <= fast.error_rate + 0.05);
+    }
+
+    #[test]
+    fn traced_transmission_matches_untraced() {
+        let message = bytes_to_bits(b"OBS");
+        let plain = transmit(&CovertConfig::slow(), &message, 0xC080);
+        let (traced, sink) = transmit_traced(&CovertConfig::slow(), &message, 0xC080, 1 << 16);
+        assert_eq!(traced, plain, "tracing must not perturb the channel");
+        assert!(
+            sink.count_class(obs::EventClass::FreqTransition) > 0,
+            "sender modulation must surface as frequency transitions"
+        );
+        assert!(sink.count_class(obs::EventClass::ProbeSample) > 0);
     }
 
     #[test]

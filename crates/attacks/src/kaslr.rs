@@ -286,6 +286,36 @@ pub fn break_kaslr_fresh(
     break_kaslr(&mut machine, config)
 }
 
+/// [`break_kaslr_fresh`] with an observability trace: installs a sink of
+/// `capacity` events on the fresh machine before warm-up, so the
+/// returned trace covers the whole attack — governor transitions during
+/// warm-up, the SegScope timer's calibration probes, and the per-slot
+/// timing probes.
+///
+/// Tracing is RNG- and timing-neutral: the [`KaslrResult`] is identical
+/// to what [`break_kaslr_fresh`] returns for the same inputs.
+///
+/// # Errors
+///
+/// See [`break_kaslr`].
+pub fn break_kaslr_traced(
+    machine_cfg: MachineConfig,
+    config: &KaslrConfig,
+    seed: u64,
+    capacity: usize,
+) -> Result<(KaslrResult, obs::TraceSink), KaslrError> {
+    let mut machine = Machine::new(machine_cfg, seed);
+    machine.install_trace_sink(obs::TraceSink::with_capacity(capacity));
+    let layout = {
+        let rng = machine.rng_mut();
+        KaslrLayout::randomize(rng)
+    };
+    machine.set_kaslr(layout);
+    machine.spin(50_000_000); // warm-up
+    let result = break_kaslr(&mut machine, config)?;
+    Ok((result, machine.take_trace_sink().expect("sink installed")))
+}
+
 /// Runs `trials` independent fresh-machine KASLR breaks in parallel and
 /// returns the per-trial outcomes in trial order.
 ///
@@ -446,6 +476,21 @@ mod tests {
             gap(&m64, &u64_),
             gap(&m1, &u1)
         );
+    }
+
+    #[test]
+    fn traced_break_matches_untraced_and_records_probes() {
+        let config = KaslrConfig {
+            slots: 16,
+            ..KaslrConfig::quick()
+        };
+        let plain = break_kaslr_fresh(MachineConfig::xiaomi_air13(), &config, 0x6A54).unwrap();
+        let (traced, sink) =
+            break_kaslr_traced(MachineConfig::xiaomi_air13(), &config, 0x6A54, 1 << 16).unwrap();
+        assert_eq!(traced, plain, "tracing must not perturb the attack");
+        assert!(sink.count_class(obs::EventClass::ProbeSample) > 0);
+        assert!(sink.count_class(obs::EventClass::IrqDelivered) > 0);
+        assert_eq!(sink.metrics.counter("timer.calibrations"), 1);
     }
 
     #[test]

@@ -249,6 +249,71 @@ fn collect_trace(
     KeystrokeMonitor::new().monitor(&mut machine, &session)
 }
 
+/// The outcome of a traced monitoring run: the recovered traces, the
+/// merged observability trace, and the ground-truth delivery total the
+/// trace must reconcile with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedSessions {
+    /// Recovered keystroke traces, one per session, in session order.
+    pub traces: Vec<KeystrokeTrace>,
+    /// The merged trace: each session's events on its own track.
+    pub sink: obs::TraceSink,
+    /// Total ground-truth interrupt deliveries across all sessions.
+    pub ground_truth_deliveries: u64,
+}
+
+/// Monitors `sessions` typing sessions (cycling through the cohort's
+/// users) with a [`obs::TraceSink`] installed on every machine, and
+/// merges the per-session traces **in session order**.
+///
+/// Tracing rides on [`exec::parallel_trials_traced`]: each session's
+/// machine gets a private sink, so the merged trace — like the recovered
+/// traces — is byte-identical at any worker count. `threads` follows the
+/// usual resolution (explicit override, else `SEGSCOPE_THREADS`, else
+/// all cores); `capacity` bounds each session's ring.
+///
+/// # Panics
+///
+/// Panics if the probe is mitigated (stock machines never are).
+#[must_use]
+pub fn monitor_sessions_traced(
+    config: &KeystrokeConfig,
+    sessions: usize,
+    threads: Option<usize>,
+    capacity: usize,
+) -> TracedSessions {
+    let (ran, sink) = exec::parallel_trials_traced(
+        config.seed,
+        sessions,
+        exec::resolve_threads(threads),
+        capacity,
+        |i, seed, task_sink| {
+            let profile = TypistProfile::for_user(i % config.users.max(1));
+            let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
+            machine.set_fault_plan(config.fault_plan);
+            // Leave room for the engine's TrialStart/TrialEnd brackets so
+            // a machine-full ring cannot overflow the task sink.
+            machine.install_trace_sink(obs::TraceSink::with_capacity(
+                capacity.saturating_sub(2).max(1),
+            ));
+            machine.spin(100_000_000);
+            let mut rng = SmallRng::seed_from_u64(exec::derive_seed(seed, exec::AUX_STREAM));
+            let start = machine.now() + Ps::from_ms(1_600); // calibration quiet time
+            let session = profile.type_session(start, config.keys_per_session, &mut rng);
+            let trace = KeystrokeMonitor::new().monitor(&mut machine, &session);
+            let machine_sink = machine.take_trace_sink().expect("sink installed");
+            task_sink.absorb(&machine_sink, 0);
+            (trace, machine.ground_truth().len() as u64)
+        },
+    );
+    let ground_truth_deliveries = ran.iter().map(|(_, n)| n).sum();
+    TracedSessions {
+        traces: ran.into_iter().map(|(t, _)| t).collect(),
+        sink,
+        ground_truth_deliveries,
+    }
+}
+
 /// Runs the identification experiment: enroll per-user log-stat
 /// centroids, then attribute test sessions by nearest centroid.
 ///
@@ -319,6 +384,32 @@ pub fn identify_users(config: &KeystrokeConfig) -> IdentifyResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn traced_sessions_reconcile_and_are_thread_invariant() {
+        let config = KeystrokeConfig {
+            users: 2,
+            keys_per_session: 8,
+            ..KeystrokeConfig::quick()
+        };
+        let run = |threads| monitor_sessions_traced(&config, 3, Some(threads), 1 << 15);
+        let reference = run(1);
+        assert_eq!(reference.traces.len(), 3);
+        assert_eq!(reference.sink.dropped(), 0, "ring must not overflow");
+        // Every ground-truth delivery shows up in the merged trace.
+        assert_eq!(
+            reference.sink.count_class(obs::EventClass::IrqDelivered) as u64,
+            reference.ground_truth_deliveries
+        );
+        assert!(reference.sink.count_class(obs::EventClass::ProbeSample) > 0);
+        for threads in [2, 4] {
+            assert_eq!(
+                run(threads),
+                reference,
+                "trace differs at {threads} threads"
+            );
+        }
+    }
 
     #[test]
     fn monitor_recovers_keystroke_count() {

@@ -178,6 +178,43 @@ where
     parallel_trials(experiment_seed, trials, resolve_threads(None), task)
 }
 
+/// [`parallel_trials`] with per-trial observability: each trial gets its
+/// own private [`obs::TraceSink`] of `capacity` events, bracketed by
+/// `TrialStart`/`TrialEnd` span events, and the per-trial sinks are
+/// merged **in task order** into one returned sink (each trial's events
+/// re-tagged with its trial index as the track).
+///
+/// Because trial sinks are private and merged by index — never by
+/// completion order — the merged trace is byte-identical at any worker
+/// count, the same contract [`parallel_map`] gives for results.
+pub fn parallel_trials_traced<T, F>(
+    experiment_seed: u64,
+    trials: usize,
+    threads: usize,
+    capacity: usize,
+    task: F,
+) -> (Vec<T>, obs::TraceSink)
+where
+    T: Send,
+    F: Fn(usize, u64, &mut obs::TraceSink) -> T + Sync,
+{
+    let ran = parallel_map(trials, threads, |i| {
+        let mut sink = obs::TraceSink::with_capacity(capacity);
+        sink.emit(0, obs::EventKind::TrialStart { index: i as u64 });
+        let value = task(i, derive_seed(experiment_seed, i as u64), &mut sink);
+        let end_ps = sink.events().last().map_or(0, |e| e.at_ps);
+        sink.emit(end_ps, obs::EventKind::TrialEnd { index: i as u64 });
+        (value, sink)
+    });
+    let mut merged = obs::TraceSink::with_capacity(capacity.saturating_mul(trials.max(1)));
+    let mut values = Vec::with_capacity(trials);
+    for (i, (value, sink)) in ran.into_iter().enumerate() {
+        merged.absorb(&sink, i as u32);
+        values.push(value);
+    }
+    (values, merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +276,37 @@ mod tests {
             assert!(i != 7, "task 7 exploded");
             i
         });
+    }
+
+    #[test]
+    fn traced_trials_merge_in_task_order_at_any_thread_count() {
+        let run = |threads| {
+            parallel_trials_traced(0x7AC3, 9, threads, 64, |i, seed, sink| {
+                sink.emit(
+                    (i as u64 + 1) * 100,
+                    obs::EventKind::ProbeSample {
+                        segcnt: seed % 1000,
+                        irq: obs::IrqClass::Timer,
+                    },
+                );
+                sink.metrics.incr("trials", 1);
+                seed
+            })
+        };
+        let (ref_values, ref_sink) = run(1);
+        assert_eq!(ref_sink.metrics.counter("trials"), 9);
+        // 9 trials × (TrialStart + ProbeSample + TrialEnd).
+        assert_eq!(ref_sink.len(), 27);
+        for threads in [2, 4, 8] {
+            let (values, sink) = run(threads);
+            assert_eq!(values, ref_values);
+            assert_eq!(sink, ref_sink, "trace differs at {threads} threads");
+        }
+        // Events are grouped by trial, tracks ascending.
+        let tracks: Vec<u32> = ref_sink.events().iter().map(|e| e.track).collect();
+        let mut sorted = tracks.clone();
+        sorted.sort_unstable();
+        assert_eq!(tracks, sorted);
     }
 
     #[test]

@@ -280,14 +280,49 @@ impl InterruptFabric {
         log: &mut FaultLog,
         rng: &mut R,
     ) -> Option<FaultedPop> {
+        self.pop_with_faults_traced(plan, log, rng, None)
+    }
+
+    /// [`pop_with_faults`](Self::pop_with_faults) with observability: each
+    /// fault decision (drop, ghost duplicate) is mirrored into `sink` as an
+    /// `IrqDropped` / `IrqDuplicated` event. With `sink = None` this is the
+    /// exact code path of `pop_with_faults` — the sink is consulted only
+    /// *after* every RNG roll, so installing one never shifts the stream.
+    pub fn pop_with_faults_traced<R: Rng + ?Sized>(
+        &mut self,
+        plan: &FaultPlan,
+        log: &mut FaultLog,
+        rng: &mut R,
+        mut sink: Option<&mut obs::TraceSink>,
+    ) -> Option<FaultedPop> {
         let next = self.pop(rng)?;
         if plan.drop_prob > 0.0 && rng.gen::<f64>() < plan.drop_prob {
             log.dropped += 1;
+            if let Some(sink) = sink.as_mut() {
+                sink.emit(
+                    next.at.as_ps(),
+                    obs::EventKind::IrqDropped {
+                        irq: next.kind.into(),
+                    },
+                );
+                sink.metrics.incr("irq.dropped", 1);
+            }
             return Some(FaultedPop::Dropped(next));
         }
         if plan.duplicate_prob > 0.0 && rng.gen::<f64>() < plan.duplicate_prob {
             log.duplicated += 1;
-            self.inject(next.at + plan.duplicate_delay, next.kind);
+            let ghost_at = next.at + plan.duplicate_delay;
+            self.inject(ghost_at, next.kind);
+            if let Some(sink) = sink.as_mut() {
+                sink.emit(
+                    next.at.as_ps(),
+                    obs::EventKind::IrqDuplicated {
+                        irq: next.kind.into(),
+                        ghost_at_ps: ghost_at.as_ps(),
+                    },
+                );
+                sink.metrics.incr("irq.duplicated", 1);
+            }
         }
         Some(FaultedPop::Delivered(next))
     }
@@ -511,6 +546,41 @@ mod tests {
         let ghost = fabric.pop(&mut r).unwrap();
         assert_eq!(ghost.at, Ps::from_us(15));
         assert_eq!(ghost.kind, InterruptKind::Network);
+    }
+
+    #[test]
+    fn traced_pop_mirrors_fault_decisions_without_shifting_rng() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut f1 = InterruptFabric::new();
+        let mut f2 = InterruptFabric::new();
+        f1.add_periodic_timer(1000.0, Ps::ZERO, &mut r1);
+        f2.add_periodic_timer(1000.0, Ps::ZERO, &mut r2);
+        let plan = FaultPlan::none()
+            .with_drop_prob(0.25)
+            .with_duplicate_prob(0.25)
+            .with_duplicate_delay(Ps::from_us(3));
+        let mut log1 = FaultLog::default();
+        let mut log2 = FaultLog::default();
+        let mut sink = obs::TraceSink::with_capacity(4096);
+        for _ in 0..500 {
+            let plain = f1.pop_with_faults(&plan, &mut log1, &mut r1).unwrap();
+            let traced = f2
+                .pop_with_faults_traced(&plan, &mut log2, &mut r2, Some(&mut sink))
+                .unwrap();
+            assert_eq!(plain, traced);
+        }
+        assert_eq!(log1, log2);
+        assert_eq!(
+            sink.count_class(obs::EventClass::IrqDropped) as u64,
+            log2.dropped
+        );
+        assert_eq!(
+            sink.count_class(obs::EventClass::IrqDuplicated) as u64,
+            log2.duplicated
+        );
+        assert_eq!(sink.metrics.counter("irq.dropped"), log2.dropped);
+        assert_eq!(sink.metrics.counter("irq.duplicated"), log2.duplicated);
     }
 
     #[test]

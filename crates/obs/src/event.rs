@@ -1,0 +1,447 @@
+//! Typed simulation events.
+//!
+//! Every event is stamped with **simulated** picoseconds only — never
+//! wall-clock time — so a trace is a pure function of `(config, seed)`
+//! and is bit-reproducible across machines, reruns, and worker-thread
+//! counts. Events are `Copy` so the ring buffer never allocates per
+//! record.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Compact interrupt taxonomy mirror.
+///
+/// `obs` sits below every simulation crate, so it cannot name
+/// `irq::InterruptKind`; the `irq` crate provides the lossless
+/// `From<InterruptKind>` conversion instead. Variant order matches
+/// `InterruptKind::ALL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IrqClass {
+    /// Local APIC timer tick.
+    Timer,
+    /// Rescheduling IPI.
+    Resched,
+    /// Performance-monitoring interrupt.
+    PerfMon,
+    /// Network device interrupt.
+    Network,
+    /// Graphics device interrupt.
+    Gpu,
+    /// Keyboard/input device interrupt.
+    Keyboard,
+    /// Thermal event interrupt.
+    Thermal,
+    /// TLB-shootdown / call-function IPI.
+    CallFunction,
+    /// Anything else.
+    Other,
+}
+
+impl IrqClass {
+    /// Every class, in a stable order.
+    pub const ALL: [IrqClass; 9] = [
+        IrqClass::Timer,
+        IrqClass::Resched,
+        IrqClass::PerfMon,
+        IrqClass::Network,
+        IrqClass::Gpu,
+        IrqClass::Keyboard,
+        IrqClass::Thermal,
+        IrqClass::CallFunction,
+        IrqClass::Other,
+    ];
+
+    /// A short stable label (used by the exporters).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            IrqClass::Timer => "timer",
+            IrqClass::Resched => "resched",
+            IrqClass::PerfMon => "perfmon",
+            IrqClass::Network => "network",
+            IrqClass::Gpu => "gpu",
+            IrqClass::Keyboard => "keyboard",
+            IrqClass::Thermal => "thermal",
+            IrqClass::CallFunction => "callfn",
+            IrqClass::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for IrqClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which data-segment register a [`EventKind::SegClear`] touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SegRegId {
+    /// DS.
+    Ds,
+    /// ES.
+    Es,
+    /// FS.
+    Fs,
+    /// GS.
+    Gs,
+}
+
+impl SegRegId {
+    /// Every register, in descriptor order.
+    pub const ALL: [SegRegId; 4] = [SegRegId::Ds, SegRegId::Es, SegRegId::Fs, SegRegId::Gs];
+
+    /// A short stable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SegRegId::Ds => "ds",
+            SegRegId::Es => "es",
+            SegRegId::Fs => "fs",
+            SegRegId::Gs => "gs",
+        }
+    }
+}
+
+/// A *timing*-family fault injection (delivery faults have their own
+/// dedicated event kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Log-normal jitter applied to one handler-cost sample.
+    HandlerJitter,
+    /// An SMT-noise burst started.
+    SmtBurst,
+    /// A governor update hit the frequency-step clamp.
+    ClampedFreqStep,
+}
+
+impl FaultKind {
+    /// A short stable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::HandlerJitter => "handler_jitter",
+            FaultKind::SmtBurst => "smt_burst",
+            FaultKind::ClampedFreqStep => "clamped_freq_step",
+        }
+    }
+}
+
+/// The payload of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An interrupt reached the core and its handler ran.
+    IrqDelivered {
+        /// Interrupt class.
+        irq: IrqClass,
+        /// Handler routine cost (`w` in paper Eq. 1), ps.
+        handler_cost_ps: u64,
+    },
+    /// The fault plan dropped an interrupt before it reached the core.
+    IrqDropped {
+        /// Interrupt class.
+        irq: IrqClass,
+    },
+    /// An interrupt was merged into an earlier kernel stint by the fault
+    /// plan's coalescing window (delivered, but no own return to user).
+    IrqCoalesced {
+        /// Interrupt class.
+        irq: IrqClass,
+    },
+    /// The fault plan scheduled a ghost re-delivery of an interrupt.
+    IrqDuplicated {
+        /// Interrupt class.
+        irq: IrqClass,
+        /// When the ghost will land, ps.
+        ghost_at_ps: u64,
+    },
+    /// Algorithm 1 scrubbed one data-segment register on a kernel→user
+    /// return.
+    SegClear {
+        /// The scrubbed register.
+        reg: SegRegId,
+        /// `true` when cleared for holding a (non-zero) null selector —
+        /// the SegScope marker path; `false` for the sensitive-descriptor
+        /// path.
+        null: bool,
+    },
+    /// A protected-mode return to user space completed (the IRET edge the
+    /// probe observes).
+    KernelReturn {
+        /// How many registers the scrub cleared.
+        cleared: u8,
+        /// Total time spent away from user space, ps.
+        kernel_span_ps: u64,
+    },
+    /// The DVFS governor moved the core frequency.
+    FreqTransition {
+        /// Previous frequency, kHz.
+        from_khz: u64,
+        /// New frequency, kHz.
+        to_khz: u64,
+    },
+    /// The SegScope probe completed one interval measurement.
+    ProbeSample {
+        /// The attacker-visible SegCnt of the interval.
+        segcnt: u64,
+        /// Ground truth: the interrupt class that ended the interval.
+        irq: IrqClass,
+    },
+    /// A timing-family fault was injected.
+    FaultInjected {
+        /// Which fault.
+        fault: FaultKind,
+    },
+    /// A fan-out trial started (trial engine instrumentation).
+    TrialStart {
+        /// Task index within the experiment.
+        index: u64,
+    },
+    /// A fan-out trial finished.
+    TrialEnd {
+        /// Task index within the experiment.
+        index: u64,
+    },
+}
+
+impl EventKind {
+    /// The filterable class of this event.
+    #[must_use]
+    pub fn class(&self) -> EventClass {
+        match self {
+            EventKind::IrqDelivered { .. } => EventClass::IrqDelivered,
+            EventKind::IrqDropped { .. } => EventClass::IrqDropped,
+            EventKind::IrqCoalesced { .. } => EventClass::IrqCoalesced,
+            EventKind::IrqDuplicated { .. } => EventClass::IrqDuplicated,
+            EventKind::SegClear { .. } => EventClass::SegClear,
+            EventKind::KernelReturn { .. } => EventClass::KernelReturn,
+            EventKind::FreqTransition { .. } => EventClass::FreqTransition,
+            EventKind::ProbeSample { .. } => EventClass::ProbeSample,
+            EventKind::FaultInjected { .. } => EventClass::FaultInjected,
+            EventKind::TrialStart { .. } => EventClass::TrialStart,
+            EventKind::TrialEnd { .. } => EventClass::TrialEnd,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulated time of the event, picoseconds. Never wall clock.
+    pub at_ps: u64,
+    /// Logical lane the event belongs to (0 for a standalone machine;
+    /// the trial index when merged by the trial engine). Exporters map
+    /// it to a display track.
+    pub track: u32,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// An event on track 0.
+    #[must_use]
+    pub fn new(at_ps: u64, kind: EventKind) -> Self {
+        Event {
+            at_ps,
+            track: 0,
+            kind,
+        }
+    }
+
+    /// The filterable class of this event.
+    #[must_use]
+    pub fn class(&self) -> EventClass {
+        self.kind.class()
+    }
+}
+
+/// The class tag of an [`EventKind`] variant (payload-free), used for
+/// filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventClass {
+    /// [`EventKind::IrqDelivered`].
+    IrqDelivered,
+    /// [`EventKind::IrqDropped`].
+    IrqDropped,
+    /// [`EventKind::IrqCoalesced`].
+    IrqCoalesced,
+    /// [`EventKind::IrqDuplicated`].
+    IrqDuplicated,
+    /// [`EventKind::SegClear`].
+    SegClear,
+    /// [`EventKind::KernelReturn`].
+    KernelReturn,
+    /// [`EventKind::FreqTransition`].
+    FreqTransition,
+    /// [`EventKind::ProbeSample`].
+    ProbeSample,
+    /// [`EventKind::FaultInjected`].
+    FaultInjected,
+    /// [`EventKind::TrialStart`].
+    TrialStart,
+    /// [`EventKind::TrialEnd`].
+    TrialEnd,
+}
+
+impl EventClass {
+    /// Every class, in declaration order.
+    pub const ALL: [EventClass; 11] = [
+        EventClass::IrqDelivered,
+        EventClass::IrqDropped,
+        EventClass::IrqCoalesced,
+        EventClass::IrqDuplicated,
+        EventClass::SegClear,
+        EventClass::KernelReturn,
+        EventClass::FreqTransition,
+        EventClass::ProbeSample,
+        EventClass::FaultInjected,
+        EventClass::TrialStart,
+        EventClass::TrialEnd,
+    ];
+
+    fn bit(self) -> u16 {
+        let index = EventClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("every class is in ALL");
+        1 << index
+    }
+
+    /// A short stable label (the Chrome exporter's event name prefix).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventClass::IrqDelivered => "irq_delivered",
+            EventClass::IrqDropped => "irq_dropped",
+            EventClass::IrqCoalesced => "irq_coalesced",
+            EventClass::IrqDuplicated => "irq_duplicated",
+            EventClass::SegClear => "seg_clear",
+            EventClass::KernelReturn => "kernel_return",
+            EventClass::FreqTransition => "freq_transition",
+            EventClass::ProbeSample => "probe_sample",
+            EventClass::FaultInjected => "fault_injected",
+            EventClass::TrialStart => "trial_start",
+            EventClass::TrialEnd => "trial_end",
+        }
+    }
+}
+
+/// A set of [`EventClass`]es (a filter predicate over event kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSet(u16);
+
+impl ClassSet {
+    /// The empty set.
+    pub const EMPTY: ClassSet = ClassSet(0);
+
+    /// The set of every class.
+    pub const ALL: ClassSet = ClassSet((1 << 11) - 1);
+
+    /// The set containing exactly `class`.
+    #[must_use]
+    pub fn of(class: EventClass) -> Self {
+        ClassSet(class.bit())
+    }
+
+    /// This set plus `class` (builder style).
+    #[must_use]
+    pub fn with(self, class: EventClass) -> Self {
+        ClassSet(self.0 | class.bit())
+    }
+
+    /// Whether `class` is in the set.
+    #[must_use]
+    pub fn contains(self, class: EventClass) -> bool {
+        self.0 & class.bit() != 0
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl FromIterator<EventClass> for ClassSet {
+    fn from_iter<I: IntoIterator<Item = EventClass>>(iter: I) -> Self {
+        iter.into_iter().fold(ClassSet::EMPTY, ClassSet::with)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_set_membership() {
+        let set = ClassSet::of(EventClass::IrqDelivered).with(EventClass::ProbeSample);
+        assert!(set.contains(EventClass::IrqDelivered));
+        assert!(set.contains(EventClass::ProbeSample));
+        assert!(!set.contains(EventClass::SegClear));
+        assert!(!set.is_empty());
+        assert!(ClassSet::EMPTY.is_empty());
+        for class in EventClass::ALL {
+            assert!(ClassSet::ALL.contains(class));
+        }
+    }
+
+    #[test]
+    fn class_set_from_iterator() {
+        let set: ClassSet = [EventClass::TrialStart, EventClass::TrialEnd]
+            .into_iter()
+            .collect();
+        assert!(set.contains(EventClass::TrialStart));
+        assert!(set.contains(EventClass::TrialEnd));
+        assert!(!set.contains(EventClass::IrqDelivered));
+    }
+
+    #[test]
+    fn every_kind_maps_to_its_class() {
+        let kinds = [
+            (
+                EventKind::IrqDelivered {
+                    irq: IrqClass::Timer,
+                    handler_cost_ps: 1,
+                },
+                EventClass::IrqDelivered,
+            ),
+            (
+                EventKind::IrqDropped {
+                    irq: IrqClass::Network,
+                },
+                EventClass::IrqDropped,
+            ),
+            (
+                EventKind::SegClear {
+                    reg: SegRegId::Gs,
+                    null: true,
+                },
+                EventClass::SegClear,
+            ),
+            (
+                EventKind::FreqTransition {
+                    from_khz: 1,
+                    to_khz: 2,
+                },
+                EventClass::FreqTransition,
+            ),
+            (EventKind::TrialStart { index: 3 }, EventClass::TrialStart),
+        ];
+        for (kind, class) in kinds {
+            assert_eq!(kind.class(), class);
+            assert_eq!(Event::new(9, kind).class(), class);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = EventClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), EventClass::ALL.len());
+        let mut irqs: Vec<_> = IrqClass::ALL.iter().map(|c| c.label()).collect();
+        irqs.sort_unstable();
+        irqs.dedup();
+        assert_eq!(irqs.len(), IrqClass::ALL.len());
+    }
+}

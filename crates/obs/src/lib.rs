@@ -1,0 +1,52 @@
+//! Deterministic observability for the SegScope reproduction.
+//!
+//! Every simulation crate can stream typed [`Event`]s into a
+//! [`TraceSink`] — a fixed-capacity ring buffer with an embedded
+//! [`Metrics`] registry — and export the result as a Chrome
+//! `trace_event` JSON document or a compact JSON-lines dump.
+//!
+//! # Determinism rules
+//!
+//! The whole layer is built around three invariants:
+//!
+//! 1. **Simulated time only.** Events carry [`Event::at_ps`] stamped
+//!    from the simulation clock; nothing in this crate ever reads wall
+//!    clock, so traces are a pure function of `(config, seed)`.
+//! 2. **Zero overhead when disabled.** Instrumentation hooks upstream
+//!    are `if let Some(sink)` branches on an `Option`; with no sink
+//!    installed they consume no RNG draws and perturb no simulated
+//!    timing, keeping every existing seed and golden trace bit-stable.
+//! 3. **Bounded memory.** The ring overwrites its oldest event when
+//!    full and counts the overwrite in [`TraceSink::dropped`], so
+//!    arbitrarily long runs trace in constant space.
+//!
+//! # Example
+//!
+//! ```
+//! use obs::{ClassSet, Event, EventClass, EventKind, IrqClass, TraceSink};
+//!
+//! let mut sink = TraceSink::with_capacity(1024);
+//! sink.emit(1_000, EventKind::IrqDelivered {
+//!     irq: IrqClass::Timer,
+//!     handler_cost_ps: 500,
+//! });
+//! sink.emit(2_000, EventKind::ProbeSample { segcnt: 1, irq: IrqClass::Timer });
+//! sink.metrics.incr("probe.samples", 1);
+//!
+//! let irqs = sink.filtered(ClassSet::of(EventClass::IrqDelivered), 0, u64::MAX);
+//! assert_eq!(irqs.len(), 1);
+//! let json = obs::export::chrome_trace(&sink);
+//! assert!(json.contains("\"irq_delivered\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod export;
+pub mod metrics;
+mod ring;
+
+pub use event::{ClassSet, Event, EventClass, EventKind, FaultKind, IrqClass, SegRegId};
+pub use metrics::{Histogram, Metrics, PhaseStats};
+pub use ring::{TraceSink, DEFAULT_CAPACITY};

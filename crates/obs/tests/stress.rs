@@ -1,0 +1,65 @@
+//! Gated stress pass: a 16M-event trace must stay within the ring's
+//! fixed memory bound, accounted for by the drop counter.
+//!
+//! Run with:
+//!
+//! ```sh
+//! SEGSCOPE_OBS_FULL=1 cargo test -p obs --release -- --include-ignored
+//! ```
+
+use obs::{EventKind, IrqClass, TraceSink};
+
+const STRESS_EVENTS: u64 = 16 * 1024 * 1024;
+const CAPACITY: usize = 1 << 16;
+
+#[test]
+#[ignore = "stress pass; set SEGSCOPE_OBS_FULL=1 and run with --include-ignored"]
+fn sixteen_million_events_stay_bounded() {
+    if std::env::var("SEGSCOPE_OBS_FULL").as_deref() != Ok("1") {
+        eprintln!("SEGSCOPE_OBS_FULL != 1; skipping stress pass");
+        return;
+    }
+    let mut sink = TraceSink::with_capacity(CAPACITY);
+    // A plausible probing event mix on a simulated 4 ms timer timeline;
+    // timestamps are simulated picoseconds, strictly monotone.
+    for i in 0..STRESS_EVENTS {
+        let at_ps = i * 250_000;
+        let kind = match i % 4 {
+            0 => EventKind::IrqDelivered {
+                irq: IrqClass::Timer,
+                handler_cost_ps: 300_000,
+            },
+            1 => EventKind::SegClear {
+                reg: obs::SegRegId::Gs,
+                null: true,
+            },
+            2 => EventKind::KernelReturn {
+                cleared: 1,
+                kernel_span_ps: 300_000,
+            },
+            _ => EventKind::ProbeSample {
+                segcnt: 1000 + i % 64,
+                irq: IrqClass::Timer,
+            },
+        };
+        sink.emit(at_ps, kind);
+        sink.metrics.incr("stress.events", 1);
+    }
+    // Memory stays bounded at `capacity` events; everything beyond is
+    // accounted for in the drop counter, not silently lost.
+    assert_eq!(sink.len(), CAPACITY);
+    assert_eq!(sink.recorded(), STRESS_EVENTS);
+    assert_eq!(sink.dropped(), STRESS_EVENTS - CAPACITY as u64);
+    assert_eq!(sink.metrics.counter("stress.events"), STRESS_EVENTS);
+    // The retained tail is the newest `capacity` events, still in order.
+    let events = sink.events();
+    assert_eq!(
+        events.first().expect("non-empty").at_ps,
+        (STRESS_EVENTS - CAPACITY as u64) * 250_000
+    );
+    assert_eq!(
+        events.last().expect("non-empty").at_ps,
+        (STRESS_EVENTS - 1) * 250_000
+    );
+    assert!(events.windows(2).all(|w| w[0].at_ps <= w[1].at_ps));
+}

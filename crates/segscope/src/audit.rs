@@ -104,6 +104,69 @@ impl DeliveryAudit {
     pub fn is_exact(&self) -> bool {
         self.verdict() == AuditVerdict::Exact
     }
+
+    /// Reconciles this audit's books against an observability trace
+    /// recorded during the same run.
+    ///
+    /// The trace is a fourth, independent ledger: `IrqDelivered` events
+    /// must match the ground truth one for one, and every delivery fault
+    /// in the [`FaultLog`](segsim::FaultLog) must have a matching
+    /// `IrqDropped`/`IrqDuplicated`/`IrqCoalesced` event. Counts are only
+    /// trustworthy when the ring never overflowed, so an over-capacity
+    /// sink reports [`TraceReconciliation::ring_overflowed`] instead of
+    /// pretending to reconcile.
+    #[must_use]
+    pub fn reconcile_trace(&self, sink: &obs::TraceSink) -> TraceReconciliation {
+        TraceReconciliation {
+            delivered_events: sink.count_class(obs::EventClass::IrqDelivered) as u64,
+            dropped_events: sink.count_class(obs::EventClass::IrqDropped) as u64,
+            duplicated_events: sink.count_class(obs::EventClass::IrqDuplicated) as u64,
+            coalesced_events: sink.count_class(obs::EventClass::IrqCoalesced) as u64,
+            ring_overflowed: sink.dropped() > 0,
+            audit: *self,
+        }
+    }
+}
+
+/// The comparison of a [`DeliveryAudit`]'s books with the event counts of
+/// an observability trace from the same run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceReconciliation {
+    /// `IrqDelivered` events in the trace.
+    pub delivered_events: u64,
+    /// `IrqDropped` events in the trace.
+    pub dropped_events: u64,
+    /// `IrqDuplicated` events in the trace.
+    pub duplicated_events: u64,
+    /// `IrqCoalesced` events in the trace.
+    pub coalesced_events: u64,
+    /// Whether the ring overwrote events (counts are then lower bounds).
+    pub ring_overflowed: bool,
+    /// The audit the trace is compared against.
+    pub audit: DeliveryAudit,
+}
+
+impl TraceReconciliation {
+    /// Unmatched interrupt-delivery events: the absolute difference
+    /// between the trace's deliveries and the ground truth's. Zero on any
+    /// faithful trace — including fault-injected runs, since the trace
+    /// records what actually happened, not what was intended.
+    #[must_use]
+    pub fn unmatched_deliveries(&self) -> u64 {
+        self.delivered_events.abs_diff(self.audit.delivered)
+    }
+
+    /// Whether every ledger agrees: deliveries match ground truth and
+    /// each fault-log counter matches its event count. Always `false`
+    /// when the ring overflowed (the books can no longer be balanced).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        !self.ring_overflowed
+            && self.unmatched_deliveries() == 0
+            && self.dropped_events == self.audit.dropped
+            && self.duplicated_events == self.audit.duplicated
+            && self.coalesced_events == self.audit.coalesced
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +218,62 @@ mod tests {
             }
             AuditVerdict::Exact => panic!("40% duplicates cannot be exact: {audit:?}"),
         }
+    }
+
+    fn traced_audit_run(
+        cfg: MachineConfig,
+        seed: u64,
+        n: usize,
+    ) -> (DeliveryAudit, obs::TraceSink) {
+        let mut machine = Machine::new(cfg, seed);
+        machine.install_trace_sink(obs::TraceSink::with_capacity(1 << 15));
+        let mut probe = SegProbe::new();
+        let samples = probe.probe_n(&mut machine, n).expect("probe runs");
+        let audit = DeliveryAudit::for_machine(&machine, samples.len());
+        (audit, machine.take_trace_sink().expect("sink installed"))
+    }
+
+    #[test]
+    fn clean_trace_reconciles_exactly() {
+        let (audit, sink) = traced_audit_run(MachineConfig::default(), 0xA0E1, 150);
+        let rec = audit.reconcile_trace(&sink);
+        assert!(audit.is_exact());
+        assert_eq!(rec.unmatched_deliveries(), 0);
+        assert!(rec.is_consistent(), "reconciliation: {rec:?}");
+        assert_eq!(rec.dropped_events, 0);
+        assert_eq!(rec.duplicated_events, 0);
+    }
+
+    #[test]
+    fn faulted_trace_contains_matching_fault_events() {
+        let cfg = MachineConfig::default().with_fault_plan(
+            FaultPlan::none()
+                .with_drop_prob(0.25)
+                .with_duplicate_prob(0.2),
+        );
+        let (audit, sink) = traced_audit_run(cfg, 0xA0E2, 150);
+        assert!(audit.dropped > 0 && audit.duplicated > 0);
+        let rec = audit.reconcile_trace(&sink);
+        // The trace mirrors the fault log event for event, so the books
+        // balance even though the audit verdict is Degraded.
+        assert!(rec.is_consistent(), "reconciliation: {rec:?}");
+        assert_eq!(rec.dropped_events, audit.dropped);
+        assert_eq!(rec.duplicated_events, audit.duplicated);
+        assert_eq!(rec.unmatched_deliveries(), 0);
+    }
+
+    #[test]
+    fn overflowed_ring_refuses_to_reconcile() {
+        let mut machine = Machine::new(MachineConfig::default(), 0xA0E3);
+        machine.install_trace_sink(obs::TraceSink::with_capacity(8));
+        let mut probe = SegProbe::new();
+        let samples = probe.probe_n(&mut machine, 50).expect("probe runs");
+        let audit = DeliveryAudit::for_machine(&machine, samples.len());
+        let sink = machine.take_trace_sink().unwrap();
+        assert!(sink.dropped() > 0, "tiny ring must overflow");
+        let rec = audit.reconcile_trace(&sink);
+        assert!(rec.ring_overflowed);
+        assert!(!rec.is_consistent());
     }
 
     #[test]

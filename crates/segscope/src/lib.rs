@@ -59,7 +59,7 @@ mod probe;
 mod stats;
 mod timer;
 
-pub use audit::{AuditVerdict, DeliveryAudit};
+pub use audit::{AuditVerdict, DeliveryAudit, TraceReconciliation};
 pub use baseline::{CountingThreadTimer, LoopCountProber, TsJumpProber};
 pub use classify::{KindHistogram, TimerEdgeClassifier};
 pub use error::ProbeError;

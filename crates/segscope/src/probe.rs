@@ -118,12 +118,29 @@ impl SegProbe {
                     if current != self.marker {
                         let segcnt =
                             (user_cycles / machine.probe_iter_cycles()).round().max(1.0) as u64;
+                        let ended_at = machine.now();
+                        if let Some(sink) = machine.trace_sink_mut() {
+                            sink.emit(
+                                ended_at.as_ps(),
+                                obs::EventKind::ProbeSample {
+                                    segcnt,
+                                    irq: irq.kind.into(),
+                                },
+                            );
+                            sink.metrics.incr("probe.samples", 1);
+                            sink.metrics.observe("probe.segcnt", segcnt);
+                            sink.metrics.phase(
+                                "probe.interval",
+                                started_at.as_ps(),
+                                ended_at.as_ps(),
+                            );
+                        }
                         return Ok(ProbeSample {
                             segcnt,
                             kind: irq.kind,
                             user_cycles,
                             started_at,
-                            ended_at: machine.now(),
+                            ended_at,
                         });
                     }
                     // Footprint suppressed (mitigated machine): keep

@@ -116,6 +116,7 @@ impl SegTimer {
         denoise: Denoise,
     ) -> Result<Self, ProbeError> {
         let mut probe = SegProbe::new();
+        let calib_start = machine.now();
         let ref_khz = machine.scaling_cur_freq();
         let mut values = Vec::with_capacity(samples);
         for _ in 0..samples {
@@ -129,6 +130,12 @@ impl SegTimer {
         }
         let filter = ZScoreFilter::fit_iterative(&values, 2.0, 8);
         let kept = filter.filter(&values);
+        let calib_end = machine.now();
+        if let Some(sink) = machine.trace_sink_mut() {
+            sink.metrics
+                .phase("timer.calibrate", calib_start.as_ps(), calib_end.as_ps());
+            sink.metrics.incr("timer.calibrations", 1);
+        }
         if kept.len() < 16 {
             return Err(ProbeError::InsufficientSamples {
                 got: kept.len(),
@@ -224,10 +231,17 @@ impl SegTimer {
         repeats: usize,
         mut f: impl FnMut(&mut Machine),
     ) -> Result<MeasureStats, ProbeError> {
+        let measure_start = machine.now();
         let mut estimates = Vec::with_capacity(repeats);
         for _ in 0..repeats {
             let run = self.time(machine, &mut f)?;
             estimates.push(run.ticks);
+        }
+        let measure_end = machine.now();
+        if let Some(sink) = machine.trace_sink_mut() {
+            sink.metrics
+                .phase("timer.measure", measure_start.as_ps(), measure_end.as_ps());
+            sink.metrics.incr("timer.measurements", repeats as u64);
         }
         let kept: Vec<f64> = if self.denoise.uses_zscore() && estimates.len() >= 4 {
             let filter = ZScoreFilter::fit(&estimates, 2.0);

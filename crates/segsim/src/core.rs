@@ -21,6 +21,16 @@ use x86seg::{
 /// bounded burst, it does not stall delivery forever).
 const COALESCE_BURST_CAP: u32 = 4;
 
+/// Maps the architectural register id onto its observability mirror.
+fn seg_reg_id(reg: DataSegReg) -> obs::SegRegId {
+    match reg {
+        DataSegReg::Ds => obs::SegRegId::Ds,
+        DataSegReg::Es => obs::SegRegId::Es,
+        DataSegReg::Fs => obs::SegRegId::Fs,
+        DataSegReg::Gs => obs::SegRegId::Gs,
+    }
+}
+
 /// One interrupt delivered to the simulated core, as the simulator (not
 /// the attacker) sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -149,6 +159,10 @@ pub struct Machine {
     fault_log: FaultLog,
     /// Remaining guest operations in the current SMT-noise burst.
     smt_burst_left: u32,
+    /// Optional observability sink. `None` (the default) keeps every
+    /// hook a dead branch: no RNG draws, no timing change, bit-identical
+    /// behaviour to a build without instrumentation.
+    sink: Option<Box<obs::TraceSink>>,
 }
 
 impl Machine {
@@ -195,6 +209,7 @@ impl Machine {
             fault_plan,
             fault_log: FaultLog::default(),
             smt_burst_left: 0,
+            sink: None,
             config,
         }
     }
@@ -260,6 +275,32 @@ impl Machine {
     #[must_use]
     pub fn fault_log(&self) -> &FaultLog {
         &self.fault_log
+    }
+
+    /// Installs an observability sink. Hooks throughout the machine
+    /// stream typed [`obs::Event`]s into it, stamped with simulated time
+    /// only. Tracing consumes no RNG draws and perturbs no timing, so a
+    /// traced run is bit-identical to an untraced one.
+    pub fn install_trace_sink(&mut self, sink: obs::TraceSink) {
+        self.sink = Some(Box::new(sink));
+    }
+
+    /// The installed observability sink, if any.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&obs::TraceSink> {
+        self.sink.as_deref()
+    }
+
+    /// Mutable access to the installed sink (for emitting layer-specific
+    /// events, e.g. the probe's `ProbeSample`s).
+    pub fn trace_sink_mut(&mut self) -> Option<&mut obs::TraceSink> {
+        self.sink.as_deref_mut()
+    }
+
+    /// Removes and returns the installed sink (typically at the end of a
+    /// run, to export the trace).
+    pub fn take_trace_sink(&mut self) -> Option<obs::TraceSink> {
+        self.sink.take().map(|boxed| *boxed)
     }
 
     /// The cache hierarchy (for ground-truth inspection in tests).
@@ -618,8 +659,31 @@ impl Machine {
 
     /// Runs one governor update, tracking fault-injection step clamps.
     fn governor_tick(&mut self, at: Ps) {
-        if self.freq.tick(at, &mut self.rng) {
+        let khz_before = self.freq.current_khz();
+        let clamped = self.freq.tick(at, &mut self.rng);
+        if clamped {
             self.fault_log.clamped_steps += 1;
+        }
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let khz_after = self.freq.current_khz();
+            if khz_after != khz_before {
+                sink.emit(
+                    at.as_ps(),
+                    obs::EventKind::FreqTransition {
+                        from_khz: khz_before,
+                        to_khz: khz_after,
+                    },
+                );
+                sink.metrics.incr("freq.transitions", 1);
+            }
+            if clamped {
+                sink.emit(
+                    at.as_ps(),
+                    obs::EventKind::FaultInjected {
+                        fault: obs::FaultKind::ClampedFreqStep,
+                    },
+                );
+            }
         }
     }
 
@@ -642,6 +706,14 @@ impl Machine {
                 if self.smt_burst_left == 0 && self.rng.gen::<f64>() < plan.smt_burst_prob {
                     self.smt_burst_left = plan.smt_burst_ops;
                     self.fault_log.bursts += 1;
+                    if let Some(sink) = self.sink.as_deref_mut() {
+                        sink.emit(
+                            self.now.as_ps(),
+                            obs::EventKind::FaultInjected {
+                                fault: obs::FaultKind::SmtBurst,
+                            },
+                        );
+                    }
                 }
                 if self.smt_burst_left > 0 {
                     self.smt_burst_left -= 1;
@@ -697,7 +769,12 @@ impl Machine {
             Some(plan) => {
                 let popped = self
                     .fabric
-                    .pop_with_faults(&plan, &mut self.fault_log, &mut self.rng)
+                    .pop_with_faults_traced(
+                        &plan,
+                        &mut self.fault_log,
+                        &mut self.rng,
+                        self.sink.as_deref_mut(),
+                    )
                     .expect("deliver_interrupt called with nothing pending");
                 match popped {
                     FaultedPop::Delivered(p) => Some(p),
@@ -719,6 +796,14 @@ impl Machine {
             Some(plan) if plan.handler_jitter_std > 0.0 => {
                 self.fault_log.jittered += 1;
                 let factor = irq::dist::normal(&mut self.rng, 0.0, plan.handler_jitter_std).exp();
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.emit(
+                        self.now.as_ps(),
+                        obs::EventKind::FaultInjected {
+                            fault: obs::FaultKind::HandlerJitter,
+                        },
+                    );
+                }
                 Ps::from_ps(((w.as_ps() as f64 * factor) as u64).max(1))
             }
             _ => w,
@@ -738,6 +823,18 @@ impl Machine {
         let first_at = pending.at;
         let handler_cost = self.sample_handler_cost(first_kind);
         self.ground_truth.record(first_at, first_kind, handler_cost);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.emit(
+                first_at.as_ps(),
+                obs::EventKind::IrqDelivered {
+                    irq: first_kind.into(),
+                    handler_cost_ps: handler_cost.as_ps(),
+                },
+            );
+            sink.metrics.incr("irq.delivered", 1);
+            sink.metrics
+                .observe("irq.handler_cost_ps", handler_cost.as_ps());
+        }
         let mut kernel_span = handler_cost;
         if first_kind == InterruptKind::Timer {
             self.timer_ticks_seen = self.timer_ticks_seen.wrapping_add(1);
@@ -786,10 +883,29 @@ impl Machine {
             if !natural {
                 self.fault_log.coalesced += 1;
                 coalesce_budget -= 1;
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.emit(
+                        due.at.as_ps(),
+                        obs::EventKind::IrqCoalesced { irq: p.kind.into() },
+                    );
+                    sink.metrics.incr("irq.coalesced", 1);
+                }
             }
             self.kernel_entries += 1;
             let w = self.sample_handler_cost(p.kind);
-            self.ground_truth.record(due.at.max(self.now), p.kind, w);
+            let cascade_at = due.at.max(self.now);
+            self.ground_truth.record(cascade_at, p.kind, w);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.emit(
+                    cascade_at.as_ps(),
+                    obs::EventKind::IrqDelivered {
+                        irq: p.kind.into(),
+                        handler_cost_ps: w.as_ps(),
+                    },
+                );
+                sink.metrics.incr("irq.delivered", 1);
+                sink.metrics.observe("irq.handler_cost_ps", w.as_ps());
+            }
             if p.kind == InterruptKind::Timer {
                 self.timer_ticks_seen = self.timer_ticks_seen.wrapping_add(1);
             }
@@ -824,6 +940,29 @@ impl Machine {
                 &self.tables,
                 PrivilegeLevel::Ring3,
             );
+        }
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let at_ps = self.now.as_ps();
+            for reg in DataSegReg::ALL {
+                if footprint.was_cleared(reg) {
+                    sink.emit(
+                        at_ps,
+                        obs::EventKind::SegClear {
+                            reg: seg_reg_id(reg),
+                            null: footprint.cleared_as_null(reg),
+                        },
+                    );
+                }
+            }
+            sink.emit(
+                at_ps,
+                obs::EventKind::KernelReturn {
+                    cleared: footprint.cleared_count() as u8,
+                    kernel_span_ps: kernel_span.as_ps(),
+                },
+            );
+            sink.metrics.incr("kernel.returns", 1);
+            sink.metrics.observe("kernel.span_ps", kernel_span.as_ps());
         }
         Some(DeliveredIrq {
             kind: first_kind,
@@ -1190,6 +1329,105 @@ mod tests {
         assert!(
             stretched.as_ps() > nominal.as_ps() * 2,
             "burst factor 3 must show: {stretched} vs {nominal}"
+        );
+    }
+
+    #[test]
+    fn tracing_is_rng_and_timing_neutral() {
+        // A traced machine must replay the untraced machine's behaviour
+        // bit for bit: the sink is consulted only after every RNG draw.
+        let mut plain = Machine::new(MachineConfig::default(), 0x0B5);
+        let mut traced = Machine::new(MachineConfig::default(), 0x0B5);
+        traced.install_trace_sink(obs::TraceSink::with_capacity(1 << 14));
+        plain.wrgs(Selector::from_bits(0x2)).unwrap();
+        traced.wrgs(Selector::from_bits(0x2)).unwrap();
+        for _ in 0..40 {
+            assert_eq!(
+                plain.run_user_until(Ps::MAX),
+                traced.run_user_until(Ps::MAX)
+            );
+        }
+        assert_eq!(plain.now(), traced.now());
+        // And the streams stay aligned for direct RNG reads afterwards.
+        assert_eq!(plain.rng_mut().gen::<u64>(), traced.rng_mut().gen::<u64>());
+    }
+
+    #[test]
+    fn trace_delivery_events_match_ground_truth() {
+        let mut m = Machine::new(MachineConfig::default(), 0x0B6);
+        m.install_trace_sink(obs::TraceSink::with_capacity(1 << 14));
+        for _ in 0..30 {
+            let _ = m.run_user_until(Ps::MAX);
+        }
+        let sink = m.take_trace_sink().unwrap();
+        let delivered = sink.filtered(
+            obs::ClassSet::of(obs::EventClass::IrqDelivered),
+            0,
+            u64::MAX,
+        );
+        assert_eq!(delivered.len(), m.ground_truth().len());
+        for (event, record) in delivered.iter().zip(m.ground_truth().records()) {
+            let obs::EventKind::IrqDelivered {
+                irq,
+                handler_cost_ps,
+            } = event.kind
+            else {
+                unreachable!("filter returned only deliveries");
+            };
+            assert_eq!(event.at_ps, record.at.as_ps());
+            assert_eq!(irq, obs::IrqClass::from(record.kind));
+            assert_eq!(handler_cost_ps, record.handler_cost.as_ps());
+        }
+        assert_eq!(
+            sink.metrics.counter("irq.delivered"),
+            m.ground_truth().len() as u64
+        );
+        // Every observable return produced one KernelReturn event, and the
+        // GS marker scrub produced SegClear events.
+        assert!(sink.metrics.counter("kernel.returns") > 0);
+    }
+
+    #[test]
+    fn trace_records_seg_clears_for_parked_marker() {
+        let mut m = Machine::new(MachineConfig::default(), 0x0B7);
+        m.install_trace_sink(obs::TraceSink::with_capacity(1 << 12));
+        m.wrgs(Selector::from_bits(0x1)).unwrap();
+        let span = m.run_user_until(Ps::MAX);
+        assert!(matches!(span.ended_by, SpanEnd::Interrupt(_)));
+        let sink = m.take_trace_sink().unwrap();
+        let clears = sink.filtered(obs::ClassSet::of(obs::EventClass::SegClear), 0, u64::MAX);
+        assert!(
+            clears.iter().any(|e| matches!(
+                e.kind,
+                obs::EventKind::SegClear {
+                    reg: obs::SegRegId::Gs,
+                    null: true,
+                }
+            )),
+            "the scrubbed GS marker must appear as a null SegClear"
+        );
+    }
+
+    #[test]
+    fn trace_mirrors_delivery_faults() {
+        let plan = irq::FaultPlan::none()
+            .with_drop_prob(0.3)
+            .with_duplicate_prob(0.2);
+        let mut m = Machine::new(MachineConfig::default().with_fault_plan(plan), 0x0B8);
+        m.install_trace_sink(obs::TraceSink::with_capacity(1 << 14));
+        while m.now() < Ps::from_ms(400) {
+            let _ = m.run_user_until(Ps::from_ms(400));
+        }
+        let log = *m.fault_log();
+        assert!(log.dropped > 0 && log.duplicated > 0);
+        let sink = m.take_trace_sink().unwrap();
+        assert_eq!(
+            sink.count_class(obs::EventClass::IrqDropped) as u64,
+            log.dropped
+        );
+        assert_eq!(
+            sink.count_class(obs::EventClass::IrqDuplicated) as u64,
+            log.duplicated
         );
     }
 

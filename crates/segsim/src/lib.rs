@@ -54,3 +54,8 @@ pub use irq::Ps;
 // [`MachineConfig::with_fault_plan`] and audited via
 // [`Machine::fault_log`].
 pub use irq::{FaultLog, FaultPlan};
+
+// Re-export the observability sink installed via
+// [`Machine::install_trace_sink`] so callers need not depend on `obs`
+// directly for the common case.
+pub use obs::TraceSink;

@@ -1,0 +1,78 @@
+//! Observability demo: run the keystroke-monitoring attack with the
+//! trace sink installed and export a Chrome-loadable trace.
+//!
+//! ```sh
+//! SEGSCOPE_TRACE=keystroke.trace.json \
+//!     cargo run --release --example segscope_trace
+//! ```
+//!
+//! Open the emitted file in `chrome://tracing` (or Perfetto's legacy
+//! loader) to see each session on its own track: timer and keyboard
+//! interrupt deliveries as spans, segment-register scrubs and probe
+//! samples as instants, and the governor's frequency as a counter.
+//!
+//! The example also double-checks the layer's two core guarantees:
+//!
+//! 1. **Exactness** — the trace's `irq_delivered` event count equals the
+//!    simulator's ground-truth delivery count, interrupt for interrupt.
+//! 2. **Determinism** — the merged trace is byte-identical at 1, 2 and
+//!    4 worker threads (per-session sinks merged in session order).
+
+use segscope_repro::attacks::keystroke::{monitor_sessions_traced, KeystrokeConfig};
+use segscope_repro::obs::export;
+
+const SESSIONS: usize = 2;
+const RING_CAPACITY: usize = 1 << 15;
+
+fn main() {
+    println!("== SegScope observability: tracing the keystroke attack ==");
+    // A compact run — two sessions, ten keys each — keeps the emitted
+    // trace (and the golden CI diffs it against) small while exercising
+    // the full attack path: calibration, injection, monitoring.
+    let config = KeystrokeConfig {
+        keys_per_session: 10,
+        ..KeystrokeConfig::quick()
+    };
+
+    let run = |threads| monitor_sessions_traced(&config, SESSIONS, Some(threads), RING_CAPACITY);
+    let reference = run(1);
+    assert_eq!(
+        reference.sink.dropped(),
+        0,
+        "ring overflowed; raise RING_CAPACITY"
+    );
+
+    // Guarantee 1: the trace reconciles with the ground truth exactly.
+    let json = export::chrome_trace(&reference.sink);
+    let delivered = export::chrome_delivery_count(&json);
+    assert_eq!(
+        delivered as u64, reference.ground_truth_deliveries,
+        "trace deliveries must equal ground-truth deliveries"
+    );
+    println!(
+        "{} sessions, {} events recorded, {} interrupt deliveries (== ground truth)",
+        SESSIONS,
+        reference.sink.len(),
+        delivered
+    );
+
+    // Guarantee 2: byte-identical trace at any worker count.
+    for threads in [2usize, 4] {
+        let traced = run(threads);
+        assert_eq!(
+            export::chrome_trace(&traced.sink),
+            json,
+            "trace differs at {threads} threads"
+        );
+    }
+    println!("trace is byte-identical at 1/2/4 worker threads");
+
+    let path =
+        std::env::var("SEGSCOPE_TRACE").unwrap_or_else(|_| "keystroke.trace.json".to_owned());
+    std::fs::write(&path, &json).expect("write trace");
+    println!(
+        "wrote {} ({} bytes) — load it in chrome://tracing",
+        path,
+        json.len()
+    );
+}

@@ -20,6 +20,20 @@ for example in covert_channel kaslr_break keystroke_monitor quickstart \
     cargo run --release --offline --example "$example" >/dev/null
 done
 
+echo "==> segscope_trace example (release) + golden trace diff"
+SEGSCOPE_TRACE=target/keystroke.trace.json \
+    cargo run --release --offline --example segscope_trace >/dev/null
+if ! cmp -s target/keystroke.trace.json tests/golden/keystroke.trace.json; then
+    echo "segscope_trace output drifted from tests/golden/keystroke.trace.json;" >&2
+    echo "if intentional: cp target/keystroke.trace.json tests/golden/keystroke.trace.json" >&2
+    exit 1
+fi
+
+if [[ "${SEGSCOPE_OBS_FULL:-0}" == "1" ]]; then
+    echo "==> obs 16M-event stress pass (SEGSCOPE_OBS_FULL=1)"
+    cargo test -q --offline -p obs --release -- --include-ignored
+fi
+
 if [[ "${SEGSCOPE_CONFORMANCE_FULL:-0}" == "1" ]]; then
     echo "==> full conformance sweep (SEGSCOPE_CONFORMANCE_FULL=1)"
     cargo test -q --offline -p conformance --release -- --include-ignored

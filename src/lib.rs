@@ -9,6 +9,8 @@
 //! * [`irq`] — interrupt fabric, handler-cost model, ground truth;
 //! * [`memsim`] — caches, TLB, KASLR layout;
 //! * [`specsim`] — branch prediction, Spectre gadget, umonitor/umwait;
+//! * [`obs`] — the deterministic observability layer (typed event
+//!   traces, metrics, Chrome `trace_event` export);
 //! * [`segsim`] — the machine simulator tying the substrates together;
 //! * [`segscope`] — the paper's contribution: the probe, the guard, the
 //!   timer, and the timer-based baselines;
@@ -25,6 +27,7 @@ pub use exec;
 pub use irq;
 pub use memsim;
 pub use nnet;
+pub use obs;
 pub use segscope;
 pub use segsim;
 pub use specsim;

@@ -1,0 +1,70 @@
+//! Tracing-off vs tracing-on bit-stability: installing a
+//! [`obs::TraceSink`] must not perturb a run in any observable way.
+//!
+//! The observability hooks fire *after* every RNG decision and consume
+//! no randomness themselves, so a traced machine and an untraced machine
+//! with the same `(config, seed)` must produce identical SegCnt series,
+//! identical classifier outputs, and leave their RNG streams at the same
+//! position — the same discipline `tests/golden_trace.rs` pins for the
+//! fault hooks.
+
+use rand::Rng;
+use segscope_repro::irq::Ps;
+use segscope_repro::obs;
+use segscope_repro::segscope::{SegProbe, TimerEdgeClassifier};
+use segscope_repro::segsim::{FaultPlan, Machine, MachineConfig};
+
+/// One probing trial: SegCnt series, per-sample classifier verdicts, and
+/// the RNG stream position (next u64 drawn after the run).
+fn probing_trial(config: MachineConfig, seed: u64, traced: bool) -> (Vec<u64>, Vec<bool>, u64) {
+    let mut machine = Machine::new(config, seed);
+    if traced {
+        machine.install_trace_sink(obs::TraceSink::with_capacity(1 << 15));
+    }
+    let mut probe = SegProbe::new();
+    let samples = probe
+        .probe_for(&mut machine, Ps::from_secs(1))
+        .expect("probe works on stock machines");
+    let segcnts: Vec<u64> = samples.iter().map(|s| s.segcnt).collect();
+    let floats: Vec<f64> = segcnts.iter().map(|&c| c as f64).collect();
+    let classifier = TimerEdgeClassifier::fit(&floats);
+    let verdicts: Vec<bool> = floats
+        .iter()
+        .map(|&c| classifier.is_timer_edge(c))
+        .collect();
+    let rng_position = machine.rng_mut().gen::<u64>();
+    (segcnts, verdicts, rng_position)
+}
+
+#[test]
+fn tracing_is_bit_stable_on_every_vendor_preset() {
+    for (i, config) in MachineConfig::table1().into_iter().enumerate() {
+        let name = config.name.clone();
+        let seed = 0xB175 + i as u64;
+        let plain = probing_trial(config.clone(), seed, false);
+        let traced = probing_trial(config, seed, true);
+        assert_eq!(plain.0, traced.0, "{name}: SegCnt series diverged");
+        assert_eq!(plain.1, traced.1, "{name}: classifier outputs diverged");
+        assert_eq!(plain.2, traced.2, "{name}: RNG stream position diverged");
+    }
+}
+
+/// The fault-injection paths draw extra randomness (drop/duplicate rolls,
+/// jitter); the hooks there must observe those decisions without adding
+/// draws of their own.
+#[test]
+fn tracing_is_bit_stable_under_fault_injection() {
+    let plans = [
+        FaultPlan::timing_storm(),
+        FaultPlan::none()
+            .with_drop_prob(0.2)
+            .with_duplicate_prob(0.15),
+    ];
+    for (i, plan) in plans.into_iter().enumerate() {
+        let config = MachineConfig::xiaomi_air13().with_fault_plan(plan);
+        let seed = 0xFA5 + i as u64;
+        let plain = probing_trial(config.clone(), seed, false);
+        let traced = probing_trial(config, seed, true);
+        assert_eq!(plain, traced, "fault plan {i}: traced run diverged");
+    }
+}

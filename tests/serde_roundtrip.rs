@@ -1,13 +1,20 @@
 //! Serde round-trip tests for the workspace's public data types
 //! (C-SERDE): configurations and results must serialize losslessly so
 //! experiment setups and outcomes can be persisted and replayed.
+//!
+//! The observability types get property-based coverage (every
+//! [`obs::EventKind`] variant over random payloads) plus a golden-file
+//! check of the Chrome `trace_event` exporter — regenerate the golden
+//! with `SEGSCOPE_BLESS=1 cargo test --test serde_roundtrip`.
 
+use proptest::prelude::*;
 use segscope_repro::attacks::covert::CovertConfig;
 use segscope_repro::attacks::kaslr::{KaslrConfig, KaslrResult};
 use segscope_repro::attacks::spectral::SpectralConfig;
 use segscope_repro::attacks::website::{Browser, Setting, WebsiteFpConfig, WebsiteProfile};
 use segscope_repro::irq::{HandlerCostModel, InterruptKind, Ps};
 use segscope_repro::memsim::{HierarchyConfig, KaslrLayout, KaslrTiming, MemoryHierarchy};
+use segscope_repro::obs;
 use segscope_repro::segscope::{Denoise, ZScoreFilter};
 use segscope_repro::segsim::{FreqConfig, MachineConfig, NoiseModel, StepFn};
 use segscope_repro::x86seg::{
@@ -82,4 +89,202 @@ fn results_round_trip_and_replay() {
     let back: KaslrResult = serde_json::from_str(&json).expect("deserialize");
     assert!(back.top1_hit());
     assert!(back.top_n_hit(2));
+}
+
+/// Maps three random integers onto one of the eleven [`obs::EventKind`]
+/// variants, covering every payload shape.
+fn obs_event_kind(sel: usize, a: u64, b: u64) -> obs::EventKind {
+    use obs::{EventKind, FaultKind, IrqClass, SegRegId};
+    let irq = IrqClass::ALL[(a % IrqClass::ALL.len() as u64) as usize];
+    match sel % 11 {
+        0 => EventKind::IrqDelivered {
+            irq,
+            handler_cost_ps: b,
+        },
+        1 => EventKind::IrqDropped { irq },
+        2 => EventKind::IrqCoalesced { irq },
+        3 => EventKind::IrqDuplicated {
+            irq,
+            ghost_at_ps: b,
+        },
+        4 => EventKind::SegClear {
+            reg: SegRegId::ALL[(a % SegRegId::ALL.len() as u64) as usize],
+            null: b.is_multiple_of(2),
+        },
+        5 => EventKind::KernelReturn {
+            cleared: (a % 5) as u8,
+            kernel_span_ps: b,
+        },
+        6 => EventKind::FreqTransition {
+            from_khz: a,
+            to_khz: b,
+        },
+        7 => EventKind::ProbeSample { segcnt: a, irq },
+        8 => EventKind::FaultInjected {
+            fault: [
+                FaultKind::HandlerJitter,
+                FaultKind::SmtBurst,
+                FaultKind::ClampedFreqStep,
+            ][(a % 3) as usize],
+        },
+        9 => EventKind::TrialStart { index: a },
+        _ => EventKind::TrialEnd { index: a },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every event variant survives JSON persistence, payload intact.
+    #[test]
+    fn obs_events_round_trip(
+        at_ps in any::<u64>(),
+        track in any::<u32>(),
+        sel in 0usize..11,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let event = obs::Event { at_ps, track, kind: obs_event_kind(sel, a, b) };
+        let json = serde_json::to_string(&event).expect("serialize");
+        let back: obs::Event = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, event);
+        // The JSON-lines path decodes the same encoding.
+        let events = obs::export::from_jsonl(&obs::export::jsonl(&{
+            let mut sink = obs::TraceSink::with_capacity(4);
+            sink.record(event);
+            sink
+        })).expect("jsonl parses");
+        prop_assert_eq!(events, vec![event]);
+    }
+
+    /// A metrics snapshot (counters, histograms, phases) round-trips.
+    #[test]
+    fn obs_metrics_round_trip(
+        values in proptest::collection::vec(any::<u64>(), 1..24),
+        calls in 1u64..40,
+        span in 0u64..1_000_000,
+    ) {
+        let mut metrics = obs::Metrics::new();
+        for &v in &values {
+            metrics.incr("counter", v % 1000);
+            metrics.observe("histogram", v);
+        }
+        for i in 0..calls {
+            metrics.phase("phase", i * span, i * span + span);
+        }
+        let json = serde_json::to_string(&metrics).expect("serialize");
+        let back: obs::Metrics = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, metrics);
+    }
+
+    /// A populated sink — ring state, drop counter, metrics — round-trips
+    /// whole.
+    #[test]
+    fn obs_sink_round_trips_including_overflow(
+        count in 1usize..40,
+        capacity in 1usize..16,
+    ) {
+        let mut sink = obs::TraceSink::with_capacity(capacity);
+        for i in 0..count {
+            sink.emit(i as u64 * 10, obs_event_kind(i, i as u64, i as u64 + 1));
+        }
+        sink.metrics.incr("events", count as u64);
+        round_trip(&sink);
+    }
+}
+
+/// The Chrome exporter's exact output is pinned by a golden file: one
+/// event of every kind on a deterministic timeline, plus metrics in
+/// `otherData`. Any format drift must be a conscious re-bless.
+#[test]
+fn chrome_exporter_matches_golden() {
+    use obs::EventKind;
+    let mut sink = obs::TraceSink::with_capacity(64);
+    sink.emit(
+        1_000_000,
+        EventKind::IrqDelivered {
+            irq: obs::IrqClass::Timer,
+            handler_cost_ps: 250_000,
+        },
+    );
+    sink.emit(
+        2_500_000,
+        EventKind::IrqDropped {
+            irq: obs::IrqClass::Keyboard,
+        },
+    );
+    sink.emit(
+        3_000_000,
+        EventKind::IrqCoalesced {
+            irq: obs::IrqClass::Network,
+        },
+    );
+    sink.emit(
+        3_200_000,
+        EventKind::IrqDuplicated {
+            irq: obs::IrqClass::Timer,
+            ghost_at_ps: 4_000_000,
+        },
+    );
+    sink.emit(
+        4_100_000,
+        EventKind::SegClear {
+            reg: obs::SegRegId::Gs,
+            null: true,
+        },
+    );
+    sink.emit(
+        4_100_000,
+        EventKind::KernelReturn {
+            cleared: 1,
+            kernel_span_ps: 300_000,
+        },
+    );
+    sink.emit(
+        5_000_000,
+        EventKind::FreqTransition {
+            from_khz: 3_400_000,
+            to_khz: 3_000_000,
+        },
+    );
+    sink.emit(
+        6_000_000,
+        EventKind::ProbeSample {
+            segcnt: 1234,
+            irq: obs::IrqClass::Timer,
+        },
+    );
+    sink.emit(
+        6_500_000,
+        EventKind::FaultInjected {
+            fault: obs::FaultKind::HandlerJitter,
+        },
+    );
+    sink.emit(0, EventKind::TrialStart { index: 0 });
+    sink.emit(7_000_000, EventKind::TrialEnd { index: 0 });
+    sink.metrics.incr("irq.delivered", 1);
+    sink.metrics.observe("irq.handler_cost_ps", 250_000);
+    sink.metrics.phase("probe.interval", 5_000_000, 6_000_000);
+    let actual = obs::export::chrome_trace(&sink);
+
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_trace.json");
+    if std::env::var("SEGSCOPE_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, &actual).expect("golden file writable");
+        return;
+    }
+    let blessed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SEGSCOPE_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, blessed,
+        "Chrome exporter drift; if intentional, regenerate with \
+         SEGSCOPE_BLESS=1 cargo test --test serde_roundtrip"
+    );
+    // Sanity: the golden is well-formed enough for chrome://tracing.
+    assert!(actual.starts_with("{\"displayTimeUnit\":\"ns\""));
+    assert_eq!(obs::export::chrome_delivery_count(&actual), 1);
 }

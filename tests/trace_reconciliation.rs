@@ -1,0 +1,74 @@
+//! Trace/ground-truth reconciliation: the observability trace is a
+//! fourth ledger that must balance against [`irq::GroundTruth`] and
+//! [`segscope::DeliveryAudit`] on every Table I vendor preset.
+//!
+//! Clean (`Exact`) runs leave zero unmatched events; fault-injected runs
+//! leave exactly one `IrqDropped`/`IrqDuplicated` event per fault-log
+//! entry, so the books balance even when the audit verdict is Degraded.
+
+use segscope_repro::obs;
+use segscope_repro::segscope::{DeliveryAudit, SegProbe};
+use segscope_repro::segsim::{FaultPlan, Machine, MachineConfig};
+
+/// Probes `n` samples on a traced machine and returns the audit, the
+/// trace, and the ground-truth delivery count.
+fn traced_run(config: MachineConfig, seed: u64, n: usize) -> (DeliveryAudit, obs::TraceSink, u64) {
+    let mut machine = Machine::new(config, seed);
+    machine.install_trace_sink(obs::TraceSink::with_capacity(1 << 16));
+    let mut probe = SegProbe::new();
+    let samples = probe.probe_n(&mut machine, n).expect("probe works");
+    let audit = DeliveryAudit::for_machine(&machine, samples.len());
+    let truth = machine.ground_truth().len() as u64;
+    (
+        audit,
+        machine.take_trace_sink().expect("sink installed"),
+        truth,
+    )
+}
+
+#[test]
+fn clean_runs_reconcile_exactly_on_every_preset() {
+    for (i, config) in MachineConfig::table1().into_iter().enumerate() {
+        let name = config.name.clone();
+        let (audit, sink, truth) = traced_run(config, 0x8EC0 + i as u64, 150);
+        assert!(audit.is_exact(), "{name}: clean run must audit Exact");
+        let rec = audit.reconcile_trace(&sink);
+        assert_eq!(rec.unmatched_deliveries(), 0, "{name}: {rec:?}");
+        assert!(rec.is_consistent(), "{name}: {rec:?}");
+        // The trace's delivery events are the ground truth, one for one.
+        assert_eq!(
+            sink.count_class(obs::EventClass::IrqDelivered) as u64,
+            truth,
+            "{name}: trace deliveries != ground truth"
+        );
+        assert_eq!(rec.dropped_events, 0, "{name}");
+        assert_eq!(rec.duplicated_events, 0, "{name}");
+    }
+}
+
+#[test]
+fn injected_delivery_faults_leave_matching_trace_events() {
+    let plan = FaultPlan::none()
+        .with_drop_prob(0.2)
+        .with_duplicate_prob(0.15);
+    for (i, config) in MachineConfig::table1().into_iter().enumerate() {
+        let name = config.name.clone();
+        let (audit, sink, truth) = traced_run(config.with_fault_plan(plan), 0xFA17 + i as u64, 150);
+        assert!(
+            audit.dropped > 0 && audit.duplicated > 0,
+            "{name}: plan must inject faults, got {audit:?}"
+        );
+        assert!(!audit.is_exact(), "{name}: delivery faults cannot be Exact");
+        let rec = audit.reconcile_trace(&sink);
+        // One trace event per fault-log entry: the books balance even
+        // though the probe's count is degraded.
+        assert!(rec.is_consistent(), "{name}: {rec:?}");
+        assert_eq!(rec.dropped_events, audit.dropped, "{name}");
+        assert_eq!(rec.duplicated_events, audit.duplicated, "{name}");
+        assert_eq!(
+            sink.count_class(obs::EventClass::IrqDelivered) as u64,
+            truth,
+            "{name}: trace deliveries != ground truth under faults"
+        );
+    }
+}
