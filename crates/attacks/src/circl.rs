@@ -15,6 +15,7 @@
 use irq::time::Ps;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use scenario::{Scenario, TrialCtx};
 use segscope::SegProbe;
 use segsim::{FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
@@ -124,6 +125,13 @@ pub struct CirclConfig {
     pub fault_plan: Option<FaultPlan>,
 }
 
+impl Default for CirclConfig {
+    /// The test-scale [`CirclConfig::quick`] extraction.
+    fn default() -> Self {
+        CirclConfig::quick()
+    }
+}
+
 impl CirclConfig {
     /// Test-scale: 64-bit key.
     #[must_use]
@@ -201,16 +209,25 @@ fn measure_challenge(
     }
 }
 
-/// Runs the end-to-end key extraction.
+/// Runs the end-to-end key extraction on a fresh machine seeded from
+/// `config.seed`'s auxiliary stream.
 #[must_use]
 pub fn run_extraction(config: &CirclConfig) -> CirclResult {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let victim = CirclVictim::random_key(config.key_bits, &mut rng);
     let mut machine = Machine::new(
         MachineConfig::lenovo_yangtian(),
         exec::derive_seed(config.seed, exec::AUX_STREAM),
     );
     machine.set_fault_plan(config.fault_plan);
+    extract_on(&mut machine, config, config.seed)
+}
+
+/// Runs the key extraction on a caller-provided `machine` (fault plan
+/// and any trace sink already installed); `victim_seed` draws the
+/// victim's random key.
+#[must_use]
+pub fn extract_on(machine: &mut Machine, config: &CirclConfig, victim_seed: u64) -> CirclResult {
+    let mut rng = SmallRng::seed_from_u64(victim_seed);
+    let victim = CirclVictim::random_key(config.key_bits, &mut rng);
     machine.spin(100_000_000); // warm-up
                                // Calibration: the attacker knows which crafted ciphertexts trigger
                                // the anomaly on their *own* key material; here we calibrate with
@@ -225,7 +242,7 @@ pub fn run_extraction(config: &CirclConfig) -> CirclResult {
     let mut hi = Vec::new();
     let mut lo = Vec::new();
     for i in 0..config.calibration * 2 {
-        let obs = measure_challenge(&mut machine, &calib_victim, i, config);
+        let obs = measure_challenge(machine, &calib_victim, i, config);
         if obs.anomalous {
             hi.push(obs.mean_segcnt);
         } else {
@@ -238,7 +255,7 @@ pub fn run_extraction(config: &CirclConfig) -> CirclResult {
     let mut correct = 0usize;
     let mut differs = Vec::with_capacity(config.key_bits);
     for bit in 0..config.key_bits {
-        let obs = measure_challenge(&mut machine, &victim, bit, config);
+        let obs = measure_challenge(machine, &victim, bit, config);
         let decided_anomalous = obs.mean_segcnt > threshold;
         if decided_anomalous == obs.anomalous {
             correct += 1;
@@ -271,6 +288,68 @@ pub fn run_extraction(config: &CirclConfig) -> CirclResult {
         recovered,
         bit_accuracy: correct as f64 / config.key_bits as f64,
         observations,
+    }
+}
+
+/// The registered CIRCL scenario: each trial extracts one fresh random
+/// key on a fresh machine (the victim key draws from the trial seed, the
+/// machine from its auxiliary stream).
+pub struct CirclScenario;
+
+/// Summary of a [`CirclScenario`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CirclSummary {
+    /// Fraction of trials that recovered the whole key.
+    pub recovered_rate: f64,
+    /// Mean per-bit distinguishing accuracy across trials.
+    pub mean_bit_accuracy: f64,
+}
+
+impl Scenario for CirclScenario {
+    type Config = CirclConfig;
+    type TrialOutput = CirclResult;
+    type Summary = CirclSummary;
+
+    fn name(&self) -> &'static str {
+        "circl"
+    }
+
+    fn describe(&self) -> &'static str {
+        "CIRCL key extraction via the DVFS frequency channel, timed by SegScope (paper Section IV-B)"
+    }
+
+    fn experiment_seed(&self, config: &Self::Config, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(config.seed)
+    }
+
+    fn trial_count(&self, _config: &Self::Config, requested: Option<usize>) -> usize {
+        requested.unwrap_or(1)
+    }
+
+    fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine {
+        let mut machine = Machine::new(
+            MachineConfig::lenovo_yangtian(),
+            exec::derive_seed(ctx.seed, exec::AUX_STREAM),
+        );
+        machine.set_fault_plan(config.fault_plan);
+        machine
+    }
+
+    fn run_trial(
+        &self,
+        config: &Self::Config,
+        machine: &mut Machine,
+        ctx: &TrialCtx,
+    ) -> CirclResult {
+        extract_on(machine, config, ctx.seed)
+    }
+
+    fn summarize(&self, _config: &Self::Config, outputs: &[CirclResult]) -> CirclSummary {
+        let n = outputs.len().max(1) as f64;
+        CirclSummary {
+            recovered_rate: outputs.iter().filter(|r| r.recovered).count() as f64 / n,
+            mean_bit_accuracy: outputs.iter().map(|r| r.bit_accuracy).sum::<f64>() / n,
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 //! No timer, no shared memory, no syscalls beyond scheduling.
 
 use irq::time::Ps;
+use scenario::{RunOptions, Scenario, TrialCtx};
 use segscope::SegProbe;
 use segsim::{FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
@@ -30,6 +31,13 @@ pub struct CovertConfig {
     /// Optional interrupt-path fault plan installed on the receiver's
     /// machine (`None` = nominal fault-free run).
     pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for CovertConfig {
+    /// The conservative [`CovertConfig::slow`] channel.
+    fn default() -> Self {
+        CovertConfig::slow()
+    }
 }
 
 impl CovertConfig {
@@ -137,32 +145,6 @@ pub fn transmit(config: &CovertConfig, message: &[bool], seed: u64) -> CovertRes
     transmit_on(&mut machine, config, message)
 }
 
-/// [`transmit`] with an observability trace: runs the transmission on a
-/// machine with a [`obs::TraceSink`] of `capacity` events installed, so
-/// the trace shows the channel working — `FreqTransition` counter events
-/// track the sender's power modulation while `ProbeSample` events carry
-/// the receiver's per-interval SegCnt.
-///
-/// Tracing is RNG- and timing-neutral: the [`CovertResult`] is identical
-/// to what [`transmit`] returns for the same inputs.
-///
-/// # Panics
-///
-/// Panics if `message` is empty.
-#[must_use]
-pub fn transmit_traced(
-    config: &CovertConfig,
-    message: &[bool],
-    seed: u64,
-    capacity: usize,
-) -> (CovertResult, obs::TraceSink) {
-    let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), seed);
-    machine.set_fault_plan(config.fault_plan);
-    machine.install_trace_sink(obs::TraceSink::with_capacity(capacity));
-    let result = transmit_on(&mut machine, config, message);
-    (result, machine.take_trace_sink().expect("sink installed"))
-}
-
 /// Runs one full transmission on a caller-provided `machine` (fault plan
 /// and any trace sink already installed) and decodes it.
 ///
@@ -264,6 +246,9 @@ pub fn transmit_on(machine: &mut Machine, config: &CovertConfig, message: &[bool
 /// `experiment_seed` — and returns the outcomes in trial order
 /// (bit-identical at any worker count).
 ///
+/// Thin wrapper over the generic [`scenario`] driver and
+/// [`CovertScenario`].
+///
 /// # Panics
 ///
 /// Panics if `message` is empty.
@@ -275,12 +260,17 @@ pub fn transmit_trials(
     trials: usize,
     threads: Option<usize>,
 ) -> Vec<CovertResult> {
-    exec::parallel_trials(
-        experiment_seed,
-        trials,
-        exec::resolve_threads(threads),
-        |_i, seed| transmit(config, message, seed),
-    )
+    let cfg = CovertScenarioConfig {
+        channel: *config,
+        payload: bits_to_bitstring(message),
+    };
+    let opts = RunOptions {
+        seed: Some(experiment_seed),
+        trials: Some(trials),
+        threads,
+        ..RunOptions::default()
+    };
+    scenario::run_scenario(&CovertScenario, &cfg, &opts).outputs
 }
 
 /// Transmits with an `r`-fold repetition code and majority-vote decode:
@@ -322,6 +312,114 @@ pub fn transmit_reliable(
         sent: message.to_vec(),
         slot_medians,
         threshold,
+    }
+}
+
+/// Renders bits as an ASCII `'0'`/`'1'` string (the JSON-friendly
+/// payload encoding of [`CovertScenarioConfig`]).
+#[must_use]
+pub fn bits_to_bitstring(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Parses an ASCII bitstring back into bits, ignoring any characters
+/// other than `'0'` and `'1'` (so `"1011 0010"` reads naturally).
+#[must_use]
+pub fn bitstring_to_bits(s: &str) -> Vec<bool> {
+    s.chars()
+        .filter(|c| matches!(c, '0' | '1'))
+        .map(|c| c == '1')
+        .collect()
+}
+
+/// The registered covert-channel scenario: each trial is one full
+/// transmission of the configured payload over a fresh machine.
+pub struct CovertScenario;
+
+/// Parameters of [`CovertScenario`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CovertScenarioConfig {
+    /// Channel timing and power parameters.
+    pub channel: CovertConfig,
+    /// Payload as an ASCII bitstring (`'0'`/`'1'`; other characters are
+    /// separators), so arbitrary bit patterns survive a JSON round trip.
+    pub payload: String,
+}
+
+impl Default for CovertScenarioConfig {
+    /// The slow channel carrying the bits of `b"SEG"`.
+    fn default() -> Self {
+        CovertScenarioConfig {
+            channel: CovertConfig::slow(),
+            payload: bits_to_bitstring(&bytes_to_bits(b"SEG")),
+        }
+    }
+}
+
+/// Summary of a [`CovertScenario`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CovertSummary {
+    /// Payload length in bits.
+    pub payload_bits: usize,
+    /// Per-trial bit-error rates, in trial order.
+    pub error_rates: Vec<f64>,
+    /// Mean bit-error rate across trials.
+    pub mean_error_rate: f64,
+    /// Mean goodput across trials, bits per simulated second.
+    pub mean_goodput_bps: f64,
+    /// Total bit errors across trials.
+    pub total_errors: usize,
+}
+
+impl Scenario for CovertScenario {
+    type Config = CovertScenarioConfig;
+    type TrialOutput = CovertResult;
+    type Summary = CovertSummary;
+
+    fn name(&self) -> &'static str {
+        "covert"
+    }
+
+    fn describe(&self) -> &'static str {
+        "cross-core covert channel over the DVFS frequency side effect (paper Section V)"
+    }
+
+    fn experiment_seed(&self, _config: &Self::Config, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(0xC07E)
+    }
+
+    fn trial_count(&self, _config: &Self::Config, requested: Option<usize>) -> usize {
+        requested.unwrap_or(3)
+    }
+
+    fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine {
+        let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), ctx.seed);
+        machine.set_fault_plan(config.channel.fault_plan);
+        machine
+    }
+
+    fn run_trial(
+        &self,
+        config: &Self::Config,
+        machine: &mut Machine,
+        _ctx: &TrialCtx,
+    ) -> CovertResult {
+        transmit_on(
+            machine,
+            &config.channel,
+            &bitstring_to_bits(&config.payload),
+        )
+    }
+
+    fn summarize(&self, config: &Self::Config, outputs: &[CovertResult]) -> CovertSummary {
+        let n = outputs.len().max(1) as f64;
+        CovertSummary {
+            payload_bits: bitstring_to_bits(&config.payload).len(),
+            error_rates: outputs.iter().map(|r| r.error_rate).collect(),
+            mean_error_rate: outputs.iter().map(|r| r.error_rate).sum::<f64>() / n,
+            mean_goodput_bps: outputs.iter().map(|r| r.goodput_bps).sum::<f64>() / n,
+            total_errors: outputs.iter().map(|r| r.errors).sum(),
+        }
     }
 }
 
@@ -411,15 +509,52 @@ mod tests {
 
     #[test]
     fn traced_transmission_matches_untraced() {
-        let message = bytes_to_bits(b"OBS");
-        let plain = transmit(&CovertConfig::slow(), &message, 0xC080);
-        let (traced, sink) = transmit_traced(&CovertConfig::slow(), &message, 0xC080, 1 << 16);
-        assert_eq!(traced, plain, "tracing must not perturb the channel");
+        let cfg = CovertScenarioConfig {
+            channel: CovertConfig::slow(),
+            payload: bits_to_bitstring(&bytes_to_bits(b"OBS")),
+        };
+        let opts = RunOptions {
+            seed: Some(0xC080),
+            trials: Some(1),
+            ..RunOptions::default()
+        };
+        let plain = scenario::run_scenario(&CovertScenario, &cfg, &opts);
+        let traced = scenario::run_scenario(
+            &CovertScenario,
+            &cfg,
+            &RunOptions {
+                capacity: 1 << 16,
+                ..opts
+            },
+        );
+        assert_eq!(
+            traced.outputs, plain.outputs,
+            "tracing must not perturb the channel"
+        );
+        let sink = traced.sink.expect("traced run");
         assert!(
             sink.count_class(obs::EventClass::FreqTransition) > 0,
             "sender modulation must surface as frequency transitions"
         );
         assert!(sink.count_class(obs::EventClass::ProbeSample) > 0);
+    }
+
+    #[test]
+    fn bitstring_round_trip() {
+        let bits = bytes_to_bits(b"SegScope");
+        assert_eq!(bitstring_to_bits(&bits_to_bitstring(&bits)), bits);
+        assert_eq!(bitstring_to_bits("10 1x1"), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn trial_helper_matches_direct_transmissions() {
+        let message = bytes_to_bits(b"AB");
+        let config = CovertConfig::slow();
+        let trials = transmit_trials(&config, &message, 0xC081, 2, Some(2));
+        for (i, trial) in trials.iter().enumerate() {
+            let direct = transmit(&config, &message, exec::derive_seed(0xC081, i as u64));
+            assert_eq!(trial, &direct);
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use irq::time::Ps;
 use nnet::{AdamConfig, SeqTagger, TaggedExample};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use scenario::{RunOptions, Scenario, TrialCtx};
 use segscope::SegProbe;
 use segsim::{FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
@@ -205,6 +206,12 @@ pub struct DnnStealConfig {
     pub fault_plan: Option<FaultPlan>,
 }
 
+impl Default for DnnStealConfig {
+    fn default() -> Self {
+        DnnStealConfig::quick()
+    }
+}
+
 impl DnnStealConfig {
     /// Test-scale configuration.
     #[must_use]
@@ -271,16 +278,28 @@ pub fn collect_annotated_trace_with(
 ) -> Option<TaggedExample> {
     let mut machine = Machine::new(MachineConfig::lenovo_yangtian(), seed);
     machine.set_fault_plan(fault_plan);
+    collect_annotated_on(&mut machine, arch, seed)
+}
+
+/// [`collect_annotated_trace`] against an already-built victim machine.
+/// `trace_seed` only derives the inference-schedule RNG; the machine's
+/// own stream was fixed at construction.
+#[must_use]
+pub fn collect_annotated_on(
+    machine: &mut Machine,
+    arch: &Architecture,
+    trace_seed: u64,
+) -> Option<TaggedExample> {
     machine.spin(100_000_000); // warm-up
     let t0 = machine.now();
-    let mut sched_rng = SmallRng::seed_from_u64(exec::derive_seed(seed, exec::AUX_STREAM));
+    let mut sched_rng = SmallRng::seed_from_u64(exec::derive_seed(trace_seed, exec::AUX_STREAM));
     let (windows, power) = arch.inference_schedule(t0, &mut sched_rng);
     machine.set_power_excess(power);
     let end = windows.last().map(|&(_, e, _)| e)?;
     let mut probe = SegProbe::new();
     let mut raw: Vec<(f64, usize)> = Vec::new();
     while machine.now() < end {
-        let sample = probe.probe_once(&mut machine).ok()?;
+        let sample = probe.probe_once(machine).ok()?;
         // torch.autograd.profiler analogue: the simulator knows which
         // layer was executing when the interval ended.
         let at = sample.ended_at;
@@ -307,56 +326,112 @@ pub fn collect_annotated_trace_with(
 /// worker count.
 #[must_use]
 pub fn run_experiment(config: &DnnStealConfig) -> DnnStealResult {
-    // Train and test sets draw from disjoint task-index ranges of the
-    // same experiment stream.
-    let collect = |n: usize, base: usize| -> Vec<TaggedExample> {
-        exec::parallel_map_auto(n, |i| {
-            let model_seed = exec::derive_seed(config.seed, (base + i) as u64);
-            let mut arch_rng = SmallRng::seed_from_u64(model_seed);
-            let arch = Architecture::sample(&mut arch_rng);
-            collect_annotated_trace_with(
-                &arch,
-                exec::derive_seed(model_seed, exec::AUX_STREAM),
-                config.fault_plan,
-            )
-        })
-        .into_iter()
-        .flatten()
-        .collect()
-    };
-    let train = collect(config.train_models, 0);
-    let test = collect(config.test_models, config.train_models);
-    let mut rng = SmallRng::seed_from_u64(exec::derive_seed(config.seed, exec::AUX_STREAM));
-    let mut model = SeqTagger::new(
-        1,
-        config.hidden,
-        LayerType::ALL.len(),
-        &mut rng,
-        AdamConfig {
-            lr: 0.02,
-            ..AdamConfig::default()
-        },
-    );
-    for _ in 0..config.epochs {
-        model.train_epoch(&train, 8);
+    scenario::run_scenario(&DnnStealScenario, config, &RunOptions::default()).summary
+}
+
+/// [`Scenario`] face of the architecture-stealing experiment. One task
+/// per victim model: training models occupy task indices
+/// `0..train_models`, test models continue from there. Each task's seed
+/// drives both the architecture draw and the inference trace, so the
+/// dataset is bit-identical at any worker count. [`Scenario::summarize`]
+/// trains the BiLSTM tagger on the training traces and evaluates SA/LDA
+/// on the test traces.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DnnStealScenario;
+
+impl Scenario for DnnStealScenario {
+    type Config = DnnStealConfig;
+    type TrialOutput = Option<TaggedExample>;
+    type Summary = DnnStealResult;
+
+    fn name(&self) -> &'static str {
+        "dnnsteal"
     }
-    // Evaluate.
-    let mut all_pred = Vec::new();
-    let mut all_truth = Vec::new();
-    let mut ldas = Vec::new();
-    for ex in &test {
-        let pred = model.predict(&ex.xs);
-        ldas.push(nnet::levenshtein_accuracy(
-            &nnet::collapse_runs(&pred),
-            &nnet::collapse_runs(&ex.tags),
-        ));
-        all_pred.extend_from_slice(&pred);
-        all_truth.extend_from_slice(&ex.tags);
+
+    fn describe(&self) -> &'static str {
+        "DNN architecture stealing: tag SegCnt inference traces with a \
+         BiLSTM layer classifier (paper Section IV-C, Table V)"
     }
-    DnnStealResult {
-        per_class_sa: nnet::per_class_segment_accuracy(&all_pred, &all_truth, LayerType::ALL.len()),
-        overall_sa: nnet::segment_accuracy(&all_pred, &all_truth),
-        lda: segscope::mean(&ldas),
+
+    fn experiment_seed(&self, config: &DnnStealConfig, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(config.seed)
+    }
+
+    fn trial_count(&self, config: &DnnStealConfig, _requested: Option<usize>) -> usize {
+        // The train/test split is structural: the trial count follows the
+        // config, not the CLI `--trials` knob.
+        config.train_models + config.test_models
+    }
+
+    fn build_machine(&self, config: &DnnStealConfig, ctx: &TrialCtx) -> Machine {
+        let mut machine = Machine::new(
+            MachineConfig::lenovo_yangtian(),
+            exec::derive_seed(ctx.seed, exec::AUX_STREAM),
+        );
+        machine.set_fault_plan(config.fault_plan);
+        machine
+    }
+
+    fn run_trial(
+        &self,
+        _config: &DnnStealConfig,
+        machine: &mut Machine,
+        ctx: &TrialCtx,
+    ) -> Option<TaggedExample> {
+        let mut arch_rng = SmallRng::seed_from_u64(ctx.seed);
+        let arch = Architecture::sample(&mut arch_rng);
+        collect_annotated_on(
+            machine,
+            &arch,
+            exec::derive_seed(ctx.seed, exec::AUX_STREAM),
+        )
+    }
+
+    fn summarize(
+        &self,
+        config: &DnnStealConfig,
+        outputs: &[Option<TaggedExample>],
+    ) -> DnnStealResult {
+        let split = config.train_models.min(outputs.len());
+        let (train_raw, test_raw) = outputs.split_at(split);
+        let train: Vec<TaggedExample> = train_raw.iter().flatten().cloned().collect();
+        let test: Vec<TaggedExample> = test_raw.iter().flatten().cloned().collect();
+        let mut rng = SmallRng::seed_from_u64(exec::derive_seed(config.seed, exec::AUX_STREAM));
+        let mut model = SeqTagger::new(
+            1,
+            config.hidden,
+            LayerType::ALL.len(),
+            &mut rng,
+            AdamConfig {
+                lr: 0.02,
+                ..AdamConfig::default()
+            },
+        );
+        for _ in 0..config.epochs {
+            model.train_epoch(&train, 8);
+        }
+        // Evaluate.
+        let mut all_pred = Vec::new();
+        let mut all_truth = Vec::new();
+        let mut ldas = Vec::new();
+        for ex in &test {
+            let pred = model.predict(&ex.xs);
+            ldas.push(nnet::levenshtein_accuracy(
+                &nnet::collapse_runs(&pred),
+                &nnet::collapse_runs(&ex.tags),
+            ));
+            all_pred.extend_from_slice(&pred);
+            all_truth.extend_from_slice(&ex.tags);
+        }
+        DnnStealResult {
+            per_class_sa: nnet::per_class_segment_accuracy(
+                &all_pred,
+                &all_truth,
+                LayerType::ALL.len(),
+            ),
+            overall_sa: nnet::segment_accuracy(&all_pred, &all_truth),
+            lda: segscope::mean(&ldas),
+        }
     }
 }
 

@@ -8,6 +8,7 @@
 
 use irq::time::Ps;
 use memsim::{KaslrLayout, KASLR_SLOTS};
+use scenario::{RunOptions, Scenario, TrialCtx};
 use segscope::{CountingThreadTimer, Denoise, ProbeError, SegTimer};
 use segsim::{Machine, MachineConfig, SimError};
 use serde::{Deserialize, Serialize};
@@ -69,6 +70,13 @@ pub struct KaslrConfig {
     pub slots: usize,
     /// SegScope timer calibration samples.
     pub calibration: usize,
+}
+
+impl Default for KaslrConfig {
+    /// The reduced [`KaslrConfig::quick`] scan.
+    fn default() -> Self {
+        KaslrConfig::quick()
+    }
 }
 
 impl KaslrConfig {
@@ -286,43 +294,109 @@ pub fn break_kaslr_fresh(
     break_kaslr(&mut machine, config)
 }
 
-/// [`break_kaslr_fresh`] with an observability trace: installs a sink of
-/// `capacity` events on the fresh machine before warm-up, so the
-/// returned trace covers the whole attack — governor transitions during
-/// warm-up, the SegScope timer's calibration probes, and the per-slot
-/// timing probes.
-///
-/// Tracing is RNG- and timing-neutral: the [`KaslrResult`] is identical
-/// to what [`break_kaslr_fresh`] returns for the same inputs.
-///
-/// # Errors
-///
-/// See [`break_kaslr`].
-pub fn break_kaslr_traced(
-    machine_cfg: MachineConfig,
-    config: &KaslrConfig,
-    seed: u64,
-    capacity: usize,
-) -> Result<(KaslrResult, obs::TraceSink), KaslrError> {
-    let mut machine = Machine::new(machine_cfg, seed);
-    machine.install_trace_sink(obs::TraceSink::with_capacity(capacity));
-    let layout = {
-        let rng = machine.rng_mut();
-        KaslrLayout::randomize(rng)
-    };
-    machine.set_kaslr(layout);
-    machine.spin(50_000_000); // warm-up
-    let result = break_kaslr(&mut machine, config)?;
-    Ok((result, machine.take_trace_sink().expect("sink installed")))
+/// The registered KASLR scenario: each trial is one fresh-machine break
+/// with a freshly randomized layout.
+pub struct KaslrScenario;
+
+/// Parameters of [`KaslrScenario`]: the full machine configuration (so
+/// bench sweeps can vary `CR4.TSD`, frequency pinning, or fault plans)
+/// plus the attack parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KaslrScenarioConfig {
+    /// The victim machine (fault plans travel inside, via
+    /// [`MachineConfig::with_fault_plan`]).
+    pub machine: MachineConfig,
+    /// The attack parameters.
+    pub attack: KaslrConfig,
+}
+
+impl Default for KaslrScenarioConfig {
+    /// The Table I Xiaomi machine under the quick scan.
+    fn default() -> Self {
+        KaslrScenarioConfig {
+            machine: MachineConfig::xiaomi_air13(),
+            attack: KaslrConfig::quick(),
+        }
+    }
+}
+
+/// Summary of a [`KaslrScenario`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KaslrSummary {
+    /// Fraction of trials whose top-ranked candidate was the true base.
+    pub top1_rate: f64,
+    /// Fraction of trials ranking the true base within the top 5.
+    pub top5_rate: f64,
+    /// Trials that failed (timer unavailable / probe mitigated).
+    pub failed: usize,
+    /// Mean simulated attack duration over successful trials, seconds.
+    pub mean_elapsed_s: f64,
+}
+
+impl Scenario for KaslrScenario {
+    type Config = KaslrScenarioConfig;
+    type TrialOutput = Result<KaslrResult, KaslrError>;
+    type Summary = KaslrSummary;
+
+    fn name(&self) -> &'static str {
+        "kaslr"
+    }
+
+    fn describe(&self) -> &'static str {
+        "KASLR de-randomization by timing candidate kernel bases with the SegScope timer (paper Section IV-E)"
+    }
+
+    fn experiment_seed(&self, _config: &Self::Config, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(0x6A51)
+    }
+
+    fn trial_count(&self, _config: &Self::Config, requested: Option<usize>) -> usize {
+        requested.unwrap_or(8)
+    }
+
+    fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine {
+        let mut machine = Machine::new(config.machine.clone(), ctx.seed);
+        let layout = {
+            let rng = machine.rng_mut();
+            KaslrLayout::randomize(rng)
+        };
+        machine.set_kaslr(layout);
+        machine
+    }
+
+    fn run_trial(
+        &self,
+        config: &Self::Config,
+        machine: &mut Machine,
+        _ctx: &TrialCtx,
+    ) -> Result<KaslrResult, KaslrError> {
+        machine.spin(50_000_000); // warm-up
+        break_kaslr(machine, &config.attack)
+    }
+
+    fn summarize(&self, _config: &Self::Config, outputs: &[Self::TrialOutput]) -> KaslrSummary {
+        let (top1_rate, top5_rate) = hit_rates(outputs, 5);
+        let elapsed: Vec<f64> = outputs
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|k| k.elapsed_s))
+            .collect();
+        KaslrSummary {
+            top1_rate,
+            top5_rate,
+            failed: outputs.iter().filter(|r| r.is_err()).count(),
+            mean_elapsed_s: segscope::mean(&elapsed),
+        }
+    }
 }
 
 /// Runs `trials` independent fresh-machine KASLR breaks in parallel and
 /// returns the per-trial outcomes in trial order.
 ///
-/// Each trial derives its own seed from `(experiment_seed, trial index)`
-/// via [`exec::derive_seed`], so the result vector is bit-identical at
-/// any worker count (`threads`: explicit override, else the
-/// `SEGSCOPE_THREADS` environment variable, else all cores).
+/// Thin wrapper over the generic [`scenario`] driver and
+/// [`KaslrScenario`]: each trial derives its own seed from
+/// `(experiment_seed, trial index)`, so the result vector is
+/// bit-identical at any worker count (`threads`: explicit override, else
+/// the `SEGSCOPE_THREADS` environment variable, else all cores).
 #[must_use]
 pub fn run_trials(
     machine_cfg: &MachineConfig,
@@ -331,12 +405,17 @@ pub fn run_trials(
     trials: usize,
     threads: Option<usize>,
 ) -> Vec<Result<KaslrResult, KaslrError>> {
-    exec::parallel_trials(
-        experiment_seed,
-        trials,
-        exec::resolve_threads(threads),
-        |_i, seed| break_kaslr_fresh(machine_cfg.clone(), config, seed),
-    )
+    let cfg = KaslrScenarioConfig {
+        machine: machine_cfg.clone(),
+        attack: *config,
+    };
+    let opts = RunOptions {
+        seed: Some(experiment_seed),
+        trials: Some(trials),
+        threads,
+        ..RunOptions::default()
+    };
+    scenario::run_scenario(&KaslrScenario, &cfg, &opts).outputs
 }
 
 /// Top-1 and top-`n` hit rates over a batch of [`run_trials`] outcomes
@@ -480,14 +559,40 @@ mod tests {
 
     #[test]
     fn traced_break_matches_untraced_and_records_probes() {
-        let config = KaslrConfig {
-            slots: 16,
-            ..KaslrConfig::quick()
+        let cfg = KaslrScenarioConfig {
+            attack: KaslrConfig {
+                slots: 16,
+                ..KaslrConfig::quick()
+            },
+            ..KaslrScenarioConfig::default()
         };
-        let plain = break_kaslr_fresh(MachineConfig::xiaomi_air13(), &config, 0x6A54).unwrap();
-        let (traced, sink) =
-            break_kaslr_traced(MachineConfig::xiaomi_air13(), &config, 0x6A54, 1 << 16).unwrap();
-        assert_eq!(traced, plain, "tracing must not perturb the attack");
+        let opts = RunOptions {
+            seed: Some(0x6A54),
+            trials: Some(1),
+            ..RunOptions::default()
+        };
+        let plain = scenario::run_scenario(&KaslrScenario, &cfg, &opts);
+        // The driver's per-trial seed matches what the direct API derives.
+        let direct = break_kaslr_fresh(
+            MachineConfig::xiaomi_air13(),
+            &cfg.attack,
+            exec::derive_seed(0x6A54, 0),
+        )
+        .unwrap();
+        assert_eq!(plain.outputs[0].as_ref().unwrap(), &direct);
+        let traced = scenario::run_scenario(
+            &KaslrScenario,
+            &cfg,
+            &RunOptions {
+                capacity: 1 << 16,
+                ..opts
+            },
+        );
+        assert_eq!(
+            traced.outputs, plain.outputs,
+            "tracing must not perturb the attack"
+        );
+        let sink = traced.sink.expect("traced run");
         assert!(sink.count_class(obs::EventClass::ProbeSample) > 0);
         assert!(sink.count_class(obs::EventClass::IrqDelivered) > 0);
         assert_eq!(sink.metrics.counter("timer.calibrations"), 1);

@@ -18,6 +18,7 @@ use irq::time::Ps;
 use irq::InterruptKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use scenario::{RunOptions, Scenario, TrialCtx};
 use segscope::{SegProbe, TimerEdgeClassifier};
 use segsim::{FaultPlan, Machine, MachineConfig};
 use serde::{Deserialize, Serialize};
@@ -212,6 +213,13 @@ pub struct KeystrokeConfig {
     pub fault_plan: Option<FaultPlan>,
 }
 
+impl Default for KeystrokeConfig {
+    /// The test-scale [`KeystrokeConfig::quick`] experiment.
+    fn default() -> Self {
+        KeystrokeConfig::quick()
+    }
+}
+
 impl KeystrokeConfig {
     /// Test-scale configuration.
     #[must_use]
@@ -234,6 +242,7 @@ impl KeystrokeConfig {
     }
 }
 
+#[cfg(test)]
 fn collect_trace(
     profile: &TypistProfile,
     seed: u64,
@@ -262,19 +271,82 @@ pub struct TracedSessions {
     pub ground_truth_deliveries: u64,
 }
 
+/// The trial body shared by both keystroke scenarios: spin to governor
+/// steady state, draw the victim's typing session, and monitor it.
+fn monitor_session_on(
+    machine: &mut Machine,
+    profile: &TypistProfile,
+    keys: usize,
+    trial_seed: u64,
+) -> KeystrokeTrace {
+    machine.spin(100_000_000);
+    let mut rng = SmallRng::seed_from_u64(exec::derive_seed(trial_seed, exec::AUX_STREAM));
+    let start = machine.now() + Ps::from_ms(1_600); // calibration quiet time
+    let session = profile.type_session(start, keys, &mut rng);
+    KeystrokeMonitor::new().monitor(machine, &session)
+}
+
+/// The internal sessions scenario behind [`monitor_sessions_traced`]:
+/// trial `i` monitors one session of user `i % users`. Not registered —
+/// the registered [`KeystrokeScenario`] runs the full identification
+/// experiment instead.
+struct MonitorSessions;
+
+impl Scenario for MonitorSessions {
+    type Config = KeystrokeConfig;
+    type TrialOutput = KeystrokeTrace;
+    type Summary = ();
+
+    fn name(&self) -> &'static str {
+        "keystroke_sessions"
+    }
+
+    fn describe(&self) -> &'static str {
+        "one monitored typing session per trial, cycling through the cohort"
+    }
+
+    fn experiment_seed(&self, config: &Self::Config, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(config.seed)
+    }
+
+    fn trial_count(&self, config: &Self::Config, requested: Option<usize>) -> usize {
+        requested.unwrap_or(config.users)
+    }
+
+    fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine {
+        let mut machine = Machine::new(MachineConfig::xiaomi_air13(), ctx.seed);
+        machine.set_fault_plan(config.fault_plan);
+        machine
+    }
+
+    fn run_trial(
+        &self,
+        config: &Self::Config,
+        machine: &mut Machine,
+        ctx: &TrialCtx,
+    ) -> KeystrokeTrace {
+        let profile = TypistProfile::for_user(ctx.index % config.users.max(1));
+        monitor_session_on(machine, &profile, config.keys_per_session, ctx.seed)
+    }
+
+    fn summarize(&self, _config: &Self::Config, _outputs: &[KeystrokeTrace]) {}
+}
+
 /// Monitors `sessions` typing sessions (cycling through the cohort's
 /// users) with a [`obs::TraceSink`] installed on every machine, and
 /// merges the per-session traces **in session order**.
 ///
-/// Tracing rides on [`exec::parallel_trials_traced`]: each session's
+/// Thin wrapper over the generic [`scenario`] driver: each session's
 /// machine gets a private sink, so the merged trace — like the recovered
 /// traces — is byte-identical at any worker count. `threads` follows the
 /// usual resolution (explicit override, else `SEGSCOPE_THREADS`, else
-/// all cores); `capacity` bounds each session's ring.
+/// all cores); `capacity` bounds each session's ring and must be
+/// non-zero.
 ///
 /// # Panics
 ///
-/// Panics if the probe is mitigated (stock machines never are).
+/// Panics if the probe is mitigated (stock machines never are) or if
+/// `capacity` is zero (which would disable tracing).
 #[must_use]
 pub fn monitor_sessions_traced(
     config: &KeystrokeConfig,
@@ -282,103 +354,116 @@ pub fn monitor_sessions_traced(
     threads: Option<usize>,
     capacity: usize,
 ) -> TracedSessions {
-    let (ran, sink) = exec::parallel_trials_traced(
-        config.seed,
-        sessions,
-        exec::resolve_threads(threads),
+    assert!(capacity > 0, "a traced run needs a non-zero ring capacity");
+    let opts = RunOptions {
+        trials: Some(sessions),
+        threads,
         capacity,
-        |i, seed, task_sink| {
-            let profile = TypistProfile::for_user(i % config.users.max(1));
-            let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
-            machine.set_fault_plan(config.fault_plan);
-            // Leave room for the engine's TrialStart/TrialEnd brackets so
-            // a machine-full ring cannot overflow the task sink.
-            machine.install_trace_sink(obs::TraceSink::with_capacity(
-                capacity.saturating_sub(2).max(1),
-            ));
-            machine.spin(100_000_000);
-            let mut rng = SmallRng::seed_from_u64(exec::derive_seed(seed, exec::AUX_STREAM));
-            let start = machine.now() + Ps::from_ms(1_600); // calibration quiet time
-            let session = profile.type_session(start, config.keys_per_session, &mut rng);
-            let trace = KeystrokeMonitor::new().monitor(&mut machine, &session);
-            let machine_sink = machine.take_trace_sink().expect("sink installed");
-            task_sink.absorb(&machine_sink, 0);
-            (trace, machine.ground_truth().len() as u64)
-        },
-    );
-    let ground_truth_deliveries = ran.iter().map(|(_, n)| n).sum();
+        ..RunOptions::default()
+    };
+    let run = scenario::run_scenario(&MonitorSessions, config, &opts);
     TracedSessions {
-        traces: ran.into_iter().map(|(t, _)| t).collect(),
-        sink,
-        ground_truth_deliveries,
+        ground_truth_deliveries: run.total_gt_deliveries(),
+        traces: run.outputs,
+        sink: run.sink.expect("tracing enabled"),
+    }
+}
+
+/// The registered keystroke scenario: the full user-identification
+/// experiment. Trials `0..users * enroll_sessions` are enrollment
+/// sessions (user `i / enroll_sessions`); the remaining
+/// `users * test_sessions` trials are test sessions — one uniform seed
+/// stream, so the two sets never share a seed.
+pub struct KeystrokeScenario;
+
+impl Scenario for KeystrokeScenario {
+    type Config = KeystrokeConfig;
+    type TrialOutput = (f64, f64);
+    type Summary = IdentifyResult;
+
+    fn name(&self) -> &'static str {
+        "keystroke"
+    }
+
+    fn describe(&self) -> &'static str {
+        "keystroke-timing recovery and typist identification from interrupt edges (paper Section V)"
+    }
+
+    fn experiment_seed(&self, config: &Self::Config, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(config.seed)
+    }
+
+    fn trial_count(&self, config: &Self::Config, _requested: Option<usize>) -> usize {
+        // Structured: one trial per (user, session) pair, enrollment
+        // first. `--trials` cannot change the experiment's shape.
+        config.users * (config.enroll_sessions + config.test_sessions)
+    }
+
+    fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine {
+        let mut machine = Machine::new(MachineConfig::xiaomi_air13(), ctx.seed);
+        machine.set_fault_plan(config.fault_plan);
+        machine
+    }
+
+    fn run_trial(
+        &self,
+        config: &Self::Config,
+        machine: &mut Machine,
+        ctx: &TrialCtx,
+    ) -> (f64, f64) {
+        let enroll_tasks = config.users * config.enroll_sessions;
+        let user = if ctx.index < enroll_tasks {
+            ctx.index / config.enroll_sessions.max(1)
+        } else {
+            (ctx.index - enroll_tasks) / config.test_sessions.max(1)
+        };
+        let profile = TypistProfile::for_user(user);
+        monitor_session_on(machine, &profile, config.keys_per_session, ctx.seed).log_stats()
+    }
+
+    fn summarize(&self, config: &Self::Config, outputs: &[(f64, f64)]) -> IdentifyResult {
+        let enroll_tasks = config.users * config.enroll_sessions;
+        let (enroll_stats, test_stats) = outputs.split_at(enroll_tasks.min(outputs.len()));
+        let centroids: Vec<(f64, f64)> = enroll_stats
+            .chunks(config.enroll_sessions.max(1))
+            .map(|stats| {
+                let mus: Vec<f64> = stats.iter().map(|s| s.0).collect();
+                let sigmas: Vec<f64> = stats.iter().map(|s| s.1).collect();
+                (segscope::mean(&mus), segscope::mean(&sigmas))
+            })
+            .collect();
+        let test_tasks = config.users * config.test_sessions;
+        let mut hits = 0usize;
+        for (i, &(m, sd)) in test_stats.iter().enumerate() {
+            let u = i / config.test_sessions.max(1);
+            let guess = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    let da = (a.1 .0 - m).powi(2) + 4.0 * (a.1 .1 - sd).powi(2);
+                    let db = (b.1 .0 - m).powi(2) + 4.0 * (b.1 .1 - sd).powi(2);
+                    da.partial_cmp(&db).expect("finite")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty cohort");
+            hits += usize::from(guess == u);
+        }
+        IdentifyResult {
+            accuracy: hits as f64 / test_tasks.max(1) as f64,
+            users: config.users,
+            sessions: test_tasks,
+        }
     }
 }
 
 /// Runs the identification experiment: enroll per-user log-stat
 /// centroids, then attribute test sessions by nearest centroid.
 ///
-/// Sessions are monitored in parallel — one task per `(user, session)`
-/// pair with a seed derived from `config.seed`, so the result is
-/// bit-identical at any worker count. Enrollment sessions occupy task
-/// indices `0..users * enroll_sessions`; test sessions continue from
-/// there, so the two sets never share a seed.
+/// Thin wrapper over the generic [`scenario`] driver and
+/// [`KeystrokeScenario`]; bit-identical at any worker count.
 #[must_use]
 pub fn identify_users(config: &KeystrokeConfig) -> IdentifyResult {
-    let profiles: Vec<TypistProfile> = (0..config.users).map(TypistProfile::for_user).collect();
-    // Enrollment.
-    let enroll_tasks = config.users * config.enroll_sessions;
-    let enroll_stats: Vec<(f64, f64)> =
-        exec::parallel_trials_auto(config.seed, enroll_tasks, |i, seed| {
-            let u = i / config.enroll_sessions;
-            collect_trace(
-                &profiles[u],
-                seed,
-                config.keys_per_session,
-                config.fault_plan,
-            )
-            .log_stats()
-        });
-    let centroids: Vec<(f64, f64)> = enroll_stats
-        .chunks(config.enroll_sessions.max(1))
-        .map(|stats| {
-            let mus: Vec<f64> = stats.iter().map(|s| s.0).collect();
-            let sigmas: Vec<f64> = stats.iter().map(|s| s.1).collect();
-            (segscope::mean(&mus), segscope::mean(&sigmas))
-        })
-        .collect();
-    // Identification.
-    let test_tasks = config.users * config.test_sessions;
-    let test_stats: Vec<(f64, f64)> = exec::parallel_map_auto(test_tasks, |i| {
-        let u = i / config.test_sessions;
-        let seed = exec::derive_seed(config.seed, (enroll_tasks + i) as u64);
-        collect_trace(
-            &profiles[u],
-            seed,
-            config.keys_per_session,
-            config.fault_plan,
-        )
-        .log_stats()
-    });
-    let mut hits = 0usize;
-    for (i, &(m, sd)) in test_stats.iter().enumerate() {
-        let u = i / config.test_sessions;
-        let guess = centroids
-            .iter()
-            .enumerate()
-            .min_by(|a, b| {
-                let da = (a.1 .0 - m).powi(2) + 4.0 * (a.1 .1 - sd).powi(2);
-                let db = (b.1 .0 - m).powi(2) + 4.0 * (b.1 .1 - sd).powi(2);
-                da.partial_cmp(&db).expect("finite")
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty cohort");
-        hits += usize::from(guess == u);
-    }
-    IdentifyResult {
-        accuracy: hits as f64 / test_tasks.max(1) as f64,
-        users: config.users,
-        sessions: test_tasks,
-    }
+    scenario::run_scenario(&KeystrokeScenario, config, &RunOptions::default()).summary
 }
 
 #[cfg(test)]

@@ -11,9 +11,15 @@
 //! | [`kaslr`] | IV-E | Figs. 10–11, Tables VII–VIII: KASLR de-randomization |
 //! | [`spectre`] | IV-F | Fig. 12: Spectre-V1 + Flush+Reload via the SegScope timer |
 //!
+//! plus three extension studies ([`keystroke`], [`covert`], [`procfp`])
+//! exercising the same probing primitive on the side channels the paper
+//! cites in Section I.
+//!
 //! Every experiment exposes a `quick()` configuration small enough for
 //! `cargo test` and a larger configuration for the bench harness; both
-//! are deterministic given a seed.
+//! are deterministic given a seed. All nine implement the
+//! [`scenario::Scenario`] trait and register with [`registry`], which
+//! backs the `segscope` CLI driver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,3 +33,87 @@ pub mod procfp;
 pub mod spectral;
 pub mod spectre;
 pub mod website;
+
+/// The nine registered scenarios, in paper-section order (six case
+/// studies, then the three extension studies).
+static SCENARIOS: [&'static dyn scenario::DynScenario; 9] = [
+    &website::WebsiteScenario,
+    &circl::CirclScenario,
+    &dnnsteal::DnnStealScenario,
+    &spectral::SpectralScenario,
+    &kaslr::KaslrScenario,
+    &spectre::SpectreScenario,
+    &keystroke::KeystrokeScenario,
+    &covert::CovertScenario,
+    &procfp::ProcFpScenario,
+];
+
+/// The attack registry: every case study and extension study behind one
+/// uniform [`scenario::DynScenario`] face.
+#[must_use]
+pub fn registry() -> scenario::Registry {
+    scenario::Registry::new(&SCENARIOS)
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_scenarios_registered_with_unique_names() {
+        let reg = registry();
+        assert_eq!(reg.len(), 9);
+        let mut names: Vec<&str> = reg.entries().iter().map(|s| s.name()).collect();
+        for expected in [
+            "website",
+            "circl",
+            "dnnsteal",
+            "spectral",
+            "kaslr",
+            "spectre",
+            "keystroke",
+            "covert",
+            "procfp",
+        ] {
+            assert!(names.contains(&expected), "missing scenario {expected}");
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9, "duplicate scenario names");
+    }
+
+    #[test]
+    fn descriptions_and_default_params_are_well_formed() {
+        for entry in registry().entries() {
+            assert!(
+                !entry.describe().is_empty(),
+                "{} has no description",
+                entry.name()
+            );
+            let params = entry.default_params();
+            let json = serde_json::to_string(&params).expect("params serialize");
+            // Whole floats serialize as integers (and the typed
+            // deserializers convert back), so Value identity is too
+            // strict — demand a stable text fixpoint instead.
+            let back: serde::Value = serde_json::from_str(&json).expect("params parse");
+            let json2 = serde_json::to_string(&back).expect("params reserialize");
+            assert_eq!(
+                json,
+                json2,
+                "{} default params JSON round-trip",
+                entry.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_and_unknown_rejection() {
+        let reg = registry();
+        assert!(reg.by_name("kaslr").is_some());
+        assert!(reg.by_name("KASLR").is_none(), "lookup is exact");
+        assert!(matches!(
+            reg.get("no-such-attack"),
+            Err(scenario::ScenarioError::UnknownScenario(_))
+        ));
+    }
+}

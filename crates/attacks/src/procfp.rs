@@ -12,6 +12,7 @@ use irq::time::Ps;
 use irq::InterruptKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use scenario::{RunOptions, Scenario, TrialCtx};
 use segscope::SegProbe;
 use segsim::{FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
@@ -151,10 +152,24 @@ pub fn observe_with(
     let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
     machine.set_fault_plan(fault_plan);
     machine.set_local_load(0.3); // the spy keeps a low profile
+    observe_on(&mut machine, app, seed, window, probes)
+}
+
+/// Extracts features from one observation window on an already-built spy
+/// machine. `seed` only drives the victim's activity schedule; the
+/// machine's own RNG stream was fixed at construction.
+#[must_use]
+pub fn observe_on(
+    machine: &mut Machine,
+    app: AppClass,
+    seed: u64,
+    window: Ps,
+    probes: usize,
+) -> ProcFeatures {
     machine.spin(100_000_000);
     // Calibrate the quiet baseline (the spy alone): robust SegCnt level.
     let mut probe = SegProbe::new();
-    let calib = probe.probe_n(&mut machine, 200).expect("probe works");
+    let calib = probe.probe_n(machine, 200).expect("probe works");
     let mut calib_cnts: Vec<f64> = calib.iter().map(|s| s.segcnt as f64).collect();
     calib_cnts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let calib_median = calib_cnts[calib_cnts.len() / 2];
@@ -172,7 +187,7 @@ pub fn observe_with(
         if machine.now() >= obs_end {
             break;
         }
-        let Ok(s) = probe.probe_once(&mut machine) else {
+        let Ok(s) = probe.probe_once(machine) else {
             break;
         };
         cnts.push(s.segcnt as f64);
@@ -222,6 +237,12 @@ pub struct ProcFpConfig {
     pub fault_plan: Option<FaultPlan>,
 }
 
+impl Default for ProcFpConfig {
+    fn default() -> Self {
+        ProcFpConfig::quick()
+    }
+}
+
 impl ProcFpConfig {
     /// Test-scale configuration.
     #[must_use]
@@ -252,68 +273,113 @@ impl ProcFpConfig {
 /// indices `0..classes * enroll`; test windows continue from there.
 #[must_use]
 pub fn run_experiment(config: &ProcFpConfig) -> ProcFpResult {
-    let classes = AppClass::ALL.len();
-    // Enroll centroids.
-    let enroll_tasks = classes * config.enroll;
-    let enroll_feats: Vec<ProcFeatures> =
-        exec::parallel_trials_auto(config.seed, enroll_tasks, |i, seed| {
-            observe_with(
-                AppClass::ALL[i / config.enroll],
-                seed,
-                config.window,
-                config.probes,
-                config.fault_plan,
-            )
-        });
-    let centroids: Vec<(AppClass, ProcFeatures)> = AppClass::ALL
-        .iter()
-        .zip(enroll_feats.chunks(config.enroll.max(1)))
-        .map(|(&app, feats)| {
-            let centroid = ProcFeatures {
-                q10: segscope::mean(&feats.iter().map(|f| f.q10).collect::<Vec<_>>()),
-                q50: segscope::mean(&feats.iter().map(|f| f.q50).collect::<Vec<_>>()),
-                q90: segscope::mean(&feats.iter().map(|f| f.q90).collect::<Vec<_>>()),
-            };
-            (app, centroid)
-        })
-        .collect();
-    // Identify.
-    let test_tasks = classes * config.test;
-    let test_feats: Vec<ProcFeatures> = exec::parallel_map_auto(test_tasks, |i| {
-        let seed = exec::derive_seed(config.seed, (enroll_tasks + i) as u64);
-        observe_with(
-            AppClass::ALL[i / config.test],
-            seed,
-            config.window,
-            config.probes,
-            config.fault_plan,
-        )
-    });
-    let mut hits = 0usize;
-    let mut per_class = Vec::with_capacity(classes);
-    for (c, &app) in AppClass::ALL.iter().enumerate() {
-        let class_hits = test_feats[c * config.test..(c + 1) * config.test]
-            .iter()
-            .filter(|f| {
-                centroids
-                    .iter()
-                    .min_by(|a, b| {
-                        f.distance2(&a.1)
-                            .partial_cmp(&f.distance2(&b.1))
-                            .expect("finite")
-                    })
-                    .map(|(app, _)| *app)
-                    .expect("non-empty")
-                    == app
-            })
-            .count();
-        hits += class_hits;
-        per_class.push(class_hits as f64 / config.test as f64);
+    scenario::run_scenario(&ProcFpScenario, config, &RunOptions::default()).summary
+}
+
+/// [`Scenario`] face of the process-fingerprinting experiment. Each task
+/// observes one `(class, window)` pair — enrollment windows occupy task
+/// indices `0..classes * enroll`, test windows continue from there — and
+/// [`Scenario::summarize`] fits the per-class centroids and runs
+/// nearest-centroid identification.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcFpScenario;
+
+impl ProcFpScenario {
+    /// Application class observed by task `index` under `config`.
+    fn class_for(config: &ProcFpConfig, index: usize) -> AppClass {
+        let enroll_tasks = AppClass::ALL.len() * config.enroll;
+        if index < enroll_tasks {
+            AppClass::ALL[(index / config.enroll.max(1)) % AppClass::ALL.len()]
+        } else {
+            AppClass::ALL[((index - enroll_tasks) / config.test.max(1)) % AppClass::ALL.len()]
+        }
     }
-    ProcFpResult {
-        accuracy: hits as f64 / test_tasks.max(1) as f64,
-        per_class,
-        windows: test_tasks,
+}
+
+impl Scenario for ProcFpScenario {
+    type Config = ProcFpConfig;
+    type TrialOutput = ProcFeatures;
+    type Summary = ProcFpResult;
+
+    fn name(&self) -> &'static str {
+        "procfp"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Process fingerprinting: match unlabeled SegCnt quantile features \
+         against enrolled application profiles (extension study)"
+    }
+
+    fn experiment_seed(&self, config: &ProcFpConfig, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(config.seed)
+    }
+
+    fn trial_count(&self, config: &ProcFpConfig, _requested: Option<usize>) -> usize {
+        // The enroll/test split is structural: the trial count follows the
+        // config, not the CLI `--trials` knob.
+        AppClass::ALL.len() * (config.enroll + config.test)
+    }
+
+    fn build_machine(&self, config: &ProcFpConfig, ctx: &TrialCtx) -> Machine {
+        let mut machine = Machine::new(MachineConfig::xiaomi_air13(), ctx.seed);
+        machine.set_fault_plan(config.fault_plan);
+        machine.set_local_load(0.3); // the spy keeps a low profile
+        machine
+    }
+
+    fn run_trial(
+        &self,
+        config: &ProcFpConfig,
+        machine: &mut Machine,
+        ctx: &TrialCtx,
+    ) -> ProcFeatures {
+        let app = Self::class_for(config, ctx.index);
+        observe_on(machine, app, ctx.seed, config.window, config.probes)
+    }
+
+    fn summarize(&self, config: &ProcFpConfig, outputs: &[ProcFeatures]) -> ProcFpResult {
+        let classes = AppClass::ALL.len();
+        let enroll_tasks = classes * config.enroll;
+        let (enroll_feats, test_feats) = outputs.split_at(enroll_tasks.min(outputs.len()));
+        let centroids: Vec<(AppClass, ProcFeatures)> = AppClass::ALL
+            .iter()
+            .zip(enroll_feats.chunks(config.enroll.max(1)))
+            .map(|(&app, feats)| {
+                let centroid = ProcFeatures {
+                    q10: segscope::mean(&feats.iter().map(|f| f.q10).collect::<Vec<_>>()),
+                    q50: segscope::mean(&feats.iter().map(|f| f.q50).collect::<Vec<_>>()),
+                    q90: segscope::mean(&feats.iter().map(|f| f.q90).collect::<Vec<_>>()),
+                };
+                (app, centroid)
+            })
+            .collect();
+        let test_tasks = classes * config.test;
+        let mut hits = 0usize;
+        let mut per_class = Vec::with_capacity(classes);
+        for (c, &app) in AppClass::ALL.iter().enumerate() {
+            let class_hits = test_feats[c * config.test..(c + 1) * config.test]
+                .iter()
+                .filter(|f| {
+                    centroids
+                        .iter()
+                        .min_by(|a, b| {
+                            f.distance2(&a.1)
+                                .partial_cmp(&f.distance2(&b.1))
+                                .expect("finite")
+                        })
+                        .map(|(app, _)| *app)
+                        .expect("non-empty")
+                        == app
+                })
+                .count();
+            hits += class_hits;
+            per_class.push(class_hits as f64 / config.test as f64);
+        }
+        ProcFpResult {
+            accuracy: hits as f64 / test_tasks.max(1) as f64,
+            per_class,
+            windows: test_tasks,
+        }
     }
 }
 

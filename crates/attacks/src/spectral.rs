@@ -13,6 +13,7 @@
 
 use irq::time::Ps;
 use rand::Rng;
+use scenario::{Scenario, TrialCtx};
 use segscope::InterruptGuard;
 use segsim::{FaultPlan, Machine, MachineConfig};
 use serde::{Deserialize, Serialize};
@@ -176,6 +177,20 @@ pub fn run_attack(
     // The i9-12900H is the only Table I machine with umonitor/umwait.
     let mut machine = Machine::new(MachineConfig::lenovo_savior(), seed);
     machine.set_fault_plan(config.fault_plan);
+    run_attack_on(&mut machine, config, mode, bits, seed)
+}
+
+/// [`run_attack`] against an already-built monitoring machine. `seed`
+/// only derives the secret/victim RNG stream; the machine's own stream
+/// was fixed at construction.
+#[must_use]
+pub fn run_attack_on(
+    machine: &mut Machine,
+    config: &SpectralConfig,
+    mode: SpectralMode,
+    bits: usize,
+    seed: u64,
+) -> SpectralResult {
     machine.spin(50_000_000); // warm-up
     let mut secret_rng = {
         use rand::SeedableRng;
@@ -186,7 +201,7 @@ pub fn run_attack(
     let mut errors = 0usize;
     let mut discarded = 0usize;
     for &bit in &secret {
-        let (decided, d) = leak_bit(&mut machine, bit, config, mode, &mut secret_rng);
+        let (decided, d) = leak_bit(machine, bit, config, mode, &mut secret_rng);
         discarded += d;
         if decided != bit {
             errors += 1;
@@ -199,6 +214,94 @@ pub fn run_attack(
         error_rate: errors as f64 / bits.max(1) as f64,
         leak_rate_bps: bits as f64 / elapsed.max(1e-9),
         discarded,
+    }
+}
+
+/// Parameters of the registered [`SpectralScenario`]: the channel itself
+/// plus the knobs that the direct API takes positionally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectralScenarioConfig {
+    /// Channel configuration.
+    pub attack: SpectralConfig,
+    /// Whether SegScope filtering is applied.
+    pub mode: SpectralMode,
+    /// Secret bits leaked per trial.
+    pub bits: usize,
+}
+
+impl Default for SpectralScenarioConfig {
+    fn default() -> Self {
+        SpectralScenarioConfig {
+            attack: SpectralConfig::paper_default(),
+            mode: SpectralMode::Enhanced,
+            bits: 2_000,
+        }
+    }
+}
+
+/// Aggregate over the trials of a [`SpectralScenario`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectralSummary {
+    /// Mean bit error rate across trials.
+    pub mean_error_rate: f64,
+    /// Mean leakage rate, bits per simulated second.
+    pub mean_leak_rate_bps: f64,
+    /// Total measurements discarded as interrupted.
+    pub total_discarded: usize,
+}
+
+/// [`Scenario`] face of the Spectral enhancement study.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpectralScenario;
+
+impl Scenario for SpectralScenario {
+    type Config = SpectralScenarioConfig;
+    type TrialOutput = SpectralResult;
+    type Summary = SpectralSummary;
+
+    fn name(&self) -> &'static str {
+        "spectral"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Spectral enhancement: filter interrupted umwait wake-ups via the \
+         planted-selector footprint (paper Section IV-D, Table VI, Fig. 9)"
+    }
+
+    fn experiment_seed(&self, _config: &SpectralScenarioConfig, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(0x57A1)
+    }
+
+    fn trial_count(&self, _config: &SpectralScenarioConfig, requested: Option<usize>) -> usize {
+        requested.unwrap_or(1)
+    }
+
+    fn build_machine(&self, config: &SpectralScenarioConfig, ctx: &TrialCtx) -> Machine {
+        let mut machine = Machine::new(MachineConfig::lenovo_savior(), ctx.seed);
+        machine.set_fault_plan(config.attack.fault_plan);
+        machine
+    }
+
+    fn run_trial(
+        &self,
+        config: &SpectralScenarioConfig,
+        machine: &mut Machine,
+        ctx: &TrialCtx,
+    ) -> SpectralResult {
+        run_attack_on(machine, &config.attack, config.mode, config.bits, ctx.seed)
+    }
+
+    fn summarize(
+        &self,
+        _config: &SpectralScenarioConfig,
+        outputs: &[SpectralResult],
+    ) -> SpectralSummary {
+        let n = outputs.len().max(1) as f64;
+        SpectralSummary {
+            mean_error_rate: outputs.iter().map(|r| r.error_rate).sum::<f64>() / n,
+            mean_leak_rate_bps: outputs.iter().map(|r| r.leak_rate_bps).sum::<f64>() / n,
+            total_discarded: outputs.iter().map(|r| r.discarded).sum(),
+        }
     }
 }
 
@@ -260,6 +363,27 @@ mod tests {
             "leak rate {} b/s",
             result.leak_rate_bps
         );
+    }
+
+    #[test]
+    fn scenario_run_matches_direct_attack() {
+        let cfg = SpectralScenarioConfig {
+            bits: 500,
+            ..SpectralScenarioConfig::default()
+        };
+        let opts = scenario::RunOptions {
+            seed: Some(0x57A2),
+            trials: Some(1),
+            ..scenario::RunOptions::default()
+        };
+        let run = scenario::run_scenario(&SpectralScenario, &cfg, &opts);
+        let direct = run_attack(
+            &cfg.attack,
+            cfg.mode,
+            cfg.bits,
+            exec::derive_seed(0x57A2, 0),
+        );
+        assert_eq!(run.outputs, vec![direct]);
     }
 
     #[test]

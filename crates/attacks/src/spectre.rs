@@ -8,6 +8,7 @@
 //! `v` across all copies costs `G × hit` when `v` is the secret and
 //! `G × miss` otherwise (~4000+ cycles apart at `G = 200`).
 
+use scenario::{Scenario, TrialCtx};
 use segscope::{Denoise, ProbeError, SegTimer};
 use segsim::{FaultPlan, Machine, MachineConfig};
 use serde::{Deserialize, Serialize};
@@ -32,6 +33,13 @@ pub struct SpectreConfig {
     /// Optional interrupt-path fault plan installed on the attacking
     /// machine (`None` = nominal fault-free run).
     pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for SpectreConfig {
+    /// The test-scale [`SpectreConfig::quick`] attack.
+    fn default() -> Self {
+        SpectreConfig::quick()
+    }
 }
 
 impl SpectreConfig {
@@ -226,26 +234,45 @@ pub fn leak_secret(
     config: &SpectreConfig,
     seed: u64,
 ) -> Result<SpectreResult, ProbeError> {
+    let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
+    machine.set_fault_plan(config.fault_plan);
+    leak_secret_on(&mut machine, secret, config)
+}
+
+/// Leaks `secret` on a caller-provided `machine` (fault plan and any
+/// trace sink already installed).
+///
+/// # Errors
+///
+/// Propagates SegScope probe/calibration errors.
+///
+/// # Panics
+///
+/// Panics if `secret` is empty or a secret byte is outside the candidate
+/// alphabet.
+pub fn leak_secret_on(
+    machine: &mut Machine,
+    secret: &[u8],
+    config: &SpectreConfig,
+) -> Result<SpectreResult, ProbeError> {
     assert!(!secret.is_empty(), "need a secret to leak");
     assert!(
         secret.iter().all(|&b| (b as usize) < config.candidates),
         "secret bytes must be within the candidate alphabet"
     );
-    let mut machine = Machine::new(MachineConfig::xiaomi_air13(), seed);
-    machine.set_fault_plan(config.fault_plan);
     machine.spin(50_000_000); // warm-up
-    let mut timer = SegTimer::calibrate(&mut machine, config.calibration, Denoise::ZScore)?;
+    let mut timer = SegTimer::calibrate(machine, config.calibration, Denoise::ZScore)?;
     let mut bank = AmplifiedSpectre::new(config.gadgets, secret);
     let start = machine.now();
     let mut bytes = Vec::with_capacity(secret.len());
     for (offset, &actual) in secret.iter().enumerate() {
-        bank.flush_probes(&mut machine, config.candidates);
-        bank.leak_round(&mut machine, offset, config);
+        bank.flush_probes(machine, config.candidates);
+        bank.leak_round(machine, offset, config);
         let mut ticks = vec![f64::INFINITY; config.candidates];
         for (v, slot) in ticks.iter_mut().enumerate() {
             let mut best = f64::INFINITY;
             for _ in 0..config.rounds_per_candidate {
-                let run = timer.time(&mut machine, |m| bank.reload_candidate(m, v as u8))?;
+                let run = timer.time(machine, |m| bank.reload_candidate(m, v as u8))?;
                 best = best.min(run.ticks);
             }
             *slot = best;
@@ -269,6 +296,89 @@ pub fn leak_secret(
         rate_bps: secret.len() as f64 / elapsed.max(1e-9),
         bytes,
     })
+}
+
+/// The registered Spectre scenario: each trial leaks the configured
+/// secret end to end on a fresh machine.
+pub struct SpectreScenario;
+
+/// Parameters of [`SpectreScenario`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectreScenarioConfig {
+    /// The amplified-gadget attack parameters.
+    pub attack: SpectreConfig,
+    /// The secret string to leak (bytes must be within the candidate
+    /// alphabet).
+    pub secret: String,
+}
+
+impl Default for SpectreScenarioConfig {
+    /// The quick attack leaking `"SEG"`.
+    fn default() -> Self {
+        SpectreScenarioConfig {
+            attack: SpectreConfig::quick(),
+            secret: "SEG".to_owned(),
+        }
+    }
+}
+
+/// Summary of a [`SpectreScenario`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectreSummary {
+    /// Mean per-byte success rate over successful trials.
+    pub mean_success_rate: f64,
+    /// Mean leak throughput over successful trials, bytes per simulated
+    /// second.
+    pub mean_rate_bps: f64,
+    /// Trials that failed (probe mitigated).
+    pub failed: usize,
+}
+
+impl Scenario for SpectreScenario {
+    type Config = SpectreScenarioConfig;
+    type TrialOutput = Result<SpectreResult, ProbeError>;
+    type Summary = SpectreSummary;
+
+    fn name(&self) -> &'static str {
+        "spectre"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Spectre-V1 + Flush+Reload with replicated gadgets, timed by the SegScope timer (paper Section IV-F)"
+    }
+
+    fn experiment_seed(&self, _config: &Self::Config, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(0x15EC)
+    }
+
+    fn trial_count(&self, _config: &Self::Config, requested: Option<usize>) -> usize {
+        requested.unwrap_or(1)
+    }
+
+    fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine {
+        let mut machine = Machine::new(MachineConfig::xiaomi_air13(), ctx.seed);
+        machine.set_fault_plan(config.attack.fault_plan);
+        machine
+    }
+
+    fn run_trial(
+        &self,
+        config: &Self::Config,
+        machine: &mut Machine,
+        _ctx: &TrialCtx,
+    ) -> Result<SpectreResult, ProbeError> {
+        leak_secret_on(machine, config.secret.as_bytes(), &config.attack)
+    }
+
+    fn summarize(&self, _config: &Self::Config, outputs: &[Self::TrialOutput]) -> SpectreSummary {
+        let ok: Vec<&SpectreResult> = outputs.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let n = ok.len().max(1) as f64;
+        SpectreSummary {
+            mean_success_rate: ok.iter().map(|r| r.success_rate).sum::<f64>() / n,
+            mean_rate_bps: ok.iter().map(|r| r.rate_bps).sum::<f64>() / n,
+            failed: outputs.len() - ok.len(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use irq::InterruptKind;
 use nnet::{AdamConfig, SeqClassifier, SeqExample};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use scenario::{RunOptions, Scenario, TrialCtx};
 use segscope::SegProbe;
 use segsim::{CoResident, FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
@@ -195,6 +196,14 @@ pub struct WebsiteFpConfig {
     pub fault_plan: Option<FaultPlan>,
 }
 
+impl Default for WebsiteFpConfig {
+    /// The [`WebsiteFpConfig::quick`] Chrome run in the paper's default
+    /// setting.
+    fn default() -> Self {
+        WebsiteFpConfig::quick(Browser::Chrome, Setting::Default)
+    }
+}
+
 impl WebsiteFpConfig {
     /// A configuration small enough for `cargo test`.
     #[must_use]
@@ -255,13 +264,11 @@ pub struct FingerprintResult {
     pub chance: f64,
 }
 
-/// Collects one SegCnt trace of a visit to `site`.
-///
-/// # Panics
-///
-/// Panics if the probe fails (the default machines never mitigate it).
+/// Builds the attacker machine of one visit: the Table IV setting's
+/// noise/SMT adjustments, the config's fault plan, and the co-residency
+/// or frequency-pinning wiring.
 #[must_use]
-pub fn collect_trace(config: &WebsiteFpConfig, site: usize, visit_seed: u64) -> Vec<f64> {
+pub fn build_visit_machine(config: &WebsiteFpConfig, visit_seed: u64) -> Machine {
     let mut machine_cfg = MachineConfig::xiaomi_air13();
     if config.setting == Setting::HyperThreadingDisabled {
         machine_cfg.noise.smt_factor = 1.0;
@@ -283,6 +290,23 @@ pub fn collect_trace(config: &WebsiteFpConfig, site: usize, visit_seed: u64) -> 
             machine.set_co_resident(Some(CoResident::browser()));
         }
     }
+    machine
+}
+
+/// Runs one visit to `site` on a prepared machine and collects the
+/// SegCnt trace. `visit_seed` seeds the visit's jitter stream (the same
+/// value that seeded the machine).
+///
+/// # Panics
+///
+/// Panics if the probe fails (the default machines never mitigate it).
+#[must_use]
+pub fn collect_trace_on(
+    machine: &mut Machine,
+    config: &WebsiteFpConfig,
+    site: usize,
+    visit_seed: u64,
+) -> Vec<f64> {
     // Warm up, then start the visit.
     machine.spin(50_000_000);
     let t0 = machine.now();
@@ -293,9 +317,20 @@ pub fn collect_trace(config: &WebsiteFpConfig, site: usize, visit_seed: u64) -> 
     machine.set_victim_load(load);
     let mut probe = SegProbe::new();
     let samples = probe
-        .probe_n(&mut machine, config.trace_len)
+        .probe_n(machine, config.trace_len)
         .expect("probe works on unmitigated machines");
     samples.iter().map(|s| s.segcnt as f64).collect()
+}
+
+/// Collects one SegCnt trace of a visit to `site` on a fresh machine.
+///
+/// # Panics
+///
+/// Panics if the probe fails (the default machines never mitigate it).
+#[must_use]
+pub fn collect_trace(config: &WebsiteFpConfig, site: usize, visit_seed: u64) -> Vec<f64> {
+    let mut machine = build_visit_machine(config, visit_seed);
+    collect_trace_on(&mut machine, config, site, visit_seed)
 }
 
 /// Converts a raw SegCnt trace into an LSTM example with two channels:
@@ -325,58 +360,100 @@ pub fn trace_to_example(trace: &[f64], pooled_len: usize, label: usize) -> SeqEx
     SeqExample { xs, label }
 }
 
+/// The registered website-fingerprinting scenario: trial `i` is one
+/// visit to site `i / traces_per_site`; the summary trains and
+/// cross-validates the LSTM over the collected dataset.
+pub struct WebsiteScenario;
+
+impl Scenario for WebsiteScenario {
+    type Config = WebsiteFpConfig;
+    type TrialOutput = SeqExample;
+    type Summary = FingerprintResult;
+
+    fn name(&self) -> &'static str {
+        "website"
+    }
+
+    fn describe(&self) -> &'static str {
+        "website fingerprinting from SegCnt interrupt traces with an LSTM (paper Section IV-A)"
+    }
+
+    fn experiment_seed(&self, config: &Self::Config, requested: Option<u64>) -> u64 {
+        requested.unwrap_or(config.seed)
+    }
+
+    fn trial_count(&self, config: &Self::Config, _requested: Option<usize>) -> usize {
+        // Structured: one trial per (site, visit) pair.
+        config.n_sites * config.traces_per_site
+    }
+
+    fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine {
+        build_visit_machine(config, ctx.seed)
+    }
+
+    fn run_trial(
+        &self,
+        config: &Self::Config,
+        machine: &mut Machine,
+        ctx: &TrialCtx,
+    ) -> SeqExample {
+        let site = ctx.index / config.traces_per_site.max(1);
+        let trace = collect_trace_on(machine, config, site, ctx.seed);
+        trace_to_example(&trace, config.pooled_len, site)
+    }
+
+    fn summarize(&self, config: &Self::Config, outputs: &[SeqExample]) -> FingerprintResult {
+        // The fold split and each fold's model init draw from their own
+        // auxiliary streams so folds are independent of each other.
+        let mut fold_rng =
+            SmallRng::seed_from_u64(exec::derive_seed(config.seed, exec::AUX_STREAM));
+        let folds = nnet::k_fold_indices(outputs.len(), config.folds, &mut fold_rng);
+        let fold_scores: Vec<(f64, f64)> = exec::parallel_map_auto(folds.len(), |f| {
+            let (train_idx, test_idx) = &folds[f];
+            let train: Vec<SeqExample> = train_idx.iter().map(|&i| outputs[i].clone()).collect();
+            let test: Vec<SeqExample> = test_idx.iter().map(|&i| outputs[i].clone()).collect();
+            let mut model_rng = SmallRng::seed_from_u64(exec::derive_seed(
+                config.seed,
+                exec::AUX_STREAM + 1 + f as u64,
+            ));
+            let mut model = SeqClassifier::new(
+                2, // channels: SegCnt level + burst density
+                config.hidden,
+                config.n_sites,
+                &mut model_rng,
+                AdamConfig {
+                    lr: 0.015,
+                    ..AdamConfig::default()
+                },
+            );
+            for _ in 0..config.epochs {
+                model.train_epoch(&train, 16);
+            }
+            (model.accuracy(&test), model.top_k_accuracy(&test, 5))
+        });
+        let top1s: Vec<f64> = fold_scores.iter().map(|s| s.0).collect();
+        let top5s: Vec<f64> = fold_scores.iter().map(|s| s.1).collect();
+        FingerprintResult {
+            top1: segscope::mean(&top1s),
+            top1_std: segscope::std_dev(&top1s),
+            top5: segscope::mean(&top5s),
+            top5_std: segscope::std_dev(&top5s),
+            chance: 1.0 / config.n_sites as f64,
+        }
+    }
+}
+
 /// Runs the full fingerprinting experiment: trace collection, k-fold CV,
 /// LSTM training, and evaluation.
 ///
-/// Trace collection fans out one task per `(site, visit)` pair and the
-/// CV folds train concurrently; every task derives its own seed from
-/// `config.seed`, so the result is bit-identical at any worker count
-/// (`SEGSCOPE_THREADS` selects it).
+/// Thin wrapper over the generic [`scenario`] driver and
+/// [`WebsiteScenario`]: trace collection fans out one task per
+/// `(site, visit)` pair and the CV folds train concurrently; every task
+/// derives its own seed from `config.seed`, so the result is
+/// bit-identical at any worker count (`SEGSCOPE_THREADS` selects it).
 #[must_use]
 pub fn run_experiment(config: &WebsiteFpConfig) -> FingerprintResult {
-    let visits = config.n_sites * config.traces_per_site;
-    let dataset: Vec<SeqExample> =
-        exec::parallel_trials_auto(config.seed, visits, |i, visit_seed| {
-            let site = i / config.traces_per_site;
-            let trace = collect_trace(config, site, visit_seed);
-            trace_to_example(&trace, config.pooled_len, site)
-        });
-    // The fold split and each fold's model init draw from their own
-    // auxiliary streams so folds are independent of each other.
-    let mut fold_rng = SmallRng::seed_from_u64(exec::derive_seed(config.seed, exec::AUX_STREAM));
-    let folds = nnet::k_fold_indices(dataset.len(), config.folds, &mut fold_rng);
-    let fold_scores: Vec<(f64, f64)> = exec::parallel_map_auto(folds.len(), |f| {
-        let (train_idx, test_idx) = &folds[f];
-        let train: Vec<SeqExample> = train_idx.iter().map(|&i| dataset[i].clone()).collect();
-        let test: Vec<SeqExample> = test_idx.iter().map(|&i| dataset[i].clone()).collect();
-        let mut model_rng = SmallRng::seed_from_u64(exec::derive_seed(
-            config.seed,
-            exec::AUX_STREAM + 1 + f as u64,
-        ));
-        let mut model = SeqClassifier::new(
-            2, // channels: SegCnt level + burst density
-            config.hidden,
-            config.n_sites,
-            &mut model_rng,
-            AdamConfig {
-                lr: 0.015,
-                ..AdamConfig::default()
-            },
-        );
-        for _ in 0..config.epochs {
-            model.train_epoch(&train, 16);
-        }
-        (model.accuracy(&test), model.top_k_accuracy(&test, 5))
-    });
-    let top1s: Vec<f64> = fold_scores.iter().map(|s| s.0).collect();
-    let top5s: Vec<f64> = fold_scores.iter().map(|s| s.1).collect();
-    FingerprintResult {
-        top1: segscope::mean(&top1s),
-        top1_std: segscope::std_dev(&top1s),
-        top5: segscope::mean(&top5s),
-        top5_std: segscope::std_dev(&top5s),
-        chance: 1.0 / config.n_sites as f64,
-    }
+    scenario::run_scenario(&WebsiteScenario, config, &RunOptions::default()).summary
 }
 
 #[cfg(test)]

@@ -1,0 +1,568 @@
+//! `scenario` — the one harness all nine SegScope case studies run on.
+//!
+//! Every headline experiment of the reproduction used to hand-roll the
+//! same four pieces of glue: pick a [`segsim::MachineConfig`], derive
+//! per-trial seeds, install the optional [`segsim::FaultPlan`] and
+//! [`obs::TraceSink`], and fan the trials out over worker threads. This
+//! crate folds that glue into one generic driver behind the
+//! [`Scenario`] trait:
+//!
+//! * [`Scenario::build_machine`] constructs the trial's machine (config
+//!   selection, seeding, layout/fault wiring) — and nothing else;
+//! * [`Scenario::run_trial`] runs the attack on that machine;
+//! * [`Scenario::summarize`] reduces the ordered trial outputs into a
+//!   JSON-able report.
+//!
+//! The driver [`run_scenario`] supplies everything between: seed
+//! derivation via [`exec::derive_seed`], the fault-plan override, trace
+//! sinks, and the deterministic fan-out of
+//! [`exec::parallel_trials_traced`]. The determinism contract is
+//! inherited wholesale:
+//!
+//! > **Bit-identical outputs, summaries, and merged traces at any
+//! > worker count.**
+//!
+//! [`DynScenario`] erases the associated types so scenarios can live in
+//! a [`Registry`] and be driven by name from the `segscope` CLI with
+//! JSON-encoded params.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use segsim::{FaultPlan, Machine};
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// The context of one trial, handed to [`Scenario::build_machine`] and
+/// [`Scenario::run_trial`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialCtx {
+    /// Trial index within the experiment (`0..trials`).
+    pub index: usize,
+    /// The trial's private seed,
+    /// `exec::derive_seed(experiment_seed, index)`.
+    pub seed: u64,
+    /// The experiment-level seed all trial seeds derive from.
+    pub experiment_seed: u64,
+}
+
+/// One experiment that the generic driver can run: a typed config, a
+/// per-trial machine recipe, the trial body, and a summary reduction.
+///
+/// Implementations must keep [`build_machine`](Scenario::build_machine)
+/// limited to machine construction and config-level fault/layout wiring:
+/// the driver installs the trace sink and the run-level fault-plan
+/// override *after* it, and warm-up spins belong in
+/// [`run_trial`](Scenario::run_trial) so traces cover them.
+pub trait Scenario: Sync {
+    /// The experiment parameters (JSON-roundtrippable; `Default` is what
+    /// `segscope run <name>` uses when `--params` is omitted).
+    type Config: Clone + fmt::Debug + Default + Serialize + Deserialize + Send + Sync;
+    /// What one trial produces.
+    type TrialOutput: Send;
+    /// The reduced, JSON-able report body.
+    type Summary: Serialize;
+
+    /// Unique registry name (snake_case).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description (shown by `segscope list`).
+    fn describe(&self) -> &'static str;
+
+    /// Resolves the experiment-level seed: an explicit request (the CLI's
+    /// `--seed`) beats the scenario's default (typically `config.seed`
+    /// for config-seeded experiments, a stable constant otherwise).
+    fn experiment_seed(&self, config: &Self::Config, requested: Option<u64>) -> u64;
+
+    /// Resolves the trial count. Repetition-style scenarios honour the
+    /// request (the CLI's `--trials`); structured scenarios whose trial
+    /// count is a function of the config (sites × visits, users ×
+    /// sessions, …) ignore it.
+    fn trial_count(&self, config: &Self::Config, requested: Option<usize>) -> usize;
+
+    /// Builds the trial's machine: `Machine::new` plus config-level
+    /// fault/layout wiring. No warm-up spins here — the driver installs
+    /// the trace sink right after, and traces must cover warm-up.
+    fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine;
+
+    /// Runs one trial on the prepared machine.
+    fn run_trial(
+        &self,
+        config: &Self::Config,
+        machine: &mut Machine,
+        ctx: &TrialCtx,
+    ) -> Self::TrialOutput;
+
+    /// Reduces the ordered trial outputs into the report body.
+    fn summarize(&self, config: &Self::Config, outputs: &[Self::TrialOutput]) -> Self::Summary;
+}
+
+/// Run-level options of the generic driver (the CLI's flags).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOptions {
+    /// Experiment seed override (`None` = the scenario's default).
+    pub seed: Option<u64>,
+    /// Trial-count override (`None` = the scenario's default; ignored by
+    /// structured scenarios).
+    pub trials: Option<usize>,
+    /// Worker threads (`None` = `SEGSCOPE_THREADS`, else all cores).
+    pub threads: Option<usize>,
+    /// Per-trial trace-ring capacity in events; `0` disables tracing
+    /// entirely (no sinks are installed).
+    pub capacity: usize,
+    /// Run-level fault-plan override, installed on every trial machine
+    /// *after* [`Scenario::build_machine`]. `None` leaves whatever the
+    /// config wired in place.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl RunOptions {
+    /// Options with tracing enabled at the given ring capacity.
+    #[must_use]
+    pub fn traced(capacity: usize) -> Self {
+        RunOptions {
+            capacity,
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// The outcome of one driver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun<T, U> {
+    /// The resolved experiment seed.
+    pub seed: u64,
+    /// The resolved trial count.
+    pub trials: usize,
+    /// Ordered per-trial outputs (trial `i` at index `i`).
+    pub outputs: Vec<T>,
+    /// Ordered per-trial ground-truth interrupt-delivery counts.
+    pub gt_deliveries: Vec<u64>,
+    /// The merged observability trace (`None` when `capacity` was 0).
+    pub sink: Option<obs::TraceSink>,
+    /// The scenario's summary over the ordered outputs.
+    pub summary: U,
+}
+
+impl<T, U> ScenarioRun<T, U> {
+    /// Total ground-truth interrupt deliveries across all trials.
+    #[must_use]
+    pub fn total_gt_deliveries(&self) -> u64 {
+        self.gt_deliveries.iter().sum()
+    }
+}
+
+/// Runs `scenario` under `config` and `opts`: derives per-trial seeds,
+/// builds each trial's machine, applies the run-level fault-plan
+/// override, installs trace sinks (when `opts.capacity > 0`), fans the
+/// trials out, and reduces the ordered outputs into the summary.
+///
+/// Bit-identical at any worker count; with tracing enabled the per-trial
+/// wiring matches the layout the attacks' hand-rolled `*_traced`
+/// functions used (machine ring of `capacity - 2` events inside the
+/// engine's `TrialStart`/`TrialEnd` brackets), so pre-refactor golden
+/// traces stay byte-identical.
+pub fn run_scenario<S: Scenario>(
+    scenario: &S,
+    config: &S::Config,
+    opts: &RunOptions,
+) -> ScenarioRun<S::TrialOutput, S::Summary> {
+    let seed = scenario.experiment_seed(config, opts.seed);
+    let trials = scenario.trial_count(config, opts.trials);
+    let threads = exec::resolve_threads(opts.threads);
+    let make_ctx = |i: usize, trial_seed: u64| TrialCtx {
+        index: i,
+        seed: trial_seed,
+        experiment_seed: seed,
+    };
+    let (ran, sink) = if opts.capacity == 0 {
+        let ran = exec::parallel_trials(seed, trials, threads, |i, s| {
+            let ctx = make_ctx(i, s);
+            let mut machine = scenario.build_machine(config, &ctx);
+            if let Some(plan) = opts.fault_plan {
+                machine.set_fault_plan(Some(plan));
+            }
+            let output = scenario.run_trial(config, &mut machine, &ctx);
+            (output, machine.ground_truth().len() as u64)
+        });
+        (ran, None)
+    } else {
+        let capacity = opts.capacity;
+        let (ran, sink) =
+            exec::parallel_trials_traced(seed, trials, threads, capacity, |i, s, task_sink| {
+                let ctx = make_ctx(i, s);
+                let mut machine = scenario.build_machine(config, &ctx);
+                if let Some(plan) = opts.fault_plan {
+                    machine.set_fault_plan(Some(plan));
+                }
+                // Leave room for the engine's TrialStart/TrialEnd
+                // brackets so a machine-full ring cannot overflow the
+                // task sink.
+                machine.install_trace_sink(obs::TraceSink::with_capacity(
+                    capacity.saturating_sub(2).max(1),
+                ));
+                let output = scenario.run_trial(config, &mut machine, &ctx);
+                let machine_sink = machine.take_trace_sink().expect("sink installed");
+                task_sink.absorb(&machine_sink, 0);
+                (output, machine.ground_truth().len() as u64)
+            });
+        (ran, Some(sink))
+    };
+    let mut outputs = Vec::with_capacity(ran.len());
+    let mut gt_deliveries = Vec::with_capacity(ran.len());
+    for (output, gt) in ran {
+        outputs.push(output);
+        gt_deliveries.push(gt);
+    }
+    let summary = scenario.summarize(config, &outputs);
+    ScenarioRun {
+        seed,
+        trials,
+        outputs,
+        gt_deliveries,
+        sink,
+        summary,
+    }
+}
+
+/// A structured, JSON-able record of one driver run.
+///
+/// Deliberately excludes the worker count and everything else
+/// schedule-dependent, so reports are byte-identical at any thread
+/// count — the determinism contract the parity tests pin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Registry name of the scenario.
+    pub scenario: String,
+    /// Resolved experiment seed.
+    pub seed: u64,
+    /// Resolved trial count.
+    pub trials: usize,
+    /// Total ground-truth interrupt deliveries across trials.
+    pub ground_truth_deliveries: u64,
+    /// The resolved config the run used, serialized.
+    pub params: Value,
+    /// The scenario's summary, serialized.
+    pub summary: Value,
+}
+
+/// Errors of the type-erased driver entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// No registered scenario has the requested name.
+    UnknownScenario(String),
+    /// The params JSON did not deserialize into the scenario's config.
+    Params(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownScenario(name) => {
+                write!(f, "unknown scenario `{name}` (see `segscope list`)")
+            }
+            ScenarioError::Params(msg) => write!(f, "invalid scenario params: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// The outcome of a type-erased run: the report plus the merged trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynRun {
+    /// The structured report.
+    pub report: RunReport,
+    /// The merged observability trace (`None` when tracing was off).
+    pub sink: Option<obs::TraceSink>,
+}
+
+/// Object-safe face of [`Scenario`], for registries and the CLI.
+///
+/// Blanket-implemented for every [`Scenario`]; do not implement it
+/// directly.
+pub trait DynScenario: Sync {
+    /// Registry name.
+    fn name(&self) -> &'static str;
+    /// One-line description.
+    fn describe(&self) -> &'static str;
+    /// The scenario's default config, serialized (what `--params`
+    /// overrides).
+    fn default_params(&self) -> Value;
+    /// Runs the scenario from serialized params (`None` = defaults).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Params`] when `params` does not deserialize into
+    /// the scenario's config type.
+    fn run_dyn(&self, params: Option<&Value>, opts: &RunOptions) -> Result<DynRun, ScenarioError>;
+}
+
+impl<S: Scenario> DynScenario for S {
+    fn name(&self) -> &'static str {
+        Scenario::name(self)
+    }
+
+    fn describe(&self) -> &'static str {
+        Scenario::describe(self)
+    }
+
+    fn default_params(&self) -> Value {
+        S::Config::default().to_value()
+    }
+
+    fn run_dyn(&self, params: Option<&Value>, opts: &RunOptions) -> Result<DynRun, ScenarioError> {
+        let config = match params {
+            Some(value) => {
+                S::Config::from_value(value).map_err(|e| ScenarioError::Params(e.to_string()))?
+            }
+            None => S::Config::default(),
+        };
+        let run = run_scenario(self, &config, opts);
+        let report = RunReport {
+            scenario: Scenario::name(self).to_owned(),
+            seed: run.seed,
+            trials: run.trials,
+            ground_truth_deliveries: run.total_gt_deliveries(),
+            params: config.to_value(),
+            summary: run.summary.to_value(),
+        };
+        Ok(DynRun {
+            report,
+            sink: run.sink,
+        })
+    }
+}
+
+/// A static table of scenarios, addressable by name.
+#[derive(Debug, Clone, Copy)]
+pub struct Registry {
+    entries: &'static [&'static dyn DynScenario],
+}
+
+impl Registry {
+    /// Wraps a static scenario table.
+    #[must_use]
+    pub const fn new(entries: &'static [&'static dyn DynScenario]) -> Self {
+        Registry { entries }
+    }
+
+    /// All registered scenarios, in registration order.
+    #[must_use]
+    pub fn entries(&self) -> &'static [&'static dyn DynScenario] {
+        self.entries
+    }
+
+    /// Number of registered scenarios.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a scenario up by its registry name.
+    #[must_use]
+    pub fn by_name(&self, name: &str) -> Option<&'static dyn DynScenario> {
+        self.entries.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// Like [`by_name`](Registry::by_name), as a `Result`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownScenario`] when no scenario has `name`.
+    pub fn get(&self, name: &str) -> Result<&'static dyn DynScenario, ScenarioError> {
+        self.by_name(name)
+            .ok_or_else(|| ScenarioError::UnknownScenario(name.to_owned()))
+    }
+}
+
+impl fmt::Debug for dyn DynScenario + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynScenario")
+            .field("name", &self.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segsim::MachineConfig;
+
+    /// A minimal scenario exercising the driver: each trial spins the
+    /// machine briefly and reports its seed and interrupt count.
+    struct Probe;
+
+    #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+    struct ProbeConfig {
+        spins: u64,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct ProbeSummary {
+        seeds: Vec<u64>,
+    }
+
+    impl Scenario for Probe {
+        type Config = ProbeConfig;
+        type TrialOutput = u64;
+        type Summary = ProbeSummary;
+
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+
+        fn describe(&self) -> &'static str {
+            "driver self-test scenario"
+        }
+
+        fn experiment_seed(&self, _config: &ProbeConfig, requested: Option<u64>) -> u64 {
+            requested.unwrap_or(0x5CE0)
+        }
+
+        fn trial_count(&self, _config: &ProbeConfig, requested: Option<usize>) -> usize {
+            requested.unwrap_or(3)
+        }
+
+        fn build_machine(&self, _config: &ProbeConfig, ctx: &TrialCtx) -> Machine {
+            Machine::new(MachineConfig::xiaomi_air13(), ctx.seed)
+        }
+
+        fn run_trial(&self, config: &ProbeConfig, machine: &mut Machine, ctx: &TrialCtx) -> u64 {
+            machine.spin(config.spins.max(1_000_000));
+            ctx.seed
+        }
+
+        fn summarize(&self, _config: &ProbeConfig, outputs: &[u64]) -> ProbeSummary {
+            ProbeSummary {
+                seeds: outputs.to_vec(),
+            }
+        }
+    }
+
+    static TEST_REGISTRY: [&dyn DynScenario; 1] = [&Probe];
+
+    #[test]
+    fn driver_derives_trial_seeds() {
+        let run = run_scenario(&Probe, &ProbeConfig::default(), &RunOptions::default());
+        assert_eq!(run.trials, 3);
+        for (i, &seed) in run.outputs.iter().enumerate() {
+            assert_eq!(seed, exec::derive_seed(0x5CE0, i as u64));
+        }
+        assert_eq!(run.summary.seeds, run.outputs);
+        assert!(run.sink.is_none(), "capacity 0 disables tracing");
+        assert_eq!(run.gt_deliveries.len(), 3);
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree_and_are_thread_invariant() {
+        let config = ProbeConfig { spins: 40_000_000 };
+        let reference = run_scenario(&Probe, &config, &RunOptions::default());
+        for threads in [1, 2, 4] {
+            let opts = RunOptions {
+                threads: Some(threads),
+                capacity: 1 << 12,
+                ..RunOptions::default()
+            };
+            let traced = run_scenario(&Probe, &config, &opts);
+            assert_eq!(traced.outputs, reference.outputs);
+            assert_eq!(traced.gt_deliveries, reference.gt_deliveries);
+            let sink = traced.sink.expect("traced");
+            assert!(!sink.is_empty());
+        }
+    }
+
+    #[test]
+    fn traced_sinks_are_bit_identical_across_thread_counts() {
+        let config = ProbeConfig { spins: 40_000_000 };
+        let run_at = |threads| {
+            run_scenario(
+                &Probe,
+                &config,
+                &RunOptions {
+                    threads: Some(threads),
+                    capacity: 1 << 12,
+                    ..RunOptions::default()
+                },
+            )
+        };
+        let reference = run_at(1).sink.expect("traced");
+        for threads in [2, 4] {
+            assert_eq!(run_at(threads).sink.expect("traced"), reference);
+        }
+    }
+
+    #[test]
+    fn dyn_face_round_trips_params_and_builds_reports() {
+        let registry = Registry::new(&TEST_REGISTRY);
+        assert_eq!(registry.len(), 1);
+        assert!(!registry.is_empty());
+        let scenario = registry.get("probe").expect("registered");
+        assert_eq!(scenario.describe(), "driver self-test scenario");
+        assert!(matches!(
+            registry.get("nope"),
+            Err(ScenarioError::UnknownScenario(_))
+        ));
+        let params = scenario.default_params();
+        let run = scenario
+            .run_dyn(Some(&params), &RunOptions::default())
+            .expect("params valid");
+        assert_eq!(run.report.scenario, "probe");
+        assert_eq!(run.report.trials, 3);
+        assert_eq!(run.report.seed, 0x5CE0);
+        // The report round-trips through JSON.
+        let text = serde_json::to_string(&run.report).expect("serializable");
+        let back: RunReport = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back, run.report);
+        // Bad params surface as a typed error.
+        let bad = Value::Map(vec![("spins".to_owned(), Value::Str("x".to_owned()))]);
+        assert!(matches!(
+            scenario.run_dyn(Some(&bad), &RunOptions::default()),
+            Err(ScenarioError::Params(_))
+        ));
+    }
+
+    #[test]
+    fn reports_are_identical_across_thread_counts() {
+        let registry = Registry::new(&TEST_REGISTRY);
+        let scenario = registry.get("probe").expect("registered");
+        let report_at = |threads| {
+            let opts = RunOptions {
+                threads: Some(threads),
+                capacity: 1 << 12,
+                ..RunOptions::default()
+            };
+            serde_json::to_string(&scenario.run_dyn(None, &opts).expect("runs").report)
+                .expect("serializable")
+        };
+        let reference = report_at(1);
+        for threads in [2, 4] {
+            assert_eq!(report_at(threads), reference);
+        }
+    }
+
+    #[test]
+    fn fault_plan_override_reaches_the_machine() {
+        // The override must change the run (the machine audits faults),
+        // while `None` must leave the config-level wiring untouched.
+        let config = ProbeConfig { spins: 80_000_000 };
+        let nominal = run_scenario(&Probe, &config, &RunOptions::default());
+        let faulted = run_scenario(
+            &Probe,
+            &config,
+            &RunOptions {
+                fault_plan: Some(FaultPlan::delivery_storm()),
+                ..RunOptions::default()
+            },
+        );
+        // Seeds (the outputs) are schedule-independent either way.
+        assert_eq!(faulted.outputs, nominal.outputs);
+        assert_eq!(nominal.trials, faulted.trials);
+    }
+}

@@ -41,6 +41,7 @@ mod config;
 mod core;
 mod error;
 mod freq;
+pub mod presets;
 
 pub use crate::core::{CoResident, DeliveredIrq, Machine, SpanEnd, UserSpan};
 pub use config::{Hypervisor, MachineConfig, NoiseModel, Vendor};

@@ -10,13 +10,14 @@ use segscope_repro::attacks::keystroke::{
     identify_users, IdentifyResult, KeystrokeConfig, KeystrokeMonitor, TypistProfile,
 };
 use segscope_repro::irq::Ps;
-use segscope_repro::segsim::{Machine, MachineConfig};
+use segscope_repro::segsim::{presets, Machine};
 
 fn main() {
     println!("== Keystroke monitoring via SegScope ==");
 
     // 1. Recover one session's timing.
-    let mut machine = Machine::new(MachineConfig::xiaomi_air13(), 0x5E55);
+    let config = presets::by_name("xiaomi_air13").expect("known preset");
+    let mut machine = Machine::new(config, 0x5E55);
     machine.spin(100_000_000);
     let profile = TypistProfile::for_user(0);
     let mut rng = {

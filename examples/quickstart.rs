@@ -8,12 +8,12 @@
 use segscope_repro::attacks; // (unused here, linked for parity with other examples)
 use segscope_repro::irq::{InterruptKind, Ps};
 use segscope_repro::segscope::{KindHistogram, SegProbe, TsJumpProber};
-use segscope_repro::segsim::{Machine, MachineConfig};
+use segscope_repro::segsim::{presets, Machine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = &attacks::website::Setting::ALL; // keep the re-export exercised
     println!("== SegScope quickstart ==");
-    let config = MachineConfig::xiaomi_air13();
+    let config = presets::by_name("xiaomi_air13").expect("known preset");
     println!("machine: {}", config.name);
     let mut machine = Machine::new(config, 2024);
 

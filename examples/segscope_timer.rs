@@ -7,13 +7,11 @@
 //! ```
 
 use segscope_repro::segscope::{CountingThreadTimer, Denoise, SegTimer};
-use segscope_repro::segsim::{Machine, MachineConfig};
+use segscope_repro::segsim::{presets, Machine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for config in [
-        MachineConfig::xiaomi_air13(),
-        MachineConfig::amazon_c5_large(),
-    ] {
+    for name in ["xiaomi_air13", "amazon_c5_large"] {
+        let config = presets::by_name(name).expect("known preset");
         println!("== {} ==", config.name);
         let mut machine = Machine::new(config, 77);
         machine.spin(500_000_000); // warm up the frequency governor

@@ -20,6 +20,29 @@ for example in covert_channel kaslr_break keystroke_monitor quickstart \
     cargo run --release --offline --example "$example" >/dev/null
 done
 
+echo "==> segscope CLI (release): list + per-scenario run smoke"
+cargo build --release --offline --bin segscope
+SEGSCOPE="target/release/segscope"
+"$SEGSCOPE" list >/dev/null
+for name in $("$SEGSCOPE" list --names); do
+    echo "--> segscope run $name"
+    # Repetition scenarios take --trials 2; structured ones (trial count
+    # fixed by the config) ignore it and run their quick() defaults.
+    "$SEGSCOPE" run "$name" --trials 2 >/dev/null
+done
+
+echo "==> segscope CLI golden report diff (covert)"
+"$SEGSCOPE" run covert --seed 0xC07E --trials 2 --threads 2 \
+    --report target/covert.report.json >/dev/null
+if [[ "${SEGSCOPE_BLESS:-0}" == "1" ]]; then
+    cp target/covert.report.json tests/golden/covert.report.json
+    echo "blessed tests/golden/covert.report.json"
+elif ! cmp -s target/covert.report.json tests/golden/covert.report.json; then
+    echo "segscope run covert report drifted from tests/golden/covert.report.json;" >&2
+    echo "if intentional: SEGSCOPE_BLESS=1 scripts/ci.sh (or cp target/covert.report.json tests/golden/)" >&2
+    exit 1
+fi
+
 echo "==> segscope_trace example (release) + golden trace diff"
 SEGSCOPE_TRACE=target/keystroke.trace.json \
     cargo run --release --offline --example segscope_trace >/dev/null

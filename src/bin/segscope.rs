@@ -1,0 +1,260 @@
+//! `segscope` — the single CLI driver of the nine attack scenarios.
+//!
+//! ```text
+//! segscope list [--names]
+//! segscope describe <name>
+//! segscope run <name> [--seed N] [--trials N] [--threads N]
+//!                     [--params JSON] [--machine PRESET]
+//!                     [--fault-plan JSON] [--capacity N]
+//!                     [--trace-out PATH] [--report PATH]
+//! ```
+//!
+//! Every run goes through the same generic deterministic driver
+//! ([`scenario::run_scenario`]): reports and merged traces are
+//! bit-identical at any `--threads` value, and identical to what the
+//! per-attack library APIs produce for the same seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use scenario::{RunOptions, ScenarioError};
+use segscope_repro::{attacks, obs, scenario, segsim};
+use serde::{Serialize, Value};
+use std::process::ExitCode;
+
+const USAGE: &str = "segscope — deterministic SegScope scenario driver
+
+USAGE:
+    segscope list [--names]
+    segscope describe <name>
+    segscope run <name> [OPTIONS]
+
+RUN OPTIONS:
+    --seed N           Experiment seed override (default: the scenario's)
+    --trials N         Trial-count override (structured scenarios ignore it)
+    --threads N        Worker threads (default: SEGSCOPE_THREADS, else all cores)
+    --params JSON      Full scenario config as JSON (default: the scenario's)
+    --machine PRESET   Replace the config's `machine` field with a Table I
+                       preset (only scenarios with a `machine` field react)
+    --fault-plan JSON  Run-level interrupt fault-plan override
+    --capacity N       Per-trial trace-ring capacity in events
+                       (default: 0 = untraced; 32768 when --trace-out is given)
+    --trace-out PATH   Write the merged trace as Chrome trace_event JSON
+    --report PATH      Also write the report JSON to PATH
+
+The report JSON is always printed to stdout. Machine presets:
+    xiaomi_air13 lenovo_yangtian lenovo_savior honor_magicbook
+    amazon_t2_large amazon_c5_large";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("describe") => cmd_describe(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_list(args: &[String]) -> Result<(), String> {
+    let names_only = match args {
+        [] => false,
+        [flag] if flag == "--names" => true,
+        _ => return Err(format!("usage: segscope list [--names]\n\n{USAGE}")),
+    };
+    let registry = attacks::registry();
+    let width = registry
+        .entries()
+        .iter()
+        .map(|s| s.name().len())
+        .max()
+        .unwrap_or(0);
+    for entry in registry.entries() {
+        if names_only {
+            println!("{}", entry.name());
+        } else {
+            println!("{:width$}  {}", entry.name(), entry.describe());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_describe(args: &[String]) -> Result<(), String> {
+    let [name] = args else {
+        return Err(format!("usage: segscope describe <name>\n\n{USAGE}"));
+    };
+    let entry = attacks::registry().get(name).map_err(|e| e.to_string())?;
+    println!("{}: {}", entry.name(), entry.describe());
+    println!(
+        "default params: {}",
+        serde_json::to_string(&entry.default_params()).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+/// Parsed `segscope run` flags.
+struct RunArgs {
+    name: String,
+    params: Option<Value>,
+    machine: Option<String>,
+    opts: RunOptions,
+    capacity_set: bool,
+    trace_out: Option<String>,
+    report_out: Option<String>,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut it = args.iter();
+    let Some(name) = it.next() else {
+        return Err(format!("usage: segscope run <name> [OPTIONS]\n\n{USAGE}"));
+    };
+    let mut parsed = RunArgs {
+        name: name.clone(),
+        params: None,
+        machine: None,
+        opts: RunOptions::default(),
+        capacity_set: false,
+        trace_out: None,
+        report_out: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                parsed.opts.seed = Some(parse_u64(&value()?, flag)?);
+            }
+            "--trials" => {
+                parsed.opts.trials = Some(parse_u64(&value()?, flag)? as usize);
+            }
+            "--threads" => {
+                let threads = parse_u64(&value()?, flag)? as usize;
+                if threads == 0 {
+                    return Err("`--threads` must be at least 1".to_owned());
+                }
+                parsed.opts.threads = Some(threads);
+            }
+            "--capacity" => {
+                parsed.opts.capacity = parse_u64(&value()?, flag)? as usize;
+                parsed.capacity_set = true;
+            }
+            "--params" => {
+                let text = value()?;
+                let json: Value = serde_json::from_str(&text)
+                    .map_err(|e| format!("`--params` is not valid JSON: {e}"))?;
+                parsed.params = Some(json);
+            }
+            "--machine" => {
+                parsed.machine = Some(value()?);
+            }
+            "--fault-plan" => {
+                let text = value()?;
+                let plan: segsim::FaultPlan = serde_json::from_str(&text)
+                    .map_err(|e| format!("`--fault-plan` is not a valid fault plan: {e}"))?;
+                parsed.opts.fault_plan = Some(plan);
+            }
+            "--trace-out" => {
+                parsed.trace_out = Some(value()?);
+            }
+            "--report" => {
+                parsed.report_out = Some(value()?);
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_u64(text: &str, flag: &str) -> Result<u64, String> {
+    let digits = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"));
+    match digits {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    }
+    .map_err(|_| format!("`{flag}` needs an unsigned integer, got `{text}`"))
+}
+
+/// Replaces (or inserts) the top-level `machine` key of `params` with the
+/// named Table I preset. Scenarios whose config has no `machine` field
+/// ignore unknown keys, so the caller warns when that is about to happen.
+fn inject_machine(params: &mut Value, preset: &str) -> Result<(), String> {
+    let config = segsim::presets::by_name(preset).ok_or_else(|| {
+        format!(
+            "unknown machine preset `{preset}` (choose from: {})",
+            segsim::presets::NAMES.join(", ")
+        )
+    })?;
+    let Value::Map(entries) = params else {
+        return Err("scenario params are not a JSON object".to_owned());
+    };
+    let machine = config.to_value();
+    match entries.iter_mut().find(|(k, _)| k == "machine") {
+        Some((_, slot)) => *slot = machine,
+        None => {
+            eprintln!(
+                "warning: scenario config has no `machine` field; `--machine {preset}` has no effect"
+            );
+            entries.push(("machine".to_owned(), machine));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut parsed = parse_run_args(args)?;
+    let entry = attacks::registry()
+        .get(&parsed.name)
+        .map_err(|e| e.to_string())?;
+    if let Some(preset) = &parsed.machine {
+        let mut params = match parsed.params.take() {
+            Some(params) => params,
+            None => entry.default_params(),
+        };
+        inject_machine(&mut params, preset)?;
+        parsed.params = Some(params);
+    }
+    if parsed.trace_out.is_some() && !parsed.capacity_set {
+        parsed.opts.capacity = 1 << 15;
+    }
+    if parsed.trace_out.is_none() && parsed.opts.capacity > 0 {
+        eprintln!("warning: tracing enabled (--capacity) but no --trace-out; trace is discarded");
+    }
+    let run = entry
+        .run_dyn(parsed.params.as_ref(), &parsed.opts)
+        .map_err(|e| match e {
+            ScenarioError::Params(msg) => format!(
+                "invalid params for `{}`: {msg}\n(see `segscope describe {}`)",
+                parsed.name, parsed.name
+            ),
+            other => other.to_string(),
+        })?;
+    let report_json = serde_json::to_string(&run.report).map_err(|e| e.to_string())?;
+    println!("{report_json}");
+    if let Some(path) = &parsed.report_out {
+        std::fs::write(path, format!("{report_json}\n"))
+            .map_err(|e| format!("cannot write report to `{path}`: {e}"))?;
+    }
+    if let Some(path) = &parsed.trace_out {
+        let sink = run
+            .sink
+            .as_ref()
+            .ok_or_else(|| "no trace collected (is --capacity 0?)".to_owned())?;
+        std::fs::write(path, obs::export::chrome_trace(sink))
+            .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+    }
+    Ok(())
+}

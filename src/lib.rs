@@ -15,7 +15,10 @@
 //! * [`segscope`] — the paper's contribution: the probe, the guard, the
 //!   timer, and the timer-based baselines;
 //! * [`nnet`] — the LSTM/BiLSTM classifiers;
-//! * [`attacks`] — the six end-to-end case studies.
+//! * [`scenario`] — the uniform `Scenario` trait, generic deterministic
+//!   driver, and registry machinery behind the `segscope` CLI;
+//! * [`attacks`] — the six end-to-end case studies plus three extension
+//!   studies, all registered as scenarios.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the per-experiment
 //! index.
@@ -28,6 +31,7 @@ pub use irq;
 pub use memsim;
 pub use nnet;
 pub use obs;
+pub use scenario;
 pub use segscope;
 pub use segsim;
 pub use specsim;

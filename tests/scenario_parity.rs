@@ -1,0 +1,136 @@
+//! Parity tests of the `Scenario` registry/CLI driver (C-SCENARIO):
+//!
+//! 1. every registered scenario's report is **bit-identical at 1, 2, and
+//!    4 worker threads** — the determinism contract the CLI inherits from
+//!    `exec`;
+//! 2. the driver's per-trial outputs equal what the **direct per-attack
+//!    APIs** produce for the same derived seeds (outputs are
+//!    deterministic functions of every RNG draw, so equality here pins
+//!    the RNG stream positions too);
+//! 3. the machine the driver builds sits at the **same RNG position** as
+//!    one built by the pre-registry construction sequence.
+
+use rand::Rng;
+use segscope_repro::attacks::{self, covert, kaslr, keystroke};
+use segscope_repro::exec;
+use segscope_repro::memsim::KaslrLayout;
+use segscope_repro::scenario::{run_scenario, RunOptions, Scenario, TrialCtx};
+use segscope_repro::segsim::Machine;
+use serde::Serialize;
+
+fn report_json(name: &str, threads: usize) -> String {
+    let entry = attacks::registry().get(name).expect("registered");
+    let opts = RunOptions {
+        threads: Some(threads),
+        ..RunOptions::default()
+    };
+    let run = entry.run_dyn(None, &opts).expect("default params run");
+    serde_json::to_string(&run.report).expect("report serializes")
+}
+
+/// The cheap scenarios cover the full 1/2/4 grid; the expensive
+/// model-training ones (`website`, `dnnsteal`) prove the same contract on
+/// 1 vs 2 threads to keep the suite fast.
+#[test]
+fn reports_are_bit_identical_across_thread_counts() {
+    for name in [
+        "covert",
+        "kaslr",
+        "keystroke",
+        "procfp",
+        "circl",
+        "spectre",
+        "spectral",
+    ] {
+        let reference = report_json(name, 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                report_json(name, threads),
+                reference,
+                "{name} report differs at {threads} threads"
+            );
+        }
+    }
+    for name in ["website", "dnnsteal"] {
+        assert_eq!(
+            report_json(name, 1),
+            report_json(name, 2),
+            "{name} report differs at 2 threads"
+        );
+    }
+}
+
+#[test]
+fn covert_driver_matches_direct_transmissions() {
+    let cfg = covert::CovertScenarioConfig::default();
+    let bits = covert::bitstring_to_bits(&cfg.payload);
+    for threads in [1, 2, 4] {
+        let opts = RunOptions {
+            threads: Some(threads),
+            ..RunOptions::default()
+        };
+        let run = run_scenario(&covert::CovertScenario, &cfg, &opts);
+        assert_eq!(run.trials, run.outputs.len());
+        for (i, out) in run.outputs.iter().enumerate() {
+            let direct =
+                covert::transmit(&cfg.channel, &bits, exec::derive_seed(run.seed, i as u64));
+            assert_eq!(out, &direct, "covert trial {i} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn kaslr_driver_matches_direct_breaks() {
+    let cfg = kaslr::KaslrScenarioConfig::default();
+    for threads in [1, 2, 4] {
+        let opts = RunOptions {
+            threads: Some(threads),
+            trials: Some(4),
+            ..RunOptions::default()
+        };
+        let run = run_scenario(&kaslr::KaslrScenario, &cfg, &opts);
+        for (i, out) in run.outputs.iter().enumerate() {
+            let direct = kaslr::break_kaslr_fresh(
+                cfg.machine.clone(),
+                &cfg.attack,
+                exec::derive_seed(run.seed, i as u64),
+            );
+            assert_eq!(out, &direct, "kaslr trial {i} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn keystroke_dyn_report_matches_typed_api() {
+    let summary = keystroke::identify_users(&keystroke::KeystrokeConfig::quick());
+    let entry = attacks::registry().get("keystroke").expect("registered");
+    let run = entry
+        .run_dyn(None, &RunOptions::default())
+        .expect("default params run");
+    assert_eq!(run.report.summary, summary.to_value());
+}
+
+/// The driver's `build_machine` must leave the machine RNG exactly where
+/// the pre-registry construction sequence left it — one extra draw
+/// anywhere would silently shift every downstream sample.
+#[test]
+fn built_machines_sit_at_the_direct_rng_position() {
+    let cfg = kaslr::KaslrScenarioConfig::default();
+    let ctx = TrialCtx {
+        index: 0,
+        seed: exec::derive_seed(0x6A51, 0),
+        experiment_seed: 0x6A51,
+    };
+    let mut via_driver = kaslr::KaslrScenario.build_machine(&cfg, &ctx);
+    let mut direct = Machine::new(cfg.machine.clone(), ctx.seed);
+    let layout = KaslrLayout::randomize(direct.rng_mut());
+    direct.set_kaslr(layout);
+    assert_eq!(direct.kaslr(), via_driver.kaslr(), "same randomized layout");
+    for draw in 0..4 {
+        assert_eq!(
+            via_driver.rng_mut().gen::<u64>(),
+            direct.rng_mut().gen::<u64>(),
+            "RNG streams diverge at draw {draw}"
+        );
+    }
+}

@@ -8,9 +8,14 @@
 //! with `SEGSCOPE_BLESS=1 cargo test --test serde_roundtrip`.
 
 use proptest::prelude::*;
-use segscope_repro::attacks::covert::CovertConfig;
-use segscope_repro::attacks::kaslr::{KaslrConfig, KaslrResult};
-use segscope_repro::attacks::spectral::SpectralConfig;
+use segscope_repro::attacks::circl::CirclConfig;
+use segscope_repro::attacks::covert::{CovertConfig, CovertScenarioConfig};
+use segscope_repro::attacks::dnnsteal::DnnStealConfig;
+use segscope_repro::attacks::kaslr::{KaslrConfig, KaslrResult, KaslrScenarioConfig};
+use segscope_repro::attacks::keystroke::KeystrokeConfig;
+use segscope_repro::attacks::procfp::ProcFpConfig;
+use segscope_repro::attacks::spectral::{SpectralConfig, SpectralScenarioConfig};
+use segscope_repro::attacks::spectre::{SpectreConfig, SpectreScenarioConfig};
 use segscope_repro::attacks::website::{Browser, Setting, WebsiteFpConfig, WebsiteProfile};
 use segscope_repro::irq::{HandlerCostModel, InterruptKind, Ps};
 use segscope_repro::memsim::{HierarchyConfig, KaslrLayout, KaslrTiming, MemoryHierarchy};
@@ -68,12 +73,36 @@ fn attack_configs_round_trip() {
     round_trip(&CovertConfig::slow());
     round_trip(&WebsiteFpConfig::quick(Browser::Tor, Setting::Default));
     round_trip(&WebsiteProfile::for_site(12));
+    round_trip(&KeystrokeConfig::quick());
+    round_trip(&SpectreConfig::paper_default());
+    round_trip(&CirclConfig::paper());
+    round_trip(&ProcFpConfig::quick());
+    round_trip(&DnnStealConfig::bench());
     round_trip(&Denoise::ZScoreAndFreq);
     round_trip(&ZScoreFilter::new(10.0, 2.0, 2.0));
     let mut step = StepFn::zero();
     step.push(Ps::from_ms(1), 0.5);
     step.push(Ps::from_ms(2), 1.0);
     round_trip(&step);
+}
+
+/// Every registered scenario's config round-trips from its `Default` —
+/// the exact value `segscope run <name>` uses when `--params` is omitted.
+#[test]
+fn scenario_default_configs_round_trip() {
+    round_trip(&CovertConfig::default());
+    round_trip(&CovertScenarioConfig::default());
+    round_trip(&KeystrokeConfig::default());
+    round_trip(&KaslrConfig::default());
+    round_trip(&KaslrScenarioConfig::default());
+    round_trip(&SpectreConfig::default());
+    round_trip(&SpectreScenarioConfig::default());
+    round_trip(&WebsiteFpConfig::default());
+    round_trip(&CirclConfig::default());
+    round_trip(&ProcFpConfig::default());
+    round_trip(&SpectralConfig::default());
+    round_trip(&SpectralScenarioConfig::default());
+    round_trip(&DnnStealConfig::default());
 }
 
 #[test]
