@@ -16,7 +16,7 @@ use irq::time::Ps;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scenario::{Scenario, TrialCtx};
-use segscope::SegProbe;
+use segscope::{ProbeSample, SegProbe};
 use segsim::{FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
 
@@ -181,20 +181,29 @@ pub struct CirclResult {
 }
 
 /// Measures the mean SegCnt across one challenge window.
+///
+/// `probe`, `samples`, and `cnts` are owned by the extraction loop and
+/// reused across its hundreds of challenges (calibration + one per key
+/// bit), so a challenge allocates nothing in the steady state.
 fn measure_challenge(
     machine: &mut Machine,
     victim: &CirclVictim,
     bit: usize,
     config: &CirclConfig,
+    probe: &mut SegProbe,
+    samples: &mut Vec<ProbeSample>,
+    cnts: &mut Vec<f64>,
 ) -> CirclObservation {
     let anomalous = victim.run_challenge(machine, bit, config.window);
-    let mut probe = SegProbe::new();
     // Skip one interval so the governor reacts to the new power level.
-    let _ = probe.probe_n(machine, 3).expect("probe works");
-    let samples = probe
-        .probe_n(machine, config.samples_per_challenge)
+    probe
+        .probe_n_into(machine, 3, samples)
         .expect("probe works");
-    let mut cnts: Vec<f64> = samples.iter().map(|s| s.segcnt as f64).collect();
+    probe
+        .probe_n_into(machine, config.samples_per_challenge, samples)
+        .expect("probe works");
+    cnts.clear();
+    cnts.extend(samples.iter().map(|s| s.segcnt as f64));
     // Let the window expire before the next challenge.
     let rest = machine.now() + config.window;
     while machine.now() < rest {
@@ -239,10 +248,23 @@ pub fn extract_on(machine: &mut Machine, config: &CirclConfig, victim_seed: u64)
             .map(|i| (i / 2) % 2 == 0)
             .collect(),
     );
+    // One probe and one pair of sample buffers serve every challenge in
+    // the trial (calibration + attack): zero allocations per challenge.
+    let mut probe = SegProbe::new();
+    let mut samples = Vec::new();
+    let mut cnts = Vec::new();
     let mut hi = Vec::new();
     let mut lo = Vec::new();
     for i in 0..config.calibration * 2 {
-        let obs = measure_challenge(machine, &calib_victim, i, config);
+        let obs = measure_challenge(
+            machine,
+            &calib_victim,
+            i,
+            config,
+            &mut probe,
+            &mut samples,
+            &mut cnts,
+        );
         if obs.anomalous {
             hi.push(obs.mean_segcnt);
         } else {
@@ -255,7 +277,15 @@ pub fn extract_on(machine: &mut Machine, config: &CirclConfig, victim_seed: u64)
     let mut correct = 0usize;
     let mut differs = Vec::with_capacity(config.key_bits);
     for bit in 0..config.key_bits {
-        let obs = measure_challenge(machine, &victim, bit, config);
+        let obs = measure_challenge(
+            machine,
+            &victim,
+            bit,
+            config,
+            &mut probe,
+            &mut samples,
+            &mut cnts,
+        );
         let decided_anomalous = obs.mean_segcnt > threshold;
         if decided_anomalous == obs.anomalous {
             correct += 1;
@@ -375,10 +405,21 @@ mod tests {
         machine.spin(100_000_000);
         let victim =
             CirclVictim::with_key(vec![true, true, false, false, true, true, false, false]);
+        let mut probe = SegProbe::new();
+        let mut samples = Vec::new();
+        let mut cnts = Vec::new();
         let mut hi = Vec::new();
         let mut lo = Vec::new();
         for i in 0..8 {
-            let obs = measure_challenge(&mut machine, &victim, i, &config);
+            let obs = measure_challenge(
+                &mut machine,
+                &victim,
+                i,
+                &config,
+                &mut probe,
+                &mut samples,
+                &mut cnts,
+            );
             if obs.anomalous {
                 hi.push(obs.mean_segcnt);
             } else {

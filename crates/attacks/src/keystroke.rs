@@ -132,9 +132,12 @@ impl KeystrokeMonitor {
     /// Panics if the probe is mitigated (stock machines never are).
     pub fn monitor(&self, machine: &mut Machine, session: &[Ps]) -> KeystrokeTrace {
         let mut probe = SegProbe::new();
-        // Calibrate the timer-edge classifier on pre-session quiet.
-        let calib = probe
-            .probe_n(machine, self.calibration)
+        // Calibrate the timer-edge classifier on pre-session quiet. The
+        // calibration buffer doubles as the f64 scratch's source, and the
+        // session loop below probes one sample at a time (no allocation).
+        let mut calib = Vec::new();
+        probe
+            .probe_n_into(machine, self.calibration, &mut calib)
             .expect("probe works");
         let segcnts: Vec<f64> = calib.iter().map(|s| s.segcnt as f64).collect();
         let classifier = TimerEdgeClassifier::fit(&segcnts);

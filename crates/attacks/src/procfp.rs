@@ -169,7 +169,10 @@ pub fn observe_on(
     machine.spin(100_000_000);
     // Calibrate the quiet baseline (the spy alone): robust SegCnt level.
     let mut probe = SegProbe::new();
-    let calib = probe.probe_n(machine, 200).expect("probe works");
+    let mut calib = Vec::new();
+    probe
+        .probe_n_into(machine, 200, &mut calib)
+        .expect("probe works");
     let mut calib_cnts: Vec<f64> = calib.iter().map(|s| s.segcnt as f64).collect();
     calib_cnts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let calib_median = calib_cnts[calib_cnts.len() / 2];

@@ -316,8 +316,9 @@ pub fn collect_trace_on(
     machine.inject_interrupts(events);
     machine.set_victim_load(load);
     let mut probe = SegProbe::new();
-    let samples = probe
-        .probe_n(machine, config.trace_len)
+    let mut samples = Vec::new();
+    probe
+        .probe_n_into(machine, config.trace_len, &mut samples)
         .expect("probe works on unmitigated machines");
     samples.iter().map(|s| s.segcnt as f64).collect()
 }

@@ -1,0 +1,353 @@
+//! Machine-readable performance report for the simulator hot path
+//! (`BENCH_hotpath.json`).
+//!
+//! The `bench_hotpath` target regenerates the file; it records host
+//! wall-clock numbers, so absolute values vary by machine. Three things
+//! are asserted regardless of the host:
+//!
+//! - the event-calendar fabric and the naive linear-scan fabric deliver
+//!   bit-identical interrupt sequences (and leave their RNGs at the same
+//!   position),
+//! - on multi-source machines the calendar delivers at least 2x the
+//!   naive fabric's interrupts/second,
+//! - the buffer-reuse probe API (`probe_n_into`) allocates strictly less
+//!   than the allocating wrapper (`probe_n`) while producing identical
+//!   samples.
+
+use irq::{InterruptFabric, InterruptKind, NaiveFabric};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use segscope_attacks::kaslr::{run_trials, KaslrConfig};
+use segsim::MachineConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Device-interrupt kinds used for the synthetic extra sources; cycled
+/// in order so source `i` gets `DEVICE_KINDS[i % 6]`.
+const DEVICE_KINDS: [InterruptKind; 6] = [
+    InterruptKind::Network,
+    InterruptKind::Gpu,
+    InterruptKind::Keyboard,
+    InterruptKind::Thermal,
+    InterruptKind::CallFunction,
+    InterruptKind::Other,
+];
+
+/// Calendar-vs-naive fabric throughput on one machine configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct FabricArm {
+    /// Machine preset the source set came from.
+    pub machine: String,
+    /// Total interrupt sources on the fabric (preset + extra devices).
+    pub sources: usize,
+    /// Interrupts delivered per fabric per run.
+    pub events: usize,
+    /// Naive linear-scan fabric wall-clock seconds.
+    pub naive_s: f64,
+    /// Event-calendar fabric wall-clock seconds.
+    pub calendar_s: f64,
+    /// Naive fabric throughput, delivered interrupts per second.
+    pub naive_events_per_s: f64,
+    /// Calendar fabric throughput, delivered interrupts per second.
+    pub calendar_events_per_s: f64,
+    /// Calendar speedup over the naive scan (wall-clock ratio).
+    pub speedup: f64,
+    /// Whether both fabrics delivered bit-identical event sequences and
+    /// finished with their RNGs at the same stream position.
+    pub identical: bool,
+}
+
+/// Allocating-vs-reusing probe API comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProbeBench {
+    /// Samples per batch.
+    pub samples: usize,
+    /// Batches per run (each `probe_n` batch allocates a fresh `Vec`).
+    pub batches: usize,
+    /// Heap bytes allocated across the `probe_n` run.
+    pub alloc_bytes_fresh: u64,
+    /// Heap bytes allocated across the `probe_n_into` run.
+    pub alloc_bytes_reused: u64,
+    /// Allocation count across the `probe_n` run.
+    pub allocs_fresh: u64,
+    /// Allocation count across the `probe_n_into` run.
+    pub allocs_reused: u64,
+    /// Fractional allocation-count reduction, `1 - reused/fresh`.
+    pub alloc_reduction: f64,
+    /// `probe_n` throughput, samples per second.
+    pub fresh_samples_per_s: f64,
+    /// `probe_n_into` throughput, samples per second.
+    pub reused_samples_per_s: f64,
+    /// Whether both APIs produced identical sample streams.
+    pub identical: bool,
+}
+
+/// End-to-end scenario throughput (full trials through the unified
+/// scenario engine, serial).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioBench {
+    /// Scenario exercised.
+    pub scenario: String,
+    /// Trials per run.
+    pub trials: usize,
+    /// Wall-clock seconds for the run.
+    pub wall_s: f64,
+    /// Throughput, trials per second.
+    pub trials_per_s: f64,
+}
+
+/// The full `BENCH_hotpath.json` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct HotpathBenchReport {
+    /// One arm per (machine, source-count) point.
+    pub fabric: Vec<FabricArm>,
+    /// Probe-buffer reuse comparison.
+    pub probe: ProbeBench,
+    /// End-to-end scenario throughput.
+    pub scenario: ScenarioBench,
+    /// Human-readable caveat about the measurement host.
+    pub note: String,
+}
+
+impl HotpathBenchReport {
+    /// Checks the schema invariants the CI gate relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fabric.is_empty() {
+            return Err("fabric arms empty".into());
+        }
+        for arm in &self.fabric {
+            if !arm.identical {
+                return Err(format!(
+                    "fabric arm `{}` ({} sources): calendar and naive \
+                     fabrics diverged",
+                    arm.machine, arm.sources
+                ));
+            }
+            if arm.naive_events_per_s <= 0.0 || arm.calendar_events_per_s <= 0.0 {
+                return Err(format!(
+                    "fabric arm `{}` ({} sources): non-positive throughput",
+                    arm.machine, arm.sources
+                ));
+            }
+        }
+        let multi_best = self
+            .fabric
+            .iter()
+            .filter(|a| a.sources > 8)
+            .map(|a| a.speedup)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if multi_best < 2.0 {
+            return Err(format!(
+                "no multi-source arm reached the 2x calendar speedup bar \
+                 (best {multi_best:.2}x)"
+            ));
+        }
+        if !self.probe.identical {
+            return Err("probe_n and probe_n_into sample streams diverged".into());
+        }
+        if self.probe.allocs_reused >= self.probe.allocs_fresh {
+            return Err(format!(
+                "probe_n_into must allocate less than probe_n \
+                 ({} vs {} allocations)",
+                self.probe.allocs_reused, self.probe.allocs_fresh
+            ));
+        }
+        if self.probe.alloc_reduction <= 0.0 {
+            return Err("probe allocation reduction must be positive".into());
+        }
+        if self.scenario.trials_per_s <= 0.0 {
+            return Err("scenario throughput must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+fn time_s<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+/// Order-sensitive FNV-1a fold over a delivered-event stream.
+fn fold_event(hash: u64, at_ps: u64, kind: InterruptKind) -> u64 {
+    let mut h = hash;
+    for byte in at_ps.to_le_bytes().iter().chain(&[kind as u8]) {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Measures one fabric arm: the preset's source set plus `extra_devices`
+/// synthetic Poisson device sources, drained for `events` deliveries on
+/// the calendar fabric and the naive linear-scan fabric with identically
+/// seeded RNGs.
+#[must_use]
+pub fn measure_fabric(
+    cfg: &MachineConfig,
+    extra_devices: usize,
+    events: usize,
+    seed: u64,
+) -> FabricArm {
+    let device_rate = |i: usize| 40.0 + 17.0 * i as f64;
+
+    let mut cal_rng = SmallRng::seed_from_u64(seed);
+    let mut cal = InterruptFabric::new();
+    cal.add_periodic_timer(cfg.timer_hz, cfg.timer_jitter, &mut cal_rng);
+    cal.add_poisson(InterruptKind::PerfMon, cfg.pmi_rate_hz, &mut cal_rng);
+    cal.add_poisson(InterruptKind::Resched, cfg.resched_rate_hz, &mut cal_rng);
+    for i in 0..extra_devices {
+        cal.add_poisson(
+            DEVICE_KINDS[i % DEVICE_KINDS.len()],
+            device_rate(i),
+            &mut cal_rng,
+        );
+    }
+
+    let mut naive_rng = SmallRng::seed_from_u64(seed);
+    let mut naive = NaiveFabric::new();
+    naive.add_periodic_timer(cfg.timer_hz, cfg.timer_jitter, &mut naive_rng);
+    naive.add_poisson(InterruptKind::PerfMon, cfg.pmi_rate_hz, &mut naive_rng);
+    naive.add_poisson(InterruptKind::Resched, cfg.resched_rate_hz, &mut naive_rng);
+    for i in 0..extra_devices {
+        naive.add_poisson(
+            DEVICE_KINDS[i % DEVICE_KINDS.len()],
+            device_rate(i),
+            &mut naive_rng,
+        );
+    }
+    let sources = cal.source_count();
+
+    let (naive_s, naive_hash) = time_s(|| {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for _ in 0..events {
+            let ev = naive.pop(&mut naive_rng).expect("sources never run dry");
+            h = fold_event(h, ev.at.as_ps(), ev.kind);
+        }
+        h
+    });
+    let (calendar_s, cal_hash) = time_s(|| {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for _ in 0..events {
+            let ev = cal.pop(&mut cal_rng).expect("sources never run dry");
+            h = fold_event(h, ev.at.as_ps(), ev.kind);
+        }
+        h
+    });
+    let identical = naive_hash == cal_hash && naive_rng.gen::<u64>() == cal_rng.gen::<u64>();
+
+    FabricArm {
+        machine: cfg.name.clone(),
+        sources,
+        events,
+        naive_s,
+        calendar_s,
+        naive_events_per_s: events as f64 / naive_s.max(1e-9),
+        calendar_events_per_s: events as f64 / calendar_s.max(1e-9),
+        speedup: naive_s / calendar_s.max(1e-9),
+        identical,
+    }
+}
+
+/// Measures end-to-end scenario throughput: serial KASLR trials through
+/// the unified engine (each trial runs the full probe loop on a fresh
+/// machine).
+#[must_use]
+pub fn measure_scenario(trials: usize) -> ScenarioBench {
+    let machine = MachineConfig::lenovo_yangtian();
+    let config = KaslrConfig {
+        c: 2,
+        k: 32,
+        ..KaslrConfig::paper_default()
+    };
+    let seed = 0xB3CC_0005;
+    let _ = run_trials(&machine, &config, seed, 1.min(trials), Some(1));
+    let (wall_s, _) = time_s(|| run_trials(&machine, &config, seed, trials, Some(1)));
+    ScenarioBench {
+        scenario: "kaslr".to_string(),
+        trials,
+        wall_s,
+        trials_per_s: trials as f64 / wall_s.max(1e-9),
+    }
+}
+
+/// Serializes a report to JSON and writes it to `path`.
+///
+/// # Errors
+///
+/// Returns any filesystem error from the write.
+pub fn write_report(report: &HotpathBenchReport, path: &str) -> std::io::Result<()> {
+    let json = serde_json::to_string(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_arm_is_identical_and_fast_enough_to_validate() {
+        let cfg = MachineConfig::lenovo_yangtian();
+        let arm = measure_fabric(&cfg, 32, 20_000, 0xB3CC_0010);
+        assert!(arm.identical, "calendar and naive fabrics diverged");
+        assert_eq!(arm.sources, 35);
+        assert_eq!(arm.events, 20_000);
+    }
+
+    #[test]
+    fn validate_rejects_divergent_fabrics_and_alloc_regressions() {
+        let arm = FabricArm {
+            machine: "m".into(),
+            sources: 35,
+            events: 10,
+            naive_s: 1.0,
+            calendar_s: 0.1,
+            naive_events_per_s: 10.0,
+            calendar_events_per_s: 100.0,
+            speedup: 10.0,
+            identical: true,
+        };
+        let probe = ProbeBench {
+            samples: 10,
+            batches: 2,
+            alloc_bytes_fresh: 100,
+            alloc_bytes_reused: 10,
+            allocs_fresh: 20,
+            allocs_reused: 2,
+            alloc_reduction: 0.9,
+            fresh_samples_per_s: 1.0,
+            reused_samples_per_s: 1.0,
+            identical: true,
+        };
+        let scenario = ScenarioBench {
+            scenario: "kaslr".into(),
+            trials: 1,
+            wall_s: 1.0,
+            trials_per_s: 1.0,
+        };
+        let good = HotpathBenchReport {
+            fabric: vec![arm.clone()],
+            probe: probe.clone(),
+            scenario: scenario.clone(),
+            note: String::new(),
+        };
+        assert!(good.validate().is_ok());
+
+        let mut divergent = good.clone();
+        divergent.fabric[0].identical = false;
+        assert!(divergent.validate().is_err());
+
+        let mut slow = good.clone();
+        slow.fabric[0].speedup = 1.5;
+        assert!(slow.validate().is_err());
+
+        let mut alloc_regress = good.clone();
+        alloc_regress.probe.allocs_reused = 20;
+        assert!(alloc_regress.validate().is_err());
+    }
+}

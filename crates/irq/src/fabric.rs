@@ -14,6 +14,16 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SourceId(usize);
 
+impl SourceId {
+    pub(crate) fn from_index(idx: usize) -> Self {
+        SourceId(idx)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// An interrupt scheduled for delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PendingInterrupt {
@@ -26,7 +36,7 @@ pub struct PendingInterrupt {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum SourceModel {
+pub(crate) enum SourceModel {
     /// Strictly periodic with small Gaussian edge jitter (the APIC timer).
     Periodic {
         kind: InterruptKind,
@@ -45,9 +55,21 @@ enum SourceModel {
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct SourceState {
-    model: SourceModel,
-    next: Option<Ps>,
+pub(crate) struct SourceState {
+    pub(crate) model: SourceModel,
+    pub(crate) next: Option<Ps>,
+    /// Bumped every time `next` changes; calendar entries carry the
+    /// generation they were scheduled under, so stale heap entries are
+    /// recognised and discarded lazily.
+    pub(crate) gen: u64,
+}
+
+impl SourceState {
+    pub(crate) fn kind(&self) -> InterruptKind {
+        match self.model {
+            SourceModel::Periodic { kind, .. } | SourceModel::Poisson { kind, .. } => kind,
+        }
+    }
 }
 
 /// A per-core interrupt fabric: owns all interrupt sources and yields
@@ -58,16 +80,54 @@ struct SourceState {
 /// point the producing source schedules its subsequent arrival. One-shot
 /// interrupts (device activity emitted by victim workload models) are
 /// injected with [`InterruptFabric::inject`].
+///
+/// Internally the fabric keeps an *event calendar*: a lazily-invalidated
+/// min-heap of armed source arrivals plus a cached merged head across the
+/// calendar and the injected one-shot heap. [`peek_next`](Self::peek_next)
+/// is therefore O(1) and [`pop`](Self::pop) is O(log sources), instead of
+/// the O(sources) scan per call the simulator hot loop used to pay. The
+/// original scan survives as [`crate::naive::NaiveFabric`], the reference
+/// oracle the differential tests (and the `bench_hotpath` baseline arm)
+/// compare against.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InterruptFabric {
     sources: Vec<SourceState>,
     injected: BinaryHeap<Reverse<InjectedEvent>>,
+    /// Min-heap of `(at, idx, gen)` arrivals. Entries whose `gen` no
+    /// longer matches their source are stale and skipped on pop.
+    calendar: BinaryHeap<Reverse<CalendarEntry>>,
+    /// Cached earliest pending interrupt: the merged head of the calendar
+    /// and the injected heap, refreshed by every mutating call.
+    next_event: Option<PendingInterrupt>,
+}
+
+/// One armed source arrival in the calendar heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct CalendarEntry {
+    at: Ps,
+    /// Source index; the secondary key, so simultaneous arrivals pop in
+    /// source order — exactly the tie the naive scan's `at < best.at`
+    /// comparison resolves toward the lowest index.
+    idx: usize,
+    gen: u64,
+}
+
+impl Ord for CalendarEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.idx, self.gen).cmp(&(other.at, other.idx, other.gen))
+    }
+}
+
+impl PartialOrd for CalendarEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct InjectedEvent {
-    at: Ps,
-    kind: InterruptKind,
+pub(crate) struct InjectedEvent {
+    pub(crate) at: Ps,
+    pub(crate) kind: InterruptKind,
 }
 
 impl Ord for InjectedEvent {
@@ -106,7 +166,7 @@ impl InterruptFabric {
         assert!(hz > 0.0, "timer frequency must be positive");
         let period = Ps::from_secs_f64(1.0 / hz);
         let id = SourceId(self.sources.len());
-        let mut state = SourceState {
+        self.sources.push(SourceState {
             model: SourceModel::Periodic {
                 kind: InterruptKind::Timer,
                 period,
@@ -115,9 +175,10 @@ impl InterruptFabric {
                 enabled: true,
             },
             next: None,
-        };
-        state.next = Self::draw_next(&mut state.model, Ps::ZERO, rng);
-        self.sources.push(state);
+            gen: 0,
+        });
+        self.reschedule(id.0, Ps::ZERO, rng);
+        self.refresh_next();
         id
     }
 
@@ -135,23 +196,31 @@ impl InterruptFabric {
     ) -> SourceId {
         assert!(rate_hz > 0.0, "poisson rate must be positive");
         let id = SourceId(self.sources.len());
-        let mut state = SourceState {
+        self.sources.push(SourceState {
             model: SourceModel::Poisson {
                 kind,
                 rate_hz,
                 enabled: true,
             },
             next: None,
-        };
-        state.next = Self::draw_next(&mut state.model, Ps::ZERO, rng);
-        self.sources.push(state);
+            gen: 0,
+        });
+        self.reschedule(id.0, Ps::ZERO, rng);
+        self.refresh_next();
         id
     }
 
     /// Schedules a one-shot interrupt (device activity from a victim
     /// workload model).
+    #[inline]
     pub fn inject(&mut self, at: Ps, kind: InterruptKind) {
         self.injected.push(Reverse(InjectedEvent { at, kind }));
+        // A strictly-later injection cannot displace the cached head; ties
+        // at the head's instant can (injected events order by kind), so
+        // anything else re-merges the heads.
+        if self.next_event.is_none_or(|b| at <= b.at) {
+            self.refresh_next();
+        }
     }
 
     /// Schedules a batch of one-shot interrupts.
@@ -187,11 +256,13 @@ impl InterruptFabric {
             }
             SourceModel::Poisson { enabled: e, .. } => *e = enabled,
         }
-        state.next = if enabled {
-            Self::draw_next(&mut state.model, now, rng)
+        if enabled {
+            self.reschedule(id.0, now, rng);
         } else {
-            None
-        };
+            state.next = None;
+            state.gen += 1;
+        }
+        self.refresh_next();
     }
 
     /// Reprograms the periodic timer's frequency (the APIC HZ setting),
@@ -214,54 +285,55 @@ impl InterruptFabric {
             }
             SourceModel::Poisson { .. } => panic!("set_timer_hz on a non-periodic source"),
         }
-        state.next = Self::draw_next(&mut state.model, now, rng);
+        self.reschedule(id.0, now, rng);
+        self.refresh_next();
     }
 
     /// The earliest pending interrupt across all sources and injections,
     /// without consuming it.
+    ///
+    /// O(1): returns the calendar's cached merged head.
+    #[inline]
     #[must_use]
     pub fn peek_next(&self) -> Option<PendingInterrupt> {
-        let mut best: Option<PendingInterrupt> = None;
-        for (idx, state) in self.sources.iter().enumerate() {
-            if let Some(at) = state.next {
-                let kind = match state.model {
-                    SourceModel::Periodic { kind, .. } | SourceModel::Poisson { kind, .. } => kind,
-                };
-                if best.is_none_or(|b| at < b.at) {
-                    best = Some(PendingInterrupt {
-                        at,
-                        kind,
-                        source: Some(SourceId(idx)),
-                    });
-                }
-            }
-        }
-        if let Some(Reverse(ev)) = self.injected.peek() {
-            if best.is_none_or(|b| ev.at < b.at) {
-                best = Some(PendingInterrupt {
-                    at: ev.at,
-                    kind: ev.kind,
-                    source: None,
-                });
-            }
-        }
-        best
+        self.next_event
     }
 
-    /// Consumes the earliest pending interrupt (which must be the one
-    /// returned by [`peek_next`](Self::peek_next)) and schedules the
-    /// producing source's next arrival.
+    /// Consumes the earliest pending interrupt (which is the one
+    /// [`peek_next`](Self::peek_next) reports) and schedules the producing
+    /// source's next arrival.
+    ///
+    /// The consume path is fused: the cached head says exactly which queue
+    /// to pop, so no re-scan or re-match of the winner is needed.
+    #[inline]
     pub fn pop<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<PendingInterrupt> {
-        let next = self.peek_next()?;
+        let next = self.next_event?;
         match next.source {
             Some(SourceId(idx)) => {
+                // `refresh_next` left the calendar head valid, and a valid
+                // head is the cached event itself — so the source's next
+                // arrival replaces it in place (one sift-down) instead of
+                // a pop + push (two sifts).
                 let state = &mut self.sources[idx];
-                state.next = Self::draw_next(&mut state.model, next.at, rng);
+                state.gen += 1;
+                state.next = draw_next(&mut state.model, next.at, rng);
+                let gen = state.gen;
+                match state.next {
+                    Some(at) => {
+                        if let Some(mut head) = self.calendar.peek_mut() {
+                            *head = Reverse(CalendarEntry { at, idx, gen });
+                        }
+                    }
+                    None => {
+                        self.calendar.pop();
+                    }
+                }
             }
             None => {
                 self.injected.pop();
             }
         }
+        self.refresh_next();
         Some(next)
     }
 
@@ -339,42 +411,128 @@ impl InterruptFabric {
         self.injected.len()
     }
 
-    fn draw_next<R: Rng + ?Sized>(model: &mut SourceModel, now: Ps, rng: &mut R) -> Option<Ps> {
-        match model {
-            SourceModel::Periodic {
-                period,
-                jitter_std,
-                nominal_next,
-                enabled,
-                ..
-            } => {
-                if !*enabled {
-                    return None;
-                }
-                // Keep the nominal grid strictly advancing past `now` so a
-                // long kernel stint cannot schedule edges in the past.
-                while *nominal_next <= now {
-                    *nominal_next += *period;
-                }
-                let edge = *nominal_next;
-                *nominal_next = edge + *period;
-                let jitter_ps = dist::normal(rng, 0.0, jitter_std.as_ps() as f64);
-                let at = if jitter_ps >= 0.0 {
-                    edge + Ps::from_ps(jitter_ps as u64)
-                } else {
-                    edge.saturating_sub(Ps::from_ps((-jitter_ps) as u64))
-                };
-                Some(at.max(now + Ps::from_ps(1)))
+    /// Redraws source `idx`'s next arrival from `now`, bumping its
+    /// generation and (when armed) entering it into the calendar. The
+    /// caller is responsible for [`refresh_next`](Self::refresh_next).
+    fn reschedule<R: Rng + ?Sized>(&mut self, idx: usize, now: Ps, rng: &mut R) {
+        let state = &mut self.sources[idx];
+        state.gen += 1;
+        state.next = draw_next(&mut state.model, now, rng);
+        if let Some(at) = state.next {
+            self.calendar.push(Reverse(CalendarEntry {
+                at,
+                idx,
+                gen: state.gen,
+            }));
+        }
+    }
+
+    /// Re-merges the calendar and injected heads into the cached
+    /// `next_event`, discarding stale calendar entries on the way.
+    ///
+    /// Postcondition: the calendar head (if any) is a live entry — its
+    /// generation matches its source — so `pop` may consume it blindly.
+    fn refresh_next(&mut self) {
+        while let Some(Reverse(head)) = self.calendar.peek() {
+            if self.sources[head.idx].gen == head.gen {
+                break;
             }
-            SourceModel::Poisson {
-                rate_hz, enabled, ..
-            } => {
-                if !*enabled {
-                    return None;
+            self.calendar.pop();
+        }
+        let best = self.calendar.peek().map(|&Reverse(e)| PendingInterrupt {
+            at: e.at,
+            kind: self.sources[e.idx].kind(),
+            source: Some(SourceId(e.idx)),
+        });
+        // An injected one-shot preempts the best source arrival only when
+        // strictly earlier — the same tie-break the naive scan applies.
+        self.next_event = match (best, self.injected.peek()) {
+            (Some(b), Some(&Reverse(ev))) if ev.at < b.at => Some(PendingInterrupt {
+                at: ev.at,
+                kind: ev.kind,
+                source: None,
+            }),
+            (Some(b), _) => Some(b),
+            (None, Some(&Reverse(ev))) => Some(PendingInterrupt {
+                at: ev.at,
+                kind: ev.kind,
+                source: None,
+            }),
+            (None, None) => None,
+        };
+    }
+
+    /// The original O(sources) linear scan, kept as an in-crate reference
+    /// oracle the calendar cache is asserted against.
+    #[cfg(test)]
+    fn scan_next(&self) -> Option<PendingInterrupt> {
+        let mut best: Option<PendingInterrupt> = None;
+        for (idx, state) in self.sources.iter().enumerate() {
+            if let Some(at) = state.next {
+                if best.is_none_or(|b| at < b.at) {
+                    best = Some(PendingInterrupt {
+                        at,
+                        kind: state.kind(),
+                        source: Some(SourceId(idx)),
+                    });
                 }
-                let wait_s = dist::exponential(rng, *rate_hz);
-                Some(now + Ps::from_secs_f64(wait_s))
             }
+        }
+        if let Some(Reverse(ev)) = self.injected.peek() {
+            if best.is_none_or(|b| ev.at < b.at) {
+                best = Some(PendingInterrupt {
+                    at: ev.at,
+                    kind: ev.kind,
+                    source: None,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// Draws a source's next arrival after `now`. Shared by the calendar
+/// fabric and [`crate::naive::NaiveFabric`] so both consume identical RNG
+/// draws for identical op sequences.
+pub(crate) fn draw_next<R: Rng + ?Sized>(
+    model: &mut SourceModel,
+    now: Ps,
+    rng: &mut R,
+) -> Option<Ps> {
+    match model {
+        SourceModel::Periodic {
+            period,
+            jitter_std,
+            nominal_next,
+            enabled,
+            ..
+        } => {
+            if !*enabled {
+                return None;
+            }
+            // Keep the nominal grid strictly advancing past `now` so a
+            // long kernel stint cannot schedule edges in the past.
+            while *nominal_next <= now {
+                *nominal_next += *period;
+            }
+            let edge = *nominal_next;
+            *nominal_next = edge + *period;
+            let jitter_ps = dist::normal(rng, 0.0, jitter_std.as_ps() as f64);
+            let at = if jitter_ps >= 0.0 {
+                edge + Ps::from_ps(jitter_ps as u64)
+            } else {
+                edge.saturating_sub(Ps::from_ps((-jitter_ps) as u64))
+            };
+            Some(at.max(now + Ps::from_ps(1)))
+        }
+        SourceModel::Poisson {
+            rate_hz, enabled, ..
+        } => {
+            if !*enabled {
+                return None;
+            }
+            let wait_s = dist::exponential(rng, *rate_hz);
+            Some(now + Ps::from_secs_f64(wait_s))
         }
     }
 }
@@ -581,6 +739,56 @@ mod tests {
         );
         assert_eq!(sink.metrics.counter("irq.dropped"), log2.dropped);
         assert_eq!(sink.metrics.counter("irq.duplicated"), log2.duplicated);
+    }
+
+    #[test]
+    fn calendar_cache_always_matches_linear_scan() {
+        let mut r = rng();
+        let mut fabric = InterruptFabric::new();
+        let timer = fabric.add_periodic_timer(250.0, Ps::from_us(1), &mut r);
+        fabric.add_poisson(InterruptKind::PerfMon, 40.0, &mut r);
+        fabric.add_poisson(InterruptKind::Resched, 90.0, &mut r);
+        assert_eq!(fabric.peek_next(), fabric.scan_next());
+        for step in 0u32..2000 {
+            match step % 7 {
+                0 => fabric.inject(Ps::from_us(u64::from(step) * 13), InterruptKind::Network),
+                1 => {
+                    let now = fabric.peek_next().map_or(Ps::ZERO, |p| p.at);
+                    fabric.set_enabled(timer, step % 14 == 1, now, &mut r);
+                }
+                2 => {
+                    let now = fabric.peek_next().map_or(Ps::ZERO, |p| p.at);
+                    if step % 14 != 1 {
+                        fabric.set_timer_hz(
+                            timer,
+                            100.0 + f64::from(step % 5) * 250.0,
+                            now,
+                            &mut r,
+                        );
+                    }
+                }
+                _ => {
+                    let _ = fabric.pop(&mut r);
+                }
+            }
+            assert_eq!(fabric.peek_next(), fabric.scan_next(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn simultaneous_injections_pop_in_kind_order() {
+        // Two one-shots at the same instant: the injected heap orders by
+        // (at, kind), and the cached head must agree with that ordering.
+        let mut r = rng();
+        let mut fabric = InterruptFabric::new();
+        fabric.inject(Ps::from_us(10), InterruptKind::Network);
+        fabric.inject(Ps::from_us(10), InterruptKind::Timer);
+        assert_eq!(fabric.peek_next(), fabric.scan_next());
+        let first = fabric.pop(&mut r).unwrap();
+        let second = fabric.pop(&mut r).unwrap();
+        assert_eq!(first.at, second.at);
+        assert!(first.kind <= second.kind);
+        assert!(fabric.pop(&mut r).is_none());
     }
 
     #[test]

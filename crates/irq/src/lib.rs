@@ -42,6 +42,7 @@ mod fabric;
 mod fault;
 mod handler;
 mod kind;
+pub mod naive;
 pub mod time;
 mod trace;
 
@@ -49,5 +50,6 @@ pub use fabric::{InterruptFabric, PendingInterrupt, SourceId};
 pub use fault::{FaultLog, FaultPlan, FaultedPop};
 pub use handler::{HandlerCostModel, HandlerCostParams};
 pub use kind::InterruptKind;
+pub use naive::NaiveFabric;
 pub use time::Ps;
 pub use trace::{GroundTruth, IrqRecord};

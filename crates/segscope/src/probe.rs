@@ -161,6 +161,32 @@ impl SegProbe {
         self.probe_once_bounded(machine, Ps::from_secs(10))
     }
 
+    /// Probes `n` consecutive interrupts into a caller-owned buffer,
+    /// clearing it first.
+    ///
+    /// This is the zero-allocation core of [`probe_n`](Self::probe_n):
+    /// trial loops that probe repeatedly reuse one buffer instead of
+    /// allocating a fresh `Vec<ProbeSample>` per batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`SegProbe::probe_once_bounded`]. On error, samples collected
+    /// before the failure remain in `out`.
+    #[must_use = "on error, partial samples remain in `out`"]
+    pub fn probe_n_into(
+        &mut self,
+        machine: &mut Machine,
+        n: usize,
+        out: &mut Vec<ProbeSample>,
+    ) -> Result<(), ProbeError> {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.probe_once(machine)?);
+        }
+        Ok(())
+    }
+
     /// Probes `n` consecutive interrupts.
     ///
     /// # Errors
@@ -171,11 +197,39 @@ impl SegProbe {
         machine: &mut Machine,
         n: usize,
     ) -> Result<Vec<ProbeSample>, ProbeError> {
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.probe_once(machine)?);
-        }
+        let mut out = Vec::new();
+        self.probe_n_into(machine, n, &mut out)?;
         Ok(out)
+    }
+
+    /// Probes for a wall-clock duration into a caller-owned buffer,
+    /// clearing it first (the reusable-buffer core of
+    /// [`probe_for`](Self::probe_for)).
+    ///
+    /// # Errors
+    ///
+    /// See [`SegProbe::probe_once_bounded`]. On error, samples collected
+    /// before the failure remain in `out`.
+    #[must_use = "on error, partial samples remain in `out`"]
+    pub fn probe_for_into(
+        &mut self,
+        machine: &mut Machine,
+        duration: Ps,
+        out: &mut Vec<ProbeSample>,
+    ) -> Result<(), ProbeError> {
+        out.clear();
+        // Saturate instead of overflowing for near-`Ps::MAX` durations
+        // (mirrors the guard in `probe_once_bounded`).
+        let deadline = machine.now().checked_add(duration).unwrap_or(Ps::MAX);
+        while machine.now() < deadline {
+            let remaining = deadline.saturating_sub(machine.now());
+            match self.probe_once_bounded(machine, remaining) {
+                Ok(sample) => out.push(sample),
+                Err(ProbeError::MitigatedMachine) => break, // window exhausted
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     /// Probes for a wall-clock duration (used by the Table II comparison:
@@ -190,16 +244,8 @@ impl SegProbe {
         machine: &mut Machine,
         duration: Ps,
     ) -> Result<Vec<ProbeSample>, ProbeError> {
-        let deadline = machine.now() + duration;
         let mut out = Vec::new();
-        while machine.now() < deadline {
-            let remaining = deadline.saturating_sub(machine.now());
-            match self.probe_once_bounded(machine, remaining) {
-                Ok(sample) => out.push(sample),
-                Err(ProbeError::MitigatedMachine) => break, // window exhausted
-                Err(e) => return Err(e),
-            }
-        }
+        self.probe_for_into(machine, duration, &mut out)?;
         Ok(out)
     }
 }
@@ -307,6 +353,57 @@ mod tests {
             "got {}",
             samples.len()
         );
+    }
+
+    #[test]
+    fn probe_for_saturates_at_ps_max_instead_of_overflowing() {
+        // Regression: `machine.now() + duration` used to overflow for
+        // near-MAX durations once the machine had advanced past t = 0.
+        let cfg = MachineConfig::default().with_restricted_segment_writes(true);
+        let mut m = Machine::new(cfg, 3);
+        m.spin(1_000_000); // now > 0, so now + Ps::MAX would overflow
+        let mut probe = SegProbe::new();
+        // The restricted machine fails fast; reaching the error (rather
+        // than panicking on the deadline arithmetic) is the assertion.
+        assert_eq!(
+            probe.probe_for(&mut m, Ps::MAX).unwrap_err(),
+            ProbeError::SegmentWriteDenied
+        );
+        let mut buf = Vec::new();
+        assert_eq!(
+            probe.probe_for_into(&mut m, Ps::MAX, &mut buf).unwrap_err(),
+            ProbeError::SegmentWriteDenied
+        );
+    }
+
+    #[test]
+    fn probe_n_into_reuses_buffer_and_matches_probe_n() {
+        let mut m1 = machine();
+        let mut m2 = machine();
+        let mut p1 = SegProbe::new();
+        let mut p2 = SegProbe::new();
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            let fresh = p1.probe_n(&mut m1, 10).unwrap();
+            p2.probe_n_into(&mut m2, 10, &mut buf).unwrap();
+            assert_eq!(fresh, buf, "identical machines, identical samples");
+        }
+        let cap = buf.capacity();
+        p2.probe_n_into(&mut m2, 10, &mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap, "steady-state batches do not realloc");
+    }
+
+    #[test]
+    fn probe_for_into_matches_probe_for() {
+        let mut m1 = machine();
+        let mut m2 = machine();
+        let mut p1 = SegProbe::new();
+        let mut p2 = SegProbe::new();
+        let fresh = p1.probe_for(&mut m1, Ps::from_ms(100)).unwrap();
+        let mut buf = vec![fresh[0]]; // non-empty: `_into` must clear it
+        p2.probe_for_into(&mut m2, Ps::from_ms(100), &mut buf)
+            .unwrap();
+        assert_eq!(fresh, buf);
     }
 
     #[test]

@@ -220,6 +220,7 @@ impl Machine {
 
     /// Current simulated time. **Simulator API** — attacker code must not
     /// use this as a timing source (that is the whole point of SegScope).
+    #[inline]
     #[must_use]
     pub fn now(&self) -> Ps {
         self.now
@@ -328,6 +329,7 @@ impl Machine {
 
     /// Arrival time of the next pending interrupt, if any (simulator API;
     /// used to model `umwait` wake-cause arbitration).
+    #[inline]
     #[must_use]
     pub fn next_interrupt_at(&self) -> Option<Ps> {
         self.fabric.peek_next().map(|p| p.at)
@@ -444,6 +446,7 @@ impl Machine {
 
     /// Reads the visible selector of GS (`mov r16, gs`). The SegScope
     /// footprint check.
+    #[inline]
     pub fn rdgs(&mut self) -> Selector {
         self.rdseg(DataSegReg::Gs)
     }
@@ -582,6 +585,7 @@ impl Machine {
 
     /// Cycles per iteration of the SegScope check loop on this machine
     /// (`k` in paper Eq. 1).
+    #[inline]
     #[must_use]
     pub fn probe_iter_cycles(&self) -> f64 {
         self.config.probe_iter_cycles
@@ -607,24 +611,41 @@ impl Machine {
                 let at = self.freq.next_update_at();
                 self.governor_tick(at);
             }
-            let khz = self.freq.current_khz();
-            let next_gov = self.freq.next_update_at();
+            // Span batching: the fabric cannot change until a delivery, so
+            // one O(1) peek pins the stopping point for the whole batch of
+            // governor intervals between here and the next interrupt (or
+            // the deadline). The inner loop then integrates interval by
+            // interval — keeping the exact per-interval f64 arithmetic and
+            // the one freq-noise RNG draw per governor tick, so traces
+            // stay byte-identical — without re-consulting the fabric.
             let next_irq = self.fabric.peek_next();
             let irq_at = next_irq.map_or(Ps::MAX, |p| p.at.max(self.now));
-            let boundary = deadline.min(next_gov).min(irq_at);
-            if boundary > self.now {
-                let span = boundary - self.now;
-                let mut c = span.as_ps() as f64 * khz as f64 / 1e9;
-                self.domain_cycles += c;
-                // Cycles owed to post-interrupt pipeline/cache refill do
-                // not advance guest work.
-                let refill = self.pending_refill.min(c);
-                self.pending_refill -= refill;
-                c -= refill;
-                cycles += c;
-                self.now = boundary;
+            let stop = deadline.min(irq_at);
+            loop {
+                let khz = self.freq.current_khz();
+                let boundary = stop.min(self.freq.next_update_at());
+                if boundary > self.now {
+                    let span = boundary - self.now;
+                    let mut c = span.as_ps() as f64 * khz as f64 / 1e9;
+                    self.domain_cycles += c;
+                    // Cycles owed to post-interrupt pipeline/cache refill
+                    // do not advance guest work.
+                    let refill = self.pending_refill.min(c);
+                    self.pending_refill -= refill;
+                    c -= refill;
+                    cycles += c;
+                    self.now = boundary;
+                }
+                if boundary == stop {
+                    break;
+                }
+                // Governor boundary: tick and keep integrating.
+                while self.freq.next_update_at() <= self.now {
+                    let at = self.freq.next_update_at();
+                    self.governor_tick(at);
+                }
             }
-            if boundary == irq_at && next_irq.is_some() {
+            if stop == irq_at && next_irq.is_some() {
                 if let Some(delivered) = self.deliver_interrupt() {
                     return UserSpan {
                         start,
@@ -637,15 +658,12 @@ impl Machine {
                 // continues, unaware anything was pending.
                 continue;
             }
-            if boundary == deadline {
-                return UserSpan {
-                    start,
-                    end: self.now,
-                    cycles,
-                    ended_by: SpanEnd::Deadline,
-                };
-            }
-            // Otherwise it was a governor boundary; loop.
+            return UserSpan {
+                start,
+                end: self.now,
+                cycles,
+                ended_by: SpanEnd::Deadline,
+            };
         }
     }
 
@@ -735,29 +753,40 @@ impl Machine {
                 let at = self.freq.next_update_at();
                 self.governor_tick(at);
             }
-            let khz = self.freq.current_khz();
-            let next_gov = self.freq.next_update_at();
+            // As in `run_user_until`, one peek covers every governor
+            // interval up to the next delivery (nothing else mutates the
+            // fabric), so the inner loop crosses tick boundaries without
+            // re-scanning.
             let next_irq = self
                 .fabric
                 .peek_next()
                 .map_or(Ps::MAX, |p| p.at.max(self.now));
-            let boundary = next_gov.min(next_irq);
-            let span_to_boundary = boundary.saturating_sub(self.now);
-            let cycles_to_boundary = span_to_boundary.as_ps() as f64 * khz as f64 / 1e9;
-            if cycles_to_boundary >= remaining {
-                let ps = (remaining * 1e9 / khz as f64).ceil() as u64;
-                self.now += Ps::from_ps(ps);
-                self.domain_cycles += remaining;
-                remaining = 0.0;
-            } else {
+            loop {
+                let khz = self.freq.current_khz();
+                let boundary = self.freq.next_update_at().min(next_irq);
+                let span_to_boundary = boundary.saturating_sub(self.now);
+                let cycles_to_boundary = span_to_boundary.as_ps() as f64 * khz as f64 / 1e9;
+                if cycles_to_boundary >= remaining {
+                    let ps = (remaining * 1e9 / khz as f64).ceil() as u64;
+                    self.now += Ps::from_ps(ps);
+                    self.domain_cycles += remaining;
+                    remaining = 0.0;
+                    break;
+                }
                 remaining -= cycles_to_boundary;
                 self.domain_cycles += cycles_to_boundary;
                 self.now = boundary;
                 if boundary == next_irq && self.fabric.peek_next().is_some_and(|p| p.at <= self.now)
                 {
                     let _ = self.deliver_interrupt();
+                    // The fabric changed: fall back out to re-peek.
+                    break;
                 }
-                // Governor boundaries handled at loop top.
+                // Governor boundary: tick and keep integrating.
+                while self.freq.next_update_at() <= self.now {
+                    let at = self.freq.next_update_at();
+                    self.governor_tick(at);
+                }
             }
         }
     }

@@ -185,12 +185,14 @@ impl FreqModel {
     }
 
     /// The instantaneous core frequency, kHz.
+    #[inline]
     #[must_use]
     pub fn current_khz(&self) -> u64 {
         self.pinned_khz.unwrap_or(self.cur_khz)
     }
 
     /// When the governor next re-evaluates.
+    #[inline]
     #[must_use]
     pub fn next_update_at(&self) -> Ps {
         if self.pinned_khz.is_some() {

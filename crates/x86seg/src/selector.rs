@@ -196,6 +196,7 @@ impl Selector {
 
     /// Returns `true` if this selector is a *null segment selector*:
     /// index 0 in the GDT, any RPL. Values `0x0000..=0x0003`.
+    #[inline]
     #[must_use]
     pub fn is_null(self) -> bool {
         self.0 & !0b11 == 0
@@ -203,6 +204,7 @@ impl Selector {
 
     /// Returns `true` if this is the all-zero selector (what the hardware
     /// writes back when clearing a register on privilege-level return).
+    #[inline]
     #[must_use]
     pub fn is_zero(self) -> bool {
         self.0 == 0
@@ -211,6 +213,7 @@ impl Selector {
     /// Returns `true` if this selector is null but not zero — the exact
     /// family of values (`0x1`, `0x2`, `0x3`) a SegScope probe parks in a
     /// data-segment register so the kernel-return clear is observable.
+    #[inline]
     #[must_use]
     pub fn is_nonzero_null(self) -> bool {
         self.is_null() && !self.is_zero()

@@ -52,6 +52,31 @@ if ! cmp -s target/keystroke.trace.json tests/golden/keystroke.trace.json; then
     exit 1
 fi
 
+echo "==> golden determinism gate (no SEGSCOPE_BLESS)"
+# Re-assert every checked-in golden byte-identical with blessing
+# explicitly disabled, so a blessed CI run can never mask drift.
+SEGSCOPE_BLESS=0 cargo test -q --offline --test golden_trace
+SEGSCOPE_BLESS=0 "$SEGSCOPE" run covert --seed 0xC07E --trials 2 --threads 2 \
+    --report target/covert.report.determinism.json >/dev/null
+cmp target/covert.report.determinism.json tests/golden/covert.report.json
+SEGSCOPE_BLESS=0 SEGSCOPE_TRACE=target/keystroke.trace.determinism.json \
+    cargo run --release --offline --example segscope_trace >/dev/null
+cmp target/keystroke.trace.determinism.json tests/golden/keystroke.trace.json
+
+echo "==> bench_hotpath (quick) + BENCH_hotpath.json schema"
+# Absolute path: cargo bench runs the harness with the package dir as cwd.
+SEGSCOPE_BENCH_JSON="$PWD/target/BENCH_hotpath.json" \
+    cargo bench -q --offline -p segscope-bench --bench bench_hotpath >/dev/null
+# The binary already enforces the hot-path invariants via validate();
+# here we check the emitted file carries the schema CI consumers read.
+for key in fabric probe scenario note naive_events_per_s \
+           calendar_events_per_s speedup alloc_reduction trials_per_s; do
+    if ! grep -q "\"$key\"" target/BENCH_hotpath.json; then
+        echo "target/BENCH_hotpath.json missing key \"$key\"" >&2
+        exit 1
+    fi
+done
+
 if [[ "${SEGSCOPE_OBS_FULL:-0}" == "1" ]]; then
     echo "==> obs 16M-event stress pass (SEGSCOPE_OBS_FULL=1)"
     cargo test -q --offline -p obs --release -- --include-ignored
