@@ -411,6 +411,37 @@ impl Scenario for CovertScenario {
         )
     }
 
+    /// Batched path: each trial of the chunk runs one full transmission
+    /// on this worker's recycled machine lane. The wiring replays
+    /// [`build_machine`](Scenario::build_machine)'s (the channel's fault
+    /// plan, then the run-level override), so outputs are identical to
+    /// the per-trial path at any chunk geometry — `tests/batch_parity.rs`
+    /// pins this.
+    fn run_batch(
+        &self,
+        config: &Self::Config,
+        ctxs: &[TrialCtx],
+        fault_override: Option<FaultPlan>,
+    ) -> Vec<(CovertResult, u64)> {
+        ctxs.iter()
+            .map(|ctx| {
+                scenario::with_recycled_machine(
+                    MachineConfig::lenovo_yangtian(),
+                    ctx.seed,
+                    |machine| {
+                        machine.set_fault_plan(config.channel.fault_plan);
+                        if let Some(plan) = fault_override {
+                            machine.set_fault_plan(Some(plan));
+                        }
+                        let output = self.run_trial(config, machine, ctx);
+                        let gt = machine.ground_truth().len() as u64;
+                        (output, gt)
+                    },
+                )
+            })
+            .collect()
+    }
+
     fn summarize(&self, config: &Self::Config, outputs: &[CovertResult]) -> CovertSummary {
         let n = outputs.len().max(1) as f64;
         CovertSummary {

@@ -374,6 +374,35 @@ impl Scenario for KaslrScenario {
         break_kaslr(machine, &config.attack)
     }
 
+    /// Batched path: the chunk's trials share this worker's recycled
+    /// machine lane instead of paying `Machine::new` per trial. The
+    /// lane reset replays a fresh machine bit for bit, and the wiring
+    /// below replays [`build_machine`](Scenario::build_machine)'s
+    /// (layout randomization from the machine RNG, then `set_kaslr`), so
+    /// outputs are identical to the per-trial path at any chunk
+    /// geometry — `tests/batch_parity.rs` pins this.
+    fn run_batch(
+        &self,
+        config: &Self::Config,
+        ctxs: &[TrialCtx],
+        fault_override: Option<segsim::FaultPlan>,
+    ) -> Vec<(Self::TrialOutput, u64)> {
+        ctxs.iter()
+            .map(|ctx| {
+                scenario::with_recycled_machine(config.machine.clone(), ctx.seed, |machine| {
+                    let layout = KaslrLayout::randomize(machine.rng_mut());
+                    machine.set_kaslr(layout);
+                    if let Some(plan) = fault_override {
+                        machine.set_fault_plan(Some(plan));
+                    }
+                    let output = self.run_trial(config, machine, ctx);
+                    let gt = machine.ground_truth().len() as u64;
+                    (output, gt)
+                })
+            })
+            .collect()
+    }
+
     fn summarize(&self, _config: &Self::Config, outputs: &[Self::TrialOutput]) -> KaslrSummary {
         let (top1_rate, top5_rate) = hit_rates(outputs, 5);
         let elapsed: Vec<f64> = outputs

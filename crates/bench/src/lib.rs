@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batched_report;
 pub mod hotpath_report;
 pub mod parallel_report;
 

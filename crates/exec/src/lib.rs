@@ -178,6 +178,55 @@ where
     parallel_trials(experiment_seed, trials, resolve_threads(None), task)
 }
 
+/// Seeded fan-out where a *chunk of consecutive trials* — not a single
+/// trial — is the unit of work a worker claims: `task(start, seeds)`
+/// receives the chunk's first trial index plus one derived seed per
+/// trial, and returns one output per seed, in trial order.
+///
+/// This is the entry point for batched trial runners: a worker hands the
+/// whole chunk to a lane batch (e.g. `segsim::MachineBatch`) that
+/// recycles machines across the chunk's trials instead of rebuilding one
+/// per trial. The determinism contract is unchanged from
+/// [`parallel_trials`]: every trial's seed is
+/// `derive_seed(experiment_seed, index)` and outputs come back in trial
+/// order, so results are bit-identical at any thread count *and any
+/// chunk size* — provided `task` derives each trial's output from its
+/// seed alone (lane recycling must replay fresh-machine state exactly).
+///
+/// # Panics
+///
+/// Panics if `task` returns a different number of outputs than seeds it
+/// was given.
+pub fn parallel_trial_chunks<T, F>(
+    experiment_seed: u64,
+    trials: usize,
+    threads: usize,
+    chunk: usize,
+    task: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &[u64]) -> Vec<T> + Sync,
+{
+    let chunk = chunk.max(1);
+    let chunks = trials.div_ceil(chunk);
+    let ran = parallel_map(chunks, threads, |c| {
+        let start = c * chunk;
+        let end = (start + chunk).min(trials);
+        let seeds: Vec<u64> = (start..end)
+            .map(|i| derive_seed(experiment_seed, i as u64))
+            .collect();
+        let values = task(start, &seeds);
+        assert_eq!(
+            values.len(),
+            seeds.len(),
+            "chunk task must return one output per trial"
+        );
+        values
+    });
+    ran.into_iter().flatten().collect()
+}
+
 /// [`parallel_trials`] with per-trial observability: each trial gets its
 /// own private [`obs::TraceSink`] of `capacity` events, bracketed by
 /// `TrialStart`/`TrialEnd` span events, and the per-trial sinks are
@@ -267,6 +316,35 @@ mod tests {
             assert_eq!(*idx, i);
             assert_eq!(*seed, derive_seed(0xABCD, i as u64));
         }
+    }
+
+    #[test]
+    fn chunked_trials_match_per_trial_fan_out_at_any_geometry() {
+        let reference = parallel_trials(0xBA7C, 103, 1, |i, seed| (i, seed));
+        for threads in [1, 2, 4, 8] {
+            for chunk in [1, 4, 17, 64, 200] {
+                let out = parallel_trial_chunks(0xBA7C, 103, threads, chunk, |start, seeds| {
+                    seeds
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &seed)| (start + k, seed))
+                        .collect()
+                });
+                assert_eq!(out, reference, "threads {threads} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_trials_handle_empty_fan_out() {
+        let out = parallel_trial_chunks(0x0, 0, 4, 8, |_, seeds| seeds.to_vec());
+        assert_eq!(out, Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "one output per trial")]
+    fn chunk_arity_mismatch_panics() {
+        let _ = parallel_trial_chunks(0x1, 8, 1, 4, |_, _| vec![0u64]);
     }
 
     #[test]

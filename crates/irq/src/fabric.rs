@@ -10,6 +10,48 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Source count at and below which the linear scan beats the calendar
+/// heap.
+///
+/// Chosen from `BENCH_hotpath.json`: at the common 3-source machine
+/// (timer + PMI + resched) the calendar measured 0.85x against the scan,
+/// broke even in the low tens, and only cleared 2x beyond ~100 sources.
+/// Eight leaves comfortable margin on both sides of the measured
+/// crossover and matches the `sources > 8` boundary
+/// `hotpath_report::validate()` uses to classify multi-source arms.
+pub const FABRIC_CUTOVER_SOURCES: usize = 8;
+
+/// Which arbitration strategy an [`InterruptFabric`] is running.
+///
+/// The fabric auto-selects per [`FabricImpl::auto_select`]: small fabrics
+/// scan their source array linearly (better constant factor, no heap
+/// maintenance), large fabrics keep the lazily-invalidated event-calendar
+/// heap. The two are behaviourally identical — same delivery order, same
+/// tie-breaks, same RNG-draw sequence — so selection never changes any
+/// simulated outcome, only throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FabricImpl {
+    /// O(sources) linear scan per refresh; no calendar maintenance.
+    NaiveScan,
+    /// Lazily-invalidated min-heap calendar; O(log sources) maintenance
+    /// with an O(1) cached head.
+    Calendar,
+}
+
+impl FabricImpl {
+    /// The implementation a fabric with `source_count` sources runs:
+    /// [`FabricImpl::NaiveScan`] at or below [`FABRIC_CUTOVER_SOURCES`],
+    /// [`FabricImpl::Calendar`] above it.
+    #[must_use]
+    pub fn auto_select(source_count: usize) -> Self {
+        if source_count <= FABRIC_CUTOVER_SOURCES {
+            FabricImpl::NaiveScan
+        } else {
+            FabricImpl::Calendar
+        }
+    }
+}
+
 /// Identifies one source inside an [`InterruptFabric`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SourceId(usize);
@@ -81,24 +123,33 @@ impl SourceState {
 /// interrupts (device activity emitted by victim workload models) are
 /// injected with [`InterruptFabric::inject`].
 ///
-/// Internally the fabric keeps an *event calendar*: a lazily-invalidated
-/// min-heap of armed source arrivals plus a cached merged head across the
-/// calendar and the injected one-shot heap. [`peek_next`](Self::peek_next)
-/// is therefore O(1) and [`pop`](Self::pop) is O(log sources), instead of
-/// the O(sources) scan per call the simulator hot loop used to pay. The
-/// original scan survives as [`crate::naive::NaiveFabric`], the reference
-/// oracle the differential tests (and the `bench_hotpath` baseline arm)
-/// compare against.
+/// Internally the fabric is *adaptive* (see [`FabricImpl`]): at or below
+/// [`FABRIC_CUTOVER_SOURCES`] sources it refreshes its cached head with a
+/// linear scan of the source array (the heap constant factors lose at
+/// small counts), above it it keeps an *event calendar* — a
+/// lazily-invalidated min-heap of armed source arrivals. Either way the
+/// cached merged head across sources and the injected one-shot heap makes
+/// [`peek_next`](Self::peek_next) O(1). The pre-calendar implementation
+/// survives as [`crate::naive::NaiveFabric`], the reference oracle the
+/// differential tests (and the `bench_hotpath` baseline arm) compare
+/// against.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InterruptFabric {
     sources: Vec<SourceState>,
     injected: BinaryHeap<Reverse<InjectedEvent>>,
     /// Min-heap of `(at, idx, gen)` arrivals. Entries whose `gen` no
-    /// longer matches their source are stale and skipped on pop.
+    /// longer matches their source are stale and skipped on pop. Empty
+    /// (and unmaintained) while `calendar_live` is false.
     calendar: BinaryHeap<Reverse<CalendarEntry>>,
-    /// Cached earliest pending interrupt: the merged head of the calendar
-    /// and the injected heap, refreshed by every mutating call.
+    /// Cached earliest pending interrupt: the merged head of the sources
+    /// (calendar head or scan minimum) and the injected heap, refreshed
+    /// by every mutating call.
     next_event: Option<PendingInterrupt>,
+    /// Whether the calendar heap is being maintained. Flips to true — once,
+    /// permanently — when the source count first exceeds
+    /// [`FABRIC_CUTOVER_SOURCES`]; sources are never removed, so a fabric
+    /// never falls back to scanning.
+    calendar_live: bool,
 }
 
 /// One armed source arrival in the calendar heap.
@@ -178,6 +229,7 @@ impl InterruptFabric {
             gen: 0,
         });
         self.reschedule(id.0, Ps::ZERO, rng);
+        self.maybe_activate_calendar();
         self.refresh_next();
         id
     }
@@ -206,8 +258,41 @@ impl InterruptFabric {
             gen: 0,
         });
         self.reschedule(id.0, Ps::ZERO, rng);
+        self.maybe_activate_calendar();
         self.refresh_next();
         id
+    }
+
+    /// The arbitration strategy currently active (see [`FabricImpl`]).
+    #[must_use]
+    pub fn active_impl(&self) -> FabricImpl {
+        if self.calendar_live {
+            FabricImpl::Calendar
+        } else {
+            FabricImpl::NaiveScan
+        }
+    }
+
+    /// Switches to calendar maintenance once the source count crosses the
+    /// cutover, seeding the heap from every armed source. One-way: adds
+    /// only grow the source array, so the scan mode is never re-entered.
+    fn maybe_activate_calendar(&mut self) {
+        if self.calendar_live
+            || FabricImpl::auto_select(self.sources.len()) == FabricImpl::NaiveScan
+        {
+            return;
+        }
+        debug_assert!(self.calendar.is_empty(), "scan mode maintains no calendar");
+        for (idx, state) in self.sources.iter().enumerate() {
+            if let Some(at) = state.next {
+                self.calendar.push(Reverse(CalendarEntry {
+                    at,
+                    idx,
+                    gen: state.gen,
+                }));
+            }
+        }
+        self.calendar_live = true;
     }
 
     /// Schedules a one-shot interrupt (device activity from a victim
@@ -310,22 +395,24 @@ impl InterruptFabric {
         let next = self.next_event?;
         match next.source {
             Some(SourceId(idx)) => {
-                // `refresh_next` left the calendar head valid, and a valid
-                // head is the cached event itself — so the source's next
-                // arrival replaces it in place (one sift-down) instead of
-                // a pop + push (two sifts).
                 let state = &mut self.sources[idx];
                 state.gen += 1;
                 state.next = draw_next(&mut state.model, next.at, rng);
-                let gen = state.gen;
-                match state.next {
-                    Some(at) => {
-                        if let Some(mut head) = self.calendar.peek_mut() {
-                            *head = Reverse(CalendarEntry { at, idx, gen });
+                let (gen, rearmed) = (state.gen, state.next);
+                if self.calendar_live {
+                    // `refresh_next` left the calendar head valid, and a
+                    // valid head is the cached event itself — so the
+                    // source's next arrival replaces it in place (one
+                    // sift-down) instead of a pop + push (two sifts).
+                    match rearmed {
+                        Some(at) => {
+                            if let Some(mut head) = self.calendar.peek_mut() {
+                                *head = Reverse(CalendarEntry { at, idx, gen });
+                            }
                         }
-                    }
-                    None => {
-                        self.calendar.pop();
+                        None => {
+                            self.calendar.pop();
+                        }
                     }
                 }
             }
@@ -412,38 +499,62 @@ impl InterruptFabric {
     }
 
     /// Redraws source `idx`'s next arrival from `now`, bumping its
-    /// generation and (when armed) entering it into the calendar. The
-    /// caller is responsible for [`refresh_next`](Self::refresh_next).
+    /// generation and (in calendar mode, when armed) entering it into the
+    /// calendar. The caller is responsible for
+    /// [`refresh_next`](Self::refresh_next).
     fn reschedule<R: Rng + ?Sized>(&mut self, idx: usize, now: Ps, rng: &mut R) {
         let state = &mut self.sources[idx];
         state.gen += 1;
         state.next = draw_next(&mut state.model, now, rng);
-        if let Some(at) = state.next {
-            self.calendar.push(Reverse(CalendarEntry {
-                at,
-                idx,
-                gen: state.gen,
-            }));
+        if self.calendar_live {
+            if let Some(at) = state.next {
+                self.calendar.push(Reverse(CalendarEntry {
+                    at,
+                    idx,
+                    gen: state.gen,
+                }));
+            }
         }
     }
 
-    /// Re-merges the calendar and injected heads into the cached
-    /// `next_event`, discarding stale calendar entries on the way.
+    /// Re-merges the best source arrival and the injected head into the
+    /// cached `next_event`. In calendar mode the best arrival is the heap
+    /// head (stale entries discarded on the way); in scan mode it is the
+    /// linear minimum over the source array — the same first-wins `<`
+    /// comparison [`crate::naive::NaiveFabric`] applies, so ties resolve
+    /// toward the lowest source index in both modes.
     ///
-    /// Postcondition: the calendar head (if any) is a live entry — its
-    /// generation matches its source — so `pop` may consume it blindly.
+    /// Postcondition (calendar mode): the calendar head, if any, is a live
+    /// entry — its generation matches its source — so `pop` may consume it
+    /// blindly.
     fn refresh_next(&mut self) {
-        while let Some(Reverse(head)) = self.calendar.peek() {
-            if self.sources[head.idx].gen == head.gen {
-                break;
+        let best = if self.calendar_live {
+            while let Some(Reverse(head)) = self.calendar.peek() {
+                if self.sources[head.idx].gen == head.gen {
+                    break;
+                }
+                self.calendar.pop();
             }
-            self.calendar.pop();
-        }
-        let best = self.calendar.peek().map(|&Reverse(e)| PendingInterrupt {
-            at: e.at,
-            kind: self.sources[e.idx].kind(),
-            source: Some(SourceId(e.idx)),
-        });
+            self.calendar.peek().map(|&Reverse(e)| PendingInterrupt {
+                at: e.at,
+                kind: self.sources[e.idx].kind(),
+                source: Some(SourceId(e.idx)),
+            })
+        } else {
+            let mut best: Option<PendingInterrupt> = None;
+            for (idx, state) in self.sources.iter().enumerate() {
+                if let Some(at) = state.next {
+                    if best.is_none_or(|b| at < b.at) {
+                        best = Some(PendingInterrupt {
+                            at,
+                            kind: state.kind(),
+                            source: Some(SourceId(idx)),
+                        });
+                    }
+                }
+            }
+            best
+        };
         // An injected one-shot preempts the best source arrival only when
         // strictly earlier — the same tie-break the naive scan applies.
         self.next_event = match (best, self.injected.peek()) {
@@ -789,6 +900,135 @@ mod tests {
         assert_eq!(first.at, second.at);
         assert!(first.kind <= second.kind);
         assert!(fabric.pop(&mut r).is_none());
+    }
+
+    #[test]
+    fn auto_select_pins_the_cutover_constant() {
+        assert_eq!(
+            FabricImpl::auto_select(FABRIC_CUTOVER_SOURCES),
+            FabricImpl::NaiveScan,
+            "at the cutover the scan still wins"
+        );
+        assert_eq!(
+            FabricImpl::auto_select(FABRIC_CUTOVER_SOURCES + 1),
+            FabricImpl::Calendar,
+            "one past the cutover switches to the calendar"
+        );
+        assert_eq!(FabricImpl::auto_select(0), FabricImpl::NaiveScan);
+        assert_eq!(FabricImpl::auto_select(3), FabricImpl::NaiveScan);
+        assert_eq!(FabricImpl::auto_select(131), FabricImpl::Calendar);
+
+        // A fabric tracks the selection as sources are added, one-way.
+        let mut r = rng();
+        let mut fabric = InterruptFabric::new();
+        fabric.add_periodic_timer(250.0, Ps::from_us(1), &mut r);
+        for _ in 0..FABRIC_CUTOVER_SOURCES - 1 {
+            fabric.add_poisson(InterruptKind::Resched, 50.0, &mut r);
+            assert_eq!(fabric.active_impl(), FabricImpl::NaiveScan);
+        }
+        fabric.add_poisson(InterruptKind::Network, 30.0, &mut r);
+        assert_eq!(fabric.source_count(), FABRIC_CUTOVER_SOURCES + 1);
+        assert_eq!(fabric.active_impl(), FabricImpl::Calendar);
+    }
+
+    #[test]
+    fn cache_matches_linear_scan_in_calendar_mode() {
+        // The op-soup oracle check again, this time with enough sources
+        // that the adaptive fabric runs its calendar heap.
+        let mut r = rng();
+        let mut fabric = InterruptFabric::new();
+        let timer = fabric.add_periodic_timer(250.0, Ps::from_us(1), &mut r);
+        for i in 0..FABRIC_CUTOVER_SOURCES + 3 {
+            fabric.add_poisson(InterruptKind::Network, 30.0 + 11.0 * i as f64, &mut r);
+        }
+        assert_eq!(fabric.active_impl(), FabricImpl::Calendar);
+        for step in 0u32..2000 {
+            match step % 7 {
+                0 => fabric.inject(Ps::from_us(u64::from(step) * 13), InterruptKind::Gpu),
+                1 => {
+                    let now = fabric.peek_next().map_or(Ps::ZERO, |p| p.at);
+                    fabric.set_enabled(timer, step % 14 == 1, now, &mut r);
+                }
+                2 => {
+                    let now = fabric.peek_next().map_or(Ps::ZERO, |p| p.at);
+                    if step % 14 != 1 {
+                        fabric.set_timer_hz(
+                            timer,
+                            100.0 + f64::from(step % 5) * 250.0,
+                            now,
+                            &mut r,
+                        );
+                    }
+                }
+                _ => {
+                    let _ = fabric.pop(&mut r);
+                }
+            }
+            assert_eq!(fabric.peek_next(), fabric.scan_next(), "step {step}");
+        }
+    }
+
+    /// Auto-selection must never change what gets delivered: the adaptive
+    /// fabric and the always-scanning [`crate::naive::NaiveFabric`] must
+    /// produce identical event streams *and* identical RNG positions from
+    /// identical op sequences — below the cutover, above it, and across a
+    /// mid-stream crossing.
+    #[test]
+    fn auto_select_never_changes_delivered_streams() {
+        use crate::naive::NaiveFabric;
+        for extra_sources in [0usize, 2, FABRIC_CUTOVER_SOURCES + 4] {
+            let mut ra = SmallRng::seed_from_u64(0xADA7 + extra_sources as u64);
+            let mut rb = ra.clone();
+            let mut adaptive = InterruptFabric::new();
+            let mut naive = NaiveFabric::new();
+            let ta = adaptive.add_periodic_timer(250.0, Ps::from_us(1), &mut ra);
+            let tb = naive.add_periodic_timer(250.0, Ps::from_us(1), &mut rb);
+            for i in 0..extra_sources {
+                let hz = 40.0 + 17.0 * i as f64;
+                adaptive.add_poisson(InterruptKind::Network, hz, &mut ra);
+                naive.add_poisson(InterruptKind::Network, hz, &mut rb);
+            }
+            let mut now = Ps::ZERO;
+            for step in 0u32..1500 {
+                match step % 11 {
+                    0 => {
+                        let at = now + Ps::from_us(u64::from(step % 40) * 7);
+                        adaptive.inject(at, InterruptKind::Keyboard);
+                        naive.inject(at, InterruptKind::Keyboard);
+                    }
+                    1 => {
+                        let enabled = step % 22 == 1;
+                        adaptive.set_enabled(ta, enabled, now, &mut ra);
+                        naive.set_enabled(tb, enabled, now, &mut rb);
+                    }
+                    2 if step % 22 != 1 => {
+                        let hz = 100.0 + f64::from(step % 7) * 150.0;
+                        adaptive.set_timer_hz(ta, hz, now, &mut ra);
+                        naive.set_timer_hz(tb, hz, now, &mut rb);
+                    }
+                    _ => {
+                        assert_eq!(adaptive.peek_next(), naive.peek_next(), "step {step}");
+                        let a = adaptive.pop(&mut ra);
+                        let b = naive.pop(&mut rb);
+                        assert_eq!(a, b, "step {step}");
+                        if let Some(p) = a {
+                            now = now.max(p.at);
+                        }
+                    }
+                }
+                // Mid-stream crossing: grow both fabrics past the cutover.
+                if step == 700 && extra_sources == 2 {
+                    for i in 0..FABRIC_CUTOVER_SOURCES {
+                        let hz = 25.0 + 9.0 * i as f64;
+                        adaptive.add_poisson(InterruptKind::Thermal, hz, &mut ra);
+                        naive.add_poisson(InterruptKind::Thermal, hz, &mut rb);
+                    }
+                    assert_eq!(adaptive.active_impl(), FabricImpl::Calendar);
+                }
+            }
+            // Identical final RNG positions: one more draw agrees.
+            assert_eq!(ra.gen::<u64>(), rb.gen::<u64>());
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod naive;
 pub mod time;
 mod trace;
 
-pub use fabric::{InterruptFabric, PendingInterrupt, SourceId};
+pub use fabric::{FabricImpl, InterruptFabric, PendingInterrupt, SourceId, FABRIC_CUTOVER_SOURCES};
 pub use fault::{FaultLog, FaultPlan, FaultedPop};
 pub use handler::{HandlerCostModel, HandlerCostParams};
 pub use kind::InterruptKind;

@@ -14,7 +14,9 @@
 //!    against it to quantify the calendar's win.
 //!
 //! It is *not* part of the simulator hot path; [`segsim`]-level code uses
-//! the calendar fabric exclusively.
+//! the adaptive [`InterruptFabric`](crate::InterruptFabric) exclusively
+//! (which below [`crate::FABRIC_CUTOVER_SOURCES`] sources runs the same
+//! linear scan, with a cached O(1) head on top).
 
 use crate::fabric::{draw_next, InjectedEvent, SourceModel, SourceState};
 use crate::fault::{FaultLog, FaultPlan, FaultedPop};

@@ -8,6 +8,13 @@ use serde::{Deserialize, Serialize};
 /// the front, insertions evict the LRU way. `clflush` removes a line from
 /// this level (the hierarchy flushes all levels).
 ///
+/// [`clear`](SetAssocCache::clear) is O(1): instead of walking every set it
+/// bumps a cache-wide epoch, and a set whose stamp no longer matches is
+/// treated as empty (and lazily re-stamped on its next touch). Batched
+/// trial runners reset machines in place between trials, so whole-cache
+/// invalidation sits on their hot path while individual sets mostly stay
+/// cold.
+///
 /// ```
 /// let mut cache = memsim::SetAssocCache::new(64, 8, 64);
 /// let addr = 0x4000;
@@ -17,15 +24,37 @@ use serde::{Deserialize, Serialize};
 /// cache.flush(addr);
 /// assert!(!cache.lookup(addr));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SetAssocCache {
     sets: Vec<Vec<u64>>,
+    /// Per-set epoch stamp; `sets[i]` holds live lines only while
+    /// `set_epochs[i] == epoch`.
+    set_epochs: Vec<u64>,
+    /// Cache-wide epoch, bumped by [`clear`](SetAssocCache::clear).
+    epoch: u64,
     ways: usize,
     line_shift: u32,
     set_mask: u64,
     hits: u64,
     misses: u64,
 }
+
+impl PartialEq for SetAssocCache {
+    /// Logical equality: same geometry, statistics, and *live* contents.
+    /// Epoch bookkeeping and lazily-uncleared stale lines are
+    /// representation details and do not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.ways == other.ways
+            && self.line_shift == other.line_shift
+            && self.set_mask == other.set_mask
+            && self.hits == other.hits
+            && self.misses == other.misses
+            && self.sets.len() == other.sets.len()
+            && (0..self.sets.len()).all(|s| self.live_lines(s) == other.live_lines(s))
+    }
+}
+
+impl Eq for SetAssocCache {}
 
 impl SetAssocCache {
     /// Creates a cache with `num_sets` sets of `ways` ways and
@@ -48,6 +77,8 @@ impl SetAssocCache {
         assert!(ways > 0, "cache must have at least one way");
         SetAssocCache {
             sets: vec![Vec::with_capacity(ways); num_sets],
+            set_epochs: vec![0; num_sets],
+            epoch: 0,
             ways,
             line_shift: line_size.trailing_zeros(),
             set_mask: (num_sets - 1) as u64,
@@ -64,10 +95,29 @@ impl SetAssocCache {
         (line & self.set_mask) as usize
     }
 
+    /// The live lines of one set (empty when its stamp is stale).
+    fn live_lines(&self, set: usize) -> &[u64] {
+        if self.set_epochs[set] == self.epoch {
+            &self.sets[set]
+        } else {
+            &[]
+        }
+    }
+
+    /// Revives a lazily-cleared set: drops stale lines and re-stamps it to
+    /// the current epoch, so mutating paths can work on the raw `Vec`.
+    fn revive(&mut self, set: usize) {
+        if self.set_epochs[set] != self.epoch {
+            self.sets[set].clear();
+            self.set_epochs[set] = self.epoch;
+        }
+    }
+
     /// Looks up `addr`; on a hit the line is promoted to MRU.
     pub fn lookup(&mut self, addr: u64) -> bool {
         let line = self.line_of(addr);
         let set = self.set_of(line);
+        self.revive(set);
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|&l| l == line) {
             let hit = ways.remove(pos);
@@ -85,7 +135,7 @@ impl SetAssocCache {
     #[must_use]
     pub fn peek(&self, addr: u64) -> bool {
         let line = self.line_of(addr);
-        self.sets[self.set_of(line)].contains(&line)
+        self.live_lines(self.set_of(line)).contains(&line)
     }
 
     /// Inserts the line containing `addr` at MRU, evicting the LRU way if
@@ -93,6 +143,7 @@ impl SetAssocCache {
     pub fn insert(&mut self, addr: u64) -> Option<u64> {
         let line = self.line_of(addr);
         let set = self.set_of(line);
+        self.revive(set);
         let line_shift = self.line_shift;
         let ways_cap = self.ways;
         let ways = &mut self.sets[set];
@@ -114,6 +165,7 @@ impl SetAssocCache {
     pub fn flush(&mut self, addr: u64) -> bool {
         let line = self.line_of(addr);
         let set = self.set_of(line);
+        self.revive(set);
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|&l| l == line) {
             ways.remove(pos);
@@ -124,10 +176,11 @@ impl SetAssocCache {
     }
 
     /// Empties the whole cache and resets statistics.
+    ///
+    /// O(1): bumps the cache-wide epoch, invalidating every set's stamp at
+    /// once; stale lines are dropped lazily when their set is next touched.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.epoch += 1;
         self.hits = 0;
         self.misses = 0;
     }
@@ -147,7 +200,7 @@ impl SetAssocCache {
     /// Total lines currently resident.
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        (0..self.sets.len()).map(|s| self.live_lines(s).len()).sum()
     }
 
     /// Cache capacity in lines.
@@ -230,6 +283,37 @@ mod tests {
         assert_eq!(c.resident_lines(), 0);
         assert_eq!(c.hits(), 0);
         assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn lazy_clear_is_logically_indistinguishable_from_eager() {
+        // A cleared cache must behave exactly like a fresh one even though
+        // stale lines may still sit in lazily-uncleared sets.
+        let mut cleared = SetAssocCache::new(8, 2, 64);
+        for addr in (0..32u64).map(|i| i * 64) {
+            cleared.insert(addr);
+            cleared.lookup(addr);
+        }
+        cleared.clear();
+        let fresh = SetAssocCache::new(8, 2, 64);
+        assert_eq!(cleared, fresh, "logical equality ignores stale lines");
+        assert_eq!(cleared.resident_lines(), 0);
+        for addr in (0..32u64).map(|i| i * 64) {
+            assert!(!cleared.peek(addr));
+        }
+        // Post-clear behaviour matches a fresh cache op for op.
+        let mut fresh = fresh;
+        for addr in [0x0u64, 0x40, 0x80, 0x200, 0x0, 0x80] {
+            assert_eq!(cleared.lookup(addr), fresh.lookup(addr), "addr {addr:#x}");
+            assert_eq!(cleared.insert(addr), fresh.insert(addr), "addr {addr:#x}");
+        }
+        assert_eq!(cleared.flush(0x40), fresh.flush(0x40));
+        assert_eq!(cleared, fresh);
+        // Repeated clears keep working (each bumps the epoch again).
+        cleared.clear();
+        fresh.clear();
+        assert_eq!(cleared, fresh);
+        assert_eq!(cleared.resident_lines(), 0);
     }
 
     #[test]

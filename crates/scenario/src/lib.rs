@@ -15,9 +15,11 @@
 //!
 //! The driver [`run_scenario`] supplies everything between: seed
 //! derivation via [`exec::derive_seed`], the fault-plan override, trace
-//! sinks, and the deterministic fan-out of
-//! [`exec::parallel_trials_traced`]. The determinism contract is
-//! inherited wholesale:
+//! sinks, and the deterministic fan-out — chunked
+//! [`exec::parallel_trial_chunks`] through [`Scenario::run_batch`] for
+//! untraced runs (so lane-recycling scenarios amortize machine
+//! construction per worker), [`exec::parallel_trials_traced`] for traced
+//! ones. The determinism contract is inherited wholesale:
 //!
 //! > **Bit-identical outputs, summaries, and merged traces at any
 //! > worker count.**
@@ -29,8 +31,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use segsim::{FaultPlan, Machine};
+mod merge;
+
+pub use merge::{MergeReport, RunTotals};
+
+use segsim::{FaultPlan, Machine, MachineBatch, MachineConfig};
 use serde::{Deserialize, Serialize, Value};
+use std::cell::RefCell;
 use std::fmt;
 
 /// The context of one trial, handed to [`Scenario::build_machine`] and
@@ -95,6 +102,73 @@ pub trait Scenario: Sync {
 
     /// Reduces the ordered trial outputs into the report body.
     fn summarize(&self, config: &Self::Config, outputs: &[Self::TrialOutput]) -> Self::Summary;
+
+    /// Runs a *chunk* of consecutive trials — the unit of work one
+    /// worker claims in the untraced driver — returning one
+    /// `(output, ground-truth deliveries)` pair per trial, in order.
+    ///
+    /// The default is the scalar loop the driver always ran: a fresh
+    /// [`build_machine`](Scenario::build_machine) per trial, the
+    /// run-level fault override, then
+    /// [`run_trial`](Scenario::run_trial). High-volume scenarios
+    /// override this to recycle machine lanes (via
+    /// [`with_recycled_machine`] or a [`segsim::MachineBatch`] of their
+    /// own), amortizing machine construction across the chunk.
+    ///
+    /// Overrides **must** preserve the chunk-geometry contract: trial
+    /// `i`'s pair depends only on `(config, ctxs[i], fault_override)` —
+    /// never on the chunk's size, position, or lane assignment. With
+    /// [`segsim::Machine::reset`] replaying `Machine::new` exactly,
+    /// lane recycling satisfies this for free; the workspace-level
+    /// `batch_parity` proptest holds every override to it.
+    fn run_batch(
+        &self,
+        config: &Self::Config,
+        ctxs: &[TrialCtx],
+        fault_override: Option<FaultPlan>,
+    ) -> Vec<(Self::TrialOutput, u64)> {
+        ctxs.iter()
+            .map(|ctx| {
+                let mut machine = self.build_machine(config, ctx);
+                if let Some(plan) = fault_override {
+                    machine.set_fault_plan(Some(plan));
+                }
+                let output = self.run_trial(config, &mut machine, ctx);
+                let gt = machine.ground_truth().len() as u64;
+                (output, gt)
+            })
+            .collect()
+    }
+}
+
+/// Runs `f` on this worker thread's recycled machine lane, reset to
+/// exactly the state `Machine::new(config, seed)` would produce.
+///
+/// The lane lives in thread-local storage: a worker's first trial pays
+/// the full machine construction (the cache hierarchy alone is hundreds
+/// of kilobytes of fresh pages), every later trial on that thread pays
+/// only [`segsim::Machine::reset`] — an epoch bump and a reseed. Because
+/// reset replays `new`'s boot draw order exactly, the closure observes a
+/// machine bit-identical to a fresh one, so outputs stay independent of
+/// which thread (or how many) ran which trial.
+///
+/// Scenario [`run_batch`](Scenario::run_batch) overrides are the
+/// intended caller: replay your `build_machine` wiring inside `f`, then
+/// run the trial body.
+pub fn with_recycled_machine<T>(
+    config: MachineConfig,
+    seed: u64,
+    f: impl FnOnce(&mut Machine) -> T,
+) -> T {
+    thread_local! {
+        static LANE: RefCell<Option<MachineBatch>> = const { RefCell::new(None) };
+    }
+    LANE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let batch = slot.get_or_insert_with(|| MachineBatch::new_uniform(&config, &[seed]));
+        batch.reset_lane(0, config, seed);
+        batch.with_lane_mut(0, f)
+    })
 }
 
 /// Run-level options of the generic driver (the CLI's flags).
@@ -140,6 +214,9 @@ pub struct ScenarioRun<T, U> {
     pub gt_deliveries: Vec<u64>,
     /// The merged observability trace (`None` when `capacity` was 0).
     pub sink: Option<obs::TraceSink>,
+    /// Run-level additive totals, folded per-trial via [`MergeReport`]
+    /// (independent of chunk geometry by the merge laws).
+    pub totals: RunTotals,
     /// The scenario's summary over the ordered outputs.
     pub summary: U,
 }
@@ -148,8 +225,17 @@ impl<T, U> ScenarioRun<T, U> {
     /// Total ground-truth interrupt deliveries across all trials.
     #[must_use]
     pub fn total_gt_deliveries(&self) -> u64 {
-        self.gt_deliveries.iter().sum()
+        self.totals.ground_truth_deliveries
     }
+}
+
+/// How many consecutive trials one worker claims per queue operation in
+/// the untraced (chunked) driver: the batch a recycled lane amortizes
+/// machine construction over. Outputs are chunk-size independent (see
+/// [`Scenario::run_batch`]); the value only trades scheduling overhead
+/// against load balance.
+fn trial_chunk(trials: usize, threads: usize) -> usize {
+    trials.div_ceil(threads.max(1) * 2).clamp(1, 32)
 }
 
 /// Runs `scenario` under `config` and `opts`: derives per-trial seeds,
@@ -176,14 +262,20 @@ pub fn run_scenario<S: Scenario>(
         experiment_seed: seed,
     };
     let (ran, sink) = if opts.capacity == 0 {
-        let ran = exec::parallel_trials(seed, trials, threads, |i, s| {
-            let ctx = make_ctx(i, s);
-            let mut machine = scenario.build_machine(config, &ctx);
-            if let Some(plan) = opts.fault_plan {
-                machine.set_fault_plan(Some(plan));
-            }
-            let output = scenario.run_trial(config, &mut machine, &ctx);
-            (output, machine.ground_truth().len() as u64)
+        // Untraced runs take the batched path: a chunk of consecutive
+        // trials is the unit of work, handed whole to the scenario's
+        // `run_batch` so lane-recycling overrides can amortize machine
+        // construction across it. Chunk geometry cannot leak into the
+        // outputs (see `Scenario::run_batch`), so this arm stays
+        // bit-identical to the per-trial fan-out it replaced.
+        let chunk = trial_chunk(trials, threads);
+        let ran = exec::parallel_trial_chunks(seed, trials, threads, chunk, |start, seeds| {
+            let ctxs: Vec<TrialCtx> = seeds
+                .iter()
+                .enumerate()
+                .map(|(k, &s)| make_ctx(start + k, s))
+                .collect();
+            scenario.run_batch(config, &ctxs, opts.fault_plan)
         });
         (ran, None)
     } else {
@@ -210,9 +302,11 @@ pub fn run_scenario<S: Scenario>(
     };
     let mut outputs = Vec::with_capacity(ran.len());
     let mut gt_deliveries = Vec::with_capacity(ran.len());
+    let mut totals = RunTotals::empty();
     for (output, gt) in ran {
         outputs.push(output);
         gt_deliveries.push(gt);
+        totals.merge(&RunTotals::from_trial(gt));
     }
     let summary = scenario.summarize(config, &outputs);
     ScenarioRun {
@@ -221,6 +315,7 @@ pub fn run_scenario<S: Scenario>(
         outputs,
         gt_deliveries,
         sink,
+        totals,
         summary,
     }
 }
@@ -545,6 +640,107 @@ mod tests {
         for threads in [2, 4] {
             assert_eq!(report_at(threads), reference);
         }
+    }
+
+    /// A scenario whose `run_batch` recycles a lane through
+    /// [`with_recycled_machine`], mirroring the kaslr/covert overrides.
+    struct RecycledProbe;
+
+    impl Scenario for RecycledProbe {
+        type Config = ProbeConfig;
+        type TrialOutput = u64;
+        type Summary = ProbeSummary;
+
+        fn name(&self) -> &'static str {
+            "recycled_probe"
+        }
+
+        fn describe(&self) -> &'static str {
+            "lane-recycling self-test scenario"
+        }
+
+        fn experiment_seed(&self, _config: &ProbeConfig, requested: Option<u64>) -> u64 {
+            requested.unwrap_or(0x5CE0)
+        }
+
+        fn trial_count(&self, _config: &ProbeConfig, requested: Option<usize>) -> usize {
+            requested.unwrap_or(12)
+        }
+
+        fn build_machine(&self, _config: &ProbeConfig, ctx: &TrialCtx) -> Machine {
+            Machine::new(MachineConfig::xiaomi_air13(), ctx.seed)
+        }
+
+        fn run_trial(&self, config: &ProbeConfig, machine: &mut Machine, _ctx: &TrialCtx) -> u64 {
+            machine.spin(config.spins.max(1_000_000));
+            machine.kernel_entries()
+        }
+
+        fn run_batch(
+            &self,
+            config: &ProbeConfig,
+            ctxs: &[TrialCtx],
+            fault_override: Option<FaultPlan>,
+        ) -> Vec<(u64, u64)> {
+            ctxs.iter()
+                .map(|ctx| {
+                    with_recycled_machine(MachineConfig::xiaomi_air13(), ctx.seed, |machine| {
+                        if let Some(plan) = fault_override {
+                            machine.set_fault_plan(Some(plan));
+                        }
+                        let output = self.run_trial(config, machine, ctx);
+                        (output, machine.ground_truth().len() as u64)
+                    })
+                })
+                .collect()
+        }
+
+        fn summarize(&self, _config: &ProbeConfig, outputs: &[u64]) -> ProbeSummary {
+            ProbeSummary {
+                seeds: outputs.to_vec(),
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_batch_override_matches_fresh_machines_at_any_geometry() {
+        let config = ProbeConfig { spins: 30_000_000 };
+        // Reference: fresh machine per trial (what the default
+        // `run_batch` would do with RecycledProbe's trial body).
+        let reference: Vec<u64> = (0..12)
+            .map(|i| {
+                let ctx = TrialCtx {
+                    index: i,
+                    seed: exec::derive_seed(0x5CE0, i as u64),
+                    experiment_seed: 0x5CE0,
+                };
+                let mut machine = RecycledProbe.build_machine(&config, &ctx);
+                RecycledProbe.run_trial(&config, &mut machine, &ctx)
+            })
+            .collect();
+        for threads in [1, 2, 4] {
+            let run = run_scenario(
+                &RecycledProbe,
+                &config,
+                &RunOptions {
+                    threads: Some(threads),
+                    ..RunOptions::default()
+                },
+            );
+            assert_eq!(run.outputs, reference, "threads {threads}");
+            assert_eq!(run.totals.trials, 12);
+            assert_eq!(run.total_gt_deliveries(), run.gt_deliveries.iter().sum());
+        }
+    }
+
+    #[test]
+    fn totals_fold_matches_per_trial_deliveries() {
+        let run = run_scenario(&Probe, &ProbeConfig::default(), &RunOptions::default());
+        assert_eq!(run.totals.trials as usize, run.trials);
+        assert_eq!(
+            run.totals.ground_truth_deliveries,
+            run.gt_deliveries.iter().sum::<u64>()
+        );
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Commutative report merging — the reduction contract chunked trial
+//! runners rely on.
+//!
+//! The chunked driver ([`run_scenario`](crate::run_scenario) over
+//! [`exec::parallel_trial_chunks`]) produces per-chunk partial totals
+//! whose grouping depends on the chunk geometry (thread count × chunk
+//! size). For the run-level totals to be schedule-independent — the
+//! crate's headline determinism contract — the reduction must not care
+//! how the trials were grouped or in which order the groups fold:
+//! [`MergeReport`] captures exactly that, and the property tests
+//! (`tests/merge_props.rs`) hold every implementation to identity,
+//! commutativity, and associativity.
+
+use segsim::FaultLog;
+use serde::{Deserialize, Serialize};
+
+/// A report fragment that folds commutatively and associatively.
+///
+/// Laws (pinned by `tests/merge_props.rs` for every implementation
+/// here):
+///
+/// * **identity** — `x.merge(&empty()) == x` and vice versa;
+/// * **commutativity** — `x ⊕ y == y ⊕ x`;
+/// * **associativity** — `(x ⊕ y) ⊕ z == x ⊕ (y ⊕ z)`.
+///
+/// Together these make the fold independent of chunk geometry: any
+/// partition of the trials into chunks, folded in any order, yields the
+/// same total.
+pub trait MergeReport: Sized {
+    /// The identity element: merging it changes nothing.
+    fn empty() -> Self;
+
+    /// Folds `other` into `self`.
+    fn merge(&mut self, other: &Self);
+
+    /// Folds an iterator of fragments into one total.
+    fn merged<I: IntoIterator<Item = Self>>(parts: I) -> Self {
+        let mut total = Self::empty();
+        for part in parts {
+            total.merge(&part);
+        }
+        total
+    }
+}
+
+/// Run-level totals extracted from the per-trial outputs: the additive
+/// part of [`RunReport`](crate::RunReport), as a mergeable fragment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunTotals {
+    /// Trials folded into this fragment.
+    pub trials: u64,
+    /// Ground-truth interrupt deliveries across those trials.
+    pub ground_truth_deliveries: u64,
+}
+
+impl RunTotals {
+    /// The fragment one trial contributes.
+    #[must_use]
+    pub fn from_trial(gt_deliveries: u64) -> Self {
+        RunTotals {
+            trials: 1,
+            ground_truth_deliveries: gt_deliveries,
+        }
+    }
+}
+
+impl MergeReport for RunTotals {
+    fn empty() -> Self {
+        RunTotals::default()
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.trials += other.trials;
+        self.ground_truth_deliveries += other.ground_truth_deliveries;
+    }
+}
+
+/// Fault accounting is pure counters, so per-trial logs merge the same
+/// way (conformance sweeps sum them across machines).
+impl MergeReport for FaultLog {
+    fn empty() -> Self {
+        FaultLog::default()
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.coalesced += other.coalesced;
+        self.jittered += other.jittered;
+        self.bursts += other.bursts;
+        self.clamped_steps += other.clamped_steps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_fold_trials_and_deliveries() {
+        let total = RunTotals::merged([3u64, 0, 7].into_iter().map(RunTotals::from_trial));
+        assert_eq!(
+            total,
+            RunTotals {
+                trials: 3,
+                ground_truth_deliveries: 10
+            }
+        );
+        assert_eq!(RunTotals::merged(std::iter::empty()), RunTotals::empty());
+    }
+
+    #[test]
+    fn fault_logs_merge_field_wise() {
+        let a = FaultLog {
+            dropped: 1,
+            duplicated: 2,
+            coalesced: 3,
+            jittered: 4,
+            bursts: 5,
+            clamped_steps: 6,
+        };
+        let mut total = FaultLog::empty();
+        total.merge(&a);
+        total.merge(&a);
+        assert_eq!(total.dropped, 2);
+        assert_eq!(total.clamped_steps, 12);
+        assert_eq!(total.delivery_faults(), 12);
+    }
+}

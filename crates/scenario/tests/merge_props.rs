@@ -1,0 +1,91 @@
+//! Property tests pinning the [`MergeReport`] laws — identity,
+//! commutativity, associativity — for every implementation. These laws
+//! are what make the chunked driver's totals independent of chunk
+//! geometry: any partition of the trials, folded in any order, must
+//! yield the same run-level total.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scenario::{MergeReport, RunTotals};
+use segsim::FaultLog;
+
+fn totals_from(seed: u64) -> RunTotals {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    RunTotals {
+        trials: rng.gen_range(0..1_000),
+        ground_truth_deliveries: rng.gen_range(0..1_000_000),
+    }
+}
+
+fn fault_log_from(seed: u64) -> FaultLog {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA17);
+    FaultLog {
+        dropped: rng.gen_range(0..1_000),
+        duplicated: rng.gen_range(0..1_000),
+        coalesced: rng.gen_range(0..1_000),
+        jittered: rng.gen_range(0..1_000),
+        bursts: rng.gen_range(0..1_000),
+        clamped_steps: rng.gen_range(0..1_000),
+    }
+}
+
+/// Asserts the three merge laws for arbitrary `(x, y, z)`.
+fn assert_merge_laws<T: MergeReport + Clone + PartialEq + std::fmt::Debug>(x: &T, y: &T, z: &T) {
+    // Identity.
+    let mut with_empty = x.clone();
+    with_empty.merge(&T::empty());
+    assert_eq!(&with_empty, x, "right identity");
+    let mut empty_with = T::empty();
+    empty_with.merge(x);
+    assert_eq!(&empty_with, x, "left identity");
+    // Commutativity.
+    let mut xy = x.clone();
+    xy.merge(y);
+    let mut yx = y.clone();
+    yx.merge(x);
+    assert_eq!(xy, yx, "commutativity");
+    // Associativity.
+    let mut xy_z = xy.clone();
+    xy_z.merge(z);
+    let mut yz = y.clone();
+    yz.merge(z);
+    let mut x_yz = x.clone();
+    x_yz.merge(&yz);
+    assert_eq!(xy_z, x_yz, "associativity");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn run_totals_obey_the_merge_laws(sx in 0u64..100_000, sy in 0u64..100_000, sz in 0u64..100_000) {
+        assert_merge_laws(&totals_from(sx), &totals_from(sy), &totals_from(sz));
+    }
+
+    #[test]
+    fn fault_logs_obey_the_merge_laws(sx in 0u64..100_000, sy in 0u64..100_000, sz in 0u64..100_000) {
+        assert_merge_laws(&fault_log_from(sx), &fault_log_from(sy), &fault_log_from(sz));
+    }
+
+    /// Geometry independence, end to end: any partition of a trial
+    /// sequence into chunks, with the chunk totals folded in any order,
+    /// yields the same run total as the flat fold.
+    #[test]
+    fn chunked_folds_match_the_flat_fold(
+        gts in prop::collection::vec(0u64..10_000, 0..40),
+        chunk in 1usize..10,
+        rotate in 0usize..10,
+    ) {
+        let flat = RunTotals::merged(gts.iter().map(|&g| RunTotals::from_trial(g)));
+        let mut chunked: Vec<RunTotals> = gts
+            .chunks(chunk)
+            .map(|c| RunTotals::merged(c.iter().map(|&g| RunTotals::from_trial(g))))
+            .collect();
+        if !chunked.is_empty() {
+            let r = rotate % chunked.len();
+            chunked.rotate_left(r); // fold order must not matter
+        }
+        prop_assert_eq!(RunTotals::merged(chunked), flat);
+    }
+}

@@ -1,0 +1,357 @@
+//! Batched lockstep simulation: N independent machines advanced together.
+//!
+//! [`MachineBatch`] owns a vector of [`Machine`] lanes plus
+//! struct-of-arrays mirrors of the hot scheduling state — lane clock,
+//! cached next-interrupt head, governor frequency, visible GS selector —
+//! in contiguous arrays. Lockstep drivers ([`wrgs_all`], [`spin_all`],
+//! [`rdgs_all`], [`run_all_until`], …) advance every lane through the
+//! same operation before moving on; between sweeps the dispatch loop
+//! scans the mirror arrays (a handful of cache lines for dozens of
+//! lanes) to decide which lanes still need service, instead of
+//! pointer-chasing into each machine's fabric and governor.
+//!
+//! [`wrgs_all`]: MachineBatch::wrgs_all
+//! [`spin_all`]: MachineBatch::spin_all
+//! [`rdgs_all`]: MachineBatch::rdgs_all
+//! [`run_all_until`]: MachineBatch::run_all_until
+//!
+//! # Lockstep invariants
+//!
+//! Two invariants make the batch safe to substitute for a loop of scalar
+//! machines, and the differential tests (`tests/batch_lockstep.rs` in
+//! this crate, `tests/batch_parity.rs` at the workspace root) hold it to
+//! them:
+//!
+//! 1. **Per-lane RNG independence.** Every lane owns its own seeded RNG;
+//!    no batch operation draws from a shared stream, skips a draw, or
+//!    re-orders a lane's draws. A lane's delivery/fault/sample streams
+//!    are bit-identical to the same `(config, seed)` pair run on a
+//!    scalar [`Machine`], regardless of batch size or lane position.
+//! 2. **Reset ≡ new.** Lanes are recycled between trials with
+//!    [`Machine::reset`], which replays [`Machine::new`]'s boot draw
+//!    order exactly while keeping the lane's heap allocations (cache
+//!    arrays, ground-truth buffer). Trial outputs therefore do not
+//!    depend on which lane — or which batch — a trial landed on, only
+//!    on its `(config, seed)`.
+//!
+//! Lane recycling is where the throughput comes from: a fresh
+//! [`Machine::new`] pays for the full cache hierarchy (the LLC set array
+//! alone is ~400 KB) on every trial, while [`reset_lane`] bumps an epoch
+//! counter and re-seeds.
+//!
+//! [`reset_lane`]: MachineBatch::reset_lane
+
+use crate::config::MachineConfig;
+use crate::core::{Machine, SpanEnd, UserSpan};
+use crate::error::SimError;
+use irq::time::Ps;
+use x86seg::{DataSegReg, Selector};
+
+/// N independent simulated machines driven in lockstep, with
+/// struct-of-arrays mirrors of each lane's hot scheduling state.
+///
+/// # Example
+///
+/// ```
+/// use segsim::{MachineBatch, MachineConfig};
+/// use x86seg::Selector;
+///
+/// let mut batch = MachineBatch::new_uniform(&MachineConfig::default(), &[1, 2, 3, 4]);
+/// batch.wrgs_all(Selector::from_bits(0x3)).unwrap();
+/// batch.spin_all(10_000);
+/// // No interrupt this early: every lane still holds the marker.
+/// assert!(batch.rdgs_all().iter().all(|&gs| gs == 0x3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBatch {
+    lanes: Vec<Machine>,
+    /// SoA mirror: each lane's simulated clock.
+    now: Vec<Ps>,
+    /// SoA mirror: each lane's cached next-interrupt arrival
+    /// (`Ps::MAX` when the lane's fabric is idle).
+    next_irq: Vec<Ps>,
+    /// SoA mirror: each lane's instantaneous governor frequency, kHz.
+    freq_khz: Vec<u64>,
+    /// SoA mirror: each lane's visible GS selector bits.
+    gs: Vec<u16>,
+}
+
+impl MachineBatch {
+    /// Builds a batch with one lane per `(config, seed)` pair.
+    #[must_use]
+    pub fn from_configs<I: IntoIterator<Item = (MachineConfig, u64)>>(lanes: I) -> Self {
+        let lanes: Vec<Machine> = lanes
+            .into_iter()
+            .map(|(config, seed)| Machine::new(config, seed))
+            .collect();
+        let n = lanes.len();
+        let mut batch = MachineBatch {
+            lanes,
+            now: vec![Ps::ZERO; n],
+            next_irq: vec![Ps::MAX; n],
+            freq_khz: vec![0; n],
+            gs: vec![0; n],
+        };
+        for i in 0..n {
+            batch.refresh(i);
+        }
+        batch
+    }
+
+    /// Builds a batch of identically-configured lanes, one per seed.
+    #[must_use]
+    pub fn new_uniform(config: &MachineConfig, seeds: &[u64]) -> Self {
+        MachineBatch::from_configs(seeds.iter().map(|&s| (config.clone(), s)))
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the batch has no lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Read access to one lane.
+    #[must_use]
+    pub fn lane(&self, i: usize) -> &Machine {
+        &self.lanes[i]
+    }
+
+    /// Read access to every lane.
+    #[must_use]
+    pub fn lanes(&self) -> &[Machine] {
+        &self.lanes
+    }
+
+    /// Runs `f` against one lane mutably, then refreshes that lane's
+    /// mirror entries. All per-lane mutation goes through here so the
+    /// struct-of-arrays views can never go stale.
+    pub fn with_lane_mut<T>(&mut self, i: usize, f: impl FnOnce(&mut Machine) -> T) -> T {
+        let out = f(&mut self.lanes[i]);
+        self.refresh(i);
+        out
+    }
+
+    /// Recycles lane `i` for a new trial: in-place [`Machine::reset`]
+    /// (bit-identical to a fresh `Machine::new(config, seed)`, but
+    /// reusing the lane's allocations) plus a mirror refresh.
+    pub fn reset_lane(&mut self, i: usize, config: MachineConfig, seed: u64) {
+        self.lanes[i].reset(config, seed);
+        self.refresh(i);
+    }
+
+    /// Re-syncs lane `i`'s mirror entries from the machine itself.
+    fn refresh(&mut self, i: usize) {
+        let m = &self.lanes[i];
+        self.now[i] = m.now();
+        self.next_irq[i] = m.next_interrupt_at().unwrap_or(Ps::MAX);
+        self.freq_khz[i] = m.current_freq_khz();
+        self.gs[i] = m.peek_seg(DataSegReg::Gs).bits();
+    }
+
+    // ------------------------------------------------------------------
+    // SoA views (simulator API: reads of the mirrors, no lane mutation).
+    // ------------------------------------------------------------------
+
+    /// Each lane's simulated clock.
+    #[must_use]
+    pub fn nows(&self) -> &[Ps] {
+        &self.now
+    }
+
+    /// Each lane's cached next-interrupt arrival (`Ps::MAX` = idle
+    /// fabric). This is the array the dispatch sweeps scan.
+    #[must_use]
+    pub fn next_irqs(&self) -> &[Ps] {
+        &self.next_irq
+    }
+
+    /// Each lane's instantaneous governor frequency, kHz.
+    #[must_use]
+    pub fn freqs_khz(&self) -> &[u64] {
+        &self.freq_khz
+    }
+
+    /// Each lane's visible GS selector bits, as of the last operation.
+    /// Unlike [`rdgs_all`](MachineBatch::rdgs_all) this is a free read of
+    /// the mirror — it models no instruction and consumes no lane time.
+    #[must_use]
+    pub fn gs_selectors(&self) -> &[u16] {
+        &self.gs
+    }
+
+    // ------------------------------------------------------------------
+    // Lockstep drivers.
+    // ------------------------------------------------------------------
+
+    /// Executes `wrgs selector` on every lane (one probe-slot marker
+    /// write, batched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first lane's [`SimError`]; lanes after a failing
+    /// lane are not written (mitigation configs fault deterministically,
+    /// so in practice either every lane faults or none does).
+    pub fn wrgs_all(&mut self, selector: Selector) -> Result<(), SimError> {
+        for i in 0..self.lanes.len() {
+            self.lanes[i].wrgs(selector)?;
+            self.refresh(i);
+        }
+        Ok(())
+    }
+
+    /// Spins every lane for `cycles` guest cycles (interrupts delivered
+    /// along the way, exactly as [`Machine::spin`] would).
+    pub fn spin_all(&mut self, cycles: u64) {
+        for i in 0..self.lanes.len() {
+            self.lanes[i].spin(cycles);
+            self.refresh(i);
+        }
+    }
+
+    /// Executes `rdgs` on every lane (consuming lane time, exactly as
+    /// the scalar probe's check would) and returns the refreshed
+    /// selector mirror.
+    pub fn rdgs_all(&mut self) -> &[u16] {
+        for i in 0..self.lanes.len() {
+            let sel = self.lanes[i].rdgs();
+            self.gs[i] = sel.bits();
+            let m = &self.lanes[i];
+            self.now[i] = m.now();
+            self.next_irq[i] = m.next_interrupt_at().unwrap_or(Ps::MAX);
+            self.freq_khz[i] = m.current_freq_khz();
+        }
+        &self.gs
+    }
+
+    /// Advances every lane to the absolute deadline, delivering
+    /// interrupts along the way, one user span per lane per sweep so the
+    /// lanes stay temporally close (lockstep). Returns the total number
+    /// of interrupts delivered across the batch.
+    ///
+    /// Between sweeps only the contiguous `now` mirror is scanned;
+    /// finished lanes are skipped without touching their machine state
+    /// at all — the amortized-dispatch half of the batching win.
+    pub fn run_all_until(&mut self, deadline: Ps) -> u64 {
+        let mut delivered = 0u64;
+        loop {
+            let mut any_active = false;
+            for i in 0..self.lanes.len() {
+                if self.now[i] >= deadline {
+                    continue;
+                }
+                any_active = true;
+                let span: UserSpan = self.lanes[i].run_user_until(deadline);
+                if matches!(span.ended_by, SpanEnd::Interrupt(_)) {
+                    delivered += 1;
+                }
+                self.refresh(i);
+            }
+            if !any_active {
+                break;
+            }
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    const SEEDS: [u64; 4] = [0xA1, 0xB2, 0xC3, 0xD4];
+
+    fn scalar_lanes() -> Vec<Machine> {
+        SEEDS
+            .iter()
+            .map(|&s| Machine::new(MachineConfig::default(), s))
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_probe_matches_scalar_machines() {
+        let mut batch = MachineBatch::new_uniform(&MachineConfig::default(), &SEEDS);
+        let mut scalar = scalar_lanes();
+        for _ in 0..200 {
+            batch.wrgs_all(Selector::from_bits(0x3)).unwrap();
+            batch.spin_all(25_000);
+            let batched_gs: Vec<u16> = batch.rdgs_all().to_vec();
+            for (m, &got) in scalar.iter_mut().zip(&batched_gs) {
+                m.wrgs(Selector::from_bits(0x3)).unwrap();
+                m.spin(25_000);
+                assert_eq!(m.rdgs().bits(), got);
+            }
+        }
+        for (i, m) in scalar.iter_mut().enumerate() {
+            assert_eq!(m.now(), batch.nows()[i]);
+            assert_eq!(m.kernel_entries(), batch.lane(i).kernel_entries());
+            assert_eq!(
+                m.ground_truth().records(),
+                batch.lane(i).ground_truth().records()
+            );
+            assert_eq!(
+                m.rng_mut().gen::<u64>(),
+                batch.with_lane_mut(i, |lane| lane.rng_mut().gen::<u64>()),
+                "lane {i} RNG diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn run_all_until_reaches_deadline_and_counts_deliveries() {
+        let mut batch = MachineBatch::new_uniform(&MachineConfig::default(), &SEEDS);
+        let delivered = batch.run_all_until(Ps::from_ms(100));
+        // 250 Hz timer for 100 ms on four lanes: ~100 timer ticks plus
+        // stochastic sources.
+        assert!(delivered >= 80, "delivered {delivered}");
+        assert!(batch.nows().iter().all(|&t| t >= Ps::from_ms(100)));
+        // Mirrors agree with the machines they mirror.
+        for i in 0..batch.len() {
+            assert_eq!(batch.nows()[i], batch.lane(i).now());
+            assert_eq!(
+                batch.next_irqs()[i],
+                batch.lane(i).next_interrupt_at().unwrap_or(Ps::MAX)
+            );
+            assert_eq!(batch.freqs_khz()[i], batch.lane(i).current_freq_khz());
+        }
+    }
+
+    #[test]
+    fn reset_lane_replays_a_fresh_machine() {
+        let mut batch = MachineBatch::new_uniform(&MachineConfig::default(), &SEEDS);
+        batch.run_all_until(Ps::from_ms(50));
+        batch.reset_lane(2, MachineConfig::default(), 0x77);
+        let mut fresh = Machine::new(MachineConfig::default(), 0x77);
+        assert_eq!(batch.nows()[2], Ps::ZERO);
+        for _ in 0..100 {
+            let a = batch.with_lane_mut(2, |lane| {
+                let deadline = lane.now() + Ps::from_us(500);
+                lane.run_user_until(deadline)
+            });
+            let b = fresh.run_user_until(fresh.now() + Ps::from_us(500));
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            batch.with_lane_mut(2, |lane| lane.rng_mut().gen::<u64>()),
+            fresh.rng_mut().gen::<u64>()
+        );
+    }
+
+    #[test]
+    fn mirrors_stay_in_sync_through_with_lane_mut() {
+        let mut batch = MachineBatch::new_uniform(&MachineConfig::default(), &SEEDS);
+        batch.with_lane_mut(1, |lane| {
+            lane.wrgs(Selector::from_bits(0x3)).unwrap();
+            lane.spin(5_000);
+        });
+        assert_eq!(batch.gs_selectors()[1], 0x3);
+        assert_eq!(batch.nows()[1], batch.lane(1).now());
+        assert!(batch.nows()[0] < batch.nows()[1]);
+    }
+}

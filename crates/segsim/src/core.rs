@@ -167,33 +167,18 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine from a configuration and an RNG seed.
+    ///
+    /// Delegates to [`reset`](Machine::reset) so the two can never drift:
+    /// a fresh machine and an in-place reset go through the same boot
+    /// routine by construction.
     #[must_use]
     pub fn new(config: MachineConfig, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut fabric = InterruptFabric::new();
-        let timer_source = if config.tickless {
-            None
-        } else {
-            Some(fabric.add_periodic_timer(config.timer_hz, config.timer_jitter, &mut rng))
-        };
-        if config.pmi_rate_hz > 0.0 {
-            fabric.add_poisson(InterruptKind::PerfMon, config.pmi_rate_hz, &mut rng);
-        }
-        if config.resched_rate_hz > 0.0 {
-            fabric.add_poisson(InterruptKind::Resched, config.resched_rate_hz, &mut rng);
-        }
-        let mut freq = FreqModel::new(config.freq);
-        // The attacker is a spin loop: full local load unless told
-        // otherwise.
-        freq.set_local_load(1.0);
-        freq.set_step_clamp(config.fault_plan.and_then(|p| p.freq_step_clamp_khz));
-        let fault_plan = config.fault_plan;
-        Machine {
-            rng,
+        let mut machine = Machine {
+            rng: SmallRng::seed_from_u64(seed),
             now: Ps::ZERO,
-            freq,
-            fabric,
-            timer_source,
+            freq: FreqModel::new(config.freq),
+            fabric: InterruptFabric::new(),
+            timer_source: None,
             ground_truth: GroundTruth::new(),
             regs: SegmentRegisterFile::flat_user(),
             tables: DescriptorTables::linux_flat(),
@@ -206,12 +191,76 @@ impl Machine {
             ct_drift: 0.0,
             ct_last_kernel_entries: 0,
             pending_refill: 0.0,
-            fault_plan,
+            fault_plan: None,
             fault_log: FaultLog::default(),
             smt_burst_left: 0,
             sink: None,
-            config,
+            config: config.clone(),
+        };
+        machine.reset(config, seed);
+        machine
+    }
+
+    /// Re-initialises this machine in place to exactly the state
+    /// [`Machine::new(config, seed)`](Machine::new) produces, reusing the
+    /// existing heap allocations (cache arrays, ground-truth buffer)
+    /// instead of re-allocating them.
+    ///
+    /// Batched trial runners lean on this: a lane runs one trial, is
+    /// reset, and runs the next — with the cache hierarchy's O(1)
+    /// epoch-clear the reset costs nanoseconds where a fresh
+    /// [`Machine::new`] pays the full allocation bill. The RNG-draw order
+    /// (seed, timer, PMI, resched, frequency model) replays `new`'s
+    /// exactly, so a reset machine is draw-for-draw indistinguishable
+    /// from a fresh one.
+    pub fn reset(&mut self, config: MachineConfig, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+        self.fabric = InterruptFabric::new();
+        self.timer_source = if config.tickless {
+            None
+        } else {
+            Some(self.fabric.add_periodic_timer(
+                config.timer_hz,
+                config.timer_jitter,
+                &mut self.rng,
+            ))
+        };
+        if config.pmi_rate_hz > 0.0 {
+            self.fabric
+                .add_poisson(InterruptKind::PerfMon, config.pmi_rate_hz, &mut self.rng);
         }
+        if config.resched_rate_hz > 0.0 {
+            self.fabric.add_poisson(
+                InterruptKind::Resched,
+                config.resched_rate_hz,
+                &mut self.rng,
+            );
+        }
+        self.freq = FreqModel::new(config.freq);
+        // The attacker is a spin loop: full local load unless told
+        // otherwise.
+        self.freq.set_local_load(1.0);
+        self.freq
+            .set_step_clamp(config.fault_plan.and_then(|p| p.freq_step_clamp_khz));
+        self.now = Ps::ZERO;
+        self.ground_truth.clear();
+        self.ground_truth.set_enabled(true);
+        self.regs = SegmentRegisterFile::flat_user();
+        self.tables = DescriptorTables::linux_flat();
+        self.mem.clear();
+        self.kaslr = None;
+        self.co_resident = None;
+        self.timer_ticks_seen = 0;
+        self.kernel_entries = 0;
+        self.domain_cycles = 0.0;
+        self.ct_drift = 0.0;
+        self.ct_last_kernel_entries = 0;
+        self.pending_refill = 0.0;
+        self.fault_plan = config.fault_plan;
+        self.fault_log = FaultLog::default();
+        self.smt_burst_left = 0;
+        self.sink = None;
+        self.config = config;
     }
 
     // ------------------------------------------------------------------
@@ -454,6 +503,16 @@ impl Machine {
     /// Reads the visible selector of any data-segment register.
     pub fn rdseg(&mut self, reg: DataSegReg) -> Selector {
         self.exec_op(self.config.rdseg_cycles);
+        self.regs.selector(reg)
+    }
+
+    /// The visible selector of `reg`, read *without* executing an
+    /// instruction: no cycles consumed, no RNG draws. **Simulator API** —
+    /// batch runners mirror selector state into their struct-of-arrays
+    /// views with this; attacker code must use [`rdseg`](Machine::rdseg).
+    #[inline]
+    #[must_use]
+    pub fn peek_seg(&self, reg: DataSegReg) -> Selector {
         self.regs.selector(reg)
     }
 
@@ -1472,5 +1531,76 @@ mod tests {
         let t1 = m.now();
         m.kernel_probe_prefetch(base);
         assert!(m.now() > t1);
+    }
+
+    /// Runs the same deterministic workload on both machines and asserts
+    /// every observable (spans, selectors, cache state, fault log, ground
+    /// truth, the RNG position) agrees step for step.
+    fn assert_machines_equivalent(a: &mut Machine, b: &mut Machine) {
+        for round in 0..40u64 {
+            a.wrgs(Selector::from_bits(0x3)).unwrap();
+            b.wrgs(Selector::from_bits(0x3)).unwrap();
+            let sa = a.run_user_until(a.now() + Ps::from_us(800));
+            let sb = b.run_user_until(b.now() + Ps::from_us(800));
+            assert_eq!(sa, sb, "span diverged at round {round}");
+            assert_eq!(a.rdgs(), b.rdgs(), "selector diverged at round {round}");
+            a.spin(10_000);
+            b.spin(10_000);
+            let addr = 0x4000 + round * 0x140;
+            assert_eq!(a.memory_mut().access(addr), b.memory_mut().access(addr));
+        }
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.kernel_entries(), b.kernel_entries());
+        assert_eq!(a.fault_log(), b.fault_log());
+        assert_eq!(a.ground_truth().records(), b.ground_truth().records());
+        assert_eq!(a.memory(), b.memory());
+        assert_eq!(
+            a.rng_mut().gen::<u64>(),
+            b.rng_mut().gen::<u64>(),
+            "RNG positions diverged"
+        );
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_fresh() {
+        let plan = irq::FaultPlan::none()
+            .with_drop_prob(0.2)
+            .with_duplicate_prob(0.1);
+        let target = crate::presets::by_name("honor_magicbook")
+            .unwrap()
+            .with_fault_plan(plan);
+        // Dirty the machine thoroughly under a *different* config first:
+        // kaslr layout, co-resident victim, trace sink, disabled ground
+        // truth, cache contents, fault accounting, advanced time.
+        let mut reused = Machine::new(MachineConfig::default(), 0xDEAD);
+        reused.set_kaslr(memsim::KaslrLayout::with_slot(3));
+        reused.set_co_resident(Some(CoResident::browser()));
+        reused.install_trace_sink(obs::TraceSink::with_capacity(64));
+        reused.ground_truth_mut().set_enabled(false);
+        for _ in 0..20 {
+            let deadline = reused.now() + Ps::from_ms(1);
+            let _ = reused.run_user_until(deadline);
+            reused.memory_mut().access(0x9000);
+        }
+        reused.reset(target.clone(), 0xF00D);
+        let mut fresh = Machine::new(target, 0xF00D);
+        assert!(reused.kaslr().is_none());
+        assert!(reused.trace_sink().is_none());
+        assert_machines_equivalent(&mut reused, &mut fresh);
+    }
+
+    #[test]
+    fn reset_clears_a_fault_plan_when_the_new_config_has_none() {
+        let plan = irq::FaultPlan::none().with_drop_prob(0.5);
+        let mut reused = Machine::new(MachineConfig::default().with_fault_plan(plan), 0x11);
+        while reused.fault_log().dropped == 0 {
+            let deadline = reused.now() + Ps::from_ms(10);
+            let _ = reused.run_user_until(deadline);
+        }
+        reused.reset(MachineConfig::default(), 0x11);
+        assert_eq!(reused.fault_plan(), None);
+        assert_eq!(*reused.fault_log(), FaultLog::default());
+        let mut fresh = Machine::new(MachineConfig::default(), 0x11);
+        assert_machines_equivalent(&mut reused, &mut fresh);
     }
 }

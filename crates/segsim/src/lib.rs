@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod config;
 mod core;
 mod error;
@@ -44,6 +45,7 @@ mod freq;
 pub mod presets;
 
 pub use crate::core::{CoResident, DeliveredIrq, Machine, SpanEnd, UserSpan};
+pub use batch::MachineBatch;
 pub use config::{Hypervisor, MachineConfig, NoiseModel, Vendor};
 pub use error::SimError;
 pub use freq::{FreqConfig, FreqModel, StepFn};

@@ -1,0 +1,180 @@
+//! Differential property tests: a [`MachineBatch`] driven through random
+//! lockstep-op interleavings must be bit-identical, lane for lane, to the
+//! same `(config, seed)` pairs run on scalar [`Machine`]s — same
+//! deliveries, same fault logs, same ground-truth traces, same final RNG
+//! positions.
+
+use irq::time::Ps;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use segsim::{FaultPlan, Machine, MachineBatch, MachineConfig};
+use x86seg::Selector;
+
+/// One lockstep operation, decoded from an opcode stream.
+#[derive(Debug, Clone, Copy)]
+enum BatchOp {
+    Wrgs(u16),
+    Spin(u64),
+    Rdgs,
+    RunUntil(Ps),
+}
+
+/// Decodes raw opcodes into ops, drawing parameters from a dedicated
+/// generator rng (so parameter choice never touches the lane streams).
+fn decode_ops(codes: &[u8], seed: u64) -> Vec<BatchOp> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA7C_0DE5);
+    codes
+        .iter()
+        .map(|code| match code % 6 {
+            0 => BatchOp::Wrgs(rng.gen_range(1u16..4)),
+            1 | 2 => BatchOp::Spin(rng.gen_range(1_000u64..200_000)),
+            3 => BatchOp::Rdgs,
+            _ => BatchOp::RunUntil(Ps::from_us(rng.gen_range(50u64..2_000))),
+        })
+        .collect()
+}
+
+/// Per-lane configs that differ in preset and fault plan, so the lanes'
+/// streams cannot accidentally agree.
+fn lane_configs(seed: u64, lanes: usize) -> Vec<(MachineConfig, u64)> {
+    let presets = MachineConfig::table1();
+    (0..lanes)
+        .map(|i| {
+            let mut config = presets[(seed as usize + i) % presets.len()].clone();
+            if i % 3 == 1 {
+                config = config.with_fault_plan(
+                    FaultPlan::none()
+                        .with_drop_prob(0.1)
+                        .with_duplicate_prob(0.05),
+                );
+            }
+            (
+                config,
+                seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random op interleavings: batched lanes == scalar machines,
+    /// delivery for delivery and draw for draw.
+    #[test]
+    fn lockstep_interleavings_match_scalar(
+        codes in prop::collection::vec(0u8..6, 1..30),
+        seed in 0u64..10_000,
+        lanes in 1usize..6,
+    ) {
+        let ops = decode_ops(&codes, seed);
+        let configs = lane_configs(seed, lanes);
+        let mut batch = MachineBatch::from_configs(configs.clone());
+        let mut scalar: Vec<Machine> = configs
+            .iter()
+            .map(|(c, s)| Machine::new(c.clone(), *s))
+            .collect();
+        for op in &ops {
+            match *op {
+                BatchOp::Wrgs(bits) => {
+                    let _ = batch.wrgs_all(Selector::from_bits(bits));
+                    for m in &mut scalar {
+                        let _ = m.wrgs(Selector::from_bits(bits));
+                    }
+                }
+                BatchOp::Spin(cycles) => {
+                    batch.spin_all(cycles);
+                    for m in &mut scalar {
+                        m.spin(cycles);
+                    }
+                }
+                BatchOp::Rdgs => {
+                    let got: Vec<u16> = batch.rdgs_all().to_vec();
+                    for (m, &g) in scalar.iter_mut().zip(&got) {
+                        prop_assert_eq!(m.rdgs().bits(), g);
+                    }
+                }
+                BatchOp::RunUntil(delta) => {
+                    // The batch runs to a shared absolute deadline; each
+                    // scalar machine span-loops to the same instant.
+                    let deadline = batch
+                        .nows()
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(Ps::ZERO)
+                        + delta;
+                    batch.run_all_until(deadline);
+                    for m in &mut scalar {
+                        while m.now() < deadline {
+                            let _ = m.run_user_until(deadline);
+                        }
+                    }
+                }
+            }
+        }
+        for (i, m) in scalar.iter_mut().enumerate() {
+            prop_assert_eq!(m.now(), batch.nows()[i], "lane {} clock", i);
+            prop_assert_eq!(
+                m.ground_truth().records(),
+                batch.lane(i).ground_truth().records(),
+                "lane {} deliveries",
+                i
+            );
+            prop_assert_eq!(m.fault_log(), batch.lane(i).fault_log(), "lane {} faults", i);
+            prop_assert_eq!(
+                m.rng_mut().gen::<u64>(),
+                batch.with_lane_mut(i, |lane| lane.rng_mut().gen::<u64>()),
+                "lane {} RNG position",
+                i
+            );
+        }
+    }
+
+    /// Lane recycling mid-sequence: resetting a lane and replaying ops is
+    /// identical to a fresh machine replaying the same ops.
+    #[test]
+    fn recycled_lane_matches_fresh_machine(
+        codes in prop::collection::vec(0u8..6, 1..20),
+        dirty_ms in 1u64..40,
+        seed in 0u64..10_000,
+    ) {
+        let ops = decode_ops(&codes, seed);
+        let config = MachineConfig::table1()[seed as usize % 6].clone();
+        let mut batch = MachineBatch::new_uniform(&config, &[seed, seed ^ 0xFF]);
+        batch.run_all_until(Ps::from_ms(dirty_ms));
+        batch.reset_lane(0, config.clone(), seed.wrapping_add(1));
+        let mut fresh = Machine::new(config, seed.wrapping_add(1));
+        for op in &ops {
+            match *op {
+                BatchOp::Wrgs(bits) => {
+                    let a = batch.with_lane_mut(0, |l| l.wrgs(Selector::from_bits(bits)));
+                    let b = fresh.wrgs(Selector::from_bits(bits));
+                    prop_assert_eq!(a, b);
+                }
+                BatchOp::Spin(cycles) => {
+                    batch.with_lane_mut(0, |l| l.spin(cycles));
+                    fresh.spin(cycles);
+                }
+                BatchOp::Rdgs => {
+                    let a = batch.with_lane_mut(0, |l| l.rdgs());
+                    prop_assert_eq!(a, fresh.rdgs());
+                }
+                BatchOp::RunUntil(delta) => {
+                    let a = batch.with_lane_mut(0, |l| {
+                        let deadline = l.now() + delta;
+                        l.run_user_until(deadline)
+                    });
+                    let b = fresh.run_user_until(fresh.now() + delta);
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+        prop_assert_eq!(batch.nows()[0], fresh.now());
+        prop_assert_eq!(
+            batch.with_lane_mut(0, |l| l.rng_mut().gen::<u64>()),
+            fresh.rng_mut().gen::<u64>()
+        );
+    }
+}

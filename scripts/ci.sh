@@ -77,6 +77,21 @@ for key in fabric probe scenario note naive_events_per_s \
     fi
 done
 
+echo "==> bench_batched (quick) + BENCH_batched.json schema"
+# validate() inside the binary enforces the hard gates: batched path
+# bit-identical to scalar, adaptive fabric >= 1.0x at 3 sources, batched
+# trials >= 2x (>= 5x when SEGSCOPE_BENCH_FULL=1).
+SEGSCOPE_BENCH_JSON="$PWD/target/BENCH_batched.json" \
+    cargo bench -q --offline -p segscope-bench --bench bench_batched >/dev/null
+for key in fabric trials full_scale note mode peeks_per_pop \
+           adaptive_events_per_s scalar_trials_per_s batched_trials_per_s \
+           slots_per_trial speedup identical; do
+    if ! grep -q "\"$key\"" target/BENCH_batched.json; then
+        echo "target/BENCH_batched.json missing key \"$key\"" >&2
+        exit 1
+    fi
+done
+
 if [[ "${SEGSCOPE_OBS_FULL:-0}" == "1" ]]; then
     echo "==> obs 16M-event stress pass (SEGSCOPE_OBS_FULL=1)"
     cargo test -q --offline -p obs --release -- --include-ignored

@@ -1,0 +1,185 @@
+//! Workspace-level batched-vs-scalar parity: the batched execution path
+//! must be architecturally invisible at every layer it touches.
+//!
+//! Two differential oracles:
+//!
+//! 1. [`MachineBatch`] lanes with *random per-lane configurations*
+//!    (vendor preset × fault plan × seed) at the required batch sizes
+//!    1, 4, 17, and 64 produce the same probe samples, the same
+//!    [`FaultLog`]s, and the same final RNG positions as scalar
+//!    [`Machine`]s run one by one.
+//! 2. A scenario's recycled-lane `run_batch` override (the KASLR break)
+//!    matches the per-trial `build_machine` + `run_trial` path at the
+//!    same chunk sizes, output for output and delivery for delivery.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use segscope_repro::attacks::kaslr::{KaslrConfig, KaslrScenario, KaslrScenarioConfig};
+use segscope_repro::irq::time::Ps;
+use segscope_repro::scenario::{Scenario, TrialCtx};
+use segscope_repro::segsim::{FaultPlan, Machine, MachineBatch, MachineConfig};
+use segscope_repro::x86seg::Selector;
+
+/// The chunk/batch sizes the batched path must be transparent at: a
+/// degenerate single lane, a small chunk, a prime that never divides the
+/// workload evenly, and a full-width batch.
+const REQUIRED_SIZES: [usize; 4] = [1, 4, 17, 64];
+
+/// Draws one per-lane `(config, seed)` pair: vendor preset × fault plan
+/// × seed, all from a dedicated generator rng so the draws never touch
+/// the machine streams under test.
+fn draw_lane(rng: &mut SmallRng) -> (MachineConfig, u64) {
+    let presets = MachineConfig::table1();
+    let mut config = presets[rng.gen_range(0..presets.len())].clone();
+    config = match rng.gen_range(0u8..4) {
+        0 => config, // no plan
+        1 => config.with_fault_plan(FaultPlan::timing_storm()),
+        2 => config.with_fault_plan(FaultPlan::delivery_storm()),
+        _ => config.with_fault_plan(
+            FaultPlan::none()
+                .with_drop_prob(0.08)
+                .with_duplicate_prob(0.04),
+        ),
+    };
+    (config, rng.gen::<u64>())
+}
+
+/// Runs the shared probe workload on a batch, returning the per-lane
+/// sample series (one `Vec<u16>` of rdgs samples per lane).
+fn drive_batch(batch: &mut MachineBatch, rounds: usize) -> Vec<Vec<u16>> {
+    let mut samples = vec![Vec::new(); batch.len()];
+    for round in 0..rounds {
+        let sel = Selector::from_bits(1 + (round % 3) as u16);
+        batch.wrgs_all(sel).expect("flat selectors load");
+        batch.spin_all(3_000 + (round as u64 % 7) * 500);
+        for (lane, &bits) in batch.rdgs_all().iter().enumerate() {
+            samples[lane].push(bits);
+        }
+        if round % 5 == 4 {
+            let deadline =
+                batch.nows().iter().copied().max().unwrap_or(Ps::ZERO) + Ps::from_us(400);
+            batch.run_all_until(deadline);
+        }
+    }
+    samples
+}
+
+/// Runs the identical workload on one scalar machine.
+fn drive_scalar(machine: &mut Machine, rounds: usize, deadlines: &[Ps]) -> Vec<u16> {
+    let mut samples = Vec::new();
+    let mut next_deadline = deadlines.iter();
+    for round in 0..rounds {
+        let sel = Selector::from_bits(1 + (round % 3) as u16);
+        machine.wrgs(sel).expect("flat selectors load");
+        machine.spin(3_000 + (round as u64 % 7) * 500);
+        samples.push(machine.rdgs().bits());
+        if round % 5 == 4 {
+            let deadline = *next_deadline.next().expect("deadline per barrier round");
+            while machine.now() < deadline {
+                let _ = machine.run_user_until(deadline);
+            }
+        }
+    }
+    samples
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// At every required batch size, random heterogeneous lanes match
+    /// scalar machines sample for sample, fault for fault, and draw for
+    /// draw.
+    #[test]
+    fn batched_lanes_match_scalar_at_required_sizes(
+        seed in 0u64..1_000_000,
+        rounds in 10usize..25,
+    ) {
+        for &size in &REQUIRED_SIZES {
+            let mut gen_rng = SmallRng::seed_from_u64(seed ^ 0x5ca1_ab1e);
+            let lanes: Vec<(MachineConfig, u64)> =
+                (0..size).map(|_| draw_lane(&mut gen_rng)).collect();
+
+            let mut batch = MachineBatch::from_configs(lanes.clone());
+            let batch_samples = drive_batch(&mut batch, rounds);
+
+            // Replay the barrier deadlines the batch actually used: the
+            // scalar replay must chase the same absolute instants even
+            // though it cannot see the other lanes' clocks.
+            let mut replay = MachineBatch::from_configs(lanes.clone());
+            let mut deadlines = Vec::new();
+            for round in 0..rounds {
+                let sel = Selector::from_bits(1 + (round % 3) as u16);
+                replay.wrgs_all(sel).expect("flat selectors load");
+                replay.spin_all(3_000 + (round as u64 % 7) * 500);
+                let _ = replay.rdgs_all();
+                if round % 5 == 4 {
+                    let deadline = replay.nows().iter().copied().max().unwrap_or(Ps::ZERO)
+                        + Ps::from_us(400);
+                    deadlines.push(deadline);
+                    replay.run_all_until(deadline);
+                }
+            }
+
+            for (i, (config, lane_seed)) in lanes.iter().enumerate() {
+                let mut scalar = Machine::new(config.clone(), *lane_seed);
+                let scalar_samples = drive_scalar(&mut scalar, rounds, &deadlines);
+                prop_assert_eq!(
+                    &scalar_samples, &batch_samples[i],
+                    "size {} lane {} samples", size, i
+                );
+                prop_assert_eq!(
+                    scalar.fault_log(), batch.lane(i).fault_log(),
+                    "size {} lane {} fault log", size, i
+                );
+                prop_assert_eq!(
+                    scalar.ground_truth().records(),
+                    batch.lane(i).ground_truth().records(),
+                    "size {} lane {} deliveries", size, i
+                );
+                prop_assert_eq!(
+                    scalar.rng_mut().gen::<u64>(),
+                    batch.with_lane_mut(i, |l| l.rng_mut().gen::<u64>()),
+                    "size {} lane {} RNG position", size, i
+                );
+            }
+        }
+    }
+}
+
+/// The KASLR scenario's recycled-lane `run_batch` override returns the
+/// same outputs and ground-truth delivery counts as the per-trial
+/// fresh-machine path, at every required chunk size.
+#[test]
+fn scenario_run_batch_matches_per_trial_path_at_required_sizes() {
+    let scenario = KaslrScenario;
+    let config = KaslrScenarioConfig {
+        machine: MachineConfig::lenovo_yangtian(),
+        attack: KaslrConfig {
+            slots: 8,
+            c: 1,
+            k: 8,
+            calibration: 16,
+            ..KaslrConfig::paper_default()
+        },
+    };
+    for &size in &REQUIRED_SIZES {
+        let ctxs: Vec<TrialCtx> = (0..size)
+            .map(|index| TrialCtx {
+                index,
+                seed: segscope_repro::exec::derive_seed(0xBA7C_9A51, index as u64),
+                experiment_seed: 0xBA7C_9A51,
+            })
+            .collect();
+        let batched = scenario.run_batch(&config, &ctxs, None);
+        let reference: Vec<_> = ctxs
+            .iter()
+            .map(|ctx| {
+                let mut machine = scenario.build_machine(&config, ctx);
+                let output = scenario.run_trial(&config, &mut machine, ctx);
+                (output, machine.ground_truth().len() as u64)
+            })
+            .collect();
+        assert_eq!(batched, reference, "chunk size {size} diverged");
+    }
+}
