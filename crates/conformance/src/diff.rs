@@ -5,7 +5,7 @@
 use crate::naive::{Mutation, NaiveModel};
 use crate::ops::{generate_ops, DescClass, SegOp, StepOutcome};
 use proptest::shrink::minimize_sequence;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use x86seg::{
     load_data_segment, protected_mode_return, DataSegReg, DescriptorKind, DescriptorTables,
@@ -175,7 +175,7 @@ impl Default for RefModel {
 }
 
 /// The first step at which the two models disagreed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Divergence {
     /// Index of the diverging op within the replayed sequence.
     pub step: usize,
@@ -210,7 +210,7 @@ pub fn replay(ops: &[SegOp], mutation: Option<Mutation>) -> Option<Divergence> {
 
 /// A shrunk, replayable divergence: everything needed to reproduce the
 /// disagreement from scratch.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CaseReport {
     /// Which generated case (task index into the experiment stream)
     /// diverged first.
@@ -252,7 +252,7 @@ impl fmt::Display for CaseReport {
 }
 
 /// The outcome of a differential run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DiffReport {
     /// Cases executed (stops early at the first divergence).
     pub cases: u64,
@@ -332,6 +332,35 @@ mod tests {
     fn replay_is_deterministic() {
         let ops = generate_ops(99, 512);
         assert_eq!(replay(&ops, None), replay(&ops, None));
+    }
+
+    #[test]
+    fn case_report_round_trips_through_json_and_replays_its_divergence() {
+        // A mutated naive model guarantees a divergence to report.
+        let mutation = Some(Mutation::TreatNullThreeAsValid);
+        let report = run_differential(0xCA5E, 256, 64, mutation);
+        let case = report.divergence.clone().expect("mutation must diverge");
+
+        // Serde round-trip: the report is a faithful wire format.
+        let json = serde_json::to_string(&report).expect("report serializes");
+        let back: DiffReport = serde_json::from_str(&json).expect("report parses");
+        assert_eq!(back, report);
+        let saved = back.divergence.expect("divergence survives the trip");
+        assert_eq!(saved, case);
+
+        // Replayability: the saved (seed, ops) reproduce the recorded
+        // divergence from scratch — first from the regenerated full
+        // sequence, then op-for-op from the shrunk script.
+        let regenerated = generate_ops(saved.case_seed, saved.full_len);
+        assert!(
+            replay(&regenerated, mutation).is_some(),
+            "the recorded case seed must still diverge"
+        );
+        assert_eq!(
+            replay(&saved.shrunk_ops, mutation),
+            Some(saved.divergence.clone()),
+            "the saved shrunk ops must reproduce the recorded divergence exactly"
+        );
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub enum SegOp {
 /// naive model's identically-shaped answer): comparing JSON strings makes
 /// the check bit-exact without giving the naive model access to the
 /// reference type's internals.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StepOutcome {
     /// Canonical fault tag, `None` when the op succeeded.
     pub fault: Option<String>,

@@ -1,0 +1,323 @@
+//! Mid-run checkpointing for chunked trial fan-outs.
+//!
+//! A [`ChunkManifest`] records which trial chunks of a
+//! [`parallel_trial_chunks`](crate::parallel_trial_chunks)-style run have
+//! completed, together with their outputs. A killed run resumes by
+//! loading the manifest and calling [`resume_chunks`], which executes
+//! only the missing chunks; because every chunk's seeds derive from
+//! `(experiment_seed, trial_index)` alone, the assembled output vector
+//! is bit-identical to the uninterrupted run — at any thread count, and
+//! no matter how the work was split across kills.
+//!
+//! The manifest is plain serde data: persist it with
+//! [`ChunkManifest::to_json`] / [`ChunkManifest::from_json`] wherever
+//! the caller wants (the CLI writes it next to the report file). For
+//! kill-resilience *during* a resume, [`resume_chunks_with`] runs the
+//! missing chunks in bounded waves and hands the manifest to a persist
+//! callback after each wave.
+
+use crate::{derive_seed, parallel_map};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Progress record of a chunked trial run: geometry plus the outputs of
+/// every completed chunk, keyed by chunk index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkManifest<T> {
+    experiment_seed: u64,
+    trials: usize,
+    chunk: usize,
+    /// Completed chunk index → outputs in trial order.
+    completed: BTreeMap<usize, Vec<T>>,
+}
+
+impl<T> ChunkManifest<T> {
+    /// An empty manifest for a run of `trials` trials in chunks of
+    /// `chunk` (clamped to ≥ 1), seeded with `experiment_seed`.
+    #[must_use]
+    pub fn new(experiment_seed: u64, trials: usize, chunk: usize) -> Self {
+        ChunkManifest {
+            experiment_seed,
+            trials,
+            chunk: chunk.max(1),
+            completed: BTreeMap::new(),
+        }
+    }
+
+    /// The experiment seed this run derives every trial seed from.
+    #[must_use]
+    pub fn experiment_seed(&self) -> u64 {
+        self.experiment_seed
+    }
+
+    /// Total number of trials in the run.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Chunk size (trials per unit of work).
+    #[must_use]
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Total number of chunks in the run.
+    #[must_use]
+    pub fn total_chunks(&self) -> usize {
+        self.trials.div_ceil(self.chunk)
+    }
+
+    /// Number of chunks already completed.
+    #[must_use]
+    pub fn completed_chunks(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether every chunk has completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.total_chunks()
+    }
+
+    /// Indices of the chunks still to run, ascending.
+    #[must_use]
+    pub fn remaining_chunks(&self) -> Vec<usize> {
+        (0..self.total_chunks())
+            .filter(|c| !self.completed.contains_key(c))
+            .collect()
+    }
+
+    /// The trial-index range `[start, end)` of chunk `c`.
+    #[must_use]
+    pub fn chunk_range(&self, c: usize) -> (usize, usize) {
+        let start = c * self.chunk;
+        (start, (start + self.chunk).min(self.trials))
+    }
+
+    /// The derived seeds of chunk `c`, in trial order.
+    #[must_use]
+    pub fn chunk_seeds(&self, c: usize) -> Vec<u64> {
+        let (start, end) = self.chunk_range(c);
+        (start..end)
+            .map(|i| derive_seed(self.experiment_seed, i as u64))
+            .collect()
+    }
+
+    /// Records chunk `c` as completed with `outputs` (one per trial).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index, an arity mismatch, or a chunk
+    /// recorded twice — all three indicate a resume against the wrong
+    /// manifest.
+    pub fn record_chunk(&mut self, c: usize, outputs: Vec<T>) {
+        assert!(c < self.total_chunks(), "chunk {c} out of range");
+        let (start, end) = self.chunk_range(c);
+        assert_eq!(
+            outputs.len(),
+            end - start,
+            "chunk {c} must record one output per trial"
+        );
+        let previous = self.completed.insert(c, outputs);
+        assert!(previous.is_none(), "chunk {c} recorded twice");
+    }
+
+    /// Whether this manifest belongs to the run described by
+    /// `(experiment_seed, trials, chunk)` — the resume-safety check a
+    /// loader performs before trusting a manifest found on disk.
+    #[must_use]
+    pub fn matches(&self, experiment_seed: u64, trials: usize, chunk: usize) -> bool {
+        self.experiment_seed == experiment_seed
+            && self.trials == trials
+            && self.chunk == chunk.max(1)
+    }
+
+    /// Assembles the full output vector in trial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the run [`is_complete`](Self::is_complete).
+    #[must_use]
+    pub fn into_outputs(self) -> Vec<T> {
+        assert!(
+            self.is_complete(),
+            "cannot assemble outputs: {} of {} chunks missing",
+            self.total_chunks() - self.completed.len(),
+            self.total_chunks()
+        );
+        // BTreeMap iterates keys ascending, so concatenation is in
+        // trial order by construction.
+        self.completed.into_values().flatten().collect()
+    }
+}
+
+impl<T: Serialize> ChunkManifest<T> {
+    /// Serializes the manifest to JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("manifest outputs must be serializable")
+    }
+}
+
+impl<T: Deserialize> ChunkManifest<T> {
+    /// Parses a manifest from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse/shape error message.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs every missing chunk of `manifest` on `threads` workers and
+/// records the results.
+///
+/// After this returns, `manifest.into_outputs()` is bit-identical to
+/// what [`parallel_trial_chunks`](crate::parallel_trial_chunks) with the
+/// same geometry and task would have produced in one uninterrupted run.
+///
+/// # Panics
+///
+/// Panics if `task` returns a different number of outputs than seeds.
+pub fn resume_chunks<T, F>(manifest: &mut ChunkManifest<T>, threads: usize, task: F)
+where
+    T: Send,
+    F: Fn(usize, &[u64]) -> Vec<T> + Sync,
+{
+    resume_chunks_with(manifest, threads, usize::MAX, task, |_| {});
+}
+
+/// [`resume_chunks`] with bounded checkpoint waves: missing chunks run
+/// `wave` at a time (clamped to ≥ `threads` so workers stay busy), and
+/// `persist` sees the manifest after each wave — so a kill loses at most
+/// one wave of work.
+///
+/// # Panics
+///
+/// Panics if `task` returns a different number of outputs than seeds.
+pub fn resume_chunks_with<T, F, P>(
+    manifest: &mut ChunkManifest<T>,
+    threads: usize,
+    wave: usize,
+    task: F,
+    mut persist: P,
+) where
+    T: Send,
+    F: Fn(usize, &[u64]) -> Vec<T> + Sync,
+    P: FnMut(&ChunkManifest<T>),
+{
+    let missing = manifest.remaining_chunks();
+    if missing.is_empty() {
+        return;
+    }
+    let wave = wave.max(threads.max(1));
+    for batch in missing.chunks(wave) {
+        // Precompute each chunk's work description so the parallel
+        // closure does not borrow the manifest (whose outputs need not
+        // be `Sync`).
+        let work: Vec<(usize, Vec<u64>)> = batch
+            .iter()
+            .map(|&c| (manifest.chunk_range(c).0, manifest.chunk_seeds(c)))
+            .collect();
+        let ran = parallel_map(batch.len(), threads, |k| {
+            let (start, seeds) = &work[k];
+            let values = task(*start, seeds);
+            assert_eq!(
+                values.len(),
+                seeds.len(),
+                "chunk task must return one output per trial"
+            );
+            values
+        });
+        for (k, values) in ran.into_iter().enumerate() {
+            manifest.record_chunk(batch[k], values);
+        }
+        persist(manifest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel_trial_chunks;
+
+    fn task(start: usize, seeds: &[u64]) -> Vec<(usize, u64)> {
+        seeds
+            .iter()
+            .enumerate()
+            .map(|(k, &seed)| (start + k, seed ^ 0xC0FFEE))
+            .collect()
+    }
+
+    #[test]
+    fn uninterrupted_resume_matches_parallel_trial_chunks() {
+        let reference = parallel_trial_chunks(0x5EED, 103, 4, 8, task);
+        for threads in [1, 2, 8] {
+            let mut manifest = ChunkManifest::new(0x5EED, 103, 8);
+            resume_chunks(&mut manifest, threads, task);
+            assert!(manifest.is_complete());
+            assert_eq!(manifest.into_outputs(), reference, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn killed_run_resumes_to_identical_outputs() {
+        let reference = parallel_trial_chunks(0xDEAD, 50, 2, 7, task);
+        // "Kill" after three chunks: only 0, 2, 5 completed.
+        let mut manifest = ChunkManifest::new(0xDEAD, 50, 7);
+        for c in [0usize, 2, 5] {
+            let (start, _) = manifest.chunk_range(c);
+            let seeds = manifest.chunk_seeds(c);
+            manifest.record_chunk(c, task(start, &seeds));
+        }
+        // Round-trip through JSON, as a real kill/restart would.
+        let revived = ChunkManifest::from_json(&manifest.to_json()).unwrap();
+        assert!(revived.matches(0xDEAD, 50, 7));
+        assert!(!revived.matches(0xDEAD, 50, 8));
+        assert!(!revived.is_complete());
+        assert_eq!(revived.remaining_chunks(), vec![1, 3, 4, 6, 7]);
+        let mut revived = revived;
+        resume_chunks(&mut revived, 4, task);
+        assert_eq!(revived.into_outputs(), reference);
+    }
+
+    #[test]
+    fn waves_persist_incrementally() {
+        let mut manifest = ChunkManifest::new(0xA1, 64, 4); // 16 chunks
+        let mut seen = Vec::new();
+        resume_chunks_with(&mut manifest, 2, 4, task, |m| {
+            seen.push(m.completed_chunks());
+        });
+        assert_eq!(seen, vec![4, 8, 12, 16], "one persist per wave");
+        assert_eq!(
+            manifest.into_outputs(),
+            parallel_trial_chunks(0xA1, 64, 2, 4, task)
+        );
+    }
+
+    #[test]
+    fn resume_on_complete_manifest_is_a_no_op() {
+        let mut manifest = ChunkManifest::new(0xB2, 10, 10);
+        resume_chunks(&mut manifest, 2, task);
+        let before = manifest.clone();
+        resume_chunks(&mut manifest, 2, |_, _| panic!("nothing should run"));
+        assert_eq!(manifest, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded twice")]
+    fn double_record_panics() {
+        let mut manifest = ChunkManifest::new(0xC3, 8, 4);
+        manifest.record_chunk(0, task(0, &manifest.chunk_seeds(0)));
+        manifest.record_chunk(0, task(0, &manifest.chunk_seeds(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunks missing")]
+    fn assembling_an_incomplete_manifest_panics() {
+        let manifest: ChunkManifest<u64> = ChunkManifest::new(0xD4, 8, 4);
+        let _ = manifest.into_outputs();
+    }
+}

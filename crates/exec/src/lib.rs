@@ -26,6 +26,10 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+mod checkpoint;
+
+pub use checkpoint::{resume_chunks, resume_chunks_with, ChunkManifest};
+
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "SEGSCOPE_THREADS";
 

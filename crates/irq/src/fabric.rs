@@ -175,6 +175,21 @@ impl PartialOrd for CalendarEntry {
     }
 }
 
+/// A canonical, heap-free image of an [`InterruptFabric`] — see
+/// [`InterruptFabric::snapshot`].
+///
+/// Because the fields are canonical (one-shots sorted in delivery order,
+/// no derived heap state), `PartialEq` over two snapshots means "these
+/// fabrics will deliver identical streams from here", which is what the
+/// divergence bisector compares.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FabricSnapshot {
+    sources: Vec<SourceState>,
+    /// Undelivered one-shots, sorted in delivery order.
+    injected: Vec<InjectedEvent>,
+    calendar_live: bool,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) struct InjectedEvent {
     pub(crate) at: Ps,
@@ -496,6 +511,53 @@ impl InterruptFabric {
     #[must_use]
     pub fn injected_backlog(&self) -> usize {
         self.injected.len()
+    }
+
+    /// Captures the fabric's canonical state: source models with their
+    /// armed arrivals, undelivered one-shots in delivery order, and the
+    /// (one-way) calendar flag.
+    ///
+    /// The calendar heap and cached head are *derived* state — fully
+    /// reconstructible from the sources — so they are deliberately left
+    /// out: two behaviourally identical fabrics always produce equal
+    /// snapshots even if their heap arrangements differ.
+    #[must_use]
+    pub fn snapshot(&self) -> FabricSnapshot {
+        let mut injected: Vec<InjectedEvent> = self.injected.iter().map(|&Reverse(e)| e).collect();
+        injected.sort_unstable();
+        FabricSnapshot {
+            sources: self.sources.clone(),
+            injected,
+            calendar_live: self.calendar_live,
+        }
+    }
+
+    /// Rebuilds a fabric from a [`FabricSnapshot`], re-deriving the
+    /// calendar heap and cached head. The result is restore-exact: it
+    /// yields the same deliveries and consumes the same RNG draws as the
+    /// fabric the snapshot was taken from.
+    #[must_use]
+    pub fn from_snapshot(snap: &FabricSnapshot) -> Self {
+        let mut fabric = InterruptFabric {
+            sources: snap.sources.clone(),
+            injected: snap.injected.iter().copied().map(Reverse).collect(),
+            calendar: BinaryHeap::new(),
+            next_event: None,
+            calendar_live: snap.calendar_live,
+        };
+        if fabric.calendar_live {
+            for (idx, state) in fabric.sources.iter().enumerate() {
+                if let Some(at) = state.next {
+                    fabric.calendar.push(Reverse(CalendarEntry {
+                        at,
+                        idx,
+                        gen: state.gen,
+                    }));
+                }
+            }
+        }
+        fabric.refresh_next();
+        fabric
     }
 
     /// Redraws source `idx`'s next arrival from `now`, bumping its
@@ -1029,6 +1091,52 @@ mod tests {
             // Identical final RNG positions: one more draw agrees.
             assert_eq!(ra.gen::<u64>(), rb.gen::<u64>());
         }
+    }
+
+    /// A restored fabric must pop the same stream, consume the same RNG
+    /// draws, and snapshot back to an equal image — in both scan and
+    /// calendar modes, with one-shots in flight.
+    #[test]
+    fn snapshot_restore_is_exact_in_both_modes() {
+        for extra_sources in [0usize, FABRIC_CUTOVER_SOURCES + 3] {
+            let mut r = SmallRng::seed_from_u64(0x5AAF + extra_sources as u64);
+            let mut fabric = InterruptFabric::new();
+            fabric.add_periodic_timer(250.0, Ps::from_us(1), &mut r);
+            for i in 0..extra_sources {
+                fabric.add_poisson(InterruptKind::Network, 40.0 + 13.0 * i as f64, &mut r);
+            }
+            for _ in 0..100 {
+                fabric.pop(&mut r);
+            }
+            fabric.inject(Ps::from_secs(10), InterruptKind::Gpu);
+            fabric.inject(Ps::from_secs(5), InterruptKind::Keyboard);
+
+            let snap = fabric.snapshot();
+            let mut restored = InterruptFabric::from_snapshot(&snap);
+            let mut r2 = r.clone();
+            assert_eq!(restored.snapshot(), snap, "snapshot round-trips");
+            assert_eq!(restored.peek_next(), fabric.peek_next());
+            assert_eq!(restored.active_impl(), fabric.active_impl());
+            for step in 0..500 {
+                assert_eq!(fabric.pop(&mut r), restored.pop(&mut r2), "step {step}");
+            }
+            assert_eq!(r.gen::<u64>(), r2.gen::<u64>(), "RNG positions agree");
+        }
+    }
+
+    /// Snapshots survive the JSON wire format bit-for-bit, including the
+    /// f64 Poisson rates.
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let mut r = rng();
+        let mut fabric = InterruptFabric::new();
+        fabric.add_periodic_timer(997.0, Ps::from_us(3), &mut r);
+        fabric.add_poisson(InterruptKind::Resched, 123.456, &mut r);
+        fabric.inject(Ps::from_us(77), InterruptKind::Network);
+        let snap = fabric.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: FabricSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

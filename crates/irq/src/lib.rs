@@ -46,7 +46,9 @@ pub mod naive;
 pub mod time;
 mod trace;
 
-pub use fabric::{FabricImpl, InterruptFabric, PendingInterrupt, SourceId, FABRIC_CUTOVER_SOURCES};
+pub use fabric::{
+    FabricImpl, FabricSnapshot, InterruptFabric, PendingInterrupt, SourceId, FABRIC_CUTOVER_SOURCES,
+};
 pub use fault::{FaultLog, FaultPlan, FaultedPop};
 pub use handler::{HandlerCostModel, HandlerCostParams};
 pub use kind::InterruptKind;

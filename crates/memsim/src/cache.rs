@@ -185,6 +185,24 @@ impl SetAssocCache {
         self.misses = 0;
     }
 
+    /// Collapses the lazy-clear representation into canonical form:
+    /// stale sets are emptied and every epoch stamp resets to zero.
+    ///
+    /// Behaviour-preserving (logical contents, statistics, and every
+    /// subsequent op outcome are unchanged), but afterwards two logically
+    /// equal caches are *structurally* equal — which is what snapshots
+    /// need so that serialized images are byte-comparable and free of
+    /// stale-line payload.
+    pub fn canonicalize(&mut self) {
+        for set in 0..self.sets.len() {
+            if self.set_epochs[set] != self.epoch {
+                self.sets[set].clear();
+            }
+            self.set_epochs[set] = 0;
+        }
+        self.epoch = 0;
+    }
+
     /// Number of lookups that hit.
     #[must_use]
     pub fn hits(&self) -> u64 {
@@ -314,6 +332,31 @@ mod tests {
         fresh.clear();
         assert_eq!(cleared, fresh);
         assert_eq!(cleared.resident_lines(), 0);
+    }
+
+    #[test]
+    fn canonicalize_preserves_behaviour_and_makes_equals_structural() {
+        let mut worked = SetAssocCache::new(8, 2, 64);
+        for addr in (0..32u64).map(|i| i * 64) {
+            worked.insert(addr);
+            worked.lookup(addr);
+        }
+        worked.clear();
+        worked.insert(0x40); // revive one set post-clear
+        let mut twin = worked.clone();
+        worked.canonicalize();
+        assert_eq!(worked, twin, "canonical form is logically identical");
+        for addr in [0x0u64, 0x40, 0x80, 0x200, 0x0, 0x80] {
+            assert_eq!(worked.lookup(addr), twin.lookup(addr), "addr {addr:#x}");
+            assert_eq!(worked.insert(addr), twin.insert(addr), "addr {addr:#x}");
+        }
+        // Canonicalizing the twin too makes the representations converge.
+        twin.canonicalize();
+        let (a, b) = (
+            serde_json::to_string(&worked).unwrap(),
+            serde_json::to_string(&twin).unwrap(),
+        );
+        assert_eq!(a, b, "canonical snapshots are byte-identical");
     }
 
     #[test]

@@ -223,6 +223,16 @@ impl MemoryHierarchy {
         self.llc.clear();
     }
 
+    /// Collapses every level into canonical form (see
+    /// [`SetAssocCache::canonicalize`]): behaviour-preserving, but
+    /// logically equal hierarchies become structurally — and therefore
+    /// serialization — equal.
+    pub fn canonicalize(&mut self) {
+        self.l1.canonicalize();
+        self.l2.canonicalize();
+        self.llc.canonicalize();
+    }
+
     fn fill(&mut self, addr: u64) {
         self.llc.insert(addr);
         self.l2.insert(addr);

@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod digest;
 mod event;
 pub mod export;
 pub mod metrics;
 mod ring;
 
+pub use digest::{digest_events, EventDigest};
 pub use event::{ClassSet, Event, EventClass, EventKind, FaultKind, IrqClass, SegRegId};
 pub use metrics::{Histogram, Metrics, PhaseStats};
 pub use ring::{TraceSink, DEFAULT_CAPACITY};

@@ -320,6 +320,111 @@ pub fn run_scenario<S: Scenario>(
     }
 }
 
+/// The empty [`exec::ChunkManifest`] a checkpointed run of `scenario`
+/// under `config` and `opts` starts from: same experiment seed, trial
+/// count, and chunk geometry as [`run_scenario`] would use.
+///
+/// Callers that resume from disk validate the loaded manifest against
+/// this one's geometry first:
+///
+/// ```ignore
+/// let fresh = checkpoint_manifest(&scenario, &config, &opts);
+/// let loaded = exec::ChunkManifest::from_json(&text)?;
+/// assert!(loaded.matches(fresh.experiment_seed(), fresh.trials(), fresh.chunk()));
+/// ```
+#[must_use]
+pub fn checkpoint_manifest<S: Scenario>(
+    scenario: &S,
+    config: &S::Config,
+    opts: &RunOptions,
+) -> exec::ChunkManifest<(S::TrialOutput, u64)> {
+    let seed = scenario.experiment_seed(config, opts.seed);
+    let trials = scenario.trial_count(config, opts.trials);
+    let threads = exec::resolve_threads(opts.threads);
+    exec::ChunkManifest::new(seed, trials, trial_chunk(trials, threads))
+}
+
+/// [`run_scenario`], resumable: runs only the chunks `manifest` has not
+/// completed, handing the manifest to `persist` after every wave of
+/// chunks, then assembles the same [`ScenarioRun`] an uninterrupted
+/// [`run_scenario`] with the same inputs produces — bit-identical
+/// outputs, totals, and summary, no matter where (or how often) the
+/// previous run was killed.
+///
+/// Checkpointing covers the untraced path only (`opts.capacity` must be
+/// 0): a merged trace is not resumable chunk-wise, and long
+/// multi-trial campaigns — the runs worth checkpointing — run untraced.
+///
+/// The manifest must come from [`checkpoint_manifest`] with the same
+/// `(scenario, config, opts)`, or from a persisted copy of one (see
+/// [`exec::ChunkManifest::matches`] for the loader-side check).
+///
+/// # Panics
+///
+/// Panics when `opts.capacity != 0` or when `manifest` does not match
+/// the run geometry `(scenario, config, opts)` resolves to.
+pub fn run_scenario_checkpointed<S>(
+    scenario: &S,
+    config: &S::Config,
+    opts: &RunOptions,
+    manifest: &mut exec::ChunkManifest<(S::TrialOutput, u64)>,
+    persist: impl FnMut(&exec::ChunkManifest<(S::TrialOutput, u64)>),
+) -> ScenarioRun<S::TrialOutput, S::Summary>
+where
+    S: Scenario,
+    S::TrialOutput: Clone,
+{
+    assert_eq!(opts.capacity, 0, "checkpointed runs are untraced");
+    let seed = scenario.experiment_seed(config, opts.seed);
+    let trials = scenario.trial_count(config, opts.trials);
+    let threads = exec::resolve_threads(opts.threads);
+    let chunk = trial_chunk(trials, threads);
+    assert!(
+        manifest.matches(seed, trials, chunk),
+        "manifest (seed {:#x}, {} trials, chunk {}) does not belong to \
+         this run (seed {seed:#x}, {trials} trials, chunk {chunk})",
+        manifest.experiment_seed(),
+        manifest.trials(),
+        manifest.chunk(),
+    );
+    exec::resume_chunks_with(
+        manifest,
+        threads,
+        threads,
+        |start, seeds| {
+            let ctxs: Vec<TrialCtx> = seeds
+                .iter()
+                .enumerate()
+                .map(|(k, &s)| TrialCtx {
+                    index: start + k,
+                    seed: s,
+                    experiment_seed: seed,
+                })
+                .collect();
+            scenario.run_batch(config, &ctxs, opts.fault_plan)
+        },
+        persist,
+    );
+    let mut outputs = Vec::with_capacity(trials);
+    let mut gt_deliveries = Vec::with_capacity(trials);
+    let mut totals = RunTotals::empty();
+    for (output, gt) in manifest.clone().into_outputs() {
+        outputs.push(output);
+        gt_deliveries.push(gt);
+        totals.merge(&RunTotals::from_trial(gt));
+    }
+    let summary = scenario.summarize(config, &outputs);
+    ScenarioRun {
+        seed,
+        trials,
+        outputs,
+        gt_deliveries,
+        sink: None,
+        totals,
+        summary,
+    }
+}
+
 /// A structured, JSON-able record of one driver run.
 ///
 /// Deliberately excludes the worker count and everything else
@@ -760,5 +865,74 @@ mod tests {
         // Seeds (the outputs) are schedule-independent either way.
         assert_eq!(faulted.outputs, nominal.outputs);
         assert_eq!(nominal.trials, faulted.trials);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_run_scenario() {
+        let config = ProbeConfig { spins: 30_000_000 };
+        let opts = RunOptions {
+            trials: Some(12),
+            threads: Some(2),
+            ..RunOptions::default()
+        };
+        let reference = run_scenario(&RecycledProbe, &config, &opts);
+        let mut manifest = checkpoint_manifest(&RecycledProbe, &config, &opts);
+        let run = run_scenario_checkpointed(&RecycledProbe, &config, &opts, &mut manifest, |_| {});
+        assert!(manifest.is_complete());
+        assert_eq!(run, reference);
+    }
+
+    #[test]
+    fn killed_checkpointed_run_resumes_to_the_identical_report() {
+        let config = ProbeConfig { spins: 30_000_000 };
+        let opts = RunOptions {
+            trials: Some(12),
+            threads: Some(2),
+            ..RunOptions::default()
+        };
+        let reference = run_scenario(&RecycledProbe, &config, &opts);
+
+        // First life: run until the first persist, then "die" holding
+        // only what persist saw — exactly what a kill leaves on disk.
+        let mut first = checkpoint_manifest(&RecycledProbe, &config, &opts);
+        let mut saved: Option<String> = None;
+        let salvaged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_scenario_checkpointed(&RecycledProbe, &config, &opts, &mut first, |m| {
+                if saved.is_none() {
+                    saved = Some(m.to_json());
+                    panic!("killed");
+                }
+            })
+        }));
+        assert!(salvaged.is_err(), "the kill must interrupt the run");
+        let saved = saved.expect("one wave persisted before the kill");
+
+        // Second life: load the persisted manifest, validate it against
+        // the run geometry, and resume.
+        let mut revived: exec::ChunkManifest<(u64, u64)> =
+            exec::ChunkManifest::from_json(&saved).expect("parses");
+        let fresh = checkpoint_manifest(&RecycledProbe, &config, &opts);
+        assert!(revived.matches(fresh.experiment_seed(), fresh.trials(), fresh.chunk()));
+        assert!(!revived.is_complete(), "the kill left work behind");
+        let resumed =
+            run_scenario_checkpointed(&RecycledProbe, &config, &opts, &mut revived, |_| {});
+        assert_eq!(resumed, reference);
+        assert_eq!(
+            serde_json::to_string(&resumed.summary).expect("serializable"),
+            serde_json::to_string(&reference.summary).expect("serializable"),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn checkpointed_run_rejects_a_foreign_manifest() {
+        let config = ProbeConfig { spins: 30_000_000 };
+        let opts = RunOptions {
+            trials: Some(12),
+            threads: Some(2),
+            ..RunOptions::default()
+        };
+        let mut manifest = exec::ChunkManifest::new(0xBAD, 99, 1);
+        let _ = run_scenario_checkpointed(&RecycledProbe, &config, &opts, &mut manifest, |_| {});
     }
 }

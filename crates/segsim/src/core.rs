@@ -128,41 +128,44 @@ impl CoResident {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Machine {
-    config: MachineConfig,
-    rng: SmallRng,
-    now: Ps,
-    freq: FreqModel,
-    fabric: InterruptFabric,
-    timer_source: Option<SourceId>,
-    ground_truth: GroundTruth,
-    regs: SegmentRegisterFile,
-    tables: DescriptorTables,
-    mem: MemoryHierarchy,
-    kaslr: Option<KaslrLayout>,
-    co_resident: Option<CoResident>,
-    timer_ticks_seen: u32,
-    kernel_entries: u64,
+    // Fields are `pub(crate)` so the sibling `snapshot` module can
+    // capture and restore them; everything outside the crate still goes
+    // through the accessor API.
+    pub(crate) config: MachineConfig,
+    pub(crate) rng: SmallRng,
+    pub(crate) now: Ps,
+    pub(crate) freq: FreqModel,
+    pub(crate) fabric: InterruptFabric,
+    pub(crate) timer_source: Option<SourceId>,
+    pub(crate) ground_truth: GroundTruth,
+    pub(crate) regs: SegmentRegisterFile,
+    pub(crate) tables: DescriptorTables,
+    pub(crate) mem: MemoryHierarchy,
+    pub(crate) kaslr: Option<KaslrLayout>,
+    pub(crate) co_resident: Option<CoResident>,
+    pub(crate) timer_ticks_seen: u32,
+    pub(crate) kernel_entries: u64,
     /// Total cycles elapsed in the frequency domain since t = 0 (user +
     /// kernel), used by the counting-thread model.
-    domain_cycles: f64,
+    pub(crate) domain_cycles: f64,
     /// Accumulated counting-thread drift (SMT contention random walk).
-    ct_drift: f64,
+    pub(crate) ct_drift: f64,
     /// Kernel-entry count at the last counting-thread read (stall kicks).
-    ct_last_kernel_entries: u64,
+    pub(crate) ct_last_kernel_entries: u64,
     /// User-side cycles still owed to pipeline/cache refill after the last
     /// interrupt (consumed before guest work makes progress).
-    pending_refill: f64,
+    pub(crate) pending_refill: f64,
     /// Opt-in interrupt-path fault injection (`None` = nominal machine,
     /// bit-identical RNG stream to a build without fault injection).
-    fault_plan: Option<FaultPlan>,
+    pub(crate) fault_plan: Option<FaultPlan>,
     /// Accounting of every fault actually injected.
-    fault_log: FaultLog,
+    pub(crate) fault_log: FaultLog,
     /// Remaining guest operations in the current SMT-noise burst.
-    smt_burst_left: u32,
+    pub(crate) smt_burst_left: u32,
     /// Optional observability sink. `None` (the default) keeps every
     /// hook a dead branch: no RNG draws, no timing change, bit-identical
     /// behaviour to a build without instrumentation.
-    sink: Option<Box<obs::TraceSink>>,
+    pub(crate) sink: Option<Box<obs::TraceSink>>,
 }
 
 impl Machine {
@@ -1601,6 +1604,31 @@ mod tests {
         assert_eq!(reused.fault_plan(), None);
         assert_eq!(*reused.fault_log(), FaultLog::default());
         let mut fresh = Machine::new(MachineConfig::default(), 0x11);
+        assert_machines_equivalent(&mut reused, &mut fresh);
+    }
+
+    #[test]
+    fn reset_after_restore_is_indistinguishable_from_fresh() {
+        // `restore` swaps in snapshot state wholesale (fabric rebuilt
+        // from a snapshot, RNG forced to an arbitrary mid-stream
+        // position); a later `reset` must still reproduce `Machine::new`
+        // exactly, leaving no residue of the restored image behind.
+        let target = crate::presets::by_name("amazon_t2_large")
+            .unwrap()
+            .with_fault_plan(irq::FaultPlan::none().with_drop_prob(0.25));
+        let mut reused = Machine::new(crate::presets::by_name("lenovo_savior").unwrap(), 0xBEEF);
+        reused.set_kaslr(memsim::KaslrLayout::with_slot(7));
+        for _ in 0..15 {
+            let deadline = reused.now() + Ps::from_ms(1);
+            let _ = reused.run_user_until(deadline);
+            reused.memory_mut().access(0xA000);
+        }
+        let snap = reused.snapshot();
+        // Drift past the snapshot, then restore into the past.
+        reused.spin(2_000_000);
+        reused.restore(&snap);
+        reused.reset(target.clone(), 0xF00D);
+        let mut fresh = Machine::new(target, 0xF00D);
         assert_machines_equivalent(&mut reused, &mut fresh);
     }
 }

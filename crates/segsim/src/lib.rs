@@ -43,12 +43,14 @@ mod core;
 mod error;
 mod freq;
 pub mod presets;
+mod snapshot;
 
 pub use crate::core::{CoResident, DeliveredIrq, Machine, SpanEnd, UserSpan};
 pub use batch::MachineBatch;
 pub use config::{Hypervisor, MachineConfig, NoiseModel, Vendor};
 pub use error::SimError;
 pub use freq::{FreqConfig, FreqModel, StepFn};
+pub use snapshot::Snapshot;
 
 // Re-export the time unit so downstream crates need not spell `irq::Ps`.
 pub use irq::Ps;

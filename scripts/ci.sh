@@ -92,6 +92,34 @@ for key in fabric trials full_scale note mode peeks_per_pop \
     fi
 done
 
+echo "==> snapshot fuzz gate (release, random pause points)"
+# The restore-exactness proptests at release optimization: presets ×
+# fault plans × random pause points through a full JSON cycle, plus the
+# record/replay/bisect suite in the umbrella crate.
+cargo test -q --offline --release --test snapshot_roundtrip
+cargo test -q --offline --release --lib -p segscope-repro replay
+
+echo "==> segscope snapshot/replay round trip + recording schema"
+"$SEGSCOPE" snapshot --machine lenovo_savior --seed 0x51AB --spans 32 \
+    --every 8 --out target/ci.rec.json >/dev/null
+"$SEGSCOPE" replay --in target/ci.rec.json --from 40 >/dev/null
+# The serialized recording must carry the schema replay consumers read:
+# the spec, the event stream, and the snapshot ladder down to the
+# machine image's RNG position and fabric state.
+for key in spec events snapshots final_digest machine seed spans \
+           event_index digest snapshot rng_state now fabric; do
+    if ! grep -q "\"$key\"" target/ci.rec.json; then
+        echo "target/ci.rec.json missing key \"$key\"" >&2
+        exit 1
+    fi
+done
+# And the bisector must localize a single injected fault.
+"$SEGSCOPE" bisect --machine lenovo_savior --seed 9 --spans 24 \
+    --inject-b 40000:gpu | grep -q "first divergence at event" || {
+    echo "segscope bisect failed to localize an injected fault" >&2
+    exit 1
+}
+
 if [[ "${SEGSCOPE_OBS_FULL:-0}" == "1" ]]; then
     echo "==> obs 16M-event stress pass (SEGSCOPE_OBS_FULL=1)"
     cargo test -q --offline -p obs --release -- --include-ignored

@@ -7,18 +7,24 @@
 //!                     [--params JSON] [--machine PRESET]
 //!                     [--fault-plan JSON] [--capacity N]
 //!                     [--trace-out PATH] [--report PATH]
+//! segscope snapshot [SPEC FLAGS] [--every K] --out PATH
+//! segscope replay --in PATH [--from EVENT]
+//! segscope bisect [SHARED SPEC FLAGS] [per-side -a/-b flags] [--every K]
 //! ```
 //!
 //! Every run goes through the same generic deterministic driver
 //! ([`scenario::run_scenario`]): reports and merged traces are
 //! bit-identical at any `--threads` value, and identical to what the
-//! per-attack library APIs produce for the same seed.
+//! per-attack library APIs produce for the same seed. The
+//! `snapshot`/`replay`/`bisect` trio drives the record-and-replay layer
+//! ([`segscope_repro::replay`]) over single-machine runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use scenario::{RunOptions, ScenarioError};
-use segscope_repro::{attacks, obs, scenario, segsim};
+use segscope_repro::replay::{self, InjectedIrq, RunSpec};
+use segscope_repro::{attacks, irq, obs, scenario, segsim};
 use serde::{Serialize, Value};
 use std::process::ExitCode;
 
@@ -28,6 +34,9 @@ USAGE:
     segscope list [--names]
     segscope describe <name>
     segscope run <name> [OPTIONS]
+    segscope snapshot [SPEC FLAGS] [--every K] --out PATH
+    segscope replay --in PATH [--from EVENT]
+    segscope bisect [SPEC FLAGS] [PER-SIDE FLAGS] [--every K]
 
 RUN OPTIONS:
     --seed N           Experiment seed override (default: the scenario's)
@@ -42,7 +51,20 @@ RUN OPTIONS:
     --trace-out PATH   Write the merged trace as Chrome trace_event JSON
     --report PATH      Also write the report JSON to PATH
 
-The report JSON is always printed to stdout. Machine presets:
+SPEC FLAGS (snapshot, and the shared base of bisect):
+    --machine PRESET   Table I preset to run (default: xiaomi_air13)
+    --seed N           Machine seed
+    --spans N          Marker/run-until-interrupt spans to execute
+    --fault-plan JSON  Fault plan installed before the run
+    --inject US:KIND   Inject a one-shot interrupt at US microseconds
+                       (kind: timer resched perfmon network gpu keyboard
+                       thermal callfunction other; repeatable)
+
+BISECT PER-SIDE FLAGS: --seed-a/--seed-b N,
+    --fault-plan-a/--fault-plan-b JSON, --inject-a/--inject-b US:KIND
+    (each overrides the shared spec on that side only)
+
+The run report JSON is always printed to stdout. Machine presets:
     xiaomi_air13 lenovo_yangtian lenovo_savior honor_magicbook
     amazon_t2_large amazon_c5_large";
 
@@ -52,6 +74,9 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(&args[1..]),
         Some("describe") => cmd_describe(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("bisect") => cmd_bisect(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -255,6 +280,173 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .ok_or_else(|| "no trace collected (is --capacity 0?)".to_owned())?;
         std::fs::write(path, obs::export::chrome_trace(sink))
             .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Parses a `US:KIND` one-shot injection argument (microseconds plus an
+/// interrupt-kind name).
+fn parse_inject(text: &str, flag: &str) -> Result<InjectedIrq, String> {
+    let (us, kind) = text
+        .split_once(':')
+        .ok_or_else(|| format!("`{flag}` needs US:KIND, got `{text}`"))?;
+    let at = irq::Ps::from_us(parse_u64(us, flag)?);
+    let kind = match kind.to_ascii_lowercase().as_str() {
+        "timer" => irq::InterruptKind::Timer,
+        "resched" => irq::InterruptKind::Resched,
+        "perfmon" => irq::InterruptKind::PerfMon,
+        "network" => irq::InterruptKind::Network,
+        "gpu" => irq::InterruptKind::Gpu,
+        "keyboard" => irq::InterruptKind::Keyboard,
+        "thermal" => irq::InterruptKind::Thermal,
+        "callfunction" => irq::InterruptKind::CallFunction,
+        "other" => irq::InterruptKind::Other,
+        unknown => return Err(format!("`{flag}`: unknown interrupt kind `{unknown}`")),
+    };
+    Ok(InjectedIrq { at, kind })
+}
+
+fn parse_fault_plan(text: &str, flag: &str) -> Result<segsim::FaultPlan, String> {
+    serde_json::from_str(text).map_err(|e| format!("`{flag}` is not a valid fault plan: {e}"))
+}
+
+/// Applies one shared spec flag to `spec`; `Ok(false)` means the flag is
+/// not a spec flag and belongs to the caller.
+fn apply_spec_flag(
+    spec: &mut RunSpec,
+    flag: &str,
+    value: &mut dyn FnMut() -> Result<String, String>,
+) -> Result<bool, String> {
+    match flag {
+        "--machine" => spec.machine = value()?,
+        "--seed" => spec.seed = parse_u64(&value()?, flag)?,
+        "--spans" => spec.spans = parse_u64(&value()?, flag)? as usize,
+        "--fault-plan" => spec.fault_plan = Some(parse_fault_plan(&value()?, flag)?),
+        "--inject" => spec.inject.push(parse_inject(&value()?, flag)?),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn cmd_snapshot(args: &[String]) -> Result<(), String> {
+    let mut spec = RunSpec::default();
+    let mut every = 8usize;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        if apply_spec_flag(&mut spec, flag, &mut value)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--every" => every = parse_u64(&value()?, flag)?.max(1) as usize,
+            "--out" => out = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    let out = out.ok_or_else(|| "`segscope snapshot` needs --out PATH".to_owned())?;
+    let recording = replay::record(&spec, every)?;
+    let json = serde_json::to_string(&recording).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json + "\n")
+        .map_err(|e| format!("cannot write recording to `{out}`: {e}"))?;
+    println!(
+        "recorded {} events over {} spans ({} snapshot rungs, digest {:#018x}) -> {out}",
+        recording.events.len(),
+        recording.spec.spans,
+        recording.snapshots.len(),
+        recording.final_digest,
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let mut input = None;
+    let mut from = 0usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--in" => input = Some(value()?),
+            "--from" => from = parse_u64(&value()?, flag)? as usize,
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    let input = input.ok_or_else(|| "`segscope replay` needs --in PATH".to_owned())?;
+    let text = std::fs::read_to_string(&input)
+        .map_err(|e| format!("cannot read recording `{input}`: {e}"))?;
+    let recording: replay::Recording = serde_json::from_str(&text)
+        .map_err(|e| format!("`{input}` is not a valid recording: {e}"))?;
+    let slice = replay::replay_from(&recording, from);
+    if slice.matches(&recording) {
+        println!(
+            "replayed {} events from span {} (event {}): bit-identical to the recording",
+            slice.events.len(),
+            slice.from_span,
+            slice.from_event,
+        );
+        Ok(())
+    } else {
+        let index = slice.from_event
+            + replay::first_divergence(&recording.events[slice.from_event..], &slice.events)
+                .expect("mismatch implies a first divergence");
+        Err(format!(
+            "replay diverged from the recording at event {index} — \
+             the recording no longer matches this build's simulator"
+        ))
+    }
+}
+
+fn cmd_bisect(args: &[String]) -> Result<(), String> {
+    let mut base = RunSpec::default();
+    let mut every = 8usize;
+    // Per-side overrides are applied after the shared flags, so order on
+    // the command line does not matter.
+    let mut seed = [None, None];
+    let mut fault = [None, None];
+    let mut inject: [Vec<InjectedIrq>; 2] = [Vec::new(), Vec::new()];
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        if apply_spec_flag(&mut base, flag, &mut value)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--every" => every = parse_u64(&value()?, flag)?.max(1) as usize,
+            "--seed-a" => seed[0] = Some(parse_u64(&value()?, flag)?),
+            "--seed-b" => seed[1] = Some(parse_u64(&value()?, flag)?),
+            "--fault-plan-a" => fault[0] = Some(parse_fault_plan(&value()?, flag)?),
+            "--fault-plan-b" => fault[1] = Some(parse_fault_plan(&value()?, flag)?),
+            "--inject-a" => inject[0].push(parse_inject(&value()?, flag)?),
+            "--inject-b" => inject[1].push(parse_inject(&value()?, flag)?),
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    let side = |i: usize| {
+        let mut spec = base.clone();
+        if let Some(s) = seed[i] {
+            spec.seed = s;
+        }
+        if let Some(p) = fault[i] {
+            spec.fault_plan = Some(p);
+        }
+        spec.inject.extend(inject[i].iter().copied());
+        spec
+    };
+    match replay::bisect(&side(0), &side(1), every)? {
+        None => println!("event streams are identical"),
+        Some(report) => println!("{report}"),
     }
     Ok(())
 }

@@ -2,7 +2,9 @@
 //! reproduction.
 //!
 //! This crate re-exports the whole workspace so the examples and
-//! integration tests have a single dependency, and hosts nothing else:
+//! integration tests have a single dependency, plus the [`replay`]
+//! module — record-and-replay and divergence bisection over whole
+//! machine runs, which needs every layer and so lives at the top:
 //!
 //! * [`exec`] — the deterministic parallel experiment engine;
 //! * [`x86seg`] — segmentation semantics (selectors, Algorithm 1);
@@ -25,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod replay;
 
 pub use exec;
 pub use irq;

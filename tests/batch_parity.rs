@@ -17,6 +17,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use segscope_repro::attacks::kaslr::{KaslrConfig, KaslrScenario, KaslrScenarioConfig};
 use segscope_repro::irq::time::Ps;
+use segscope_repro::replay::first_divergence;
 use segscope_repro::scenario::{Scenario, TrialCtx};
 use segscope_repro::segsim::{FaultPlan, Machine, MachineBatch, MachineConfig};
 use segscope_repro::x86seg::Selector;
@@ -124,19 +125,34 @@ proptest! {
             for (i, (config, lane_seed)) in lanes.iter().enumerate() {
                 let mut scalar = Machine::new(config.clone(), *lane_seed);
                 let scalar_samples = drive_scalar(&mut scalar, rounds, &deadlines);
-                prop_assert_eq!(
-                    &scalar_samples, &batch_samples[i],
-                    "size {} lane {} samples", size, i
-                );
+                // Stream comparisons report the first diverging index
+                // and both sides, not whole-vector inequality.
+                if let Some(at) = first_divergence(&scalar_samples, &batch_samples[i]) {
+                    prop_assert!(
+                        false,
+                        "size {} lane {}: samples first diverge at round {}: \
+                         scalar {:?} vs batched {:?}",
+                        size, i, at,
+                        scalar_samples.get(at), batch_samples[i].get(at)
+                    );
+                }
                 prop_assert_eq!(
                     scalar.fault_log(), batch.lane(i).fault_log(),
                     "size {} lane {} fault log", size, i
                 );
-                prop_assert_eq!(
+                if let Some(at) = first_divergence(
                     scalar.ground_truth().records(),
                     batch.lane(i).ground_truth().records(),
-                    "size {} lane {} deliveries", size, i
-                );
+                ) {
+                    prop_assert!(
+                        false,
+                        "size {} lane {}: deliveries first diverge at record {}: \
+                         scalar {:?} vs batched {:?}",
+                        size, i, at,
+                        scalar.ground_truth().records().get(at),
+                        batch.lane(i).ground_truth().records().get(at)
+                    );
+                }
                 prop_assert_eq!(
                     scalar.rng_mut().gen::<u64>(),
                     batch.with_lane_mut(i, |l| l.rng_mut().gen::<u64>()),
@@ -180,6 +196,13 @@ fn scenario_run_batch_matches_per_trial_path_at_required_sizes() {
                 (output, machine.ground_truth().len() as u64)
             })
             .collect();
-        assert_eq!(batched, reference, "chunk size {size} diverged");
+        if let Some(at) = first_divergence(&batched, &reference) {
+            panic!(
+                "chunk size {size}: first divergence at trial {at}\n  \
+                 batched:   {:?}\n  per-trial: {:?}",
+                batched.get(at),
+                reference.get(at),
+            );
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! ```
 
 use segscope::SegProbe;
+use segscope_repro::replay::first_divergence;
 use segsim::{Machine, MachineConfig, SpanEnd};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -136,11 +137,41 @@ fn check_golden(name: &str, config: MachineConfig) {
     });
     let expected: GoldenTrace =
         serde_json::from_str(&blessed).expect("golden file parses as GoldenTrace");
+    if actual == expected {
+        return;
+    }
+    // Drift: pinpoint the first diverging record in each stream instead
+    // of dumping whole-struct inequality.
+    assert_stream(name, "samples", &actual.samples, &expected.samples);
+    assert_stream(name, "delivered", &actual.delivered, &expected.delivered);
+    assert_stream(name, "spans", &actual.spans, &expected.spans);
     assert_eq!(
-        actual, expected,
-        "golden trace drift for {name}; if intentional, regenerate with \
-         SEGSCOPE_BLESS=1 cargo test --test golden_trace"
+        actual.final_now_ps, expected.final_now_ps,
+        "golden trace drift for {name}: streams agree but final_now_ps moved; \
+         if intentional, regenerate with SEGSCOPE_BLESS=1 cargo test --test golden_trace"
     );
+    panic!("golden trace drift for {name} outside the recorded streams (config/seed header)");
+}
+
+/// Fails with the first diverging index and both sides' records — the
+/// bisection-style report the whole-trace `assert_eq!` used to bury.
+fn assert_stream<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    stream: &str,
+    actual: &[T],
+    blessed: &[T],
+) {
+    if let Some(at) = first_divergence(actual, blessed) {
+        panic!(
+            "golden trace drift for {name}: `{stream}` first diverges at index {at} \
+             ({} actual / {} blessed records)\n  actual:  {:?}\n  blessed: {:?}\n\
+             if intentional, regenerate with SEGSCOPE_BLESS=1 cargo test --test golden_trace",
+            actual.len(),
+            blessed.len(),
+            actual.get(at),
+            blessed.get(at),
+        );
+    }
 }
 
 #[test]

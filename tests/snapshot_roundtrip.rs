@@ -1,0 +1,150 @@
+//! Restore-exactness of [`segsim::Snapshot`] under adversarial pause
+//! points: across every Table I vendor preset × fault-plan regime, a
+//! machine paused at a *random* step, snapshotted, pushed through a full
+//! JSON serialize/deserialize cycle, and restored into a deliberately
+//! wrecked machine must continue bit-identically to the machine that
+//! was never paused — same observable samples, same [`FaultLog`], same
+//! ground-truth records, same final RNG position.
+//!
+//! This is the contract the record-and-replay driver and the divergence
+//! bisector (`segscope_repro::replay`) stand on.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use segscope_repro::irq::time::Ps;
+use segscope_repro::segsim::{presets, FaultPlan, Machine, MachineConfig, Snapshot};
+use segscope_repro::x86seg::Selector;
+
+/// Workload steps per trial; the pause point ranges over all of them.
+const STEPS: usize = 24;
+
+/// One observable output per workload step: simulated time, the GS
+/// selector after the span, kernel entries so far, and an L1-timing
+/// sample — every layer a snapshot must carry.
+type StepSample = (u64, u16, u64, u64);
+
+/// The fault regimes the proptest sweeps: none, delivery faults
+/// (drops + duplicates), and timing faults (jitter + clamps + bursts).
+fn plan_for(index: u8) -> Option<FaultPlan> {
+    match index % 3 {
+        0 => None,
+        1 => Some(
+            FaultPlan::delivery_storm()
+                .with_drop_prob(0.12)
+                .with_duplicate_prob(0.08),
+        ),
+        _ => Some(FaultPlan::timing_storm()),
+    }
+}
+
+fn config_for(preset: usize, plan: u8) -> MachineConfig {
+    let name = presets::NAMES[preset % presets::NAMES.len()];
+    let config = presets::by_name(name).expect("NAMES entries resolve");
+    match plan_for(plan) {
+        Some(p) => config.with_fault_plan(p),
+        None => config,
+    }
+}
+
+/// Runs one workload step, mixing segment writes, user spans, guest
+/// compute, and memory traffic so every snapshot field is live.
+fn step(machine: &mut Machine, index: usize) -> StepSample {
+    let sel = Selector::from_bits(1 + (index % 3) as u16);
+    machine.wrgs(sel).expect("flat selectors load");
+    let deadline = machine.now() + Ps::from_us(600 + (index as u64 % 5) * 90);
+    let _ = machine.run_user_until(deadline);
+    machine.spin(2_000 + (index as u64 % 7) * 350);
+    let timing = machine.mem_access(0x4000 + (index as u64) * 0x140).cycles;
+    (
+        machine.now().as_ps(),
+        machine.rdgs().bits(),
+        machine.kernel_entries(),
+        timing,
+    )
+}
+
+/// Everything the round-trip must preserve bit-for-bit.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    samples: Vec<StepSample>,
+    fault_log: segscope_repro::irq::FaultLog,
+    ground_truth: Vec<segscope_repro::irq::IrqRecord>,
+    rng_state: [u64; 4],
+}
+
+fn finish(machine: &mut Machine, samples: Vec<StepSample>) -> Observables {
+    Observables {
+        samples,
+        fault_log: *machine.fault_log(),
+        ground_truth: machine.ground_truth().records().to_vec(),
+        rng_state: machine.rng_mut().state(),
+    }
+}
+
+/// The uninterrupted reference: all `STEPS` steps, no pause.
+fn uninterrupted(config: &MachineConfig, seed: u64) -> Observables {
+    let mut machine = Machine::new(config.clone(), seed);
+    let samples = (0..STEPS).map(|i| step(&mut machine, i)).collect();
+    finish(&mut machine, samples)
+}
+
+/// The paused run: `pause` steps, snapshot → JSON → parse → restore
+/// into a wrecked machine, then the remaining steps.
+fn paused(config: &MachineConfig, seed: u64, pause: usize) -> Observables {
+    let mut machine = Machine::new(config.clone(), seed);
+    let mut samples: Vec<StepSample> = (0..pause).map(|i| step(&mut machine, i)).collect();
+    let json = serde_json::to_string(&machine.snapshot()).expect("snapshots serialize");
+    let revived: Snapshot = serde_json::from_str(&json).expect("snapshots parse");
+    // Restore into a machine that has drifted far from the snapshot —
+    // different config, seed, and history — so the test proves restore
+    // rebuilds *everything*, not just what the wreck left untouched.
+    machine.reset(MachineConfig::default(), !seed);
+    machine.spin(500_000);
+    machine.restore(&revived);
+    samples.extend((pause..STEPS).map(|i| step(&mut machine, i)));
+    finish(&mut machine, samples)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: preset × fault plan × random pause point,
+    /// through a full JSON cycle, is bit-identical to never pausing.
+    #[test]
+    fn snapshot_json_roundtrip_is_restore_exact(gen_seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(gen_seed);
+        let preset = rng.gen_range(0..presets::NAMES.len());
+        let plan = rng.gen_range(0u8..3);
+        let pause = rng.gen_range(0..=STEPS);
+        let seed = rng.gen::<u64>();
+        let config = config_for(preset, plan);
+        let reference = uninterrupted(&config, seed);
+        let resumed = paused(&config, seed, pause);
+        prop_assert_eq!(
+            &resumed, &reference,
+            "preset {} plan {} pause {}", presets::NAMES[preset], plan, pause
+        );
+    }
+}
+
+/// Deterministic floor under the proptest: every preset × every fault
+/// regime at fixed early/mid/late pause points, so a regression names
+/// the failing preset even if the random sweep misses it.
+#[test]
+fn every_preset_and_plan_survives_fixed_pause_points() {
+    for (preset, name) in presets::NAMES.iter().enumerate() {
+        for plan in 0u8..3 {
+            let config = config_for(preset, plan);
+            let seed = 0xC0DE ^ ((preset as u64) << 8) ^ u64::from(plan);
+            let reference = uninterrupted(&config, seed);
+            for pause in [0, STEPS / 2, STEPS] {
+                assert_eq!(
+                    paused(&config, seed, pause),
+                    reference,
+                    "preset {name} plan {plan} pause {pause}"
+                );
+            }
+        }
+    }
+}
