@@ -422,7 +422,7 @@ impl Scenario for CovertScenario {
         config: &Self::Config,
         ctxs: &[TrialCtx],
         fault_override: Option<FaultPlan>,
-    ) -> Vec<(CovertResult, u64)> {
+    ) -> Vec<(CovertResult, scenario::TrialStats)> {
         ctxs.iter()
             .map(|ctx| {
                 scenario::with_recycled_machine(
@@ -434,8 +434,7 @@ impl Scenario for CovertScenario {
                             machine.set_fault_plan(Some(plan));
                         }
                         let output = self.run_trial(config, machine, ctx);
-                        let gt = machine.ground_truth().len() as u64;
-                        (output, gt)
+                        (output, scenario::TrialStats::of(machine))
                     },
                 )
             })

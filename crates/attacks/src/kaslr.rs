@@ -386,7 +386,7 @@ impl Scenario for KaslrScenario {
         config: &Self::Config,
         ctxs: &[TrialCtx],
         fault_override: Option<segsim::FaultPlan>,
-    ) -> Vec<(Self::TrialOutput, u64)> {
+    ) -> Vec<(Self::TrialOutput, scenario::TrialStats)> {
         ctxs.iter()
             .map(|ctx| {
                 scenario::with_recycled_machine(config.machine.clone(), ctx.seed, |machine| {
@@ -396,8 +396,7 @@ impl Scenario for KaslrScenario {
                         machine.set_fault_plan(Some(plan));
                     }
                     let output = self.run_trial(config, machine, ctx);
-                    let gt = machine.ground_truth().len() as u64;
-                    (output, gt)
+                    (output, scenario::TrialStats::of(machine))
                 })
             })
             .collect()

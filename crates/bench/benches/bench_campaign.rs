@@ -1,0 +1,78 @@
+//! Regenerates `BENCH_campaign.json`: campaign-sweep throughput
+//! (cells/s) at shard counts 1, 4, and 8 over a fast four-scenario
+//! grid, with an FNV fold of each merged report proving the sweeps are
+//! bit-identical.
+//!
+//! Writes to the path in `SEGSCOPE_BENCH_JSON` (default
+//! `BENCH_campaign.json` in the current directory). Set
+//! `SEGSCOPE_BENCH_FULL=1` for the larger grid. The ≥2x
+//! sharded-vs-serial gate arms only on multi-core hosts; single-core
+//! hosts gate report identity alone (same policy as
+//! `BENCH_parallel.json`).
+
+use segscope_bench::campaign_report::{
+    bench_spec, measure_campaign, write_report, CampaignBenchReport,
+};
+
+fn main() {
+    segscope_bench::header("Campaign engine: sharded grid-sweep throughput");
+    let full = segscope_bench::full_scale();
+    let spec = bench_spec(full);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "grid `{}`: {} cells ({} scenarios x {} presets x {} faults x {} replicates), \
+         {} host cores",
+        spec.name,
+        spec.cell_count(),
+        spec.scenarios.len(),
+        spec.presets.len(),
+        spec.faults.len(),
+        spec.replicates,
+        cores,
+    );
+
+    // Warmup sweep (page-in, lane construction) before the timed arms.
+    let _ = measure_campaign(&spec, 2);
+
+    let mut arms = Vec::new();
+    for shards in [1usize, 4, 8] {
+        let arm = measure_campaign(&spec, shards);
+        println!(
+            "shards {:2}: {:6.1} cells/s ({:.3}s), report digest {:#018x}",
+            arm.shards, arm.cells_per_s, arm.wall_s, arm.report_digest,
+        );
+        arms.push(arm);
+    }
+    let identical = arms
+        .iter()
+        .all(|a| a.report_digest == arms[0].report_digest);
+    println!("reports identical across shard counts: {identical}");
+
+    let note = format!(
+        "{} scale on a {}-core host; wall-clock numbers are host-dependent, \
+         the identity invariant is not{}",
+        if full { "full" } else { "quick" },
+        cores,
+        if cores > 1 {
+            ""
+        } else {
+            "; single-core host, speedup gate disarmed"
+        },
+    );
+    let report = CampaignBenchReport {
+        spec: spec.name.clone(),
+        cells: spec.cell_count(),
+        trials_per_cell: spec.trials.unwrap_or(1),
+        arms,
+        identical,
+        multi_core: cores > 1,
+        full_scale: full,
+        note,
+    };
+    report.validate().expect("campaign-sweep invariants hold");
+
+    let path =
+        std::env::var("SEGSCOPE_BENCH_JSON").unwrap_or_else(|_| "BENCH_campaign.json".to_string());
+    write_report(&report, &path).expect("write report");
+    println!("\nwrote {path}");
+}

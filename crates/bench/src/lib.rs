@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod batched_report;
+pub mod campaign_report;
 pub mod hotpath_report;
 pub mod parallel_report;
 

@@ -1,0 +1,215 @@
+//! Campaign results: per-cell records, the commutative cell-set fold,
+//! and the merged [`CampaignReport`].
+//!
+//! Shards produce [`CellResult`]s in whatever order the scheduler
+//! dictates; the fold into a final report must not care. [`CellSet`]
+//! makes the fold a [`MergeReport`]: each result becomes a singleton
+//! fragment keyed by its flat cell index, fragments merge by disjoint
+//! map union (commutative and associative, with the empty set as
+//! identity), and the ordered cell list — hence the serialized report —
+//! falls out of the `BTreeMap`'s ascending-key iteration no matter how
+//! the fragments were grouped or folded. That is the entire
+//! merge-order-independence argument: *the report is a function of the
+//! set of cell results, and set union does not remember arrival order.*
+
+use scenario::{MergeReport, RunReport, RunTotals};
+use segsim::FaultLog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The outcome of one campaign cell: its grid coordinate plus the full
+/// scenario-level run report and the foldable accounting fragments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Flat cell index in the spec's expansion order.
+    pub index: usize,
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Machine preset name.
+    pub preset: String,
+    /// Fault-variant label.
+    pub fault: String,
+    /// Replicate number within the coordinate.
+    pub replicate: u64,
+    /// The scenario-level report (seed, trials, params, summary) — the
+    /// same record a standalone `segscope run` emits for this cell.
+    pub report: RunReport,
+    /// Additive totals of the cell's run.
+    pub totals: RunTotals,
+    /// Fault-injection audit counters merged across the cell's trials.
+    pub fault_log: FaultLog,
+}
+
+/// A mergeable set of cell results keyed by flat cell index — the
+/// [`MergeReport`] fragment one shard (or one cell) contributes.
+///
+/// Merging is map union. For fragments with disjoint keys — the only
+/// kind a correctly sharded campaign produces, since every cell index
+/// is computed exactly once — union is commutative and associative with
+/// [`CellSet::empty`] as identity, so any partition of the cells into
+/// shards, folded in any order, yields the same set. On a key collision
+/// the first-merged value wins; colliding fragments that disagree
+/// indicate a resume against the wrong manifest, which the
+/// spec-digest check rejects before any fold happens.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellSet {
+    cells: BTreeMap<usize, CellResult>,
+}
+
+impl CellSet {
+    /// The fragment one cell contributes.
+    #[must_use]
+    pub fn singleton(cell: CellResult) -> Self {
+        let mut cells = BTreeMap::new();
+        cells.insert(cell.index, cell);
+        CellSet { cells }
+    }
+
+    /// Number of distinct cells in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cells in ascending flat-index order.
+    #[must_use]
+    pub fn into_ordered(self) -> Vec<CellResult> {
+        self.cells.into_values().collect()
+    }
+}
+
+impl MergeReport for CellSet {
+    fn empty() -> Self {
+        CellSet::default()
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (index, cell) in &other.cells {
+            self.cells.entry(*index).or_insert_with(|| cell.clone());
+        }
+    }
+}
+
+/// One row of the campaign's summary matrix: the fold of every cell at
+/// a `(scenario, preset)` coordinate, across fault variants and
+/// replicates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixRow {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Machine preset name.
+    pub preset: String,
+    /// Cells folded into this row.
+    pub cells: u64,
+    /// Trials across those cells.
+    pub trials: u64,
+    /// Ground-truth interrupt deliveries across those cells.
+    pub ground_truth_deliveries: u64,
+    /// Delivery faults (dropped + duplicated + coalesced) injected.
+    pub delivery_faults: u64,
+    /// Timing faults (jitter + bursts + clamps) injected.
+    pub timing_faults: u64,
+}
+
+/// The merged outcome of a whole campaign: run-level accounting, the
+/// per-(scenario, preset) summary matrix, and every cell's full report.
+///
+/// Deliberately excludes the shard count, thread count, and everything
+/// else schedule-dependent, so serialized reports are byte-identical at
+/// any execution geometry — the campaign determinism contract the test
+/// battery pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign label from the spec.
+    pub name: String,
+    /// The campaign seed all cell seeds derive from.
+    pub seed: u64,
+    /// Digest of the spec this report belongs to.
+    pub spec_digest: u64,
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Additive totals merged across all cells.
+    pub totals: RunTotals,
+    /// Fault audit counters merged across all cells.
+    pub fault_log: FaultLog,
+    /// Per-(scenario, preset) summary rows, in grid order.
+    pub matrix: Vec<MatrixRow>,
+    /// Every cell's result, in ascending flat-index order.
+    pub cell_results: Vec<CellResult>,
+}
+
+impl CampaignReport {
+    /// Folds a complete, ordered cell list into the final report.
+    ///
+    /// The matrix groups rows by `(scenario, preset)` in order of first
+    /// appearance, which — cells arriving in flat-index order — is the
+    /// spec's own axis order.
+    #[must_use]
+    pub fn from_cells(
+        name: &str,
+        seed: u64,
+        spec_digest: u64,
+        cell_results: Vec<CellResult>,
+    ) -> Self {
+        let totals = RunTotals::merged(cell_results.iter().map(|c| c.totals));
+        let fault_log = FaultLog::merged(cell_results.iter().map(|c| c.fault_log));
+        let mut matrix: Vec<MatrixRow> = Vec::new();
+        for cell in &cell_results {
+            let row = match matrix
+                .iter_mut()
+                .find(|r| r.scenario == cell.scenario && r.preset == cell.preset)
+            {
+                Some(row) => row,
+                None => {
+                    matrix.push(MatrixRow {
+                        scenario: cell.scenario.clone(),
+                        preset: cell.preset.clone(),
+                        cells: 0,
+                        trials: 0,
+                        ground_truth_deliveries: 0,
+                        delivery_faults: 0,
+                        timing_faults: 0,
+                    });
+                    matrix.last_mut().expect("just pushed")
+                }
+            };
+            row.cells += 1;
+            row.trials += cell.totals.trials;
+            row.ground_truth_deliveries += cell.totals.ground_truth_deliveries;
+            row.delivery_faults += cell.fault_log.delivery_faults();
+            row.timing_faults += cell.fault_log.timing_faults();
+        }
+        CampaignReport {
+            name: name.to_owned(),
+            seed,
+            spec_digest,
+            cells: cell_results.len(),
+            totals,
+            fault_log,
+            matrix,
+            cell_results,
+        }
+    }
+
+    /// Serializes the report to JSON (the byte-comparable form the
+    /// determinism battery pins).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("campaign reports are serializable")
+    }
+
+    /// Parses a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CampaignError::Parse`] with the underlying message.
+    pub fn from_json(json: &str) -> Result<Self, crate::CampaignError> {
+        serde_json::from_str(json).map_err(|e| crate::CampaignError::Parse(e.to_string()))
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests pinning the [`MergeReport`] laws for [`CellSet`] —
+//! the fragment type the campaign engine folds shard outputs through.
+//!
+//! The laws (identity, commutativity, associativity over disjoint
+//! fragments) are what make the final [`CampaignReport`] independent of
+//! the shard count and wave order: any partition of the cell results,
+//! folded in any order, must reassemble the same ordered cell list.
+
+use campaign::{CellResult, CellSet};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scenario::{MergeReport, RunReport, RunTotals};
+use segsim::FaultLog;
+use serde::Value;
+
+/// A synthetic cell result whose every field is a function of
+/// `(index, seed)`, so equal indices produced from equal seeds are
+/// equal cells.
+fn cell_from(index: usize, seed: u64) -> CellResult {
+    let mut rng = SmallRng::seed_from_u64(seed ^ index as u64);
+    let trials = rng.gen_range(1..50u64);
+    let deliveries = rng.gen_range(0..10_000u64);
+    CellResult {
+        index,
+        scenario: format!("scenario_{}", index % 3),
+        preset: format!("preset_{}", index % 2),
+        fault: "none".to_owned(),
+        replicate: rng.gen_range(0..4),
+        report: RunReport {
+            scenario: format!("scenario_{}", index % 3),
+            seed: rng.gen(),
+            trials: trials as usize,
+            ground_truth_deliveries: deliveries,
+            params: Value::Null,
+            summary: Value::Null,
+        },
+        totals: RunTotals {
+            trials,
+            ground_truth_deliveries: deliveries,
+        },
+        fault_log: FaultLog {
+            dropped: rng.gen_range(0..100),
+            duplicated: rng.gen_range(0..100),
+            coalesced: rng.gen_range(0..100),
+            jittered: rng.gen_range(0..100),
+            bursts: rng.gen_range(0..100),
+            clamped_steps: rng.gen_range(0..100),
+        },
+    }
+}
+
+/// A fragment holding the cells at `indices` (deduplicated by the set
+/// itself).
+fn set_from(indices: &[usize], seed: u64) -> CellSet {
+    CellSet::merged(
+        indices
+            .iter()
+            .map(|&i| CellSet::singleton(cell_from(i, seed))),
+    )
+}
+
+/// Asserts the three merge laws for arbitrary `(x, y, z)`.
+fn assert_merge_laws(x: &CellSet, y: &CellSet, z: &CellSet) {
+    // Identity.
+    let mut with_empty = x.clone();
+    with_empty.merge(&CellSet::empty());
+    assert_eq!(&with_empty, x, "right identity");
+    let mut empty_with = CellSet::empty();
+    empty_with.merge(x);
+    assert_eq!(&empty_with, x, "left identity");
+    // Commutativity.
+    let mut xy = x.clone();
+    xy.merge(y);
+    let mut yx = y.clone();
+    yx.merge(x);
+    assert_eq!(xy, yx, "commutativity");
+    // Associativity.
+    let mut xy_z = xy.clone();
+    xy_z.merge(z);
+    let mut yz = y.clone();
+    yz.merge(z);
+    let mut x_yz = x.clone();
+    x_yz.merge(&yz);
+    assert_eq!(xy_z, x_yz, "associativity");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The merge laws hold for arbitrary fragments drawn from one cell
+    /// universe — including overlapping ones, since equal indices carry
+    /// equal cells and first-wins union is then order-blind.
+    #[test]
+    fn cell_sets_obey_the_merge_laws(
+        seed in 0u64..100_000,
+        ix in prop::collection::vec(0usize..30, 0..12),
+        iy in prop::collection::vec(0usize..30, 0..12),
+        iz in prop::collection::vec(0usize..30, 0..12),
+    ) {
+        assert_merge_laws(
+            &set_from(&ix, seed),
+            &set_from(&iy, seed),
+            &set_from(&iz, seed),
+        );
+    }
+
+    /// Shard-geometry independence, end to end: any partition of a cell
+    /// sequence into shard-sized groups, folded in any rotation, yields
+    /// the same ordered cell list as the flat fold.
+    #[test]
+    fn sharded_folds_reassemble_the_flat_cell_order(
+        seed in 0u64..100_000,
+        cells in 0usize..40,
+        shard in 1usize..9,
+        rotate in 0usize..10,
+    ) {
+        let indices: Vec<usize> = (0..cells).collect();
+        let flat = set_from(&indices, seed);
+        let mut sharded: Vec<CellSet> = indices
+            .chunks(shard)
+            .map(|c| set_from(c, seed))
+            .collect();
+        if !sharded.is_empty() {
+            let r = rotate % sharded.len();
+            sharded.rotate_left(r); // fold order must not matter
+        }
+        let folded = CellSet::merged(sharded);
+        prop_assert_eq!(folded.clone(), flat);
+        let ordered = folded.into_ordered();
+        prop_assert_eq!(ordered.len(), cells);
+        for (i, cell) in ordered.iter().enumerate() {
+            prop_assert_eq!(cell.index, i, "ascending flat-index order");
+        }
+    }
+}

@@ -35,10 +35,40 @@ mod merge;
 
 pub use merge::{MergeReport, RunTotals};
 
-use segsim::{FaultPlan, Machine, MachineBatch, MachineConfig};
+use segsim::{FaultLog, FaultPlan, Machine, MachineBatch, MachineConfig};
 use serde::{Deserialize, Serialize, Value};
 use std::cell::RefCell;
 use std::fmt;
+
+/// Per-trial bookkeeping the driver folds into run-level accounting:
+/// the ground-truth interrupt-delivery count and the machine's fault
+/// audit, captured at the end of the trial.
+///
+/// Every [`Scenario::run_batch`] implementation returns one of these per
+/// trial (use [`TrialStats::of`] on the trial's machine right after the
+/// trial body). Like the outputs, stats must be a pure function of
+/// `(config, ctx, fault_override)` — the chunk-geometry contract covers
+/// them too, and both merge commutatively ([`RunTotals`] and
+/// [`FaultLog`] implement [`MergeReport`]), so run-level accounting is
+/// schedule-independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialStats {
+    /// Ground-truth interrupt deliveries during the trial.
+    pub gt_deliveries: u64,
+    /// Fault-injection audit counters of the trial's machine.
+    pub fault_log: FaultLog,
+}
+
+impl TrialStats {
+    /// Captures the stats of a machine that just finished its trial.
+    #[must_use]
+    pub fn of(machine: &Machine) -> Self {
+        TrialStats {
+            gt_deliveries: machine.ground_truth().len() as u64,
+            fault_log: *machine.fault_log(),
+        }
+    }
+}
 
 /// The context of one trial, handed to [`Scenario::build_machine`] and
 /// [`Scenario::run_trial`].
@@ -105,7 +135,7 @@ pub trait Scenario: Sync {
 
     /// Runs a *chunk* of consecutive trials — the unit of work one
     /// worker claims in the untraced driver — returning one
-    /// `(output, ground-truth deliveries)` pair per trial, in order.
+    /// `(output, [`TrialStats`])` pair per trial, in order.
     ///
     /// The default is the scalar loop the driver always ran: a fresh
     /// [`build_machine`](Scenario::build_machine) per trial, the
@@ -126,7 +156,7 @@ pub trait Scenario: Sync {
         config: &Self::Config,
         ctxs: &[TrialCtx],
         fault_override: Option<FaultPlan>,
-    ) -> Vec<(Self::TrialOutput, u64)> {
+    ) -> Vec<(Self::TrialOutput, TrialStats)> {
         ctxs.iter()
             .map(|ctx| {
                 let mut machine = self.build_machine(config, ctx);
@@ -134,8 +164,7 @@ pub trait Scenario: Sync {
                     machine.set_fault_plan(Some(plan));
                 }
                 let output = self.run_trial(config, &mut machine, ctx);
-                let gt = machine.ground_truth().len() as u64;
-                (output, gt)
+                (output, TrialStats::of(&machine))
             })
             .collect()
     }
@@ -217,6 +246,9 @@ pub struct ScenarioRun<T, U> {
     /// Run-level additive totals, folded per-trial via [`MergeReport`]
     /// (independent of chunk geometry by the merge laws).
     pub totals: RunTotals,
+    /// Fault-injection audit counters merged across all trials, folded
+    /// per-trial via [`MergeReport`] like [`totals`](Self::totals).
+    pub fault_log: FaultLog,
     /// The scenario's summary over the ordered outputs.
     pub summary: U,
 }
@@ -226,6 +258,64 @@ impl<T, U> ScenarioRun<T, U> {
     #[must_use]
     pub fn total_gt_deliveries(&self) -> u64 {
         self.totals.ground_truth_deliveries
+    }
+}
+
+/// The resolved execution geometry of a run: the one place the
+/// experiment seed, trial count, worker count, and chunk size are
+/// computed from `(scenario, config, opts)`.
+///
+/// Every consumer of the geometry — the untraced arm of
+/// [`run_scenario`], [`checkpoint_manifest`], and
+/// [`run_scenario_checkpointed`] — resolves it through
+/// [`run_geometry`], so the layers cannot silently drift apart (a
+/// manifest cut for one geometry can never be resumed under another
+/// without [`exec::ChunkManifest::matches`] noticing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunGeometry {
+    /// The resolved experiment seed every trial seed derives from.
+    pub experiment_seed: u64,
+    /// The resolved trial count.
+    pub trials: usize,
+    /// Worker threads the run fans out over.
+    pub threads: usize,
+    /// Consecutive trials per unit of work (chunk) in the untraced
+    /// driver. Outputs are chunk-size independent (see
+    /// [`Scenario::run_batch`]); the value only trades scheduling
+    /// overhead against load balance.
+    pub chunk: usize,
+}
+
+impl RunGeometry {
+    /// The empty [`exec::ChunkManifest`] of a run with this geometry.
+    #[must_use]
+    pub fn manifest<T>(&self) -> exec::ChunkManifest<T> {
+        exec::ChunkManifest::new(self.experiment_seed, self.trials, self.chunk)
+    }
+
+    /// Whether `manifest` belongs to a run with this geometry.
+    #[must_use]
+    pub fn matches<T>(&self, manifest: &exec::ChunkManifest<T>) -> bool {
+        manifest.matches(self.experiment_seed, self.trials, self.chunk)
+    }
+}
+
+/// Resolves the execution geometry [`run_scenario`] (untraced) and the
+/// checkpointed driver use for `(scenario, config, opts)`.
+#[must_use]
+pub fn run_geometry<S: Scenario>(
+    scenario: &S,
+    config: &S::Config,
+    opts: &RunOptions,
+) -> RunGeometry {
+    let experiment_seed = scenario.experiment_seed(config, opts.seed);
+    let trials = scenario.trial_count(config, opts.trials);
+    let threads = exec::resolve_threads(opts.threads);
+    RunGeometry {
+        experiment_seed,
+        trials,
+        threads,
+        chunk: trial_chunk(trials, threads),
     }
 }
 
@@ -253,9 +343,13 @@ pub fn run_scenario<S: Scenario>(
     config: &S::Config,
     opts: &RunOptions,
 ) -> ScenarioRun<S::TrialOutput, S::Summary> {
-    let seed = scenario.experiment_seed(config, opts.seed);
-    let trials = scenario.trial_count(config, opts.trials);
-    let threads = exec::resolve_threads(opts.threads);
+    let geometry = run_geometry(scenario, config, opts);
+    let RunGeometry {
+        experiment_seed: seed,
+        trials,
+        threads,
+        chunk,
+    } = geometry;
     let make_ctx = |i: usize, trial_seed: u64| TrialCtx {
         index: i,
         seed: trial_seed,
@@ -268,7 +362,6 @@ pub fn run_scenario<S: Scenario>(
         // construction across it. Chunk geometry cannot leak into the
         // outputs (see `Scenario::run_batch`), so this arm stays
         // bit-identical to the per-trial fan-out it replaced.
-        let chunk = trial_chunk(trials, threads);
         let ran = exec::parallel_trial_chunks(seed, trials, threads, chunk, |start, seeds| {
             let ctxs: Vec<TrialCtx> = seeds
                 .iter()
@@ -296,17 +389,33 @@ pub fn run_scenario<S: Scenario>(
                 let output = scenario.run_trial(config, &mut machine, &ctx);
                 let machine_sink = machine.take_trace_sink().expect("sink installed");
                 task_sink.absorb(&machine_sink, 0);
-                (output, machine.ground_truth().len() as u64)
+                let stats = TrialStats::of(&machine);
+                (output, stats)
             });
         (ran, Some(sink))
     };
+    assemble_run(scenario, config, seed, trials, sink, ran)
+}
+
+/// Folds the ordered `(output, stats)` pairs into a [`ScenarioRun`]:
+/// the shared tail of the plain and checkpointed drivers.
+fn assemble_run<S: Scenario>(
+    scenario: &S,
+    config: &S::Config,
+    seed: u64,
+    trials: usize,
+    sink: Option<obs::TraceSink>,
+    ran: Vec<(S::TrialOutput, TrialStats)>,
+) -> ScenarioRun<S::TrialOutput, S::Summary> {
     let mut outputs = Vec::with_capacity(ran.len());
     let mut gt_deliveries = Vec::with_capacity(ran.len());
     let mut totals = RunTotals::empty();
-    for (output, gt) in ran {
+    let mut fault_log = FaultLog::empty();
+    for (output, stats) in ran {
         outputs.push(output);
-        gt_deliveries.push(gt);
-        totals.merge(&RunTotals::from_trial(gt));
+        gt_deliveries.push(stats.gt_deliveries);
+        totals.merge(&RunTotals::from_trial(stats.gt_deliveries));
+        fault_log.merge(&stats.fault_log);
     }
     let summary = scenario.summarize(config, &outputs);
     ScenarioRun {
@@ -316,6 +425,7 @@ pub fn run_scenario<S: Scenario>(
         gt_deliveries,
         sink,
         totals,
+        fault_log,
         summary,
     }
 }
@@ -337,11 +447,8 @@ pub fn checkpoint_manifest<S: Scenario>(
     scenario: &S,
     config: &S::Config,
     opts: &RunOptions,
-) -> exec::ChunkManifest<(S::TrialOutput, u64)> {
-    let seed = scenario.experiment_seed(config, opts.seed);
-    let trials = scenario.trial_count(config, opts.trials);
-    let threads = exec::resolve_threads(opts.threads);
-    exec::ChunkManifest::new(seed, trials, trial_chunk(trials, threads))
+) -> exec::ChunkManifest<(S::TrialOutput, TrialStats)> {
+    run_geometry(scenario, config, opts).manifest()
 }
 
 /// [`run_scenario`], resumable: runs only the chunks `manifest` has not
@@ -367,20 +474,23 @@ pub fn run_scenario_checkpointed<S>(
     scenario: &S,
     config: &S::Config,
     opts: &RunOptions,
-    manifest: &mut exec::ChunkManifest<(S::TrialOutput, u64)>,
-    persist: impl FnMut(&exec::ChunkManifest<(S::TrialOutput, u64)>),
+    manifest: &mut exec::ChunkManifest<(S::TrialOutput, TrialStats)>,
+    persist: impl FnMut(&exec::ChunkManifest<(S::TrialOutput, TrialStats)>),
 ) -> ScenarioRun<S::TrialOutput, S::Summary>
 where
     S: Scenario,
     S::TrialOutput: Clone,
 {
     assert_eq!(opts.capacity, 0, "checkpointed runs are untraced");
-    let seed = scenario.experiment_seed(config, opts.seed);
-    let trials = scenario.trial_count(config, opts.trials);
-    let threads = exec::resolve_threads(opts.threads);
-    let chunk = trial_chunk(trials, threads);
+    let geometry = run_geometry(scenario, config, opts);
+    let RunGeometry {
+        experiment_seed: seed,
+        trials,
+        threads,
+        chunk,
+    } = geometry;
     assert!(
-        manifest.matches(seed, trials, chunk),
+        geometry.matches(manifest),
         "manifest (seed {:#x}, {} trials, chunk {}) does not belong to \
          this run (seed {seed:#x}, {trials} trials, chunk {chunk})",
         manifest.experiment_seed(),
@@ -405,24 +515,14 @@ where
         },
         persist,
     );
-    let mut outputs = Vec::with_capacity(trials);
-    let mut gt_deliveries = Vec::with_capacity(trials);
-    let mut totals = RunTotals::empty();
-    for (output, gt) in manifest.clone().into_outputs() {
-        outputs.push(output);
-        gt_deliveries.push(gt);
-        totals.merge(&RunTotals::from_trial(gt));
-    }
-    let summary = scenario.summarize(config, &outputs);
-    ScenarioRun {
+    assemble_run(
+        scenario,
+        config,
         seed,
         trials,
-        outputs,
-        gt_deliveries,
-        sink: None,
-        totals,
-        summary,
-    }
+        None,
+        manifest.clone().into_outputs(),
+    )
 }
 
 /// A structured, JSON-able record of one driver run.
@@ -468,13 +568,19 @@ impl fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
-/// The outcome of a type-erased run: the report plus the merged trace.
+/// The outcome of a type-erased run: the report plus the merged trace,
+/// and the [`MergeReport`]-foldable accounting fragments a campaign
+/// layer aggregates across runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DynRun {
     /// The structured report.
     pub report: RunReport,
     /// The merged observability trace (`None` when tracing was off).
     pub sink: Option<obs::TraceSink>,
+    /// Run-level additive totals (trials, ground-truth deliveries).
+    pub totals: RunTotals,
+    /// Fault-injection audit counters merged across all trials.
+    pub fault_log: FaultLog,
 }
 
 /// Object-safe face of [`Scenario`], for registries and the CLI.
@@ -489,6 +595,16 @@ pub trait DynScenario: Sync {
     /// The scenario's default config, serialized (what `--params`
     /// overrides).
     fn default_params(&self) -> Value;
+    /// Checks that `params` deserializes into the scenario's config
+    /// type without running anything — the upfront validation a
+    /// campaign performs over every grid cell before committing to a
+    /// long sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Params`] when `params` does not deserialize into
+    /// the scenario's config type.
+    fn check_params(&self, params: &Value) -> Result<(), ScenarioError>;
     /// Runs the scenario from serialized params (`None` = defaults).
     ///
     /// # Errors
@@ -511,6 +627,12 @@ impl<S: Scenario> DynScenario for S {
         S::Config::default().to_value()
     }
 
+    fn check_params(&self, params: &Value) -> Result<(), ScenarioError> {
+        S::Config::from_value(params)
+            .map(|_| ())
+            .map_err(|e| ScenarioError::Params(e.to_string()))
+    }
+
     fn run_dyn(&self, params: Option<&Value>, opts: &RunOptions) -> Result<DynRun, ScenarioError> {
         let config = match params {
             Some(value) => {
@@ -530,6 +652,8 @@ impl<S: Scenario> DynScenario for S {
         Ok(DynRun {
             report,
             sink: run.sink,
+            totals: run.totals,
+            fault_log: run.fault_log,
         })
     }
 }
@@ -786,7 +910,7 @@ mod tests {
             config: &ProbeConfig,
             ctxs: &[TrialCtx],
             fault_override: Option<FaultPlan>,
-        ) -> Vec<(u64, u64)> {
+        ) -> Vec<(u64, TrialStats)> {
             ctxs.iter()
                 .map(|ctx| {
                     with_recycled_machine(MachineConfig::xiaomi_air13(), ctx.seed, |machine| {
@@ -794,7 +918,7 @@ mod tests {
                             machine.set_fault_plan(Some(plan));
                         }
                         let output = self.run_trial(config, machine, ctx);
-                        (output, machine.ground_truth().len() as u64)
+                        (output, TrialStats::of(machine))
                     })
                 })
                 .collect()
@@ -909,7 +1033,7 @@ mod tests {
 
         // Second life: load the persisted manifest, validate it against
         // the run geometry, and resume.
-        let mut revived: exec::ChunkManifest<(u64, u64)> =
+        let mut revived: exec::ChunkManifest<(u64, TrialStats)> =
             exec::ChunkManifest::from_json(&saved).expect("parses");
         let fresh = checkpoint_manifest(&RecycledProbe, &config, &opts);
         assert!(revived.matches(fresh.experiment_seed(), fresh.trials(), fresh.chunk()));
@@ -920,6 +1044,139 @@ mod tests {
         assert_eq!(
             serde_json::to_string(&resumed.summary).expect("serializable"),
             serde_json::to_string(&reference.summary).expect("serializable"),
+        );
+    }
+
+    /// A scenario that records the chunk partition its `run_batch` sees,
+    /// so tests can observe the untraced driver's actual geometry.
+    struct ChunkSpy {
+        chunks: std::sync::Mutex<Vec<(usize, usize)>>,
+    }
+
+    impl Scenario for ChunkSpy {
+        type Config = ProbeConfig;
+        type TrialOutput = u64;
+        type Summary = ProbeSummary;
+
+        fn name(&self) -> &'static str {
+            "chunk_spy"
+        }
+
+        fn describe(&self) -> &'static str {
+            "records the chunk partition the driver hands run_batch"
+        }
+
+        fn experiment_seed(&self, _config: &ProbeConfig, requested: Option<u64>) -> u64 {
+            requested.unwrap_or(0x5CE0)
+        }
+
+        fn trial_count(&self, _config: &ProbeConfig, requested: Option<usize>) -> usize {
+            requested.unwrap_or(3)
+        }
+
+        fn build_machine(&self, _config: &ProbeConfig, ctx: &TrialCtx) -> Machine {
+            Machine::new(MachineConfig::xiaomi_air13(), ctx.seed)
+        }
+
+        fn run_trial(&self, _config: &ProbeConfig, _machine: &mut Machine, ctx: &TrialCtx) -> u64 {
+            ctx.seed
+        }
+
+        fn run_batch(
+            &self,
+            config: &ProbeConfig,
+            ctxs: &[TrialCtx],
+            fault_override: Option<FaultPlan>,
+        ) -> Vec<(u64, TrialStats)> {
+            self.chunks
+                .lock()
+                .unwrap()
+                .push((ctxs[0].index, ctxs.len()));
+            ctxs.iter()
+                .map(|ctx| {
+                    let mut machine = self.build_machine(config, ctx);
+                    if let Some(plan) = fault_override {
+                        machine.set_fault_plan(Some(plan));
+                    }
+                    (
+                        self.run_trial(config, &mut machine, ctx),
+                        TrialStats::of(&machine),
+                    )
+                })
+                .collect()
+        }
+
+        fn summarize(&self, _config: &ProbeConfig, outputs: &[u64]) -> ProbeSummary {
+            ProbeSummary {
+                seeds: outputs.to_vec(),
+            }
+        }
+    }
+
+    /// Satellite of the campaign PR: the chunk geometry is resolved in
+    /// exactly one place ([`run_geometry`]), so the untraced driver, the
+    /// fresh manifest, and the checkpointed driver can never drift.
+    #[test]
+    fn geometry_is_shared_by_driver_manifest_and_checkpointed_run() {
+        let config = ProbeConfig::default();
+        for (trials, threads) in [(3usize, 1usize), (12, 2), (37, 4), (1, 8)] {
+            let opts = RunOptions {
+                trials: Some(trials),
+                threads: Some(threads),
+                ..RunOptions::default()
+            };
+            let geometry = run_geometry(&ChunkSpy::default(), &config, &opts);
+            assert_eq!(geometry.experiment_seed, 0x5CE0);
+            assert_eq!(geometry.trials, trials);
+            assert_eq!(geometry.threads, threads);
+            assert_eq!(geometry.chunk, trial_chunk(trials, threads));
+
+            // The fresh checkpoint manifest carries the same geometry.
+            let spy = ChunkSpy::default();
+            let manifest = checkpoint_manifest(&spy, &config, &opts);
+            assert!(geometry.matches(&manifest));
+            assert!(manifest.matches(geometry.experiment_seed, geometry.trials, geometry.chunk));
+
+            // And the untraced driver partitions the trials into exactly
+            // the chunks that geometry describes.
+            let _ = run_scenario(&spy, &config, &opts);
+            let mut seen = spy.chunks.lock().unwrap().clone();
+            seen.sort_unstable();
+            let expected: Vec<(usize, usize)> = (0..trials)
+                .step_by(geometry.chunk)
+                .map(|start| (start, geometry.chunk.min(trials - start)))
+                .collect();
+            assert_eq!(seen, expected, "trials {trials}, threads {threads}");
+        }
+    }
+
+    impl Default for ChunkSpy {
+        fn default() -> Self {
+            ChunkSpy {
+                chunks: std::sync::Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    #[test]
+    fn fault_log_folds_across_trials() {
+        // A delivery-storm override must surface in the merged run-level
+        // fault log (the campaign layer folds these across cells).
+        let config = ProbeConfig { spins: 80_000_000 };
+        let nominal = run_scenario(&Probe, &config, &RunOptions::default());
+        assert!(nominal.fault_log.is_clean());
+        let faulted = run_scenario(
+            &Probe,
+            &config,
+            &RunOptions {
+                fault_plan: Some(FaultPlan::delivery_storm()),
+                ..RunOptions::default()
+            },
+        );
+        assert!(
+            faulted.fault_log.delivery_faults() > 0,
+            "a delivery storm over {} deliveries must log faults",
+            faulted.total_gt_deliveries(),
         );
     }
 

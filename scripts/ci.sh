@@ -92,6 +92,61 @@ for key in fabric trials full_scale note mode peeks_per_pop \
     fi
 done
 
+echo "==> bench_campaign (quick) + BENCH_campaign.json schema"
+# validate() inside the binary enforces the hard gates: merged reports
+# bit-identical at shard counts 1/4/8 (>= 2x sharded speedup on
+# multi-core hosts).
+SEGSCOPE_BENCH_JSON="$PWD/target/BENCH_campaign.json" \
+    cargo bench -q --offline -p segscope-bench --bench bench_campaign >/dev/null
+for key in spec cells trials_per_cell arms shards wall_s cells_per_s \
+           report_digest identical multi_core full_scale note; do
+    if ! grep -q "\"$key\"" target/BENCH_campaign.json; then
+        echo "target/BENCH_campaign.json missing key \"$key\"" >&2
+        exit 1
+    fi
+done
+
+echo "==> segscope campaign smoke: sweep, kill, resume, report"
+# A 2-scenario x 2-preset grid: run it whole, then kill a second copy
+# mid-run, resume it at a different shard count, and require the two
+# report files byte-identical. Also gates the report JSON schema.
+CAMP_SPEC='{"name":"ci-smoke","seed":193,
+  "scenarios":[{"scenario":"kaslr","params":null},{"scenario":"covert","params":null}],
+  "presets":["lenovo_yangtian","amazon_t2_large"],
+  "faults":[{"name":"none","plan":null},
+            {"name":"delivery_storm","plan":{"drop_prob":0.15,"duplicate_prob":0.08,
+             "duplicate_delay":50000000,"coalesce_window":800000000,"handler_jitter_std":0,
+             "freq_step_clamp_khz":null,"smt_burst_prob":0,"smt_burst_factor":1,"smt_burst_ops":0}}],
+  "replicates":1,"trials":null}'
+rm -rf target/ci-campaign target/ci-campaign-killed
+echo "$CAMP_SPEC" > target/ci-campaign.spec.json
+"$SEGSCOPE" campaign run --spec target/ci-campaign.spec.json --trials 2 \
+    --out target/ci-campaign --shards 2 >/dev/null
+"$SEGSCOPE" campaign status --out target/ci-campaign | grep -q "8/8 cells complete" || {
+    echo "campaign status does not report completion" >&2
+    exit 1
+}
+"$SEGSCOPE" campaign run --spec target/ci-campaign.spec.json --trials 2 \
+    --out target/ci-campaign-killed --shards 3 --stop-after-waves 1 >/dev/null
+if "$SEGSCOPE" campaign report --out target/ci-campaign-killed >/dev/null 2>&1; then
+    echo "campaign report accepted an incomplete manifest" >&2
+    exit 1
+fi
+"$SEGSCOPE" campaign resume --out target/ci-campaign-killed --shards 8 >/dev/null
+cmp target/ci-campaign/report.json target/ci-campaign-killed/report.json || {
+    echo "killed+resumed campaign report differs from the uninterrupted one" >&2
+    exit 1
+}
+# The merged report must carry the schema campaign consumers read.
+for key in name seed spec_digest cells totals fault_log matrix cell_results \
+           scenario preset fault replicate report ground_truth_deliveries \
+           delivery_faults timing_faults; do
+    if ! grep -q "\"$key\"" target/ci-campaign/report.json; then
+        echo "target/ci-campaign/report.json missing key \"$key\"" >&2
+        exit 1
+    fi
+done
+
 echo "==> snapshot fuzz gate (release, random pause points)"
 # The restore-exactness proptests at release optimization: presets ×
 # fault plans × random pause points through a full JSON cycle, plus the

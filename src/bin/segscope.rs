@@ -10,6 +10,7 @@
 //! segscope snapshot [SPEC FLAGS] [--every K] --out PATH
 //! segscope replay --in PATH [--from EVENT]
 //! segscope bisect [SHARED SPEC FLAGS] [per-side -a/-b flags] [--every K]
+//! segscope campaign spec|run|status|resume|report ...
 //! ```
 //!
 //! Every run goes through the same generic deterministic driver
@@ -17,14 +18,19 @@
 //! bit-identical at any `--threads` value, and identical to what the
 //! per-attack library APIs produce for the same seed. The
 //! `snapshot`/`replay`/`bisect` trio drives the record-and-replay layer
-//! ([`segscope_repro::replay`]) over single-machine runs.
+//! ([`segscope_repro::replay`]) over single-machine runs, and
+//! `campaign` drives the fleet-scale sweep engine
+//! ([`segscope_repro::campaign`]): sharded, resumable parameter-grid
+//! sweeps whose merged reports are bit-identical at any shard count,
+//! thread count, and kill/resume schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use campaign::{CampaignManifest, CampaignOptions, CampaignReport, CampaignSpec};
 use scenario::{RunOptions, ScenarioError};
 use segscope_repro::replay::{self, InjectedIrq, RunSpec};
-use segscope_repro::{attacks, irq, obs, scenario, segsim};
+use segscope_repro::{attacks, campaign, irq, obs, scenario, segsim};
 use serde::{Serialize, Value};
 use std::process::ExitCode;
 
@@ -37,6 +43,25 @@ USAGE:
     segscope snapshot [SPEC FLAGS] [--every K] --out PATH
     segscope replay --in PATH [--from EVENT]
     segscope bisect [SPEC FLAGS] [PER-SIDE FLAGS] [--every K]
+    segscope campaign spec [--seed N] [--out PATH]
+    segscope campaign run --out DIR [--spec PATH] [CAMPAIGN OPTIONS]
+    segscope campaign status --out DIR
+    segscope campaign resume --out DIR [CAMPAIGN OPTIONS]
+    segscope campaign report --out DIR
+
+CAMPAIGN OPTIONS (run, resume):
+    --spec PATH        Campaign spec JSON (default for run: the full
+                       9-scenario x 6-preset x 3-fault grid)
+    --seed N           Override the spec's campaign seed (run only)
+    --trials N         Override the spec's per-cell trial count (run only)
+    --shards N         Cells run concurrently per wave (default 1)
+    --threads N        Worker threads within each cell's run
+    --stop-after-waves N  Checkpoint and exit after N waves (resume later)
+
+A campaign directory holds spec.json (the resolved grid), manifest.json
+(per-cell progress, rewritten after every wave), and report.json (the
+merged result, written on completion). Reports are bit-identical at any
+--shards/--threads value and across any kill/resume schedule.
 
 RUN OPTIONS:
     --seed N           Experiment seed override (default: the scenario's)
@@ -77,6 +102,7 @@ fn main() -> ExitCode {
         Some("snapshot") => cmd_snapshot(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("bisect") => cmd_bisect(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -448,5 +474,277 @@ fn cmd_bisect(args: &[String]) -> Result<(), String> {
         None => println!("event streams are identical"),
         Some(report) => println!("{report}"),
     }
+    Ok(())
+}
+
+/// Parsed flags shared by `campaign run` and `campaign resume`.
+struct CampaignArgs {
+    spec_path: Option<String>,
+    out: Option<String>,
+    seed: Option<u64>,
+    trials: Option<usize>,
+    opts: CampaignOptions,
+}
+
+fn parse_campaign_args(args: &[String], verb: &str) -> Result<CampaignArgs, String> {
+    let mut parsed = CampaignArgs {
+        spec_path: None,
+        out: None,
+        seed: None,
+        trials: None,
+        opts: CampaignOptions::default(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--spec" => parsed.spec_path = Some(value()?),
+            "--out" => parsed.out = Some(value()?),
+            "--seed" => parsed.seed = Some(parse_u64(&value()?, flag)?),
+            "--trials" => parsed.trials = Some(parse_u64(&value()?, flag)? as usize),
+            "--shards" => {
+                let shards = parse_u64(&value()?, flag)? as usize;
+                if shards == 0 {
+                    return Err("`--shards` must be at least 1".to_owned());
+                }
+                parsed.opts.shards = shards;
+            }
+            "--threads" => {
+                let threads = parse_u64(&value()?, flag)? as usize;
+                if threads == 0 {
+                    return Err("`--threads` must be at least 1".to_owned());
+                }
+                parsed.opts.threads = Some(threads);
+            }
+            "--stop-after-waves" => {
+                parsed.opts.stop_after_waves = Some(parse_u64(&value()?, flag)?.max(1) as usize);
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    if parsed.out.is_none() {
+        return Err(format!("`segscope campaign {verb}` needs --out DIR"));
+    }
+    Ok(parsed)
+}
+
+fn campaign_paths(dir: &str) -> (String, String, String) {
+    (
+        format!("{dir}/spec.json"),
+        format!("{dir}/manifest.json"),
+        format!("{dir}/report.json"),
+    )
+}
+
+fn read_campaign_spec(path: &str) -> Result<CampaignSpec, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read campaign spec `{path}`: {e}"))?;
+    CampaignSpec::from_json(&text).map_err(|e| format!("`{path}`: {e}"))
+}
+
+fn read_campaign_manifest(path: &str) -> Result<CampaignManifest, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read campaign manifest `{path}`: {e}"))?;
+    CampaignManifest::from_json(&text).map_err(|e| format!("`{path}`: {e}"))
+}
+
+fn write_file(path: &str, contents: String) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+/// Runs (or resumes) the campaign in `dir`, persisting the manifest
+/// after every wave; on completion writes `report.json` and prints the
+/// summary matrix.
+fn drive_campaign(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+    manifest: &mut CampaignManifest,
+    dir: &str,
+) -> Result<(), String> {
+    let (_, manifest_path, report_path) = campaign_paths(dir);
+    let registry = attacks::registry();
+    let mut persist_error = None;
+    let outcome = campaign::run_campaign(&registry, spec, opts, manifest, |m| {
+        if persist_error.is_none() {
+            persist_error = write_file(&manifest_path, m.to_json() + "\n").err();
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    if let Some(error) = persist_error {
+        return Err(error);
+    }
+    match outcome {
+        None => {
+            println!(
+                "checkpointed: {}/{} cells complete -> {manifest_path} \
+                 (resume with `segscope campaign resume --out {dir}`)",
+                manifest.completed_cells(),
+                manifest.total_cells(),
+            );
+        }
+        Some(report) => {
+            write_file(&report_path, report.to_json() + "\n")?;
+            print_campaign_summary(&report);
+            println!("report -> {report_path}");
+        }
+    }
+    Ok(())
+}
+
+fn print_campaign_summary(report: &CampaignReport) {
+    println!(
+        "campaign `{}`: {} cells, {} trials, {} ground-truth deliveries, \
+         {} delivery faults, {} timing faults",
+        report.name,
+        report.cells,
+        report.totals.trials,
+        report.totals.ground_truth_deliveries,
+        report.fault_log.delivery_faults(),
+        report.fault_log.timing_faults(),
+    );
+    let width = report
+        .matrix
+        .iter()
+        .map(|r| r.scenario.len())
+        .max()
+        .unwrap_or(0);
+    for row in &report.matrix {
+        println!(
+            "  {:width$}  {:16}  cells {:3}  trials {:5}  gt {:8}  dfaults {:6}  tfaults {:6}",
+            row.scenario,
+            row.preset,
+            row.cells,
+            row.trials,
+            row.ground_truth_deliveries,
+            row.delivery_faults,
+            row.timing_faults,
+        );
+    }
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let Some(verb) = args.first() else {
+        return Err(format!(
+            "usage: segscope campaign spec|run|status|resume|report ...\n\n{USAGE}"
+        ));
+    };
+    let rest = &args[1..];
+    match verb.as_str() {
+        "spec" => cmd_campaign_spec(rest),
+        "run" => cmd_campaign_run(rest),
+        "status" => cmd_campaign_status(rest),
+        "resume" => cmd_campaign_resume(rest),
+        "report" => cmd_campaign_report(rest),
+        other => Err(format!("unknown campaign verb `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn cmd_campaign_spec(args: &[String]) -> Result<(), String> {
+    let mut seed = 0x5E65_C09Eu64;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => seed = parse_u64(&value()?, flag)?,
+            "--out" => out = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    let json = CampaignSpec::full_grid(seed).to_json();
+    match out {
+        Some(path) => {
+            write_file(&path, json + "\n")?;
+            println!("full-grid campaign spec -> {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_campaign_run(args: &[String]) -> Result<(), String> {
+    let parsed = parse_campaign_args(args, "run")?;
+    let dir = parsed.out.expect("checked by parse_campaign_args");
+    let mut spec = match &parsed.spec_path {
+        Some(path) => read_campaign_spec(path)?,
+        None => CampaignSpec::full_grid(parsed.seed.unwrap_or(0x5E65_C09E)),
+    };
+    if let Some(seed) = parsed.seed {
+        spec.seed = seed;
+    }
+    if let Some(trials) = parsed.trials {
+        spec.trials = Some(trials);
+    }
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    let (spec_path, manifest_path, _) = campaign_paths(&dir);
+    // The resolved spec (with any --seed/--trials overrides baked in) is
+    // persisted first, so resume/status/report always see the grid the
+    // manifest was cut for.
+    write_file(&spec_path, spec.to_json() + "\n")?;
+    let mut manifest = CampaignManifest::new(&spec);
+    write_file(&manifest_path, manifest.to_json() + "\n")?;
+    drive_campaign(&spec, &parsed.opts, &mut manifest, &dir)
+}
+
+fn cmd_campaign_resume(args: &[String]) -> Result<(), String> {
+    let parsed = parse_campaign_args(args, "resume")?;
+    if parsed.seed.is_some() || parsed.trials.is_some() {
+        return Err(
+            "`campaign resume` cannot override --seed/--trials — they are part of the \
+             persisted spec"
+                .to_owned(),
+        );
+    }
+    let dir = parsed.out.expect("checked by parse_campaign_args");
+    let (spec_path, manifest_path, _) = campaign_paths(&dir);
+    let spec = match &parsed.spec_path {
+        Some(path) => read_campaign_spec(path)?,
+        None => read_campaign_spec(&spec_path)?,
+    };
+    let mut manifest = read_campaign_manifest(&manifest_path)?;
+    drive_campaign(&spec, &parsed.opts, &mut manifest, &dir)
+}
+
+fn cmd_campaign_status(args: &[String]) -> Result<(), String> {
+    let parsed = parse_campaign_args(args, "status")?;
+    let dir = parsed.out.expect("checked by parse_campaign_args");
+    let (spec_path, manifest_path, _) = campaign_paths(&dir);
+    let spec = read_campaign_spec(&spec_path)?;
+    let manifest = read_campaign_manifest(&manifest_path)?;
+    if !manifest.matches(&spec) {
+        return Err(campaign::CampaignError::SpecMismatch.to_string());
+    }
+    println!(
+        "campaign `{}`: {}/{} cells complete ({})",
+        spec.name,
+        manifest.completed_cells(),
+        manifest.total_cells(),
+        if manifest.is_complete() {
+            "done — see report.json"
+        } else {
+            "resume with `segscope campaign resume`"
+        },
+    );
+    Ok(())
+}
+
+fn cmd_campaign_report(args: &[String]) -> Result<(), String> {
+    let parsed = parse_campaign_args(args, "report")?;
+    let dir = parsed.out.expect("checked by parse_campaign_args");
+    let (spec_path, manifest_path, report_path) = campaign_paths(&dir);
+    let spec = read_campaign_spec(&spec_path)?;
+    let manifest = read_campaign_manifest(&manifest_path)?;
+    let report = campaign::report_from_manifest(&spec, &manifest).map_err(|e| e.to_string())?;
+    write_file(&report_path, report.to_json() + "\n")?;
+    print_campaign_summary(&report);
+    println!("report -> {report_path}");
     Ok(())
 }

@@ -20,7 +20,9 @@
 //! * [`scenario`] — the uniform `Scenario` trait, generic deterministic
 //!   driver, and registry machinery behind the `segscope` CLI;
 //! * [`attacks`] — the six end-to-end case studies plus three extension
-//!   studies, all registered as scenarios.
+//!   studies, all registered as scenarios;
+//! * [`campaign`] — the fleet-scale campaign engine: sharded, resumable
+//!   parameter-grid sweeps over the registry.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the per-experiment
 //! index.
@@ -30,6 +32,7 @@
 
 pub mod replay;
 
+pub use campaign;
 pub use exec;
 pub use irq;
 pub use memsim;

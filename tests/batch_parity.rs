@@ -193,7 +193,7 @@ fn scenario_run_batch_matches_per_trial_path_at_required_sizes() {
             .map(|ctx| {
                 let mut machine = scenario.build_machine(&config, ctx);
                 let output = scenario.run_trial(&config, &mut machine, ctx);
-                (output, machine.ground_truth().len() as u64)
+                (output, segscope_repro::scenario::TrialStats::of(&machine))
             })
             .collect();
         if let Some(at) = first_divergence(&batched, &reference) {

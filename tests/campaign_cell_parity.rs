@@ -1,0 +1,191 @@
+//! Campaign-cell ↔ standalone-run parity: a grid cell is nothing more
+//! than a standalone scenario run with a derived seed. Every cell's
+//! report — and, for typed replays, the trial machines' final RNG
+//! positions — must match what a user gets from `segscope run` (the
+//! type-erased driver) or [`scenario::run_scenario`] (the typed driver)
+//! with the same seed, params, and fault plan.
+
+use campaign::{CampaignManifest, CampaignOptions, CampaignSpec, FaultVariant, ScenarioSel};
+use rand::Rng;
+use segscope_repro::attacks::kaslr::{KaslrScenario, KaslrScenarioConfig};
+use segscope_repro::scenario::{self, RunOptions, Scenario, TrialCtx};
+use segscope_repro::segsim::FaultPlan;
+use segscope_repro::{attacks, campaign, exec};
+use serde::{Deserialize, Serialize};
+
+/// A grid touching every registered scenario at two presets × two fault
+/// regimes, one trial per cell.
+fn parity_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "cell-parity".to_owned(),
+        seed: 0xCE11_9A51,
+        scenarios: attacks::registry()
+            .entries()
+            .iter()
+            .map(|e| ScenarioSel::named(e.name()))
+            .collect(),
+        presets: vec!["lenovo_yangtian".to_owned(), "amazon_c5_large".to_owned()],
+        faults: vec![
+            FaultVariant::none(),
+            FaultVariant {
+                name: "delivery_storm".to_owned(),
+                plan: Some(FaultPlan::delivery_storm()),
+            },
+        ],
+        replicates: 1,
+        trials: Some(1),
+    }
+}
+
+/// Every cell of a completed campaign equals the standalone type-erased
+/// run with the cell's derived seed, resolved params, and fault plan —
+/// report, totals, and fault log alike.
+#[test]
+fn every_cell_matches_its_standalone_dyn_run() {
+    let spec = parity_spec();
+    let registry = attacks::registry();
+    let cells = spec.expand(&registry).expect("valid grid");
+    assert_eq!(cells.len(), registry.len() * 2 * 2);
+
+    let mut manifest = CampaignManifest::new(&spec);
+    let report = campaign::run_campaign(
+        &registry,
+        &spec,
+        &CampaignOptions {
+            shards: 4,
+            threads: Some(2),
+            stop_after_waves: None,
+        },
+        &mut manifest,
+        |_| {},
+    )
+    .expect("campaign runs")
+    .expect("campaign completes");
+
+    for (cell, result) in cells.iter().zip(&report.cell_results) {
+        assert_eq!(result.index, cell.index);
+        // The cell's experiment seed is the campaign-derived one.
+        assert_eq!(cell.seed, exec::derive_seed(spec.seed, cell.index as u64));
+        assert_eq!(result.report.seed, cell.seed);
+        let standalone = registry
+            .get(&cell.scenario)
+            .expect("registered")
+            .run_dyn(
+                Some(&cell.params),
+                &RunOptions {
+                    seed: Some(cell.seed),
+                    trials: cell.trials,
+                    threads: Some(1),
+                    capacity: 0,
+                    fault_plan: cell.fault_plan,
+                },
+            )
+            .expect("standalone run");
+        assert_eq!(
+            result.report, standalone.report,
+            "cell {} ({} / {} / {})",
+            cell.index, cell.scenario, cell.preset, cell.fault
+        );
+        assert_eq!(result.totals, standalone.totals, "cell {}", cell.index);
+        assert_eq!(
+            result.fault_log, standalone.fault_log,
+            "cell {}",
+            cell.index
+        );
+    }
+}
+
+/// Typed replay of KASLR cells: the campaign cell's summary equals the
+/// typed driver's, and a scalar re-execution of the cell's trials lands
+/// every machine on the same final RNG position regardless of which
+/// cells ran before — the per-trial streams derive from
+/// `(cell_seed, trial_index)` alone.
+#[test]
+fn kaslr_cells_replay_typed_with_identical_summaries_and_rng_positions() {
+    let mut spec = parity_spec();
+    spec.scenarios = vec![ScenarioSel::named("kaslr")];
+    spec.trials = Some(2);
+    let registry = attacks::registry();
+    let cells = spec.expand(&registry).expect("valid grid");
+
+    let mut manifest = CampaignManifest::new(&spec);
+    let report = campaign::run_campaign(
+        &registry,
+        &spec,
+        &CampaignOptions::default(),
+        &mut manifest,
+        |_| {},
+    )
+    .expect("campaign runs")
+    .expect("campaign completes");
+
+    // Scalar replay of one cell: outputs, stats, and the machines' final
+    // RNG draw per trial.
+    let replay = |cell: &campaign::CampaignCell| {
+        let config = KaslrScenarioConfig::from_value(&cell.params).expect("typed params");
+        let trials = KaslrScenario.trial_count(&config, cell.trials);
+        (0..trials)
+            .map(|index| {
+                let ctx = TrialCtx {
+                    index,
+                    seed: exec::derive_seed(cell.seed, index as u64),
+                    experiment_seed: cell.seed,
+                };
+                let mut machine = KaslrScenario.build_machine(&config, &ctx);
+                if let Some(plan) = cell.fault_plan {
+                    machine.set_fault_plan(Some(plan));
+                }
+                let output = KaslrScenario.run_trial(&config, &mut machine, &ctx);
+                (
+                    output,
+                    scenario::TrialStats::of(&machine),
+                    machine.rng_mut().gen::<u64>(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    // First pass walks the cells in grid order; the second walks them in
+    // reverse. Identical draws prove a trial's final RNG position is a
+    // function of its cell alone — no cross-cell leakage at any point in
+    // the sweep.
+    let forward: Vec<_> = cells.iter().map(replay).collect();
+    let mut backward: Vec<_> = cells.iter().rev().map(replay).collect();
+    backward.reverse();
+    assert_eq!(forward, backward, "final RNG positions are per-cell pure");
+
+    for (cell, result) in cells.iter().zip(&report.cell_results) {
+        let config = KaslrScenarioConfig::from_value(&cell.params).expect("typed params");
+        let typed = scenario::run_scenario(
+            &KaslrScenario,
+            &config,
+            &RunOptions {
+                seed: Some(cell.seed),
+                trials: cell.trials,
+                threads: Some(1),
+                capacity: 0,
+                fault_plan: cell.fault_plan,
+            },
+        );
+        assert_eq!(typed.seed, cell.seed);
+        assert_eq!(
+            typed.summary.to_value(),
+            result.report.summary,
+            "cell {}: typed summary equals the campaign cell's",
+            cell.index
+        );
+        assert_eq!(typed.totals, result.totals, "cell {}", cell.index);
+        assert_eq!(typed.fault_log, result.fault_log, "cell {}", cell.index);
+        // The typed outputs equal the scalar replay's, trial for trial.
+        let replayed = &forward[cell.index];
+        assert_eq!(typed.outputs.len(), replayed.len());
+        for (i, (output, stats, _)) in replayed.iter().enumerate() {
+            assert_eq!(&typed.outputs[i], output, "cell {} trial {i}", cell.index);
+            assert_eq!(
+                typed.gt_deliveries[i], stats.gt_deliveries,
+                "cell {} trial {i}",
+                cell.index
+            );
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The campaign determinism battery: merged [`CampaignReport`]s must be
+//! a pure function of the campaign spec — bit-identical JSON at any
+//! shard count, any thread count, and across any kill/resume schedule.
+//!
+//! Three layers of evidence over the *real* attack registry:
+//!
+//! 1. Randomized grids (proptest): random scenario subsets × preset
+//!    subsets × fault variants × replicate counts × campaign seeds,
+//!    swept at shards {1, 3, 8} × threads {1, 2, 4}.
+//! 2. Kill-at-a-random-checkpoint: the first leg stops after a random
+//!    number of waves, the manifest round-trips through its persisted
+//!    JSON, and a resume under a *different* shard/thread geometry must
+//!    still reassemble the uninterrupted report byte for byte.
+//! 3. The paper's full 9-scenario × 6-preset × 3-fault grid (the
+//!    acceptance sweep), checked across covering geometry combinations
+//!    and a mid-run kill+resume.
+
+use campaign::{CampaignManifest, CampaignOptions, CampaignSpec, FaultVariant, ScenarioSel};
+use proptest::prelude::*;
+use segscope_repro::attacks;
+use segscope_repro::campaign;
+use segscope_repro::segsim::FaultPlan;
+
+/// Scenarios cheap enough (at `--trials 1`) to appear in randomized
+/// grids; the full-grid sweep below still covers all nine.
+const FAST_SCENARIOS: [&str; 6] = ["circl", "spectral", "kaslr", "spectre", "covert", "procfp"];
+
+const PRESETS: [&str; 6] = [
+    "xiaomi_air13",
+    "lenovo_yangtian",
+    "lenovo_savior",
+    "honor_magicbook",
+    "amazon_t2_large",
+    "amazon_c5_large",
+];
+
+/// The three canonical fault regimes, in a fixed draw order.
+fn fault_pool() -> [FaultVariant; 3] {
+    [
+        FaultVariant::none(),
+        FaultVariant {
+            name: "delivery_storm".to_owned(),
+            plan: Some(FaultPlan::delivery_storm()),
+        },
+        FaultVariant {
+            name: "timing_storm".to_owned(),
+            plan: Some(FaultPlan::timing_storm()),
+        },
+    ]
+}
+
+/// Builds a random-but-reproducible spec from the drawn axis shape:
+/// `count` entries of each axis starting at a drawn offset, wrapping
+/// around the pools.
+fn spec_from(
+    seed: u64,
+    scen_start: usize,
+    scen_count: usize,
+    preset_start: usize,
+    preset_count: usize,
+    fault_count: usize,
+    replicates: u64,
+) -> CampaignSpec {
+    CampaignSpec {
+        name: "prop-grid".to_owned(),
+        seed,
+        scenarios: (0..scen_count)
+            .map(|i| ScenarioSel::named(FAST_SCENARIOS[(scen_start + i) % FAST_SCENARIOS.len()]))
+            .collect(),
+        presets: (0..preset_count)
+            .map(|i| PRESETS[(preset_start + i) % PRESETS.len()].to_owned())
+            .collect(),
+        faults: fault_pool()[..fault_count].to_vec(),
+        replicates,
+        trials: Some(1),
+    }
+}
+
+/// Runs `spec` to completion at the given geometry, returning the
+/// report JSON.
+fn report_json_at(spec: &CampaignSpec, shards: usize, threads: usize) -> String {
+    let registry = attacks::registry();
+    let mut manifest = CampaignManifest::new(spec);
+    let opts = CampaignOptions {
+        shards,
+        threads: Some(threads),
+        stop_after_waves: None,
+    };
+    campaign::run_campaign(&registry, spec, &opts, &mut manifest, |_| {})
+        .expect("campaign runs")
+        .expect("campaign completes")
+        .to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random grids produce bit-identical reports at every shard count
+    /// in {1, 3, 8} × thread count in {1, 2, 4}.
+    #[test]
+    fn random_grids_are_bit_identical_across_execution_geometry(
+        seed in 0u64..1_000_000,
+        scen_start in 0usize..6,
+        scen_count in 2usize..5,
+        preset_start in 0usize..6,
+        preset_count in 2usize..4,
+        fault_count in 1usize..4,
+        replicates in 1u64..3,
+    ) {
+        let spec = spec_from(
+            seed, scen_start, scen_count, preset_start, preset_count, fault_count, replicates,
+        );
+        let reference = report_json_at(&spec, 1, 1);
+        for &(shards, threads) in &[(3, 2), (8, 4), (1, 4), (8, 1)] {
+            prop_assert_eq!(
+                &report_json_at(&spec, shards, threads),
+                &reference,
+                "shards {} x threads {}", shards, threads
+            );
+        }
+    }
+
+    /// Killing a campaign after a random number of waves and resuming
+    /// from the persisted manifest JSON — under a different geometry —
+    /// reassembles the uninterrupted report byte for byte.
+    #[test]
+    fn kill_at_a_random_checkpoint_resumes_bit_identically(
+        seed in 0u64..1_000_000,
+        scen_start in 0usize..6,
+        preset_start in 0usize..6,
+        kill_after in 1usize..5,
+        first_shards in 2usize..4,
+        resume_shards in 1usize..9,
+        resume_threads in 1usize..5,
+    ) {
+        let spec = spec_from(seed, scen_start, 2, preset_start, 2, 2, 1);
+        let reference = report_json_at(&spec, 1, 1);
+        let registry = attacks::registry();
+
+        let mut manifest = CampaignManifest::new(&spec);
+        let mut persisted = manifest.to_json();
+        let first = campaign::run_campaign(
+            &registry,
+            &spec,
+            &CampaignOptions {
+                shards: first_shards,
+                threads: Some(1),
+                stop_after_waves: Some(kill_after),
+            },
+            &mut manifest,
+            |m| persisted = m.to_json(),
+        )
+        .expect("first leg runs");
+
+        // Resume strictly from the persisted JSON (what a killed process
+        // leaves on disk), not the in-memory manifest.
+        let mut revived = CampaignManifest::from_json(&persisted).expect("manifest parses");
+        if let Some(report) = first {
+            // The kill point landed past the last wave: the run finished.
+            prop_assert_eq!(&report.to_json(), &reference);
+            prop_assert!(revived.is_complete());
+        }
+        let resumed = campaign::run_campaign(
+            &registry,
+            &spec,
+            &CampaignOptions {
+                shards: resume_shards,
+                threads: Some(resume_threads),
+                stop_after_waves: None,
+            },
+            &mut revived,
+            |_| {},
+        )
+        .expect("resume runs")
+        .expect("resume completes");
+        prop_assert_eq!(
+            &resumed.to_json(),
+            &reference,
+            "kill after {} waves of {} shards, resume at {} shards x {} threads",
+            kill_after, first_shards, resume_shards, resume_threads
+        );
+    }
+}
+
+/// The acceptance sweep: the paper's full 9-scenario × 6-preset ×
+/// 3-fault grid (162 cells at one trial each) produces bit-identical
+/// reports across geometry combinations covering shards {1, 3, 8} and
+/// threads {1, 2, 4}, and across a mid-run kill+resume.
+#[test]
+fn full_grid_sweeps_bit_identically_and_survives_a_kill() {
+    let mut spec = CampaignSpec::full_grid(0xF1EE7);
+    spec.trials = Some(1);
+    assert_eq!(spec.cell_count(), 9 * 6 * 3);
+    let registry = attacks::registry();
+
+    // (1,1), (3,2), (8,4) cover every required shard count {1,3,8} and
+    // thread count {1,2,4}; the randomized battery above crosses the
+    // remaining combinations on smaller grids.
+    let reference = report_json_at(&spec, 1, 1);
+    for &(shards, threads) in &[(3, 2), (8, 4)] {
+        assert_eq!(
+            report_json_at(&spec, shards, threads),
+            reference,
+            "shards {shards} x threads {threads}"
+        );
+    }
+
+    // Kill mid-run (after 7 waves of 8 = 56 of 162 cells), round-trip
+    // the manifest through JSON, resume at a different geometry.
+    let mut manifest = CampaignManifest::new(&spec);
+    let mut persisted = String::new();
+    let first = campaign::run_campaign(
+        &registry,
+        &spec,
+        &CampaignOptions {
+            shards: 8,
+            threads: Some(2),
+            stop_after_waves: Some(7),
+        },
+        &mut manifest,
+        |m| persisted = m.to_json(),
+    )
+    .expect("first leg runs");
+    assert!(
+        first.is_none(),
+        "7 waves of 8 leave 162-cell grid unfinished"
+    );
+    let mut revived = CampaignManifest::from_json(&persisted).expect("manifest parses");
+    assert_eq!(revived.completed_cells(), 56);
+    let resumed = campaign::run_campaign(
+        &registry,
+        &spec,
+        &CampaignOptions {
+            shards: 3,
+            threads: Some(4),
+            stop_after_waves: None,
+        },
+        &mut revived,
+        |_| {},
+    )
+    .expect("resume runs")
+    .expect("resume completes");
+    assert_eq!(
+        resumed.to_json(),
+        reference,
+        "kill+resume over the full grid"
+    );
+
+    // The report covers the whole matrix: one row per (scenario, preset).
+    let report = campaign::CampaignReport::from_json(&reference).expect("report parses");
+    assert_eq!(report.matrix.len(), 9 * 6);
+    assert_eq!(report.cells, 162);
+    assert!(report.fault_log.delivery_faults() > 0);
+    assert!(report.fault_log.timing_faults() > 0);
+}
