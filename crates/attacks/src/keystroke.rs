@@ -199,8 +199,12 @@ pub struct IdentifyResult {
 }
 
 /// Configuration of the identification experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KeystrokeConfig {
+    /// The monitored machine. Countermeasures ([`segsim::Defense`]) and
+    /// enclave state travel inside, so a campaign defense axis reaches
+    /// the monitor without new plumbing.
+    pub machine: MachineConfig,
     /// Cohort size.
     pub users: usize,
     /// Enrollment sessions per user.
@@ -228,6 +232,7 @@ impl KeystrokeConfig {
     #[must_use]
     pub fn quick() -> Self {
         KeystrokeConfig {
+            machine: MachineConfig::xiaomi_air13(),
             users: 5,
             enroll_sessions: 3,
             test_sessions: 2,
@@ -317,8 +322,10 @@ impl Scenario for MonitorSessions {
     }
 
     fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine {
-        let mut machine = Machine::new(MachineConfig::xiaomi_air13(), ctx.seed);
-        machine.set_fault_plan(config.fault_plan);
+        let mut machine = Machine::new(config.machine.clone(), ctx.seed);
+        if config.fault_plan.is_some() {
+            machine.set_fault_plan(config.fault_plan);
+        }
         machine
     }
 
@@ -403,8 +410,10 @@ impl Scenario for KeystrokeScenario {
     }
 
     fn build_machine(&self, config: &Self::Config, ctx: &TrialCtx) -> Machine {
-        let mut machine = Machine::new(MachineConfig::xiaomi_air13(), ctx.seed);
-        machine.set_fault_plan(config.fault_plan);
+        let mut machine = Machine::new(config.machine.clone(), ctx.seed);
+        if config.fault_plan.is_some() {
+            machine.set_fault_plan(config.fault_plan);
+        }
         machine
     }
 

@@ -13,20 +13,25 @@
 //!
 //! plus three extension studies ([`keystroke`], [`covert`], [`procfp`])
 //! exercising the same probing primitive on the side channels the paper
-//! cites in Section I.
+//! cites in Section I, and two enclave studies ([`aexcount`],
+//! [`heckler`]) exercising the kernel-exit + countermeasure model
+//! (AEX-NStep-style counting and Heckler-style malicious injection)
+//! against the [`segsim::Defense`] layer.
 //!
 //! Every experiment exposes a `quick()` configuration small enough for
 //! `cargo test` and a larger configuration for the bench harness; both
-//! are deterministic given a seed. All nine implement the
+//! are deterministic given a seed. All eleven implement the
 //! [`scenario::Scenario`] trait and register with [`registry`], which
 //! backs the `segscope` CLI driver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aexcount;
 pub mod circl;
 pub mod covert;
 pub mod dnnsteal;
+pub mod heckler;
 pub mod kaslr;
 pub mod keystroke;
 pub mod procfp;
@@ -34,9 +39,10 @@ pub mod spectral;
 pub mod spectre;
 pub mod website;
 
-/// The nine registered scenarios, in paper-section order (six case
-/// studies, then the three extension studies).
-static SCENARIOS: [&'static dyn scenario::DynScenario; 9] = [
+/// The eleven registered scenarios, in paper-section order (six case
+/// studies, the three extension studies, then the two enclave
+/// studies).
+static SCENARIOS: [&'static dyn scenario::DynScenario; 11] = [
     &website::WebsiteScenario,
     &circl::CirclScenario,
     &dnnsteal::DnnStealScenario,
@@ -46,6 +52,8 @@ static SCENARIOS: [&'static dyn scenario::DynScenario; 9] = [
     &keystroke::KeystrokeScenario,
     &covert::CovertScenario,
     &procfp::ProcFpScenario,
+    &aexcount::AexCountScenario,
+    &heckler::HecklerScenario,
 ];
 
 /// The attack registry: every case study and extension study behind one
@@ -60,9 +68,9 @@ mod registry_tests {
     use super::*;
 
     #[test]
-    fn all_nine_scenarios_registered_with_unique_names() {
+    fn all_eleven_scenarios_registered_with_unique_names() {
         let reg = registry();
-        assert_eq!(reg.len(), 9);
+        assert_eq!(reg.len(), 11);
         let mut names: Vec<&str> = reg.entries().iter().map(|s| s.name()).collect();
         for expected in [
             "website",
@@ -74,12 +82,14 @@ mod registry_tests {
             "keystroke",
             "covert",
             "procfp",
+            "aexcount",
+            "heckler",
         ] {
             assert!(names.contains(&expected), "missing scenario {expected}");
         }
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9, "duplicate scenario names");
+        assert_eq!(names.len(), 11, "duplicate scenario names");
     }
 
     #[test]

@@ -149,6 +149,7 @@ pub fn bench_spec(full: bool) -> CampaignSpec {
                 plan: Some(FaultPlan::delivery_storm()),
             },
         ],
+        defenses: vec![campaign::DefenseVariant::none()],
         replicates: if full { 2 } else { 1 },
         trials: Some(if full { 4 } else { 1 }),
     }

@@ -1,8 +1,8 @@
 //! Fleet-scale campaign engine: sharded, resumable parameter-grid
 //! sweeps over the scenario registry.
 //!
-//! A campaign multiplies four axes — scenario set × machine preset ×
-//! fault-plan grid × replicate range — into a flat list of *cells*
+//! A campaign multiplies five axes — scenario set × machine preset ×
+//! fault-plan grid × defense grid × replicate range — into a flat list of *cells*
 //! ([`CampaignSpec::expand`]), runs every cell through the generic
 //! scenario driver, and folds the per-cell results into one
 //! [`CampaignReport`]. The engine stacks the workspace's determinism
@@ -37,7 +37,10 @@ mod report;
 mod spec;
 
 pub use report::{CampaignReport, CellResult, CellSet, MatrixRow};
-pub use spec::{inject_machine, CampaignCell, CampaignSpec, FaultVariant, ScenarioSel};
+pub use spec::{
+    inject_defense, inject_machine, CampaignCell, CampaignSpec, DefenseVariant, FaultVariant,
+    ScenarioSel,
+};
 
 use scenario::{Registry, RunOptions};
 use serde::{Deserialize, Serialize};
@@ -235,6 +238,7 @@ pub fn run_cell(registry: &Registry, cell: &CampaignCell, threads: Option<usize>
         scenario: cell.scenario.clone(),
         preset: cell.preset.clone(),
         fault: cell.fault.clone(),
+        defense: cell.defense.clone(),
         replicate: cell.replicate,
         report: run.report,
         totals: run.totals,
@@ -433,6 +437,7 @@ mod tests {
                     plan: Some(FaultPlan::delivery_storm()),
                 },
             ],
+            defenses: vec![DefenseVariant::none()],
             replicates: 2,
             trials: Some(2),
         }
@@ -662,6 +667,52 @@ mod tests {
                 cell.index
             );
         }
+    }
+
+    #[test]
+    fn defense_axis_expands_in_order_and_injects_into_the_machine() {
+        use segsim::Defense;
+        let mut spec = small_spec();
+        spec.presets.truncate(1);
+        spec.faults.truncate(1);
+        spec.replicates = 1;
+        spec.defenses = DefenseVariant::all();
+        let cells = spec.expand(&probe_registry()).expect("valid spec");
+        assert_eq!(cells.len(), 3);
+        assert_eq!(
+            cells.iter().map(|c| c.defense.as_str()).collect::<Vec<_>>(),
+            ["none", "quanshield", "padding"]
+        );
+        for (cell, expected) in cells.iter().zip([
+            Defense::None,
+            Defense::QuanShield,
+            Defense::default_padding(),
+        ]) {
+            let config = GridProbeConfig::from_value(&cell.params).expect("params deserialize");
+            assert_eq!(config.machine.defense, expected, "cell {}", cell.index);
+        }
+    }
+
+    #[test]
+    fn pre_defense_spec_json_parses_with_the_none_axis() {
+        // A spec serialized before the defense axis existed has no
+        // `defenses` key; it must parse to the single-entry [none] axis
+        // and expand to the exact pre-defense cell indices and seeds.
+        let spec = small_spec();
+        let json = spec.to_json();
+        let legacy = json.replace(
+            "\"defenses\":[{\"name\":\"none\",\"defense\":\"None\"}],",
+            "",
+        );
+        assert_ne!(legacy, json, "the defenses key must have been stripped");
+        let parsed = CampaignSpec::from_json(&legacy).expect("legacy specs parse");
+        assert_eq!(parsed.defenses, vec![DefenseVariant::none()]);
+        let registry = probe_registry();
+        assert_eq!(
+            parsed.expand(&registry).expect("valid"),
+            spec.expand(&registry).expect("valid"),
+            "cell geometry, seeds, and params are unchanged"
+        );
     }
 
     #[test]

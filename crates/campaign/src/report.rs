@@ -29,6 +29,8 @@ pub struct CellResult {
     pub preset: String,
     /// Fault-variant label.
     pub fault: String,
+    /// Defense-variant label.
+    pub defense: String,
     /// Replicate number within the coordinate.
     pub replicate: u64,
     /// The scenario-level report (seed, trials, params, summary) — the
@@ -97,14 +99,16 @@ impl MergeReport for CellSet {
 }
 
 /// One row of the campaign's summary matrix: the fold of every cell at
-/// a `(scenario, preset)` coordinate, across fault variants and
-/// replicates.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// a `(scenario, preset, defense)` coordinate, across fault variants
+/// and replicates — the attack × defense matrix, one preset at a time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatrixRow {
     /// Scenario registry name.
     pub scenario: String,
     /// Machine preset name.
     pub preset: String,
+    /// Defense-variant label.
+    pub defense: String,
     /// Cells folded into this row.
     pub cells: u64,
     /// Trials across those cells.
@@ -115,6 +119,24 @@ pub struct MatrixRow {
     pub delivery_faults: u64,
     /// Timing faults (jitter + bursts + clamps) injected.
     pub timing_faults: u64,
+    /// Mean of the cells' summary `accuracy` field, when the scenario
+    /// reports one (`None` otherwise) — the matrix's headline number.
+    pub mean_accuracy: Option<f64>,
+    /// Cells contributing to [`mean_accuracy`](Self::mean_accuracy).
+    pub accuracy_cells: u64,
+}
+
+/// Extracts the `accuracy` field from a cell's serialized summary, when
+/// the scenario reports one as a number.
+fn summary_accuracy(cell: &CellResult) -> Option<f64> {
+    let serde::Value::Map(entries) = &cell.report.summary else {
+        return None;
+    };
+    match entries.iter().find(|(k, _)| k == "accuracy") {
+        Some((_, serde::Value::Float(x))) => Some(*x),
+        Some((_, serde::Value::Int(i))) => Some(*i as f64),
+        _ => None,
+    }
 }
 
 /// The merged outcome of a whole campaign: run-level accounting, the
@@ -147,9 +169,9 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Folds a complete, ordered cell list into the final report.
     ///
-    /// The matrix groups rows by `(scenario, preset)` in order of first
-    /// appearance, which — cells arriving in flat-index order — is the
-    /// spec's own axis order.
+    /// The matrix groups rows by `(scenario, preset, defense)` in order
+    /// of first appearance, which — cells arriving in flat-index order —
+    /// is the spec's own axis order.
     #[must_use]
     pub fn from_cells(
         name: &str,
@@ -161,20 +183,22 @@ impl CampaignReport {
         let fault_log = FaultLog::merged(cell_results.iter().map(|c| c.fault_log));
         let mut matrix: Vec<MatrixRow> = Vec::new();
         for cell in &cell_results {
-            let row = match matrix
-                .iter_mut()
-                .find(|r| r.scenario == cell.scenario && r.preset == cell.preset)
-            {
+            let row = match matrix.iter_mut().find(|r| {
+                r.scenario == cell.scenario && r.preset == cell.preset && r.defense == cell.defense
+            }) {
                 Some(row) => row,
                 None => {
                     matrix.push(MatrixRow {
                         scenario: cell.scenario.clone(),
                         preset: cell.preset.clone(),
+                        defense: cell.defense.clone(),
                         cells: 0,
                         trials: 0,
                         ground_truth_deliveries: 0,
                         delivery_faults: 0,
                         timing_faults: 0,
+                        mean_accuracy: None,
+                        accuracy_cells: 0,
                     });
                     matrix.last_mut().expect("just pushed")
                 }
@@ -184,6 +208,15 @@ impl CampaignReport {
             row.ground_truth_deliveries += cell.totals.ground_truth_deliveries;
             row.delivery_faults += cell.fault_log.delivery_faults();
             row.timing_faults += cell.fault_log.timing_faults();
+            if let Some(acc) = summary_accuracy(cell) {
+                // Incremental mean keeps the fold single-pass; cells
+                // arrive in ascending flat-index order, so the result is
+                // schedule-independent.
+                let n = row.accuracy_cells as f64;
+                let mean = row.mean_accuracy.unwrap_or(0.0);
+                row.mean_accuracy = Some((mean * n + acc) / (n + 1.0));
+                row.accuracy_cells += 1;
+            }
         }
         CampaignReport {
             name: name.to_owned(),

@@ -1,17 +1,23 @@
 //! The declarative campaign grid: what to sweep, and its expansion
 //! into a flat, stably-indexed cell list.
 //!
-//! A [`CampaignSpec`] names four axes — scenarios, machine presets,
-//! fault-plan variants, and a replicate (seed) range — plus the
-//! campaign seed every cell seed derives from. [`CampaignSpec::expand`]
-//! multiplies the axes out into [`CampaignCell`]s in a fixed nesting
-//! order (scenario, outermost → preset → fault → replicate, innermost),
-//! so a cell's flat index — and therefore its derived experiment seed
+//! A [`CampaignSpec`] names five axes — scenarios, machine presets,
+//! fault-plan variants, countermeasure ([`Defense`]) variants, and a
+//! replicate (seed) range — plus the campaign seed every cell seed
+//! derives from. [`CampaignSpec::expand`] multiplies the axes out into
+//! [`CampaignCell`]s in a fixed nesting order (scenario, outermost →
+//! preset → fault → defense → replicate, innermost), so a cell's flat
+//! index — and therefore its derived experiment seed
 //! `exec::derive_seed(campaign_seed, index)` — depends only on the spec,
 //! never on how the cells are later sharded or scheduled.
+//!
+//! Backwards compatibility: the defense axis deserializes permissively —
+//! a spec JSON without a `defenses` key parses as the single-entry
+//! `[none]` axis, which keeps every pre-defense cell index, seed, and
+//! derived result unchanged.
 
 use scenario::Registry;
-use segsim::FaultPlan;
+use segsim::{Defense, FaultPlan};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::CampaignError;
@@ -59,13 +65,65 @@ impl FaultVariant {
     }
 }
 
-/// A declarative parameter grid: scenario set × machine preset ×
-/// fault-plan grid × replicate (seed) range.
-///
-/// Serde-loadable (the `segscope campaign` CLI reads it as JSON); every
-/// field is required in the serialized form, and `segscope campaign
-/// spec` emits a complete template to start from.
+/// One entry of the defense axis: a label plus the countermeasure it
+/// configures on every cell machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseVariant {
+    /// Label used in cell keys and the report matrix.
+    pub name: String,
+    /// The countermeasure installed on the cell's machine config.
+    pub defense: Defense,
+}
+
+impl DefenseVariant {
+    /// The undefended baseline variant.
+    #[must_use]
+    pub fn none() -> Self {
+        DefenseVariant {
+            name: "none".to_owned(),
+            defense: Defense::None,
+        }
+    }
+
+    /// The QuanShield self-destruct variant.
+    #[must_use]
+    pub fn quanshield() -> Self {
+        DefenseVariant {
+            name: "quanshield".to_owned(),
+            defense: Defense::QuanShield,
+        }
+    }
+
+    /// The deterministic-padding variant (default grid).
+    #[must_use]
+    pub fn padding() -> Self {
+        DefenseVariant {
+            name: "padding".to_owned(),
+            defense: Defense::default_padding(),
+        }
+    }
+
+    /// The canonical three-variant defense axis (none / quanshield /
+    /// padding) the attack × defense matrix sweeps.
+    #[must_use]
+    pub fn all() -> Vec<Self> {
+        vec![
+            DefenseVariant::none(),
+            DefenseVariant::quanshield(),
+            DefenseVariant::padding(),
+        ]
+    }
+}
+
+/// A declarative parameter grid: scenario set × machine preset ×
+/// fault-plan grid × defense grid × replicate (seed) range.
+///
+/// Serde-loadable (the `segscope campaign` CLI reads it as JSON);
+/// every field except `defenses` is required in the serialized form
+/// (`defenses` defaults to the single-entry `[none]` axis so
+/// pre-defense specs keep their exact cell geometry), and `segscope
+/// campaign spec` emits a complete template to start from.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignSpec {
     /// Human label of the campaign (report header).
     pub name: String,
@@ -78,19 +136,46 @@ pub struct CampaignSpec {
     pub presets: Vec<String>,
     /// Fault-plan axis.
     pub faults: Vec<FaultVariant>,
+    /// Defense (countermeasure) axis. Deserializes to `[none]` when the
+    /// spec JSON has no `defenses` key.
+    pub defenses: Vec<DefenseVariant>,
     /// Replicate axis: how many independently-seeded repetitions of
-    /// every (scenario, preset, fault) combination to run (≥ 1).
+    /// every (scenario, preset, fault, defense) combination to run
+    /// (≥ 1).
     pub replicates: u64,
     /// Per-cell trial-count override (`None` = each scenario's default;
     /// structured scenarios ignore it either way).
     pub trials: Option<usize>,
 }
 
+// Hand-written so a pre-defense spec (no `defenses` key) still parses:
+// the vendored serde derive would demand every field. All other fields
+// stay required, exactly as the derive would have them.
+impl Deserialize for CampaignSpec {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let map = value.as_map()?;
+        let field = |name: &str| serde::get_field(map, name);
+        Ok(CampaignSpec {
+            name: Deserialize::from_value(field("name")?)?,
+            seed: Deserialize::from_value(field("seed")?)?,
+            scenarios: Deserialize::from_value(field("scenarios")?)?,
+            presets: Deserialize::from_value(field("presets")?)?,
+            faults: Deserialize::from_value(field("faults")?)?,
+            defenses: match map.iter().find(|(k, _)| k == "defenses") {
+                Some((_, v)) => Deserialize::from_value(v)?,
+                None => vec![DefenseVariant::none()],
+            },
+            replicates: Deserialize::from_value(field("replicates")?)?,
+            trials: Deserialize::from_value(field("trials")?)?,
+        })
+    }
+}
+
 impl CampaignSpec {
-    /// The paper's full cross-vendor evaluation grid: all nine
+    /// The paper's full cross-vendor evaluation grid: all eleven
     /// registered scenarios × all six Table I vendor presets × the
     /// three canonical fault regimes (none / delivery storm / timing
-    /// storm), one replicate each.
+    /// storm), undefended, one replicate each.
     #[must_use]
     pub fn full_grid(seed: u64) -> Self {
         CampaignSpec {
@@ -106,6 +191,8 @@ impl CampaignSpec {
                 "keystroke",
                 "covert",
                 "procfp",
+                "aexcount",
+                "heckler",
             ]
             .iter()
             .map(|n| ScenarioSel::named(n))
@@ -125,6 +212,27 @@ impl CampaignSpec {
                     plan: Some(FaultPlan::timing_storm()),
                 },
             ],
+            defenses: vec![DefenseVariant::none()],
+            replicates: 1,
+            trials: None,
+        }
+    }
+
+    /// The attack × defense matrix: the enclave-sensitive scenarios
+    /// (aexcount, heckler, keystroke) × the unfaulted baseline × the
+    /// full defense axis (none / quanshield / padding).
+    #[must_use]
+    pub fn defense_matrix(seed: u64) -> Self {
+        CampaignSpec {
+            name: "defense-matrix".to_owned(),
+            seed,
+            scenarios: ["aexcount", "heckler", "keystroke"]
+                .iter()
+                .map(|n| ScenarioSel::named(n))
+                .collect(),
+            presets: vec!["xiaomi_air13".to_owned()],
+            faults: vec![FaultVariant::none()],
+            defenses: DefenseVariant::all(),
             replicates: 1,
             trials: None,
         }
@@ -136,6 +244,7 @@ impl CampaignSpec {
         self.scenarios.len()
             * self.presets.len()
             * self.faults.len()
+            * self.defenses.len()
             * (self.replicates.max(1) as usize)
     }
 
@@ -174,22 +283,26 @@ impl CampaignSpec {
     /// entry against `registry` and the preset table up front — so a
     /// long sweep cannot die on a typo after hours of work.
     ///
-    /// Nesting order is fixed (scenario → preset → fault → replicate)
-    /// and cell `index` is the flat position, so indices and derived
-    /// seeds are a pure function of the spec.
+    /// Nesting order is fixed (scenario → preset → fault → defense →
+    /// replicate) and cell `index` is the flat position, so indices and
+    /// derived seeds are a pure function of the spec. A single-entry
+    /// `[none]` defense axis reproduces the pre-defense flat indices
+    /// (and seeds) exactly.
     ///
     /// # Errors
     ///
     /// [`CampaignError::EmptyAxis`] on an empty axis,
     /// [`CampaignError::UnknownScenario`] / `UnknownPreset` on a name
     /// that does not resolve, and [`CampaignError::Params`] when a
-    /// params override (with the preset's machine injected) does not
-    /// deserialize into the scenario's config.
+    /// params override (with the preset's machine and the variant's
+    /// defense injected) does not deserialize into the scenario's
+    /// config.
     pub fn expand(&self, registry: &Registry) -> Result<Vec<CampaignCell>, CampaignError> {
         for (axis, empty) in [
             ("scenarios", self.scenarios.is_empty()),
             ("presets", self.presets.is_empty()),
             ("faults", self.faults.is_empty()),
+            ("defenses", self.defenses.is_empty()),
         ] {
             if empty {
                 return Err(CampaignError::EmptyAxis(axis));
@@ -201,31 +314,43 @@ impl CampaignSpec {
                 .get(&sel.scenario)
                 .map_err(|_| CampaignError::UnknownScenario(sel.scenario.clone()))?;
             for preset in &self.presets {
-                let mut params = match &sel.params {
+                let base = match &sel.params {
                     Some(p) => p.clone(),
                     None => entry.default_params(),
                 };
-                inject_machine(&mut params, preset)?;
-                entry
-                    .check_params(&params)
-                    .map_err(|e| CampaignError::Params {
-                        scenario: sel.scenario.clone(),
-                        message: e.to_string(),
-                    })?;
-                for fault in &self.faults {
-                    for replicate in 0..self.replicates.max(1) {
-                        let index = cells.len();
-                        cells.push(CampaignCell {
-                            index,
+                // Resolve and validate one params value per defense
+                // variant up front (faults and replicates reuse them).
+                let mut defended: Vec<(&DefenseVariant, Value)> =
+                    Vec::with_capacity(self.defenses.len());
+                for variant in &self.defenses {
+                    let mut params = base.clone();
+                    inject_machine(&mut params, preset)?;
+                    inject_defense(&mut params, &variant.defense);
+                    entry
+                        .check_params(&params)
+                        .map_err(|e| CampaignError::Params {
                             scenario: sel.scenario.clone(),
-                            preset: preset.clone(),
-                            fault: fault.name.clone(),
-                            replicate,
-                            seed: exec::derive_seed(self.seed, index as u64),
-                            trials: self.trials,
-                            params: params.clone(),
-                            fault_plan: fault.plan,
-                        });
+                            message: e.to_string(),
+                        })?;
+                    defended.push((variant, params));
+                }
+                for fault in &self.faults {
+                    for (variant, params) in &defended {
+                        for replicate in 0..self.replicates.max(1) {
+                            let index = cells.len();
+                            cells.push(CampaignCell {
+                                index,
+                                scenario: sel.scenario.clone(),
+                                preset: preset.clone(),
+                                fault: fault.name.clone(),
+                                defense: variant.name.clone(),
+                                replicate,
+                                seed: exec::derive_seed(self.seed, index as u64),
+                                trials: self.trials,
+                                params: params.clone(),
+                                fault_plan: fault.plan,
+                            });
+                        }
                     }
                 }
             }
@@ -236,8 +361,8 @@ impl CampaignSpec {
 }
 
 /// One cell of the expanded grid: a fully resolved `(scenario, preset,
-/// fault, replicate)` coordinate with its derived experiment seed and
-/// ready-to-run params.
+/// fault, defense, replicate)` coordinate with its derived experiment
+/// seed and ready-to-run params.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignCell {
     /// Flat index in the expansion order (the manifest/checkpoint key).
@@ -248,6 +373,8 @@ pub struct CampaignCell {
     pub preset: String,
     /// Fault-variant label.
     pub fault: String,
+    /// Defense-variant label.
+    pub defense: String,
     /// Replicate number within the coordinate (`0..replicates`).
     pub replicate: u64,
     /// The cell's experiment seed,
@@ -286,4 +413,25 @@ pub fn inject_machine(params: &mut Value, preset: &str) -> Result<(), CampaignEr
         None => entries.push(("machine".to_owned(), machine)),
     }
     Ok(())
+}
+
+/// Sets the `defense` field of `params`' top-level `machine` map to the
+/// serialized [`Defense`].
+///
+/// A no-op when `params` has no `machine` object (scenarios without a
+/// machine field ignore the defense axis the same way they ignore the
+/// preset axis — the grid stays regular, the variants degenerate to
+/// repeats).
+pub fn inject_defense(params: &mut Value, defense: &Defense) {
+    let Value::Map(entries) = params else {
+        return;
+    };
+    let Some((_, Value::Map(machine))) = entries.iter_mut().find(|(k, _)| k == "machine") else {
+        return;
+    };
+    let value = defense.to_value();
+    match machine.iter_mut().find(|(k, _)| k == "defense") {
+        Some((_, slot)) => *slot = value,
+        None => machine.push(("defense".to_owned(), value)),
+    }
 }

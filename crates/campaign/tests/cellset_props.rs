@@ -26,6 +26,7 @@ fn cell_from(index: usize, seed: u64) -> CellResult {
         scenario: format!("scenario_{}", index % 3),
         preset: format!("preset_{}", index % 2),
         fault: "none".to_owned(),
+        defense: "none".to_owned(),
         replicate: rng.gen_range(0..4),
         report: RunReport {
             scenario: format!("scenario_{}", index % 3),

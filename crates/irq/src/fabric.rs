@@ -2,6 +2,7 @@
 //! timer, stochastic sources, and trace-driven device sources.
 
 use crate::dist;
+use crate::exit::{ExitClass, KernelExit};
 use crate::fault::{FaultLog, FaultPlan, FaultedPop};
 use crate::kind::InterruptKind;
 use crate::time::Ps;
@@ -75,6 +76,22 @@ pub struct PendingInterrupt {
     pub kind: InterruptKind,
     /// The source that produced it (`None` for one-shot injections).
     pub source: Option<SourceId>,
+    /// Exit class the delivery will be booked under. Fabric sources
+    /// always produce [`ExitClass::Irq`]; one-shots carry whatever class
+    /// they were injected with (an attacker driving exits into a victim
+    /// injects [`ExitClass::EnclaveAex`] events).
+    pub class: ExitClass,
+}
+
+impl PendingInterrupt {
+    /// The pending delivery's `(kind, class)` coordinate.
+    #[must_use]
+    pub fn exit(&self) -> KernelExit {
+        KernelExit {
+            kind: self.kind,
+            class: self.class,
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -194,11 +211,16 @@ pub struct FabricSnapshot {
 pub(crate) struct InjectedEvent {
     pub(crate) at: Ps,
     pub(crate) kind: InterruptKind,
+    pub(crate) class: ExitClass,
 }
 
 impl Ord for InjectedEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.kind).cmp(&(other.at, other.kind))
+        // `class` is the last tie-break so same-instant injections keep
+        // the pre-exit-class `(at, kind)` pop order whenever classes
+        // agree (they always do in a defense-free run: everything is
+        // `Irq`).
+        (self.at, self.kind, self.class).cmp(&(other.at, other.kind, other.class))
     }
 }
 
@@ -311,10 +333,19 @@ impl InterruptFabric {
     }
 
     /// Schedules a one-shot interrupt (device activity from a victim
-    /// workload model).
+    /// workload model), classified as an ordinary IRQ.
     #[inline]
     pub fn inject(&mut self, at: Ps, kind: InterruptKind) {
-        self.injected.push(Reverse(InjectedEvent { at, kind }));
+        self.inject_exit(at, kind, ExitClass::Irq);
+    }
+
+    /// Schedules a one-shot delivery under an explicit exit class — the
+    /// offensive direction of the injection machinery: a Heckler-style
+    /// attacker drives [`ExitClass::EnclaveAex`] exits into a victim.
+    #[inline]
+    pub fn inject_exit(&mut self, at: Ps, kind: InterruptKind, class: ExitClass) {
+        self.injected
+            .push(Reverse(InjectedEvent { at, kind, class }));
         // A strictly-later injection cannot displace the cached head; ties
         // at the head's instant can (injected events order by kind), so
         // anything else re-merges the heads.
@@ -327,6 +358,16 @@ impl InterruptFabric {
     pub fn inject_all<I: IntoIterator<Item = (Ps, InterruptKind)>>(&mut self, events: I) {
         for (at, kind) in events {
             self.inject(at, kind);
+        }
+    }
+
+    /// Schedules a batch of one-shot deliveries with explicit classes.
+    pub fn inject_exit_all<I: IntoIterator<Item = (Ps, InterruptKind, ExitClass)>>(
+        &mut self,
+        events: I,
+    ) {
+        for (at, kind, class) in events {
+            self.inject_exit(at, kind, class);
         }
     }
 
@@ -486,7 +527,9 @@ impl InterruptFabric {
         if plan.duplicate_prob > 0.0 && rng.gen::<f64>() < plan.duplicate_prob {
             log.duplicated += 1;
             let ghost_at = next.at + plan.duplicate_delay;
-            self.inject(ghost_at, next.kind);
+            // The ghost keeps the original's class: a duplicated AEX is
+            // another AEX, not a plain IRQ.
+            self.inject_exit(ghost_at, next.kind, next.class);
             if let Some(sink) = sink.as_mut() {
                 sink.emit(
                     next.at.as_ps(),
@@ -601,6 +644,7 @@ impl InterruptFabric {
                 at: e.at,
                 kind: self.sources[e.idx].kind(),
                 source: Some(SourceId(e.idx)),
+                class: ExitClass::Irq,
             })
         } else {
             let mut best: Option<PendingInterrupt> = None;
@@ -611,6 +655,7 @@ impl InterruptFabric {
                             at,
                             kind: state.kind(),
                             source: Some(SourceId(idx)),
+                            class: ExitClass::Irq,
                         });
                     }
                 }
@@ -624,12 +669,14 @@ impl InterruptFabric {
                 at: ev.at,
                 kind: ev.kind,
                 source: None,
+                class: ev.class,
             }),
             (Some(b), _) => Some(b),
             (None, Some(&Reverse(ev))) => Some(PendingInterrupt {
                 at: ev.at,
                 kind: ev.kind,
                 source: None,
+                class: ev.class,
             }),
             (None, None) => None,
         };
@@ -647,6 +694,7 @@ impl InterruptFabric {
                         at,
                         kind: state.kind(),
                         source: Some(SourceId(idx)),
+                        class: ExitClass::Irq,
                     });
                 }
             }
@@ -657,6 +705,7 @@ impl InterruptFabric {
                     at: ev.at,
                     kind: ev.kind,
                     source: None,
+                    class: ev.class,
                 });
             }
         }

@@ -9,6 +9,10 @@
 //!   mixtures) built on `rand`, used by every stochastic model.
 //! * [`InterruptKind`] — the interrupt taxonomy the paper's eBPF analysis
 //!   distinguishes (timer, rescheduling, performance-monitoring, devices…).
+//! * [`ExitClass`]/[`KernelExit`] — the kernel-exit taxonomy layered above
+//!   it: ordinary IRQ, enclave AEX, synthetic padding exit (room is left
+//!   for syscalls/faults), so enclave attacks and countermeasures share
+//!   one delivery pipeline.
 //! * [`HandlerCostModel`] — the time an interrupt handler routine steals
 //!   from user space (`w` in paper Eq. 1, distribution of paper Fig. 4).
 //! * [`InterruptFabric`] — a per-core APIC-like fabric combining a periodic
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+mod exit;
 mod fabric;
 mod fault;
 mod handler;
@@ -46,6 +51,7 @@ pub mod naive;
 pub mod time;
 mod trace;
 
+pub use exit::{ExitClass, KernelExit};
 pub use fabric::{
     FabricImpl, FabricSnapshot, InterruptFabric, PendingInterrupt, SourceId, FABRIC_CUTOVER_SOURCES,
 };

@@ -8,16 +8,17 @@
 //! 1. **Reference oracle** — the differential tests drive generated op
 //!    sequences through both fabrics and assert identical
 //!    [`PendingInterrupt`] sequences *and* identical RNG positions (both
-//!    implementations share [`super::fabric::draw_next`], so they consume
+//!    implementations share the fabric's private `draw_next`, so they consume
 //!    the same draws in the same order).
 //! 2. **Baseline arm** — `bench_hotpath` measures delivered-interrupts/sec
 //!    against it to quantify the calendar's win.
 //!
-//! It is *not* part of the simulator hot path; [`segsim`]-level code uses
+//! It is *not* part of the simulator hot path; `segsim`-level code uses
 //! the adaptive [`InterruptFabric`](crate::InterruptFabric) exclusively
 //! (which below [`crate::FABRIC_CUTOVER_SOURCES`] sources runs the same
 //! linear scan, with a cached O(1) head on top).
 
+use crate::exit::ExitClass;
 use crate::fabric::{draw_next, InjectedEvent, SourceModel, SourceState};
 use crate::fault::{FaultLog, FaultPlan, FaultedPop};
 use crate::kind::InterruptKind;
@@ -103,7 +104,13 @@ impl NaiveFabric {
 
     /// Mirrors [`InterruptFabric::inject`](crate::InterruptFabric::inject).
     pub fn inject(&mut self, at: Ps, kind: InterruptKind) {
-        self.injected.push(Reverse(InjectedEvent { at, kind }));
+        self.inject_exit(at, kind, ExitClass::Irq);
+    }
+
+    /// Mirrors [`InterruptFabric::inject_exit`](crate::InterruptFabric::inject_exit).
+    pub fn inject_exit(&mut self, at: Ps, kind: InterruptKind, class: ExitClass) {
+        self.injected
+            .push(Reverse(InjectedEvent { at, kind, class }));
     }
 
     /// Mirrors [`InterruptFabric::inject_all`](crate::InterruptFabric::inject_all).
@@ -176,6 +183,7 @@ impl NaiveFabric {
                     best = Some(PendingInterrupt {
                         at,
                         kind: state.kind(),
+                        class: ExitClass::Irq,
                         source: Some(SourceId::from_index(idx)),
                     });
                 }
@@ -186,6 +194,7 @@ impl NaiveFabric {
                 best = Some(PendingInterrupt {
                     at: ev.at,
                     kind: ev.kind,
+                    class: ev.class,
                     source: None,
                 });
             }
@@ -226,7 +235,8 @@ impl NaiveFabric {
         }
         if plan.duplicate_prob > 0.0 && rng.gen::<f64>() < plan.duplicate_prob {
             log.duplicated += 1;
-            self.inject(next.at + plan.duplicate_delay, next.kind);
+            // Class-preserving: a duplicated AEX is another AEX.
+            self.inject_exit(next.at + plan.duplicate_delay, next.kind, next.class);
         }
         Some(FaultedPop::Delivered(next))
     }

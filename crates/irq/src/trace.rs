@@ -1,20 +1,35 @@
 //! Ground-truth interrupt trace: the simulator-internal analogue of the
 //! paper's eBPF instrumentation.
 
+use crate::exit::{ExitClass, KernelExit};
 use crate::kind::InterruptKind;
 use crate::time::Ps;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// One delivered interrupt, with perfect information.
+/// One delivered kernel exit, with perfect information.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IrqRecord {
     /// Delivery instant.
     pub at: Ps,
-    /// Kind of interrupt.
+    /// Kind of interrupt (for [`ExitClass::DefensePad`] exits this is
+    /// the placeholder [`InterruptKind::Other`]).
     pub kind: InterruptKind,
     /// Time the handler routine took (`w` in paper Eq. 1).
     pub handler_cost: Ps,
+    /// Which class of kernel exit the delivery was.
+    pub class: ExitClass,
+}
+
+impl IrqRecord {
+    /// The record's `(kind, class)` coordinate.
+    #[must_use]
+    pub fn exit(&self) -> KernelExit {
+        KernelExit {
+            kind: self.kind,
+            class: self.class,
+        }
+    }
 }
 
 /// A recorder of every interrupt the simulated core delivered.
@@ -51,13 +66,19 @@ impl GroundTruth {
         self.enabled
     }
 
-    /// Records one delivery (no-op while disabled).
+    /// Records one ordinary IRQ delivery (no-op while disabled).
     pub fn record(&mut self, at: Ps, kind: InterruptKind, handler_cost: Ps) {
+        self.record_exit(at, KernelExit::irq(kind), handler_cost);
+    }
+
+    /// Records one classified kernel exit (no-op while disabled).
+    pub fn record_exit(&mut self, at: Ps, exit: KernelExit, handler_cost: Ps) {
         if self.enabled {
             self.records.push(IrqRecord {
                 at,
-                kind,
+                kind: exit.kind,
                 handler_cost,
+                class: exit.class,
             });
         }
     }
@@ -118,6 +139,26 @@ impl GroundTruth {
     pub fn of_kind(&self, kind: InterruptKind) -> impl Iterator<Item = &IrqRecord> {
         self.records.iter().filter(move |r| r.kind == kind)
     }
+
+    /// Iterates over records of one exit class.
+    pub fn of_class(&self, class: ExitClass) -> impl Iterator<Item = &IrqRecord> {
+        self.records.iter().filter(move |r| r.class == class)
+    }
+
+    /// Number of records of one exit class over the whole trace.
+    #[must_use]
+    pub fn count_class(&self, class: ExitClass) -> usize {
+        self.of_class(class).count()
+    }
+
+    /// Number of records of one exit class inside `[from, to)`.
+    #[must_use]
+    pub fn count_class_in(&self, class: ExitClass, from: Ps, to: Ps) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.class == class && r.at >= from && r.at < to)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +211,37 @@ mod tests {
         assert!(!gt.is_empty());
         gt.clear();
         assert!(gt.is_empty());
+    }
+
+    #[test]
+    fn exit_classes_are_recorded_and_countable() {
+        let mut gt = GroundTruth::new();
+        gt.record(Ps::from_ms(1), InterruptKind::Timer, Ps::from_us(1));
+        gt.record_exit(
+            Ps::from_ms(2),
+            KernelExit::aex(InterruptKind::Timer),
+            Ps::from_us(2),
+        );
+        gt.record_exit(Ps::from_ms(3), KernelExit::pad(), Ps::from_us(1));
+        assert_eq!(gt.count_class(ExitClass::Irq), 1);
+        assert_eq!(gt.count_class(ExitClass::EnclaveAex), 1);
+        assert_eq!(gt.count_class(ExitClass::DefensePad), 1);
+        assert_eq!(
+            gt.count_class_in(ExitClass::EnclaveAex, Ps::from_ms(2), Ps::from_ms(3)),
+            1
+        );
+        assert_eq!(
+            gt.count_class_in(ExitClass::EnclaveAex, Ps::from_ms(3), Ps::from_ms(9)),
+            0
+        );
+        // `record` is the `Irq`-classified shorthand.
+        assert_eq!(gt.records()[0].class, ExitClass::Irq);
+        assert_eq!(
+            gt.records()[1].exit(),
+            KernelExit::aex(InterruptKind::Timer)
+        );
+        // Per-kind counting still sees every class's underlying vector.
+        assert_eq!(gt.count_by_kind()[&InterruptKind::Timer], 2);
+        assert_eq!(gt.count_by_kind()[&InterruptKind::Other], 1);
     }
 }

@@ -202,6 +202,25 @@ pub enum EventKind {
         /// Task index within the experiment.
         index: u64,
     },
+    /// An asynchronous enclave exit: an interrupt landed while the core
+    /// was executing inside an enclave, forcing the AEX return path
+    /// instead of an ordinary handler-and-resume (AEX-NStep's countable
+    /// event).
+    AexExit {
+        /// The interrupt class that forced the exit.
+        irq: IrqClass,
+        /// Handler routine cost, ps.
+        handler_cost_ps: u64,
+    },
+    /// The deterministic-padding defense inserted a synthetic kernel
+    /// exit (not caused by any interrupt source).
+    DefensePad {
+        /// Total time spent away from user space for the pad, ps.
+        kernel_span_ps: u64,
+    },
+    /// The QuanShield-style defense tore the enclave down on its first
+    /// asynchronous exit.
+    EnclaveDestroyed,
 }
 
 impl EventKind {
@@ -220,6 +239,9 @@ impl EventKind {
             EventKind::FaultInjected { .. } => EventClass::FaultInjected,
             EventKind::TrialStart { .. } => EventClass::TrialStart,
             EventKind::TrialEnd { .. } => EventClass::TrialEnd,
+            EventKind::AexExit { .. } => EventClass::AexExit,
+            EventKind::DefensePad { .. } => EventClass::DefensePad,
+            EventKind::EnclaveDestroyed => EventClass::EnclaveDestroyed,
         }
     }
 }
@@ -281,11 +303,17 @@ pub enum EventClass {
     TrialStart,
     /// [`EventKind::TrialEnd`].
     TrialEnd,
+    /// [`EventKind::AexExit`].
+    AexExit,
+    /// [`EventKind::DefensePad`].
+    DefensePad,
+    /// [`EventKind::EnclaveDestroyed`].
+    EnclaveDestroyed,
 }
 
 impl EventClass {
     /// Every class, in declaration order.
-    pub const ALL: [EventClass; 11] = [
+    pub const ALL: [EventClass; 14] = [
         EventClass::IrqDelivered,
         EventClass::IrqDropped,
         EventClass::IrqCoalesced,
@@ -297,6 +325,9 @@ impl EventClass {
         EventClass::FaultInjected,
         EventClass::TrialStart,
         EventClass::TrialEnd,
+        EventClass::AexExit,
+        EventClass::DefensePad,
+        EventClass::EnclaveDestroyed,
     ];
 
     fn bit(self) -> u16 {
@@ -322,6 +353,9 @@ impl EventClass {
             EventClass::FaultInjected => "fault_injected",
             EventClass::TrialStart => "trial_start",
             EventClass::TrialEnd => "trial_end",
+            EventClass::AexExit => "aex_exit",
+            EventClass::DefensePad => "defense_pad",
+            EventClass::EnclaveDestroyed => "enclave_destroyed",
         }
     }
 }
@@ -335,7 +369,7 @@ impl ClassSet {
     pub const EMPTY: ClassSet = ClassSet(0);
 
     /// The set of every class.
-    pub const ALL: ClassSet = ClassSet((1 << 11) - 1);
+    pub const ALL: ClassSet = ClassSet((1 << 14) - 1);
 
     /// The set containing exactly `class`.
     #[must_use]
@@ -426,6 +460,18 @@ mod tests {
                 EventClass::FreqTransition,
             ),
             (EventKind::TrialStart { index: 3 }, EventClass::TrialStart),
+            (
+                EventKind::AexExit {
+                    irq: IrqClass::Timer,
+                    handler_cost_ps: 7,
+                },
+                EventClass::AexExit,
+            ),
+            (
+                EventKind::DefensePad { kernel_span_ps: 5 },
+                EventClass::DefensePad,
+            ),
+            (EventKind::EnclaveDestroyed, EventClass::EnclaveDestroyed),
         ];
         for (kind, class) in kinds {
             assert_eq!(kind.class(), class);

@@ -222,6 +222,37 @@ fn chrome_event(out: &mut String, event: &Event) {
                 &[("index", index.to_string())],
             );
         }
+        EventKind::AexExit {
+            irq,
+            handler_cost_ps,
+        } => {
+            // Complete span like IrqDelivered — an AEX still runs the
+            // handler — but under its own name so enclave exits stand
+            // out on the timeline.
+            push_chrome_event(
+                out,
+                name,
+                'X',
+                event.at_ps,
+                Some(handler_cost_ps),
+                track,
+                &[("irq", quoted(irq.label()))],
+            );
+        }
+        EventKind::DefensePad { kernel_span_ps } => {
+            push_chrome_event(
+                out,
+                name,
+                'X',
+                event.at_ps.saturating_sub(kernel_span_ps),
+                Some(kernel_span_ps),
+                track,
+                &[],
+            );
+        }
+        EventKind::EnclaveDestroyed => {
+            push_chrome_event(out, name, 'i', event.at_ps, None, track, &[]);
+        }
     }
 }
 

@@ -40,6 +40,12 @@ pub struct DeliveryAudit {
     /// Interrupts merged into an earlier kernel stint by coalescing
     /// (delivered, but with no return to user space of their own).
     pub coalesced: u64,
+    /// Synthetic exits inserted by the padding defense. Counted in
+    /// `delivered` (they are real ground-truth records) but *not*
+    /// intended by the nominal machine — to the probe they are
+    /// indistinguishable from interrupts, which is exactly how padding
+    /// degrades counting attacks.
+    pub padded: u64,
 }
 
 /// The audit's verdict on the run.
@@ -73,23 +79,25 @@ impl DeliveryAudit {
             dropped: log.dropped,
             duplicated: log.duplicated,
             coalesced: log.coalesced,
+            padded: machine.padded_exits(),
         }
     }
 
-    /// How many interrupts the nominal (fault-free) machine would have
-    /// delivered: actual deliveries, plus the dropped ones, minus the
-    /// injected ghosts.
+    /// How many interrupts the nominal (fault-free, defense-free)
+    /// machine would have delivered: actual deliveries, plus the dropped
+    /// ones, minus the injected ghosts and the synthetic padding exits.
     #[must_use]
     pub fn intended(&self) -> u64 {
-        (self.delivered + self.dropped).saturating_sub(self.duplicated)
+        (self.delivered + self.dropped).saturating_sub(self.duplicated + self.padded)
     }
 
     /// The typed verdict: [`AuditVerdict::Exact`] only when observation
-    /// and intent reconcile perfectly with no delivery fault on record.
+    /// and intent reconcile perfectly with no delivery fault (and no
+    /// padding exit) on record.
     #[must_use]
     pub fn verdict(&self) -> AuditVerdict {
         let intended = self.intended();
-        let delivery_faults = self.dropped + self.duplicated + self.coalesced;
+        let delivery_faults = self.dropped + self.duplicated + self.coalesced + self.padded;
         if delivery_faults == 0 && self.observed == intended {
             return AuditVerdict::Exact;
         }
@@ -122,6 +130,8 @@ impl DeliveryAudit {
             dropped_events: sink.count_class(obs::EventClass::IrqDropped) as u64,
             duplicated_events: sink.count_class(obs::EventClass::IrqDuplicated) as u64,
             coalesced_events: sink.count_class(obs::EventClass::IrqCoalesced) as u64,
+            aex_events: sink.count_class(obs::EventClass::AexExit) as u64,
+            pad_events: sink.count_class(obs::EventClass::DefensePad) as u64,
             ring_overflowed: sink.dropped() > 0,
             audit: *self,
         }
@@ -140,6 +150,10 @@ pub struct TraceReconciliation {
     pub duplicated_events: u64,
     /// `IrqCoalesced` events in the trace.
     pub coalesced_events: u64,
+    /// `AexExit` events in the trace (AEX-classified deliveries).
+    pub aex_events: u64,
+    /// `DefensePad` events in the trace (synthetic padding exits).
+    pub pad_events: u64,
     /// Whether the ring overwrote events (counts are then lower bounds).
     pub ring_overflowed: bool,
     /// The audit the trace is compared against.
@@ -147,13 +161,14 @@ pub struct TraceReconciliation {
 }
 
 impl TraceReconciliation {
-    /// Unmatched interrupt-delivery events: the absolute difference
-    /// between the trace's deliveries and the ground truth's. Zero on any
-    /// faithful trace — including fault-injected runs, since the trace
-    /// records what actually happened, not what was intended.
+    /// Unmatched kernel-exit events: the absolute difference between the
+    /// trace's deliveries (ordinary, AEX, and padding exits together —
+    /// one event per ground-truth record) and the ground truth's. Zero
+    /// on any faithful trace — including fault-injected runs, since the
+    /// trace records what actually happened, not what was intended.
     #[must_use]
     pub fn unmatched_deliveries(&self) -> u64 {
-        self.delivered_events.abs_diff(self.audit.delivered)
+        (self.delivered_events + self.aex_events + self.pad_events).abs_diff(self.audit.delivered)
     }
 
     /// Whether every ledger agrees: deliveries match ground truth and
@@ -166,6 +181,7 @@ impl TraceReconciliation {
             && self.dropped_events == self.audit.dropped
             && self.duplicated_events == self.audit.duplicated
             && self.coalesced_events == self.audit.coalesced
+            && self.pad_events == self.audit.padded
     }
 }
 

@@ -88,6 +88,85 @@ impl Default for NoiseModel {
     }
 }
 
+/// Interrupt-side countermeasure applied at the delivery boundary.
+///
+/// Defenses model what a *defender* (enclave runtime, kernel, or
+/// trusted hypervisor) does about the kernel exits the attacker counts.
+/// They are orthogonal to the victim-side mitigations already on
+/// [`MachineConfig`] (`preserve_selectors`, `restrict_segment_writes`):
+/// those remove the architectural footprint, defenses remove or drown
+/// the *signal* in the exit stream itself.
+///
+/// `Defense::None` takes zero extra branches on the delivery path and
+/// draws no RNG, so a machine configured without a defense reproduces
+/// the pre-defense trace bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum Defense {
+    /// No countermeasure — the SegScope baseline.
+    #[default]
+    None,
+    /// QuanShield-style self-destructing enclave: the first asynchronous
+    /// enclave exit permanently tears the enclave down, so an
+    /// interrupt-counting attacker gets at most one AEX worth of signal.
+    QuanShield,
+    /// Deterministic interrupt padding: synthetic kernel exits are
+    /// inserted on a fixed time grid so that the exit stream the
+    /// attacker observes is (nearly) independent of the victim's
+    /// secret-dependent work. Pads are fully deterministic — they draw
+    /// no RNG — so enabling padding shifts *when* real interrupts land
+    /// relative to the victim but never perturbs the RNG stream order.
+    Padding {
+        /// Grid period: one synthetic exit every `quantum` of simulated
+        /// time while the machine runs.
+        quantum: Ps,
+        /// Fixed kernel-side cost charged per synthetic exit.
+        exit_cost: Ps,
+    },
+}
+
+impl Defense {
+    /// Stable names accepted by `Defense::by_name` (CLI `--defense`
+    /// values, campaign defense-axis names).
+    pub const NAMES: [&'static str; 3] = ["none", "quanshield", "padding"];
+
+    /// Default padding grid: 4 synthetic exits per timer tick at HZ=250.
+    #[must_use]
+    pub fn default_padding() -> Self {
+        Defense::Padding {
+            quantum: Ps::from_ms(1),
+            exit_cost: Ps::from_us(4),
+        }
+    }
+
+    /// Looks a defense up by its stable name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Defense> {
+        match name {
+            "none" => Some(Defense::None),
+            "quanshield" => Some(Defense::QuanShield),
+            "padding" => Some(Defense::default_padding()),
+            _ => None,
+        }
+    }
+
+    /// The stable name (`NAMES` entry) of this defense.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Defense::None => "none",
+            Defense::QuanShield => "quanshield",
+            Defense::Padding { .. } => "padding",
+        }
+    }
+
+    /// `true` for [`Defense::None`] — the delivery path's fast-path
+    /// check.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        matches!(self, Defense::None)
+    }
+}
+
 /// Full static configuration of a simulated machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
@@ -150,6 +229,10 @@ pub struct MachineConfig {
     /// Opt-in interrupt-path fault injection (conformance testing only;
     /// `None` preserves the machine's RNG stream bit-for-bit).
     pub fault_plan: Option<FaultPlan>,
+    /// Interrupt-side countermeasure applied at the delivery boundary
+    /// (`Defense::None` preserves the machine's trace and RNG stream
+    /// bit-for-bit).
+    pub defense: Defense,
 }
 
 impl MachineConfig {
@@ -194,6 +277,7 @@ impl MachineConfig {
             preserve_selectors: false,
             restrict_segment_writes: false,
             fault_plan: None,
+            defense: Defense::None,
         }
     }
 
@@ -227,6 +311,7 @@ impl MachineConfig {
             preserve_selectors: false,
             restrict_segment_writes: false,
             fault_plan: None,
+            defense: Defense::None,
         }
     }
 
@@ -258,6 +343,7 @@ impl MachineConfig {
             preserve_selectors: false,
             restrict_segment_writes: false,
             fault_plan: None,
+            defense: Defense::None,
         }
     }
 
@@ -291,6 +377,7 @@ impl MachineConfig {
             preserve_selectors: false,
             restrict_segment_writes: false,
             fault_plan: None,
+            defense: Defense::None,
         }
     }
 
@@ -324,6 +411,7 @@ impl MachineConfig {
             preserve_selectors: false,
             restrict_segment_writes: false,
             fault_plan: None,
+            defense: Defense::None,
         }
     }
 
@@ -357,6 +445,7 @@ impl MachineConfig {
             preserve_selectors: false,
             restrict_segment_writes: false,
             fault_plan: None,
+            defense: Defense::None,
         }
     }
 
@@ -413,6 +502,13 @@ impl MachineConfig {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Installs an interrupt-side countermeasure (builder style).
+    #[must_use]
+    pub fn with_defense(mut self, defense: Defense) -> Self {
+        self.defense = defense;
         self
     }
 }

@@ -2,11 +2,14 @@
 //! frequency domain, interrupt fabric, segment registers, caches, and
 //! kernel entry/exit behaviour.
 
-use crate::config::{MachineConfig, Vendor};
+use crate::config::{Defense, MachineConfig, Vendor};
 use crate::error::SimError;
 use crate::freq::{FreqModel, StepFn};
 use irq::time::Ps;
-use irq::{FaultLog, FaultPlan, FaultedPop, GroundTruth, InterruptFabric, InterruptKind, SourceId};
+use irq::{
+    ExitClass, FaultLog, FaultPlan, FaultedPop, GroundTruth, InterruptFabric, InterruptKind,
+    KernelExit, SourceId,
+};
 use memsim::{AccessOutcome, KaslrLayout, MemoryHierarchy};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +40,11 @@ fn seg_reg_id(reg: DataSegReg) -> obs::SegRegId {
 pub struct DeliveredIrq {
     /// Kind of the interrupt that ended the user span.
     pub kind: InterruptKind,
+    /// Kernel-exit class of the delivery ([`ExitClass::Irq`] for every
+    /// ordinary interrupt; [`ExitClass::EnclaveAex`] when the core was
+    /// inside an enclave; [`ExitClass::DefensePad`] for synthetic
+    /// padding exits).
+    pub class: ExitClass,
     /// Delivery instant.
     pub at: Ps,
     /// Handler routine cost (`w` in paper Eq. 1).
@@ -162,6 +170,19 @@ pub struct Machine {
     pub(crate) fault_log: FaultLog,
     /// Remaining guest operations in the current SMT-noise burst.
     pub(crate) smt_burst_left: u32,
+    /// Whether the core is currently executing inside an SGX-like
+    /// enclave: interrupt deliveries become AEX-classified exits.
+    pub(crate) enclave_active: bool,
+    /// Set when the QuanShield defense tore the enclave down (permanent
+    /// for the machine's lifetime; `enter_enclave` refuses afterwards).
+    pub(crate) enclave_destroyed: bool,
+    /// Total AEX-classified deliveries.
+    pub(crate) aex_exits: u64,
+    /// Total synthetic padding exits inserted by the padding defense.
+    pub(crate) padded_exits: u64,
+    /// Next instant the padding defense inserts a synthetic exit
+    /// (`None` = padding disabled; the common fast path).
+    pub(crate) next_pad_at: Option<Ps>,
     /// Optional observability sink. `None` (the default) keeps every
     /// hook a dead branch: no RNG draws, no timing change, bit-identical
     /// behaviour to a build without instrumentation.
@@ -197,6 +218,11 @@ impl Machine {
             fault_plan: None,
             fault_log: FaultLog::default(),
             smt_burst_left: 0,
+            enclave_active: false,
+            enclave_destroyed: false,
+            aex_exits: 0,
+            padded_exits: 0,
+            next_pad_at: None,
             sink: None,
             config: config.clone(),
         };
@@ -262,6 +288,16 @@ impl Machine {
         self.fault_plan = config.fault_plan;
         self.fault_log = FaultLog::default();
         self.smt_burst_left = 0;
+        self.enclave_active = false;
+        self.enclave_destroyed = false;
+        self.aex_exits = 0;
+        self.padded_exits = 0;
+        // The padding grid starts one quantum in: t = 0 itself is not a
+        // pad instant (a pad before any user work would be pure cost).
+        self.next_pad_at = match config.defense {
+            Defense::Padding { quantum, .. } if quantum > Ps::ZERO => Some(quantum),
+            _ => None,
+        };
         self.sink = None;
         self.config = config;
     }
@@ -394,6 +430,63 @@ impl Machine {
     /// Injects one-shot device interrupts (victim activity).
     pub fn inject_interrupts<I: IntoIterator<Item = (Ps, InterruptKind)>>(&mut self, events: I) {
         self.fabric.inject_all(events);
+    }
+
+    /// Injects one-shot *classified* kernel exits — the Heckler-style
+    /// offensive direction, where a malicious hypervisor drives exits
+    /// into a confidential-VM victim on a schedule of its choosing.
+    pub fn inject_exits<I: IntoIterator<Item = (Ps, InterruptKind, ExitClass)>>(
+        &mut self,
+        events: I,
+    ) {
+        self.fabric.inject_exit_all(events);
+    }
+
+    // ------------------------------------------------------------------
+    // Enclave lifecycle (AEX modeling).
+    // ------------------------------------------------------------------
+
+    /// Enters SGX-like enclave mode: until [`Machine::exit_enclave`],
+    /// every interrupt delivery is an [`ExitClass::EnclaveAex`] exit.
+    ///
+    /// Returns `false` (and stays outside the enclave) if the QuanShield
+    /// defense already destroyed the enclave.
+    pub fn enter_enclave(&mut self) -> bool {
+        if self.enclave_destroyed {
+            return false;
+        }
+        self.enclave_active = true;
+        true
+    }
+
+    /// Leaves enclave mode (a synchronous, victim-initiated EEXIT; it is
+    /// not a kernel exit and produces no footprint).
+    pub fn exit_enclave(&mut self) {
+        self.enclave_active = false;
+    }
+
+    /// Whether the core is currently executing inside the enclave.
+    #[must_use]
+    pub fn enclave_active(&self) -> bool {
+        self.enclave_active
+    }
+
+    /// Whether the QuanShield defense tore the enclave down.
+    #[must_use]
+    pub fn enclave_destroyed(&self) -> bool {
+        self.enclave_destroyed
+    }
+
+    /// Total AEX-classified deliveries so far.
+    #[must_use]
+    pub fn aex_exits(&self) -> u64 {
+        self.aex_exits
+    }
+
+    /// Total synthetic padding exits inserted by the padding defense.
+    #[must_use]
+    pub fn padded_exits(&self) -> u64 {
+        self.padded_exits
     }
 
     /// Sets the attacker task's contribution to the frequency governor's
@@ -682,7 +775,11 @@ impl Machine {
             // stay byte-identical — without re-consulting the fabric.
             let next_irq = self.fabric.peek_next();
             let irq_at = next_irq.map_or(Ps::MAX, |p| p.at.max(self.now));
-            let stop = deadline.min(irq_at);
+            // The padding defense's grid is a second delivery source; with
+            // no defense `pad_at` is `Ps::MAX` and this is the old
+            // two-way minimum bit-for-bit.
+            let pad_at = self.next_pad_at.map_or(Ps::MAX, |p| p.max(self.now));
+            let stop = deadline.min(irq_at).min(pad_at);
             loop {
                 let khz = self.freq.current_khz();
                 let boundary = stop.min(self.freq.next_update_at());
@@ -708,6 +805,7 @@ impl Machine {
                 }
             }
             if stop == irq_at && next_irq.is_some() {
+                // A real interrupt wins a tie against a pad instant.
                 if let Some(delivered) = self.deliver_interrupt() {
                     return UserSpan {
                         start,
@@ -719,6 +817,15 @@ impl Machine {
                 // The fault plan dropped the interrupt: user execution
                 // continues, unaware anything was pending.
                 continue;
+            }
+            if stop == pad_at && self.next_pad_at.is_some() {
+                let delivered = self.deliver_pad_exit();
+                return UserSpan {
+                    start,
+                    end: self.now,
+                    cycles,
+                    ended_by: SpanEnd::Interrupt(delivered),
+                };
             }
             return UserSpan {
                 start,
@@ -823,9 +930,13 @@ impl Machine {
                 .fabric
                 .peek_next()
                 .map_or(Ps::MAX, |p| p.at.max(self.now));
+            // With no padding defense `pad_at` is `Ps::MAX`: the stop
+            // point collapses to the pre-defense `next_irq` exactly.
+            let pad_at = self.next_pad_at.map_or(Ps::MAX, |p| p.max(self.now));
+            let next_stop = next_irq.min(pad_at);
             loop {
                 let khz = self.freq.current_khz();
-                let boundary = self.freq.next_update_at().min(next_irq);
+                let boundary = self.freq.next_update_at().min(next_stop);
                 let span_to_boundary = boundary.saturating_sub(self.now);
                 let cycles_to_boundary = span_to_boundary.as_ps() as f64 * khz as f64 / 1e9;
                 if cycles_to_boundary >= remaining {
@@ -838,10 +949,18 @@ impl Machine {
                 remaining -= cycles_to_boundary;
                 self.domain_cycles += cycles_to_boundary;
                 self.now = boundary;
-                if boundary == next_irq && self.fabric.peek_next().is_some_and(|p| p.at <= self.now)
+                if boundary == next_stop
+                    && next_irq <= pad_at
+                    && self.fabric.peek_next().is_some_and(|p| p.at <= self.now)
                 {
+                    // A real interrupt wins a tie against a pad instant.
                     let _ = self.deliver_interrupt();
                     // The fabric changed: fall back out to re-peek.
+                    break;
+                }
+                if boundary == next_stop && pad_at <= self.now && self.next_pad_at.is_some() {
+                    let _ = self.deliver_pad_exit();
+                    // The pad grid advanced: fall back out to re-peek.
                     break;
                 }
                 // Governor boundary: tick and keep integrating.
@@ -913,19 +1032,16 @@ impl Machine {
         let first_kind = pending.kind;
         let first_at = pending.at;
         let handler_cost = self.sample_handler_cost(first_kind);
-        self.ground_truth.record(first_at, first_kind, handler_cost);
-        if let Some(sink) = self.sink.as_deref_mut() {
-            sink.emit(
-                first_at.as_ps(),
-                obs::EventKind::IrqDelivered {
-                    irq: first_kind.into(),
-                    handler_cost_ps: handler_cost.as_ps(),
-                },
-            );
-            sink.metrics.incr("irq.delivered", 1);
-            sink.metrics
-                .observe("irq.handler_cost_ps", handler_cost.as_ps());
-        }
+        let first_class = self.classify_delivery(pending.class, first_at);
+        self.ground_truth.record_exit(
+            first_at,
+            KernelExit {
+                kind: first_kind,
+                class: first_class,
+            },
+            handler_cost,
+        );
+        self.emit_delivery(first_at, first_kind, first_class, handler_cost);
         let mut kernel_span = handler_cost;
         if first_kind == InterruptKind::Timer {
             self.timer_ticks_seen = self.timer_ticks_seen.wrapping_add(1);
@@ -985,18 +1101,16 @@ impl Machine {
             self.kernel_entries += 1;
             let w = self.sample_handler_cost(p.kind);
             let cascade_at = due.at.max(self.now);
-            self.ground_truth.record(cascade_at, p.kind, w);
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.emit(
-                    cascade_at.as_ps(),
-                    obs::EventKind::IrqDelivered {
-                        irq: p.kind.into(),
-                        handler_cost_ps: w.as_ps(),
-                    },
-                );
-                sink.metrics.incr("irq.delivered", 1);
-                sink.metrics.observe("irq.handler_cost_ps", w.as_ps());
-            }
+            let cascade_class = self.classify_delivery(p.class, cascade_at);
+            self.ground_truth.record_exit(
+                cascade_at,
+                KernelExit {
+                    kind: p.kind,
+                    class: cascade_class,
+                },
+                w,
+            );
+            self.emit_delivery(cascade_at, p.kind, cascade_class, w);
             if p.kind == InterruptKind::Timer {
                 self.timer_ticks_seen = self.timer_ticks_seen.wrapping_add(1);
             }
@@ -1057,11 +1171,138 @@ impl Machine {
         }
         Some(DeliveredIrq {
             kind: first_kind,
+            class: first_class,
             at: first_at,
             handler_cost,
             kernel_span,
             footprint,
         })
+    }
+
+    /// Classifies one delivery against the enclave state and applies
+    /// AEX-triggered defense effects (QuanShield self-destruction).
+    ///
+    /// No RNG draws: on a machine that never enters an enclave this is
+    /// the identity on `pending_class` and the whole exit-class model
+    /// costs one predictable branch.
+    fn classify_delivery(&mut self, pending_class: ExitClass, at: Ps) -> ExitClass {
+        if !self.enclave_active {
+            return pending_class;
+        }
+        self.aex_exits += 1;
+        if matches!(self.config.defense, Defense::QuanShield) {
+            // First AEX: the enclave self-destructs, permanently. Later
+            // deliveries (including cascades of this very stint) are
+            // ordinary IRQs against a dead enclave.
+            self.enclave_active = false;
+            self.enclave_destroyed = true;
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.emit(at.as_ps(), obs::EventKind::EnclaveDestroyed);
+                sink.metrics.incr("defense.enclave_destroyed", 1);
+            }
+        }
+        ExitClass::EnclaveAex
+    }
+
+    /// Emits the per-delivery trace event (class-dependent kind).
+    fn emit_delivery(&mut self, at: Ps, kind: InterruptKind, class: ExitClass, cost: Ps) {
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        if class == ExitClass::EnclaveAex {
+            sink.emit(
+                at.as_ps(),
+                obs::EventKind::AexExit {
+                    irq: kind.into(),
+                    handler_cost_ps: cost.as_ps(),
+                },
+            );
+            sink.metrics.incr("irq.aex", 1);
+        } else {
+            sink.emit(
+                at.as_ps(),
+                obs::EventKind::IrqDelivered {
+                    irq: kind.into(),
+                    handler_cost_ps: cost.as_ps(),
+                },
+            );
+            sink.metrics.incr("irq.delivered", 1);
+        }
+        sink.metrics.observe("irq.handler_cost_ps", cost.as_ps());
+    }
+
+    /// Inserts one synthetic padding exit: kernel entry, fixed cost,
+    /// Algorithm 1 scrub on return — everything the probe observes from
+    /// a real interrupt, with **zero RNG draws** (the padding defense
+    /// must never perturb the machine's RNG stream).
+    fn deliver_pad_exit(&mut self) -> DeliveredIrq {
+        let Defense::Padding { quantum, exit_cost } = self.config.defense else {
+            unreachable!("pad scheduled without the padding defense");
+        };
+        let pad_at = self.next_pad_at.expect("pad scheduled");
+        // Fixed grid: the next pad lands one quantum later regardless of
+        // how long this stint runs (grid instants swallowed by a long
+        // stint fire immediately afterwards, back to back).
+        self.next_pad_at = Some(pad_at + quantum);
+        self.kernel_entries += 1;
+        self.padded_exits += 1;
+        let kernel_span = exit_cost;
+        self.ground_truth
+            .record_exit(pad_at, KernelExit::pad(), exit_cost);
+        // Kernel time elapses at the domain frequency (governor ticks
+        // fire at the same absolute instants they would have anyway).
+        let kernel_end = self.now + kernel_span;
+        while self.freq.next_update_at() <= kernel_end {
+            let at = self.freq.next_update_at();
+            self.governor_tick(at);
+        }
+        self.domain_cycles += kernel_span.as_ps() as f64 * self.freq.current_khz() as f64 / 1e9;
+        self.now = kernel_end;
+        // Deterministic refill: the mean, no noise draw.
+        self.pending_refill += self.config.noise.refill_mean.max(0.0);
+        let footprint = if self.config.preserve_selectors {
+            ReturnFootprint::default()
+        } else {
+            protected_mode_return(&mut self.regs, PrivilegeLevel::Ring3, PrivilegeLevel::Ring0)
+        };
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let at_ps = self.now.as_ps();
+            for reg in DataSegReg::ALL {
+                if footprint.was_cleared(reg) {
+                    sink.emit(
+                        at_ps,
+                        obs::EventKind::SegClear {
+                            reg: seg_reg_id(reg),
+                            null: footprint.cleared_as_null(reg),
+                        },
+                    );
+                }
+            }
+            sink.emit(
+                at_ps,
+                obs::EventKind::DefensePad {
+                    kernel_span_ps: kernel_span.as_ps(),
+                },
+            );
+            sink.emit(
+                at_ps,
+                obs::EventKind::KernelReturn {
+                    cleared: footprint.cleared_count() as u8,
+                    kernel_span_ps: kernel_span.as_ps(),
+                },
+            );
+            sink.metrics.incr("defense.pads", 1);
+            sink.metrics.incr("kernel.returns", 1);
+            sink.metrics.observe("kernel.span_ps", kernel_span.as_ps());
+        }
+        DeliveredIrq {
+            kind: InterruptKind::Other,
+            class: ExitClass::DefensePad,
+            at: pad_at,
+            handler_cost: exit_cost,
+            kernel_span,
+            footprint,
+        }
     }
 }
 
@@ -1605,6 +1846,115 @@ mod tests {
         assert_eq!(*reused.fault_log(), FaultLog::default());
         let mut fresh = Machine::new(MachineConfig::default(), 0x11);
         assert_machines_equivalent(&mut reused, &mut fresh);
+    }
+
+    #[test]
+    fn enclave_deliveries_classify_as_aex() {
+        let mut m = machine();
+        assert!(m.enter_enclave());
+        let SpanEnd::Interrupt(irq) = m.run_user_until(Ps::MAX).ended_by else {
+            panic!("unbounded span must end in an interrupt");
+        };
+        assert_eq!(irq.class, ExitClass::EnclaveAex);
+        assert_eq!(m.aex_exits(), 1);
+        assert!(m.enclave_active(), "no defense: the enclave survives AEX");
+        m.exit_enclave();
+        let SpanEnd::Interrupt(after) = m.run_user_until(Ps::MAX).ended_by else {
+            panic!("unbounded span must end in an interrupt");
+        };
+        assert_eq!(after.class, ExitClass::Irq, "EEXIT ends AEX classification");
+        assert_eq!(m.aex_exits(), 1);
+        assert_eq!(m.ground_truth().count_class(ExitClass::EnclaveAex), 1);
+    }
+
+    #[test]
+    fn quanshield_destroys_the_enclave_on_first_aex() {
+        let cfg = MachineConfig::default().with_defense(Defense::QuanShield);
+        let mut m = Machine::new(cfg, 0xAE1);
+        assert!(m.enter_enclave());
+        let SpanEnd::Interrupt(first) = m.run_user_until(Ps::MAX).ended_by else {
+            panic!("unbounded span must end in an interrupt");
+        };
+        assert_eq!(first.class, ExitClass::EnclaveAex);
+        assert!(m.enclave_destroyed());
+        assert!(!m.enclave_active());
+        assert!(!m.enter_enclave(), "a destroyed enclave refuses re-entry");
+        let SpanEnd::Interrupt(later) = m.run_user_until(Ps::MAX).ended_by else {
+            panic!("unbounded span must end in an interrupt");
+        };
+        assert_eq!(later.class, ExitClass::Irq, "dead enclave: ordinary IRQs");
+        assert_eq!(m.aex_exits(), 1, "exactly one AEX worth of signal");
+    }
+
+    #[test]
+    fn padding_fills_the_grid_and_reconciles_the_counters() {
+        let cfg = MachineConfig::default().with_defense(Defense::default_padding());
+        let mut m = Machine::new(cfg, 0xDA9);
+        m.spin(20_000_000);
+        let elapsed_ms = m.now().as_ps() / 1_000_000_000;
+        let pads = m.padded_exits();
+        // One pad per 1 ms quantum, up to grid-phase slack at both ends.
+        assert!(
+            pads.abs_diff(elapsed_ms) <= 2,
+            "pads {pads} vs elapsed {elapsed_ms} ms"
+        );
+        assert_eq!(
+            m.ground_truth().count_class(ExitClass::DefensePad) as u64,
+            pads
+        );
+        assert_eq!(
+            m.kernel_entries(),
+            m.ground_truth().len() as u64,
+            "every kernel entry (pad or IRQ) is one ground-truth record"
+        );
+    }
+
+    #[test]
+    fn padding_draws_no_rng() {
+        // Two padded machines and one plain machine, same seed: pads must
+        // be deterministic, and a padded machine's RNG position after a
+        // fixed workload must equal the plain machine's (the padding path
+        // performs zero draws; deliveries draw the same stream).
+        let run = |defense: Defense| {
+            let cfg = MachineConfig::default().with_defense(defense);
+            let mut m = Machine::new(cfg, 0x9AD);
+            m.spin(30_000_000);
+            let tail = m.rng_mut().gen::<u64>();
+            (m.now(), m.kernel_entries(), m.padded_exits(), tail)
+        };
+        let a = run(Defense::default_padding());
+        let b = run(Defense::default_padding());
+        assert_eq!(a, b, "padding must be bit-deterministic");
+        let plain = run(Defense::None);
+        assert_eq!(a.3, plain.3, "pads must not move the RNG position");
+        assert!(a.2 > 0 && plain.2 == 0);
+    }
+
+    #[test]
+    fn enclave_windows_preserve_timing_and_rng() {
+        // Entering/leaving the enclave only re-labels deliveries; span
+        // timing and the RNG stream must match a machine that never
+        // touches the enclave API.
+        let mut plain = Machine::new(MachineConfig::default(), 0xE9C);
+        let mut enclaved = Machine::new(MachineConfig::default(), 0xE9C);
+        for round in 0..30 {
+            if round % 3 == 0 {
+                assert!(enclaved.enter_enclave());
+            } else if round % 3 == 2 {
+                enclaved.exit_enclave();
+            }
+            let a = plain.run_user_until(Ps::MAX);
+            let b = enclaved.run_user_until(Ps::MAX);
+            assert_eq!(a.end, b.end, "span timing diverged at round {round}");
+            assert_eq!(a.cycles, b.cycles);
+        }
+        assert!(enclaved.aex_exits() > 0);
+        assert_eq!(plain.now(), enclaved.now());
+        assert_eq!(
+            plain.rng_mut().gen::<u64>(),
+            enclaved.rng_mut().gen::<u64>(),
+            "RNG positions diverged"
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod snapshot;
 
 pub use crate::core::{CoResident, DeliveredIrq, Machine, SpanEnd, UserSpan};
 pub use batch::MachineBatch;
-pub use config::{Hypervisor, MachineConfig, NoiseModel, Vendor};
+pub use config::{Defense, Hypervisor, MachineConfig, NoiseModel, Vendor};
 pub use error::SimError;
 pub use freq::{FreqConfig, FreqModel, StepFn};
 pub use snapshot::Snapshot;
@@ -59,6 +59,10 @@ pub use irq::Ps;
 // [`MachineConfig::with_fault_plan`] and audited via
 // [`Machine::fault_log`].
 pub use irq::{FaultLog, FaultPlan};
+
+// Re-export the kernel-exit taxonomy so scenario code can classify
+// deliveries without depending on `irq` directly.
+pub use irq::{ExitClass, KernelExit};
 
 // Re-export the observability sink installed via
 // [`Machine::install_trace_sink`] so callers need not depend on `obs`

@@ -65,6 +65,14 @@ pub struct Snapshot {
     fault_plan: Option<FaultPlan>,
     fault_log: FaultLog,
     smt_burst_left: u32,
+    /// Enclave / countermeasure state: all of it is machine state (a
+    /// restored machine must keep a destroyed enclave destroyed and the
+    /// padding grid phase-aligned).
+    enclave_active: bool,
+    enclave_destroyed: bool,
+    aex_exits: u64,
+    padded_exits: u64,
+    next_pad_at: Option<Ps>,
 }
 
 impl Snapshot {
@@ -132,6 +140,11 @@ impl Machine {
             fault_plan: self.fault_plan,
             fault_log: self.fault_log,
             smt_burst_left: self.smt_burst_left,
+            enclave_active: self.enclave_active,
+            enclave_destroyed: self.enclave_destroyed,
+            aex_exits: self.aex_exits,
+            padded_exits: self.padded_exits,
+            next_pad_at: self.next_pad_at,
         }
     }
 
@@ -164,6 +177,11 @@ impl Machine {
         self.fault_plan = snap.fault_plan;
         self.fault_log = snap.fault_log;
         self.smt_burst_left = snap.smt_burst_left;
+        self.enclave_active = snap.enclave_active;
+        self.enclave_destroyed = snap.enclave_destroyed;
+        self.aex_exits = snap.aex_exits;
+        self.padded_exits = snap.padded_exits;
+        self.next_pad_at = snap.next_pad_at;
         self.sink = None;
     }
 

@@ -31,6 +31,21 @@ for name in $("$SEGSCOPE" list --names); do
     "$SEGSCOPE" run "$name" --trials 2 >/dev/null
 done
 
+echo "==> enclave scenarios + countermeasure smoke (release)"
+# The enclave studies under each armed defense, plus the no-op warning
+# path for a scenario whose config carries no machine.
+"$SEGSCOPE" run aexcount --seed 0xAE0 --trials 2 >/dev/null
+"$SEGSCOPE" run heckler --seed 0x4EC --trials 2 >/dev/null
+for defense in none quanshield padding; do
+    "$SEGSCOPE" run aexcount --seed 0xAE0 --trials 2 --defense "$defense" >/dev/null
+    "$SEGSCOPE" run heckler --seed 0x4EC --trials 2 --defense "$defense" >/dev/null
+done
+"$SEGSCOPE" describe heckler > target/ci.describe.txt
+grep -q "defenses: none, quanshield, padding" target/ci.describe.txt || {
+    echo "segscope describe does not list the defense axis" >&2
+    exit 1
+}
+
 echo "==> segscope CLI golden report diff (covert)"
 "$SEGSCOPE" run covert --seed 0xC07E --trials 2 --threads 2 \
     --report target/covert.report.json >/dev/null
@@ -122,7 +137,8 @@ rm -rf target/ci-campaign target/ci-campaign-killed
 echo "$CAMP_SPEC" > target/ci-campaign.spec.json
 "$SEGSCOPE" campaign run --spec target/ci-campaign.spec.json --trials 2 \
     --out target/ci-campaign --shards 2 >/dev/null
-"$SEGSCOPE" campaign status --out target/ci-campaign | grep -q "8/8 cells complete" || {
+"$SEGSCOPE" campaign status --out target/ci-campaign > target/ci.camp-status.txt
+grep -q "8/8 cells complete" target/ci.camp-status.txt || {
     echo "campaign status does not report completion" >&2
     exit 1
 }
@@ -143,6 +159,26 @@ for key in name seed spec_digest cells totals fault_log matrix cell_results \
            delivery_faults timing_faults; do
     if ! grep -q "\"$key\"" target/ci-campaign/report.json; then
         echo "target/ci-campaign/report.json missing key \"$key\"" >&2
+        exit 1
+    fi
+done
+
+echo "==> segscope campaign defense matrix: spec, run, report schema"
+# The enclave attack x defense matrix end to end at low trial count:
+# emit the spec via --defense-matrix, run it sharded, and require the
+# merged report to carry the defense axis and per-row accuracy.
+rm -rf target/ci-matrix
+"$SEGSCOPE" campaign spec --defense-matrix --seed 0xDEF1 \
+    --out target/ci-matrix.spec.json >/dev/null
+grep -q '"defenses"' target/ci-matrix.spec.json || {
+    echo "defense-matrix spec missing the defenses axis" >&2
+    exit 1
+}
+"$SEGSCOPE" campaign run --spec target/ci-matrix.spec.json --trials 2 \
+    --out target/ci-matrix --shards 3 >/dev/null
+for key in defense mean_accuracy accuracy_cells quanshield padding; do
+    if ! grep -q "\"$key\"" target/ci-matrix/report.json; then
+        echo "target/ci-matrix/report.json missing key \"$key\"" >&2
         exit 1
     fi
 done
@@ -168,9 +204,12 @@ for key in spec events snapshots final_digest machine seed spans \
         exit 1
     fi
 done
-# And the bisector must localize a single injected fault.
+# And the bisector must localize a single injected fault. Capture to a
+# file first: grep -q on a pipe exits at the first match and the closed
+# pipe kills the still-printing binary with EPIPE.
 "$SEGSCOPE" bisect --machine lenovo_savior --seed 9 --spans 24 \
-    --inject-b 40000:gpu | grep -q "first divergence at event" || {
+    --inject-b 40000:gpu > target/ci.bisect.txt
+grep -q "first divergence at event" target/ci.bisect.txt || {
     echo "segscope bisect failed to localize an injected fault" >&2
     exit 1
 }
@@ -184,6 +223,13 @@ if [[ "${SEGSCOPE_CONFORMANCE_FULL:-0}" == "1" ]]; then
     echo "==> full conformance sweep (SEGSCOPE_CONFORMANCE_FULL=1)"
     cargo test -q --offline -p conformance --release -- --include-ignored
 fi
+
+echo "==> cargo doc -D warnings"
+# The compat/ stand-ins mirror third-party doc text we don't own; the
+# gate covers every crate we write.
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --workspace --no-deps \
+    --exclude rand --exclude serde --exclude serde_derive \
+    --exclude serde_json --exclude proptest --exclude criterion >/dev/null
 
 echo "==> cargo clippy -D warnings"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings

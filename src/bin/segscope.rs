@@ -1,11 +1,12 @@
-//! `segscope` — the single CLI driver of the nine attack scenarios.
+//! `segscope` — the single CLI driver of the eleven attack scenarios.
 //!
 //! ```text
 //! segscope list [--names]
 //! segscope describe <name>
 //! segscope run <name> [--seed N] [--trials N] [--threads N]
 //!                     [--params JSON] [--machine PRESET]
-//!                     [--fault-plan JSON] [--capacity N]
+//!                     [--defense NAME] [--fault-plan JSON]
+//!                     [--capacity N]
 //!                     [--trace-out PATH] [--report PATH]
 //! segscope snapshot [SPEC FLAGS] [--every K] --out PATH
 //! segscope replay --in PATH [--from EVENT]
@@ -43,15 +44,19 @@ USAGE:
     segscope snapshot [SPEC FLAGS] [--every K] --out PATH
     segscope replay --in PATH [--from EVENT]
     segscope bisect [SPEC FLAGS] [PER-SIDE FLAGS] [--every K]
-    segscope campaign spec [--seed N] [--out PATH]
+    segscope campaign spec [--seed N] [--out PATH] [--defense-matrix]
     segscope campaign run --out DIR [--spec PATH] [CAMPAIGN OPTIONS]
     segscope campaign status --out DIR
     segscope campaign resume --out DIR [CAMPAIGN OPTIONS]
     segscope campaign report --out DIR
 
+`campaign spec --defense-matrix` emits the enclave attack x defense
+matrix instead of the full grid: {aexcount, heckler, keystroke} x
+{none, quanshield, padding} on the xiaomi_air13 preset.
+
 CAMPAIGN OPTIONS (run, resume):
     --spec PATH        Campaign spec JSON (default for run: the full
-                       9-scenario x 6-preset x 3-fault grid)
+                       11-scenario x 6-preset x 3-fault grid)
     --seed N           Override the spec's campaign seed (run only)
     --trials N         Override the spec's per-cell trial count (run only)
     --shards N         Cells run concurrently per wave (default 1)
@@ -70,6 +75,8 @@ RUN OPTIONS:
     --params JSON      Full scenario config as JSON (default: the scenario's)
     --machine PRESET   Replace the config's `machine` field with a Table I
                        preset (only scenarios with a `machine` field react)
+    --defense NAME     Arm a countermeasure on the config's machine
+                       (none, quanshield, padding; applied after --machine)
     --fault-plan JSON  Run-level interrupt fault-plan override
     --capacity N       Per-trial trace-ring capacity in events
                        (default: 0 = untraced; 32768 when --trace-out is given)
@@ -141,15 +148,85 @@ fn cmd_list(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Levenshtein distance between two ASCII-ish names (chars, two-row DP).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut next = vec![0usize; b.len() + 1];
+    for (i, ca) in a.chars().enumerate() {
+        next[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            next[j + 1] = sub.min(prev[j + 1] + 1).min(next[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut next);
+    }
+    prev[b.len()]
+}
+
+/// A ` — did you mean \`x\`?` suffix when some candidate is close to
+/// `name` (within an edit distance scaled to the name's length), else
+/// an empty string.
+fn did_you_mean<'a, I>(name: &str, candidates: I) -> String
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let budget = (name.chars().count() / 3).max(2);
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(name, c), c))
+        .filter(|&(d, _)| d <= budget)
+        .min()
+        .map(|(_, best)| format!(" — did you mean `{best}`?"))
+        .unwrap_or_default()
+}
+
+/// Looks a scenario up, decorating the unknown-name error with a
+/// did-you-mean suggestion over the registry.
+fn lookup_scenario(name: &str) -> Result<&'static dyn scenario::DynScenario, String> {
+    let registry = attacks::registry();
+    registry.get(name).map_err(|e| {
+        let names = registry.entries().iter().map(|s| s.name());
+        format!("{e}{}", did_you_mean(name, names))
+    })
+}
+
+/// Resolves a `--defense` / campaign-axis name, with a did-you-mean
+/// suggestion on miss.
+fn resolve_defense(name: &str) -> Result<segsim::Defense, String> {
+    segsim::Defense::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown defense `{name}` (choose from: {}){}",
+            segsim::Defense::NAMES.join(", "),
+            did_you_mean(name, segsim::Defense::NAMES),
+        )
+    })
+}
+
+/// Whether a params value has a top-level `machine` map — the field
+/// countermeasures ([`segsim::Defense`]) are carried in.
+fn has_machine_field(params: &Value) -> bool {
+    matches!(params, Value::Map(entries) if entries.iter().any(|(k, _)| k == "machine"))
+}
+
 fn cmd_describe(args: &[String]) -> Result<(), String> {
     let [name] = args else {
         return Err(format!("usage: segscope describe <name>\n\n{USAGE}"));
     };
-    let entry = attacks::registry().get(name).map_err(|e| e.to_string())?;
+    let entry = lookup_scenario(name)?;
     println!("{}: {}", entry.name(), entry.describe());
+    let params = entry.default_params();
+    if has_machine_field(&params) {
+        println!(
+            "defenses: {} (armed via --defense or the config's machine.defense)",
+            segsim::Defense::NAMES.join(", ")
+        );
+    } else {
+        println!("defenses: not applicable (config has no `machine` field)");
+    }
     println!(
         "default params: {}",
-        serde_json::to_string(&entry.default_params()).map_err(|e| e.to_string())?
+        serde_json::to_string(&params).map_err(|e| e.to_string())?
     );
     Ok(())
 }
@@ -159,6 +236,7 @@ struct RunArgs {
     name: String,
     params: Option<Value>,
     machine: Option<String>,
+    defense: Option<String>,
     opts: RunOptions,
     capacity_set: bool,
     trace_out: Option<String>,
@@ -174,6 +252,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         name: name.clone(),
         params: None,
         machine: None,
+        defense: None,
         opts: RunOptions::default(),
         capacity_set: false,
         trace_out: None,
@@ -211,6 +290,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--machine" => {
                 parsed.machine = Some(value()?);
+            }
+            "--defense" => {
+                parsed.defense = Some(value()?);
             }
             "--fault-plan" => {
                 let text = value()?;
@@ -267,15 +349,29 @@ fn inject_machine(params: &mut Value, preset: &str) -> Result<(), String> {
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut parsed = parse_run_args(args)?;
-    let entry = attacks::registry()
-        .get(&parsed.name)
-        .map_err(|e| e.to_string())?;
+    let entry = lookup_scenario(&parsed.name)?;
     if let Some(preset) = &parsed.machine {
         let mut params = match parsed.params.take() {
             Some(params) => params,
             None => entry.default_params(),
         };
         inject_machine(&mut params, preset)?;
+        parsed.params = Some(params);
+    }
+    // Defense after machine, so the countermeasure lands inside whatever
+    // machine the run actually uses.
+    if let Some(name) = &parsed.defense {
+        let defense = resolve_defense(name)?;
+        let mut params = match parsed.params.take() {
+            Some(params) => params,
+            None => entry.default_params(),
+        };
+        if !has_machine_field(&params) {
+            eprintln!(
+                "warning: scenario config has no `machine` field; `--defense {name}` has no effect"
+            );
+        }
+        campaign::inject_defense(&mut params, &defense);
         parsed.params = Some(params);
     }
     if parsed.trace_out.is_some() && !parsed.capacity_set {
@@ -613,10 +709,15 @@ fn print_campaign_summary(report: &CampaignReport) {
         .max()
         .unwrap_or(0);
     for row in &report.matrix {
+        let accuracy = match row.mean_accuracy {
+            Some(mean) => format!("acc {mean:.3}"),
+            None => "acc    --".to_owned(),
+        };
         println!(
-            "  {:width$}  {:16}  cells {:3}  trials {:5}  gt {:8}  dfaults {:6}  tfaults {:6}",
+            "  {:width$}  {:16}  {:10}  cells {:3}  trials {:5}  gt {:8}  dfaults {:6}  tfaults {:6}  {accuracy}",
             row.scenario,
             row.preset,
+            row.defense,
             row.cells,
             row.trials,
             row.ground_truth_deliveries,
@@ -646,6 +747,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
 fn cmd_campaign_spec(args: &[String]) -> Result<(), String> {
     let mut seed = 0x5E65_C09Eu64;
     let mut out = None;
+    let mut matrix = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -656,14 +758,20 @@ fn cmd_campaign_spec(args: &[String]) -> Result<(), String> {
         match flag.as_str() {
             "--seed" => seed = parse_u64(&value()?, flag)?,
             "--out" => out = Some(value()?),
+            "--defense-matrix" => matrix = true,
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
     }
-    let json = CampaignSpec::full_grid(seed).to_json();
+    let spec = if matrix {
+        CampaignSpec::defense_matrix(seed)
+    } else {
+        CampaignSpec::full_grid(seed)
+    };
+    let json = spec.to_json();
     match out {
         Some(path) => {
             write_file(&path, json + "\n")?;
-            println!("full-grid campaign spec -> {path}");
+            println!("{} campaign spec -> {path}", spec.name);
         }
         None => println!("{json}"),
     }

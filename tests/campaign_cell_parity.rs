@@ -32,6 +32,7 @@ fn parity_spec() -> CampaignSpec {
                 plan: Some(FaultPlan::delivery_storm()),
             },
         ],
+        defenses: vec![campaign::DefenseVariant::none()],
         replicates: 1,
         trials: Some(1),
     }

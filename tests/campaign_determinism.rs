@@ -11,9 +11,13 @@
 //!    number of waves, the manifest round-trips through its persisted
 //!    JSON, and a resume under a *different* shard/thread geometry must
 //!    still reassemble the uninterrupted report byte for byte.
-//! 3. The paper's full 9-scenario × 6-preset × 3-fault grid (the
-//!    acceptance sweep), checked across covering geometry combinations
-//!    and a mid-run kill+resume.
+//! 3. The full 11-scenario × 6-preset × 3-fault grid (the acceptance
+//!    sweep), checked across covering geometry combinations and a
+//!    mid-run kill+resume.
+//! 4. The enclave attack × defense matrix ({aexcount, heckler,
+//!    keystroke} × {none, quanshield, padding}): bit-identical across
+//!    geometries, with the defense axis visibly moving the per-row
+//!    mean accuracy in the directions the countermeasures promise.
 
 use campaign::{CampaignManifest, CampaignOptions, CampaignSpec, FaultVariant, ScenarioSel};
 use proptest::prelude::*;
@@ -22,7 +26,7 @@ use segscope_repro::campaign;
 use segscope_repro::segsim::FaultPlan;
 
 /// Scenarios cheap enough (at `--trials 1`) to appear in randomized
-/// grids; the full-grid sweep below still covers all nine.
+/// grids; the full-grid sweep below still covers all eleven.
 const FAST_SCENARIOS: [&str; 6] = ["circl", "spectral", "kaslr", "spectre", "covert", "procfp"];
 
 const PRESETS: [&str; 6] = [
@@ -71,6 +75,7 @@ fn spec_from(
             .map(|i| PRESETS[(preset_start + i) % PRESETS.len()].to_owned())
             .collect(),
         faults: fault_pool()[..fault_count].to_vec(),
+        defenses: vec![campaign::DefenseVariant::none()],
         replicates,
         trials: Some(1),
     }
@@ -182,15 +187,15 @@ proptest! {
     }
 }
 
-/// The acceptance sweep: the paper's full 9-scenario × 6-preset ×
-/// 3-fault grid (162 cells at one trial each) produces bit-identical
-/// reports across geometry combinations covering shards {1, 3, 8} and
-/// threads {1, 2, 4}, and across a mid-run kill+resume.
+/// The acceptance sweep: the full 11-scenario × 6-preset × 3-fault
+/// grid (198 cells at one trial each) produces bit-identical reports
+/// across geometry combinations covering shards {1, 3, 8} and threads
+/// {1, 2, 4}, and across a mid-run kill+resume.
 #[test]
 fn full_grid_sweeps_bit_identically_and_survives_a_kill() {
     let mut spec = CampaignSpec::full_grid(0xF1EE7);
     spec.trials = Some(1);
-    assert_eq!(spec.cell_count(), 9 * 6 * 3);
+    assert_eq!(spec.cell_count(), 11 * 6 * 3);
     let registry = attacks::registry();
 
     // (1,1), (3,2), (8,4) cover every required shard count {1,3,8} and
@@ -205,7 +210,7 @@ fn full_grid_sweeps_bit_identically_and_survives_a_kill() {
         );
     }
 
-    // Kill mid-run (after 7 waves of 8 = 56 of 162 cells), round-trip
+    // Kill mid-run (after 7 waves of 8 = 56 of 198 cells), round-trip
     // the manifest through JSON, resume at a different geometry.
     let mut manifest = CampaignManifest::new(&spec);
     let mut persisted = String::new();
@@ -223,7 +228,7 @@ fn full_grid_sweeps_bit_identically_and_survives_a_kill() {
     .expect("first leg runs");
     assert!(
         first.is_none(),
-        "7 waves of 8 leave 162-cell grid unfinished"
+        "7 waves of 8 leave 198-cell grid unfinished"
     );
     let mut revived = CampaignManifest::from_json(&persisted).expect("manifest parses");
     assert_eq!(revived.completed_cells(), 56);
@@ -246,10 +251,76 @@ fn full_grid_sweeps_bit_identically_and_survives_a_kill() {
         "kill+resume over the full grid"
     );
 
-    // The report covers the whole matrix: one row per (scenario, preset).
+    // The report covers the whole matrix: one row per
+    // (scenario, preset, defense); the defense axis here is the
+    // implicit [none].
     let report = campaign::CampaignReport::from_json(&reference).expect("report parses");
-    assert_eq!(report.matrix.len(), 9 * 6);
-    assert_eq!(report.cells, 162);
+    assert!(report.matrix.iter().all(|row| row.defense == "none"));
+    assert_eq!(report.matrix.len(), 11 * 6);
+    assert_eq!(report.cells, 198);
     assert!(report.fault_log.delivery_faults() > 0);
     assert!(report.fault_log.timing_faults() > 0);
+}
+
+/// The enclave attack × defense matrix: {aexcount, heckler, keystroke}
+/// × {none, quanshield, padding} on the Xiaomi preset. Bit-identical
+/// across shard counts {1, 3, 8} × thread counts {1, 2, 4}, and the
+/// per-row mean accuracy moves the way each countermeasure promises:
+/// QuanShield zeroes AEX counting and caps Heckler at one hit per
+/// trial, padding drifts Heckler's predicted windows off schedule, and
+/// AEX counting calibrates padding away (the pads inflate calibration
+/// and secret phases alike).
+#[test]
+fn defense_matrix_is_deterministic_and_the_axis_moves_accuracy() {
+    let mut spec = CampaignSpec::defense_matrix(0xDEF1);
+    spec.trials = Some(6);
+    assert_eq!(spec.cell_count(), 3 * 3);
+
+    // (1,1), (3,2), (8,4) cover every required shard count {1,3,8} and
+    // thread count {1,2,4}; the randomized battery above crosses the
+    // remaining combinations.
+    let reference = report_json_at(&spec, 1, 1);
+    for &(shards, threads) in &[(3, 2), (8, 4)] {
+        assert_eq!(
+            report_json_at(&spec, shards, threads),
+            reference,
+            "shards {shards} x threads {threads}"
+        );
+    }
+
+    let report = campaign::CampaignReport::from_json(&reference).expect("report parses");
+    assert_eq!(report.matrix.len(), 3 * 3);
+    let acc = |scenario: &str, defense: &str| {
+        report
+            .matrix
+            .iter()
+            .find(|row| row.scenario == scenario && row.defense == defense)
+            .unwrap_or_else(|| panic!("missing matrix row {scenario} x {defense}"))
+            .mean_accuracy
+            .unwrap_or_else(|| panic!("row {scenario} x {defense} has no accuracy"))
+    };
+
+    // AEX counting: undefended stepping recovers the secret; QuanShield
+    // destroys the enclave during calibration; padding is calibrated
+    // away (same per-unit inflation in both phases).
+    assert!(acc("aexcount", "none") >= 0.75);
+    assert_eq!(acc("aexcount", "quanshield"), 0.0);
+    assert!(acc("aexcount", "padding") >= 0.75);
+
+    // Heckler: nominal schedules are hittable; QuanShield admits at
+    // most one hit in the first window (1/16 per trial); padding's
+    // stolen time drifts the real windows off the predicted centers.
+    assert!(acc("heckler", "none") >= 0.9);
+    assert!(acc("heckler", "quanshield") <= 1.0 / 16.0 + 1e-9);
+    assert!(
+        acc("heckler", "padding") + 0.05 < acc("heckler", "none"),
+        "padding must measurably degrade heckler: {} vs {}",
+        acc("heckler", "padding"),
+        acc("heckler", "none")
+    );
+
+    // Keystroke identification is noisier at quick scale; at this pinned
+    // campaign seed the padded cohort identifies no better than the
+    // undefended one (pads flood the SegCnt edge stream).
+    assert!(acc("keystroke", "padding") <= acc("keystroke", "none"));
 }

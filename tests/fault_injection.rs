@@ -371,3 +371,107 @@ fn website_fault_injection() {
     };
     assert!(spread(&jittered) > 0.0, "jittered trace lost all signal");
 }
+
+// ---------------------------------------------------------------------------
+// Countermeasure × fault-plan composition
+// ---------------------------------------------------------------------------
+
+/// Deterministic padding composes with an adversarial fault plan: pads
+/// stay on their synthetic grid (delivery faults cannot drop them, and
+/// timing jitter cannot move their fixed exit cost), while real
+/// deliveries keep faulting — and the composition is bit-deterministic.
+#[test]
+fn padding_composes_with_delivery_and_timing_faults() {
+    use segscope_repro::irq::ExitClass;
+    use segscope_repro::segsim::Defense;
+
+    let run = |plan: Option<FaultPlan>| {
+        let mut config = MachineConfig::xiaomi_air13().with_defense(Defense::default_padding());
+        config.fault_plan = plan;
+        let mut machine = Machine::new(config, 0xFAD5);
+        machine.spin(1_000_000_000); // ~300 ms: enough ticks for the storm to fire
+        machine
+    };
+    let clean = run(None);
+    let stormed = run(Some(
+        FaultPlan::delivery_storm()
+            .with_drop_prob(0.3)
+            .with_duplicate_prob(0.1),
+    ));
+    let jittered = run(Some(FaultPlan::timing_storm()));
+
+    let log = stormed.fault_log();
+    assert!(
+        log.dropped + log.duplicated > 0,
+        "storm never fired: {log:?}"
+    );
+    // Pads are synthetic kernel exits, not fabric deliveries: drops
+    // cannot thin the grid — each machine keeps one pad per 1 ms quantum
+    // of its own wall clock (faults shift the wall clock a little for a
+    // fixed cycle workload, so compare densities, not raw counts).
+    assert!(clean.padded_exits() > 0);
+    for (name, machine) in [
+        ("clean", &clean),
+        ("stormed", &stormed),
+        ("jittered", &jittered),
+    ] {
+        let elapsed_ms = machine.now().as_ps() / 1_000_000_000;
+        assert!(
+            machine.padded_exits().abs_diff(elapsed_ms) <= 2,
+            "{name}: pad grid off density: {} pads over {elapsed_ms} ms",
+            machine.padded_exits()
+        );
+    }
+    // Timing faults jitter real handlers but never the fixed pad cost.
+    let pad_cost = Defense::default_padding();
+    let Defense::Padding { exit_cost, .. } = pad_cost else {
+        unreachable!("default_padding is the padding arm")
+    };
+    assert!(jittered.fault_log().jittered > 0);
+    for record in jittered.ground_truth().of_class(ExitClass::DefensePad) {
+        assert_eq!(record.handler_cost, exit_cost, "pad cost must stay fixed");
+    }
+    // And the whole composition replays bit-identically.
+    let replayed = run(Some(
+        FaultPlan::delivery_storm()
+            .with_drop_prob(0.3)
+            .with_duplicate_prob(0.1),
+    ));
+    assert_eq!(
+        stormed.ground_truth().records(),
+        replayed.ground_truth().records()
+    );
+    assert_eq!(*stormed.fault_log(), *replayed.fault_log());
+}
+
+/// QuanShield composes with a delivery storm: drops thin the interrupt
+/// stream but the first AEX that does land still destroys the enclave,
+/// and the destruction point is deterministic.
+#[test]
+fn quanshield_composes_with_a_delivery_storm() {
+    use segscope_repro::segsim::Defense;
+
+    let run = || {
+        let config = MachineConfig::xiaomi_air13()
+            .with_defense(Defense::QuanShield)
+            .with_fault_plan(FaultPlan::delivery_storm().with_drop_prob(0.9));
+        let mut machine = Machine::new(config, 0xFAD6);
+        assert!(machine.enter_enclave());
+        while !machine.enclave_destroyed() {
+            let _ = machine.run_user_until(machine.now() + Ps::from_ms(1));
+        }
+        (
+            machine.now(),
+            machine.aex_exits(),
+            machine.fault_log().dropped,
+        )
+    };
+    let (destroyed_at, aex, dropped) = run();
+    assert_eq!(aex, 1, "self-destruct admits exactly one AEX");
+    assert!(dropped > 0, "the storm should drop deliveries first");
+    assert_eq!(
+        run(),
+        (destroyed_at, aex, dropped),
+        "destruction point must be deterministic"
+    );
+}

@@ -1,0 +1,67 @@
+//! Golden scenario-report snapshots for the two enclave studies
+//! (`aexcount`, `heckler`), pinned at the CLI-visible report layer:
+//! the exact JSON `segscope run <name>` prints for a fixed seed and
+//! trial count is blessed into `tests/golden/<name>.report.json`.
+//!
+//! Any drift in the kernel-exit model, the defense layer, the enclave
+//! lifecycle, or the scenario driver shows up as a byte diff here.
+//! Regenerate intentionally with:
+//!
+//! ```text
+//! SEGSCOPE_BLESS=1 cargo test --test golden_enclave
+//! ```
+
+use segscope_repro::attacks;
+use segscope_repro::scenario::RunOptions;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Fixed seed for every golden report run.
+const GOLDEN_SEED: u64 = 0x601D;
+/// Trials per golden run — small, but enough to exercise multi-trial
+/// seed derivation and the summary reductions.
+const GOLDEN_TRIALS: usize = 3;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.report.json"))
+}
+
+fn check_golden_report(name: &str) {
+    let entry = attacks::registry().get(name).expect("scenario registered");
+    let opts = RunOptions {
+        seed: Some(GOLDEN_SEED),
+        trials: Some(GOLDEN_TRIALS),
+        ..RunOptions::default()
+    };
+    let run = entry.run_dyn(None, &opts).expect("default params valid");
+    let actual = serde_json::to_string(&run.report.to_value()).expect("report serializes");
+    let path = golden_path(name);
+    if std::env::var("SEGSCOPE_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, actual + "\n").expect("golden file writable");
+        return;
+    }
+    let blessed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with SEGSCOPE_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        blessed.trim_end(),
+        "golden report drift for `{name}`; if intentional, regenerate with \
+         SEGSCOPE_BLESS=1 cargo test --test golden_enclave"
+    );
+}
+
+#[test]
+fn golden_aexcount_report() {
+    check_golden_report("aexcount");
+}
+
+#[test]
+fn golden_heckler_report() {
+    check_golden_report("heckler");
+}

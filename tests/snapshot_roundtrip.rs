@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use segscope_repro::irq::time::Ps;
-use segscope_repro::segsim::{presets, FaultPlan, Machine, MachineConfig, Snapshot};
+use segscope_repro::segsim::{presets, Defense, FaultPlan, Machine, MachineConfig, Snapshot};
 use segscope_repro::x86seg::Selector;
 
 /// Workload steps per trial; the pause point ranges over all of them.
@@ -125,6 +125,83 @@ proptest! {
             &resumed, &reference,
             "preset {} plan {} pause {}", presets::NAMES[preset], plan, pause
         );
+    }
+}
+
+/// Defense-state observables on top of [`Observables`]: the countermeasure
+/// layer a snapshot must carry (enclave lifecycle, AEX and pad counters).
+#[derive(Debug, PartialEq)]
+struct DefendedObservables {
+    base: Observables,
+    aex_exits: u64,
+    padded_exits: u64,
+    destroyed: bool,
+}
+
+/// One enclave-touching workload step: windows open on step 1 (mod 4)
+/// and close on step 3 (mod 4), so pause points land before, inside,
+/// and after active enclave windows.
+fn defended_step(machine: &mut Machine, index: usize) -> StepSample {
+    if index % 4 == 1 {
+        let _ = machine.enter_enclave();
+    }
+    let sample = step(machine, index);
+    if index % 4 == 3 {
+        machine.exit_enclave();
+    }
+    sample
+}
+
+fn defended_finish(machine: &mut Machine, samples: Vec<StepSample>) -> DefendedObservables {
+    DefendedObservables {
+        aex_exits: machine.aex_exits(),
+        padded_exits: machine.padded_exits(),
+        destroyed: machine.enclave_destroyed(),
+        base: finish(machine, samples),
+    }
+}
+
+/// Snapshot/JSON/restore round trip with a countermeasure armed and an
+/// enclave window possibly open at the pause point: the defense state
+/// (destroyed flag, pad grid phase, AEX counters) must restore exactly.
+#[test]
+fn defended_machines_survive_mid_enclave_pause_points() {
+    let defenses = [
+        ("none", Defense::None),
+        ("quanshield", Defense::QuanShield),
+        ("padding", Defense::default_padding()),
+    ];
+    for (name, defense) in defenses {
+        let config = presets::by_name("xiaomi_air13")
+            .expect("preset exists")
+            .with_defense(defense);
+        let seed = 0xDEF5 ^ name.len() as u64;
+        let reference = {
+            let mut machine = Machine::new(config.clone(), seed);
+            let samples = (0..STEPS).map(|i| defended_step(&mut machine, i)).collect();
+            defended_finish(&mut machine, samples)
+        };
+        match defense {
+            Defense::None => assert_eq!(reference.padded_exits, 0),
+            Defense::QuanShield => assert!(reference.destroyed),
+            Defense::Padding { .. } => assert!(reference.padded_exits > 0),
+        }
+        for pause in 0..=STEPS {
+            let mut machine = Machine::new(config.clone(), seed);
+            let mut samples: Vec<StepSample> =
+                (0..pause).map(|i| defended_step(&mut machine, i)).collect();
+            let json = serde_json::to_string(&machine.snapshot()).expect("snapshots serialize");
+            let revived: Snapshot = serde_json::from_str(&json).expect("snapshots parse");
+            machine.reset(MachineConfig::default(), !seed);
+            machine.spin(500_000);
+            machine.restore(&revived);
+            samples.extend((pause..STEPS).map(|i| defended_step(&mut machine, i)));
+            assert_eq!(
+                defended_finish(&mut machine, samples),
+                reference,
+                "defense {name} pause {pause}"
+            );
+        }
     }
 }
 
