@@ -10,9 +10,19 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier plus whether `#[serde(default)]`
+/// marks it optional on deserialization (a missing map entry falls back
+/// to `Default::default()` — the usual forward-compatibility escape
+/// hatch for config structs that grow new flags).
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
 #[derive(Debug, Clone)]
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -50,6 +60,35 @@ fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
             _ => break,
         }
     }
+}
+
+/// Consumes leading outer attributes like [`skip_attributes`], but also
+/// reports whether one of them was `#[serde(default)]`.
+fn take_field_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    let is_default_arg = |t: &TokenTree| matches!(t, TokenTree::Ident(a) if a.to_string() == "default");
+                    if id.to_string() == "serde"
+                        && args.delimiter() == Delimiter::Parenthesis
+                        && args.stream().into_iter().any(|t| is_default_arg(&t))
+                    {
+                        default = true;
+                    }
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    default
 }
 
 /// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
@@ -118,18 +157,21 @@ fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
     params
 }
 
-/// Parses the contents of a `{ ... }` field block into field names.
-fn parse_named_fields(group: TokenStream) -> Vec<String> {
+/// Parses the contents of a `{ ... }` field block into fields.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = group.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        skip_attributes(&tokens, &mut i);
+        let default = take_field_attributes(&tokens, &mut i);
         skip_visibility(&tokens, &mut i);
         let Some(TokenTree::Ident(id)) = tokens.get(i) else {
             break;
         };
-        fields.push(id.to_string());
+        fields.push(Field {
+            name: id.to_string(),
+            default,
+        });
         i += 1;
         // Skip `:` and the type, up to a top-level comma. Generic
         // arguments in the type nest via `<`/`>` puncts; grouped tokens
@@ -285,6 +327,7 @@ fn serialize_body(item: &Item) -> String {
             let entries = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f}))"
@@ -333,10 +376,15 @@ fn serialize_body(item: &Item) -> String {
                             )
                         }
                         Fields::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from(\"{f}\"), \
                                          ::serde::Serialize::to_value({f}))"
@@ -360,18 +408,32 @@ fn serialize_body(item: &Item) -> String {
     }
 }
 
+/// Renders one named field's deserialization initializer. A
+/// `#[serde(default)]` field tolerates a missing map entry by falling
+/// back to `Default::default()`; a present entry must still parse.
+fn named_field_init(f: &Field) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match ::serde::get_field(map, \"{name}\") {{\
+             ::std::result::Result::Ok(v) => ::serde::Deserialize::from_value(v)?,\
+             ::std::result::Result::Err(_) => ::std::default::Default::default(),}},"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::from_value(\
+             ::serde::get_field(map, \"{name}\")?)?,"
+        )
+    }
+}
+
 fn deserialize_body(item: &Item) -> String {
     let name = &item.name;
     match &item.shape {
         Shape::Struct(Fields::Named(fields)) => {
             let inits = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::get_field(map, \"{f}\")?)?,"
-                    )
-                })
+                .map(named_field_init)
                 .collect::<Vec<_>>()
                 .join("\n            ");
             format!(
@@ -433,12 +495,7 @@ fn deserialize_body(item: &Item) -> String {
                         Fields::Named(fields) => {
                             let inits = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(\
-                                         ::serde::get_field(map, \"{f}\")?)?,"
-                                    )
-                                })
+                                .map(named_field_init)
                                 .collect::<Vec<_>>()
                                 .join(" ");
                             format!(
@@ -471,7 +528,7 @@ fn deserialize_body(item: &Item) -> String {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let (impl_generics, ty_generics) = generics_split(&item, "::serde::Serialize");
@@ -488,7 +545,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().expect("derived Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let (impl_generics, ty_generics) = generics_split(&item, "::serde::Deserialize");

@@ -16,6 +16,7 @@
 
 use irq::time::Ps;
 use irq::InterruptKind;
+use nnet::{AdamConfig, SeqClassifier};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scenario::{RunOptions, Scenario, TrialCtx};
@@ -218,6 +219,15 @@ pub struct KeystrokeConfig {
     /// Optional interrupt-path fault plan installed on every monitoring
     /// machine (`None` = nominal fault-free run).
     pub fault_plan: Option<FaultPlan>,
+    /// Streaming-eval mode: each monitored session's normalized timing
+    /// signature is streamed through a config-seeded [`serve`]
+    /// classifier and the verdict is recorded as a
+    /// [`obs::EventKind::ServeVerdict`] in the trial's trace sink. The
+    /// classifier draws only from its own auxiliary stream and serving
+    /// is RNG-free, so recovered traces — and golden dumps — are
+    /// byte-identical with the flag off or on.
+    #[serde(default)]
+    pub streaming: bool,
 }
 
 impl Default for KeystrokeConfig {
@@ -239,6 +249,7 @@ impl KeystrokeConfig {
             keys_per_session: 40,
             seed: 0x5E55,
             fault_plan: None,
+            streaming: false,
         }
     }
 
@@ -277,6 +288,48 @@ pub struct TracedSessions {
     pub sink: obs::TraceSink,
     /// Total ground-truth interrupt deliveries across all sessions.
     pub ground_truth_deliveries: u64,
+}
+
+/// Auxiliary stream of the streaming-eval serving classifier (never
+/// mixed into machine or typing streams).
+const SERVE_STREAM: u64 = exec::AUX_STREAM + 0x5E57;
+
+/// Streams a recovered session's normalized timing signature through a
+/// config-seeded serving classifier and emits the verdict into the
+/// machine's trace sink, when one is installed. RNG-neutral with
+/// respect to the monitoring path, so traces stay byte-identical.
+fn emit_serve_verdict(
+    config: &KeystrokeConfig,
+    machine: &mut Machine,
+    index: usize,
+    trace: &KeystrokeTrace,
+) {
+    if machine.trace_sink().is_none() {
+        return;
+    }
+    let xs: Vec<Vec<f32>> = trace.signature().iter().map(|&x| vec![x as f32]).collect();
+    if xs.is_empty() {
+        return;
+    }
+    let mut rng = SmallRng::seed_from_u64(exec::derive_seed(config.seed, SERVE_STREAM));
+    let model = SeqClassifier::new(1, 8, config.users.max(2), &mut rng, AdamConfig::default());
+    let mut session = serve::StreamSession::new(&model, xs.len());
+    let mut verdict = None;
+    for x in &xs {
+        verdict = session.push(&model, x);
+    }
+    let verdict = verdict.expect("signature is non-empty");
+    let at_ps = machine.now().as_ps();
+    if let Some(sink) = machine.trace_sink_mut() {
+        sink.emit(
+            at_ps,
+            obs::EventKind::ServeVerdict {
+                session: index as u32,
+                class: verdict.class as u32,
+                steps: verdict.steps as u32,
+            },
+        );
+    }
 }
 
 /// The trial body shared by both keystroke scenarios: spin to governor
@@ -336,7 +389,11 @@ impl Scenario for MonitorSessions {
         ctx: &TrialCtx,
     ) -> KeystrokeTrace {
         let profile = TypistProfile::for_user(ctx.index % config.users.max(1));
-        monitor_session_on(machine, &profile, config.keys_per_session, ctx.seed)
+        let trace = monitor_session_on(machine, &profile, config.keys_per_session, ctx.seed);
+        if config.streaming {
+            emit_serve_verdict(config, machine, ctx.index, &trace);
+        }
+        trace
     }
 
     fn summarize(&self, _config: &Self::Config, _outputs: &[KeystrokeTrace]) {}
@@ -430,7 +487,11 @@ impl Scenario for KeystrokeScenario {
             (ctx.index - enroll_tasks) / config.test_sessions.max(1)
         };
         let profile = TypistProfile::for_user(user);
-        monitor_session_on(machine, &profile, config.keys_per_session, ctx.seed).log_stats()
+        let trace = monitor_session_on(machine, &profile, config.keys_per_session, ctx.seed);
+        if config.streaming {
+            emit_serve_verdict(config, machine, ctx.index, &trace);
+        }
+        trace.log_stats()
     }
 
     fn summarize(&self, config: &Self::Config, outputs: &[(f64, f64)]) -> IdentifyResult {
@@ -575,6 +636,45 @@ mod tests {
     fn profiles_are_deterministic_and_distinct() {
         assert_eq!(TypistProfile::for_user(2), TypistProfile::for_user(2));
         assert_ne!(TypistProfile::for_user(2), TypistProfile::for_user(3));
+    }
+
+    /// Streaming eval rides along as pure observability: one
+    /// `ServeVerdict` per monitored session, with every other event —
+    /// and the recovered traces themselves — byte-identical to a
+    /// non-streaming run.
+    #[test]
+    fn streaming_sessions_emit_verdicts_without_perturbing_traces() {
+        let mut config = KeystrokeConfig {
+            users: 2,
+            keys_per_session: 8,
+            ..KeystrokeConfig::quick()
+        };
+        let baseline = monitor_sessions_traced(&config, 3, Some(1), 1 << 15);
+        config.streaming = true;
+        let streamed = monitor_sessions_traced(&config, 3, Some(1), 1 << 15);
+        assert_eq!(streamed.traces, baseline.traces);
+        let events = streamed.sink.events();
+        let verdicts: Vec<_> = events
+            .iter()
+            .filter(|e| e.class() == obs::EventClass::ServeVerdict)
+            .collect();
+        assert_eq!(verdicts.len(), 3, "one verdict per session");
+        for (session, verdict) in verdicts.iter().enumerate() {
+            let obs::EventKind::ServeVerdict {
+                session: s, class, ..
+            } = verdict.kind
+            else {
+                unreachable!()
+            };
+            assert_eq!(s as usize, session);
+            assert!((class as usize) < config.users);
+        }
+        let without_verdicts: Vec<_> = events
+            .iter()
+            .filter(|e| e.class() != obs::EventClass::ServeVerdict)
+            .copied()
+            .collect();
+        assert_eq!(without_verdicts, baseline.sink.events());
     }
 
     #[test]

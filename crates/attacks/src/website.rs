@@ -14,7 +14,7 @@ use irq::InterruptKind;
 use nnet::{AdamConfig, SeqClassifier, SeqExample};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use scenario::{RunOptions, Scenario, TrialCtx};
+use scenario::{MergeReport, RunOptions, Scenario, TrialCtx};
 use segscope::SegProbe;
 use segsim::{CoResident, FaultPlan, Machine, MachineConfig, StepFn};
 use serde::{Deserialize, Serialize};
@@ -194,6 +194,15 @@ pub struct WebsiteFpConfig {
     /// Optional interrupt-path fault plan installed on every visit
     /// machine (`None` = nominal fault-free run).
     pub fault_plan: Option<FaultPlan>,
+    /// Streaming-eval mode: fold evaluation runs through the
+    /// [`serve`] engine (bit-identical to batch evaluation by the serve
+    /// parity contract) and each trial emits a
+    /// [`obs::EventKind::ServeVerdict`] into its trace sink. The
+    /// serving classifier is seeded from its own auxiliary stream and
+    /// serving draws no randomness, so machine RNG streams — and
+    /// therefore golden traces — are untouched.
+    #[serde(default)]
+    pub streaming: bool,
 }
 
 impl Default for WebsiteFpConfig {
@@ -220,6 +229,7 @@ impl WebsiteFpConfig {
             setting,
             seed: 0x7AB1E4,
             fault_plan: None,
+            streaming: false,
         }
     }
 
@@ -238,6 +248,7 @@ impl WebsiteFpConfig {
             setting,
             seed: 0x7AB1E4,
             fault_plan: None,
+            streaming: false,
         }
     }
 
@@ -361,6 +372,70 @@ pub fn trace_to_example(trace: &[f64], pooled_len: usize, label: usize) -> SeqEx
     SeqExample { xs, label }
 }
 
+/// Auxiliary stream of the streaming-eval serving classifier. Distinct
+/// from the fold-split stream (`AUX_STREAM`) and every fold's model
+/// stream (`AUX_STREAM + 1 + fold`), and never mixed into machine or
+/// visit streams.
+const SERVE_STREAM: u64 = exec::AUX_STREAM + 0x5E57;
+
+/// Streams a pooled trial example through a config-seeded serving
+/// classifier and emits the verdict into the machine's trace sink, when
+/// one is installed. The classifier draws only from [`SERVE_STREAM`]
+/// and the serving path is RNG-free, so traces stay byte-identical.
+fn emit_serve_verdict(
+    config: &WebsiteFpConfig,
+    machine: &mut Machine,
+    index: usize,
+    example: &SeqExample,
+) {
+    if machine.trace_sink().is_none() {
+        return;
+    }
+    let mut rng = SmallRng::seed_from_u64(exec::derive_seed(config.seed, SERVE_STREAM));
+    let model = SeqClassifier::new(
+        2,
+        config.hidden,
+        config.n_sites,
+        &mut rng,
+        AdamConfig::default(),
+    );
+    let mut session = serve::StreamSession::new(&model, example.xs.len());
+    let mut verdict = None;
+    for x in &example.xs {
+        verdict = session.push(&model, x);
+    }
+    let verdict = verdict.expect("pooled example is non-empty");
+    let at_ps = machine.now().as_ps();
+    if let Some(sink) = machine.trace_sink_mut() {
+        sink.emit(
+            at_ps,
+            obs::EventKind::ServeVerdict {
+                session: index as u32,
+                class: verdict.class as u32,
+                steps: verdict.steps as u32,
+            },
+        );
+    }
+}
+
+/// Fold evaluation through the streaming engine: serves the test set
+/// through the cross-session batcher and tallies per-chunk
+/// [`nnet::ConfusionMatrix`] fragments folded with [`MergeReport`].
+/// Bit-identical to [`SeqClassifier::accuracy`] by the serve parity
+/// contract, so enabling streaming changes no Table IV numbers.
+fn streaming_fold_top1(model: &SeqClassifier, test: &[SeqExample]) -> f64 {
+    let traces: Vec<Vec<Vec<f32>>> = test.iter().map(|ex| ex.xs.clone()).collect();
+    let verdicts = serve::serve_batched(model, &traces, 16);
+    let chunks = test.chunks(8).zip(verdicts.chunks(8)).map(|(exs, vs)| {
+        let mut part = nnet::ConfusionMatrix::new(model.classes());
+        for (ex, v) in exs.iter().zip(vs) {
+            part.record(ex.label, v.class);
+        }
+        part
+    });
+    nnet::ConfusionMatrix::merged(chunks).accuracy()
+}
+
 /// The registered website-fingerprinting scenario: trial `i` is one
 /// visit to site `i / traces_per_site`; the summary trains and
 /// cross-validates the LSTM over the collected dataset.
@@ -400,7 +475,11 @@ impl Scenario for WebsiteScenario {
     ) -> SeqExample {
         let site = ctx.index / config.traces_per_site.max(1);
         let trace = collect_trace_on(machine, config, site, ctx.seed);
-        trace_to_example(&trace, config.pooled_len, site)
+        let example = trace_to_example(&trace, config.pooled_len, site);
+        if config.streaming {
+            emit_serve_verdict(config, machine, ctx.index, &example);
+        }
+        example
     }
 
     fn summarize(&self, config: &Self::Config, outputs: &[SeqExample]) -> FingerprintResult {
@@ -430,7 +509,12 @@ impl Scenario for WebsiteScenario {
             for _ in 0..config.epochs {
                 model.train_epoch(&train, 16);
             }
-            (model.accuracy(&test), model.top_k_accuracy(&test, 5))
+            let top1 = if config.streaming {
+                streaming_fold_top1(&model, &test)
+            } else {
+                model.accuracy(&test)
+            };
+            (top1, model.top_k_accuracy(&test, 5))
         });
         let top1s: Vec<f64> = fold_scores.iter().map(|s| s.0).collect();
         let top5s: Vec<f64> = fold_scores.iter().map(|s| s.1).collect();
@@ -526,5 +610,66 @@ mod tests {
         for s in Setting::ALL {
             assert!(!s.label().is_empty());
         }
+    }
+
+    /// Streaming eval is observability, not a different experiment:
+    /// every Table IV number must come out bit-identical.
+    #[test]
+    fn streaming_eval_matches_batch_eval_exactly() {
+        let mut config = WebsiteFpConfig::quick(Browser::Chrome, Setting::DifferentCores);
+        config.n_sites = 4;
+        config.traces_per_site = 5;
+        config.epochs = 6;
+        config.folds = 3;
+        let baseline = run_experiment(&config);
+        config.streaming = true;
+        let streamed = run_experiment(&config);
+        assert_eq!(baseline, streamed);
+    }
+
+    /// A streaming trial on a sink-instrumented machine records its
+    /// serving verdict; without the flag the trace stays clean.
+    #[test]
+    fn streaming_trials_emit_serve_verdicts() {
+        let mut config = WebsiteFpConfig::quick(Browser::Chrome, Setting::DifferentCores);
+        config.streaming = true;
+        let ctx = TrialCtx {
+            index: 3,
+            seed: exec::derive_seed(config.seed, 3),
+            experiment_seed: config.seed,
+        };
+        let run = |config: &WebsiteFpConfig| {
+            let mut machine = WebsiteScenario.build_machine(config, &ctx);
+            machine.install_trace_sink(obs::TraceSink::with_capacity(4096));
+            WebsiteScenario.run_trial(config, &mut machine, &ctx);
+            machine.take_trace_sink().expect("sink stays installed")
+        };
+        let events = run(&config).events();
+        let verdicts: Vec<_> = events
+            .iter()
+            .filter(|e| e.class() == obs::EventClass::ServeVerdict)
+            .collect();
+        assert_eq!(verdicts.len(), 1, "one verdict per streamed trial");
+        let obs::EventKind::ServeVerdict {
+            session,
+            class,
+            steps,
+        } = verdicts[0].kind
+        else {
+            unreachable!()
+        };
+        assert_eq!(session, 3);
+        assert!((class as usize) < config.n_sites);
+        assert_eq!(steps as usize, config.pooled_len);
+        // The instrumentation draws from its own stream: the rest of
+        // the trace is byte-identical with streaming off.
+        config.streaming = false;
+        let baseline = run(&config);
+        let without_verdicts: Vec<_> = events
+            .iter()
+            .filter(|e| e.class() != obs::EventClass::ServeVerdict)
+            .copied()
+            .collect();
+        assert_eq!(without_verdicts, baseline.events());
     }
 }

@@ -17,6 +17,7 @@ pub mod batched_report;
 pub mod campaign_report;
 pub mod hotpath_report;
 pub mod parallel_report;
+pub mod serve_report;
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,478 @@
+//! Machine-readable performance report for the streaming serving engine
+//! (`BENCH_serve.json`).
+//!
+//! The `bench_serve` target regenerates the file; it records host
+//! wall-clock numbers, so absolute values vary by machine. The gates in
+//! [`ServeBenchReport::validate`] are host-independent except the
+//! batched-throughput bar, which arms only on multi-core hosts:
+//!
+//! - every f64 batched arm reproduces the sequential baseline's verdict
+//!   stream bit for bit (FNV-folded) at every batch capacity — the
+//!   serve crate's batch-parity contract, measured end to end,
+//! - every quantized batched arm likewise matches its own sequential
+//!   baseline,
+//! - post-training quantization stays within the per-scheme
+//!   accuracy-delta budget of the f64 model on a Table IV-style
+//!   website-fingerprinting eval set,
+//! - on multi-core hosts the widest batched arm serves sessions at
+//!   least [`BATCHED_SERVE_MIN_SPEEDUP`]x faster than the recycled
+//!   single-session baseline.
+
+use nnet::{AdamConfig, SeqClassifier, SeqExample};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use segscope_attacks::website::{self, Browser, Setting, WebsiteFpConfig};
+use serde::Serialize;
+use serve::{
+    serve_batched, serve_sequential, verdict_fnv, QuantScheme, QuantizedSeqClassifier, StepModel,
+    Verdict,
+};
+use std::time::Instant;
+
+/// Minimum accepted batched-vs-sequential session throughput speedup on
+/// multi-core hosts (single-core hosts gate verdict identity alone —
+/// lockstep lanes add no parallelism on one core).
+pub const BATCHED_SERVE_MIN_SPEEDUP: f64 = 3.0;
+
+/// Maximum accepted |accuracy(quantized) - accuracy(f64)| on the eval
+/// set for the 15-bit `i16` scheme — the serving default, and the bar
+/// the issue's acceptance criterion names.
+pub const I16_MAX_ACCURACY_DELTA: f64 = 0.01;
+
+/// Maximum accepted accuracy delta for the 7-bit `i8` scheme, whose
+/// coarser weight grid may flip genuinely close calls.
+pub const I8_MAX_ACCURACY_DELTA: f64 = 0.05;
+
+/// Auxiliary seed stream for the bench's serving model, disjoint from
+/// the website scenario's machine and visit streams.
+const SERVE_BENCH_STREAM: u64 = 0x5EBE;
+
+/// One batched serving measurement: a batch capacity on one precision.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeArm {
+    /// Model precision: `f64` (the f32-weight reference classifier,
+    /// named for its f64 accuracy contract) or a quantization scheme.
+    pub precision: String,
+    /// Lockstep lanes in the session batch.
+    pub capacity: usize,
+    /// Sessions served per run.
+    pub sessions: usize,
+    /// Total timesteps pushed across all sessions per run.
+    pub steps: usize,
+    /// Best-of-repeats wall-clock seconds for the run.
+    pub wall_s: f64,
+    /// Session throughput, completed sessions per second.
+    pub sessions_per_s: f64,
+    /// Speedup over the same precision's sequential baseline.
+    pub speedup: f64,
+    /// FNV-1a fold of the verdict stream in trace order.
+    pub verdict_fnv: String,
+}
+
+/// The unbatched baseline: one recycled [`serve::StreamSession`]
+/// serving every trace in order.
+#[derive(Debug, Clone, Serialize)]
+pub struct SequentialBaseline {
+    /// Model precision the baseline ran on.
+    pub precision: String,
+    /// Best-of-repeats wall-clock seconds for the run.
+    pub wall_s: f64,
+    /// Session throughput, completed sessions per second.
+    pub sessions_per_s: f64,
+    /// FNV-1a fold of the verdict stream in trace order.
+    pub verdict_fnv: String,
+}
+
+/// Post-training quantization accuracy versus the f64 model.
+#[derive(Debug, Clone, Serialize)]
+pub struct QuantArm {
+    /// Quantization scheme name (`i8` or `i16`).
+    pub scheme: String,
+    /// Reference model accuracy on the eval set.
+    pub f64_accuracy: f64,
+    /// Quantized model accuracy on the same eval set.
+    pub quant_accuracy: f64,
+    /// `|quant_accuracy - f64_accuracy|`.
+    pub accuracy_delta: f64,
+    /// Eval-set size the accuracies were measured on.
+    pub eval_examples: usize,
+}
+
+/// The full `BENCH_serve.json` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// Sessions served per arm.
+    pub sessions: usize,
+    /// Timesteps per session (the pooled sequence length).
+    pub steps_per_session: usize,
+    /// One arm per (precision, capacity) point.
+    pub arms: Vec<ServeArm>,
+    /// One recycled-session baseline per precision.
+    pub sequential: Vec<SequentialBaseline>,
+    /// One accuracy arm per quantization scheme.
+    pub quant: Vec<QuantArm>,
+    /// Worker threads the sharded batched arms ran with.
+    pub threads: usize,
+    /// Whether the host had more than one core (arms the speedup gate).
+    pub multi_core: bool,
+    /// Whether the run used the full scale (`SEGSCOPE_BENCH_FULL=1`).
+    pub full_scale: bool,
+    /// Human-readable caveat about the measurement host.
+    pub note: String,
+}
+
+impl ServeBenchReport {
+    /// Checks the invariants the CI gate relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.arms.is_empty() {
+            return Err("serve arms empty".into());
+        }
+        for precision in ["f64", "i16"] {
+            if !self.arms.iter().any(|a| a.precision == precision) {
+                return Err(format!("no batched arm at precision `{precision}`"));
+            }
+        }
+        for baseline in &self.sequential {
+            if baseline.sessions_per_s <= 0.0 {
+                return Err(format!(
+                    "sequential baseline `{}`: non-positive throughput",
+                    baseline.precision
+                ));
+            }
+        }
+        for arm in &self.arms {
+            if arm.sessions_per_s <= 0.0 {
+                return Err(format!(
+                    "arm `{}` capacity {}: non-positive throughput",
+                    arm.precision, arm.capacity
+                ));
+            }
+            let baseline = self
+                .sequential
+                .iter()
+                .find(|b| b.precision == arm.precision)
+                .ok_or_else(|| {
+                    format!("no sequential baseline for precision `{}`", arm.precision)
+                })?;
+            if arm.verdict_fnv != baseline.verdict_fnv {
+                return Err(format!(
+                    "arm `{}` capacity {}: verdict stream diverged from the \
+                     sequential baseline ({} vs {})",
+                    arm.precision, arm.capacity, arm.verdict_fnv, baseline.verdict_fnv
+                ));
+            }
+        }
+        for quant in &self.quant {
+            let bar = match quant.scheme.as_str() {
+                "i16" => I16_MAX_ACCURACY_DELTA,
+                _ => I8_MAX_ACCURACY_DELTA,
+            };
+            if quant.accuracy_delta > bar {
+                return Err(format!(
+                    "`{}` quantization drifted {:.3} in accuracy from the f64 \
+                     model (bar {bar})",
+                    quant.scheme, quant.accuracy_delta
+                ));
+            }
+        }
+        if self.multi_core {
+            let best = self
+                .arms
+                .iter()
+                .filter(|a| a.precision == "f64")
+                .map(|a| a.speedup)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best < BATCHED_SERVE_MIN_SPEEDUP {
+                return Err(format!(
+                    "batched serving reached only {best:.2}x over the \
+                     sequential baseline on a multi-core host \
+                     (bar {BATCHED_SERVE_MIN_SPEEDUP}x)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The trained model, its quantized variants' source data, and the
+/// serving trace set the arms run over.
+pub struct ServeWorkload {
+    /// The f32-weight reference classifier, trained on the train split.
+    pub model: SeqClassifier,
+    /// Held-out eval split (the quantization accuracy set).
+    pub eval: Vec<SeqExample>,
+    /// Serving traces: eval sequences cycled up to the session count.
+    pub traces: Vec<Vec<Vec<f32>>>,
+    /// Timesteps per trace (the pooled sequence length).
+    pub steps_per_session: usize,
+}
+
+/// Builds the Table IV-style workload: simulate website-fingerprinting
+/// visit traces on the quick scenario scale, train the LSTM on the
+/// train split (`train_per_site` traces per site), and keep
+/// `eval_per_site` held-out traces per site as the quantization eval
+/// set. The serving trace list cycles the eval sequences up to
+/// `sessions` entries.
+#[must_use]
+pub fn build_workload(
+    sessions: usize,
+    train_per_site: usize,
+    eval_per_site: usize,
+    seed: u64,
+) -> ServeWorkload {
+    let mut config = WebsiteFpConfig::quick(Browser::Chrome, Setting::DifferentCores);
+    config.seed = seed;
+    let per_site = train_per_site + eval_per_site;
+    let mut train = Vec::new();
+    let mut eval = Vec::new();
+    for site in 0..config.n_sites {
+        for rep in 0..per_site {
+            let visit = (site * per_site + rep) as u64;
+            let trace =
+                website::collect_trace(&config, site, exec::derive_seed(config.seed, visit));
+            let example = website::trace_to_example(&trace, config.pooled_len, site);
+            if rep < train_per_site {
+                train.push(example);
+            } else {
+                eval.push(example);
+            }
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(exec::derive_seed(seed, SERVE_BENCH_STREAM));
+    let mut model = SeqClassifier::new(
+        2,
+        config.hidden,
+        config.n_sites,
+        &mut rng,
+        AdamConfig::default(),
+    );
+    for _ in 0..config.epochs {
+        model.train_epoch(&train, 8);
+    }
+    let traces: Vec<Vec<Vec<f32>>> = (0..sessions)
+        .map(|i| eval[i % eval.len()].xs.clone())
+        .collect();
+    ServeWorkload {
+        model,
+        eval,
+        traces,
+        steps_per_session: config.pooled_len,
+    }
+}
+
+/// Serves `traces` through `threads` contiguous shards, each a
+/// [`serve_batched`] batch of `capacity` lanes. Lanes never interact
+/// across sessions (the batch-parity contract), and both the sharding
+/// and [`serve_batched`] itself keep verdicts in trace order, so the
+/// concatenated verdict stream is bit-identical to an unsharded run at
+/// any shard count.
+#[must_use]
+pub fn serve_sharded<M: StepModel + Sync>(
+    model: &M,
+    traces: &[Vec<Vec<f32>>],
+    capacity: usize,
+    threads: usize,
+) -> Vec<Verdict> {
+    if threads <= 1 {
+        return serve_batched(model, traces, capacity);
+    }
+    let per_shard = traces.len().div_ceil(threads).max(1);
+    let shards: Vec<&[Vec<Vec<f32>>]> = traces.chunks(per_shard).collect();
+    exec::parallel_map(shards.len(), threads, |i| {
+        serve_batched(model, shards[i], capacity)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+fn time_s<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn best_of<T>(repeats: usize, f: impl Fn() -> T) -> (f64, T) {
+    // Warmup pass (page-in, allocator steady state) before the timed
+    // repeats; keep the minimum wall-clock, the standard minimum-noise
+    // estimator on shared hosts.
+    let _ = f();
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats.max(1) {
+        let (s, value) = time_s(&f);
+        best = best.min(s);
+        out = Some(value);
+    }
+    (best, out.expect("at least one timed repeat"))
+}
+
+fn fnv_hex(verdicts: &[Verdict]) -> String {
+    format!("{:#018x}", verdict_fnv(verdicts))
+}
+
+/// Measures the recycled single-session baseline for one precision.
+#[must_use]
+pub fn measure_sequential<M: StepModel + Sync>(
+    model: &M,
+    precision: &str,
+    traces: &[Vec<Vec<f32>>],
+    repeats: usize,
+) -> SequentialBaseline {
+    let (wall_s, verdicts) = best_of(repeats, || serve_sequential(model, traces));
+    SequentialBaseline {
+        precision: precision.to_string(),
+        wall_s,
+        sessions_per_s: traces.len() as f64 / wall_s.max(1e-9),
+        verdict_fnv: fnv_hex(&verdicts),
+    }
+}
+
+/// Measures one batched arm: the workload's traces served through
+/// `threads` shards of `capacity` lockstep lanes each.
+#[must_use]
+pub fn measure_batched<M: StepModel + Sync>(
+    model: &M,
+    precision: &str,
+    workload: &ServeWorkload,
+    capacity: usize,
+    threads: usize,
+    repeats: usize,
+    baseline_s: f64,
+) -> ServeArm {
+    let traces = &workload.traces;
+    let (wall_s, verdicts) = best_of(repeats, || serve_sharded(model, traces, capacity, threads));
+    ServeArm {
+        precision: precision.to_string(),
+        capacity,
+        sessions: traces.len(),
+        steps: traces.len() * workload.steps_per_session,
+        wall_s,
+        sessions_per_s: traces.len() as f64 / wall_s.max(1e-9),
+        speedup: baseline_s / wall_s.max(1e-9),
+        verdict_fnv: fnv_hex(&verdicts),
+    }
+}
+
+/// Measures one quantization accuracy arm on the eval set.
+#[must_use]
+pub fn measure_quant_accuracy(
+    model: &SeqClassifier,
+    scheme: QuantScheme,
+    eval: &[SeqExample],
+) -> QuantArm {
+    let quantized = QuantizedSeqClassifier::quantize(model, scheme);
+    let f64_accuracy = model.accuracy(eval);
+    let quant_accuracy = quantized.accuracy(eval);
+    QuantArm {
+        scheme: scheme.name().to_string(),
+        f64_accuracy,
+        quant_accuracy,
+        accuracy_delta: (quant_accuracy - f64_accuracy).abs(),
+        eval_examples: eval.len(),
+    }
+}
+
+/// Serializes a report to JSON and writes it to `path`.
+///
+/// # Errors
+///
+/// Returns any filesystem error from the write.
+pub fn write_report(report: &ServeBenchReport, path: &str) -> std::io::Result<()> {
+    let json = serde_json::to_string(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_serving_is_shard_count_invariant() {
+        let workload = build_workload(23, 2, 1, 0x5EBE_0001);
+        let solo = serve_sharded(&workload.model, &workload.traces, 8, 1);
+        let sharded = serve_sharded(&workload.model, &workload.traces, 8, 4);
+        assert_eq!(solo, sharded, "sharding permuted or perturbed verdicts");
+        assert_eq!(
+            verdict_fnv(&solo),
+            verdict_fnv(&serve_sequential(&workload.model, &workload.traces)),
+            "batched verdict stream diverged from sequential",
+        );
+    }
+
+    #[test]
+    fn validate_enforces_every_gate() {
+        let arm = |precision: &str, capacity: usize, speedup: f64, fnv: &str| ServeArm {
+            precision: precision.into(),
+            capacity,
+            sessions: 64,
+            steps: 64 * 64,
+            wall_s: 0.1,
+            sessions_per_s: 640.0,
+            speedup,
+            verdict_fnv: fnv.into(),
+        };
+        let baseline = |precision: &str, fnv: &str| SequentialBaseline {
+            precision: precision.into(),
+            wall_s: 0.4,
+            sessions_per_s: 160.0,
+            verdict_fnv: fnv.into(),
+        };
+        let good = ServeBenchReport {
+            sessions: 64,
+            steps_per_session: 64,
+            arms: vec![
+                arm("f64", 1, 1.0, "0xaa"),
+                arm("f64", 64, 4.0, "0xaa"),
+                arm("i16", 64, 4.0, "0xbb"),
+            ],
+            sequential: vec![baseline("f64", "0xaa"), baseline("i16", "0xbb")],
+            quant: vec![QuantArm {
+                scheme: "i16".into(),
+                f64_accuracy: 0.9,
+                quant_accuracy: 0.9,
+                accuracy_delta: 0.0,
+                eval_examples: 104,
+            }],
+            threads: 4,
+            multi_core: true,
+            full_scale: false,
+            note: String::new(),
+        };
+        assert!(good.validate().is_ok());
+
+        // A batched arm whose verdicts drift from its baseline fails.
+        let mut divergent = good.clone();
+        divergent.arms[1].verdict_fnv = "0xcc".into();
+        assert!(divergent.validate().is_err());
+
+        // The i16 accuracy budget is 1%; 5% only covers i8.
+        let mut drifted = good.clone();
+        drifted.quant[0].accuracy_delta = 0.02;
+        assert!(drifted.validate().is_err());
+        let mut coarse = good.clone();
+        coarse.quant[0].scheme = "i8".into();
+        coarse.quant[0].accuracy_delta = 0.02;
+        assert!(coarse.validate().is_ok());
+
+        // The 3x bar arms on multi-core hosts only.
+        let mut slow = good.clone();
+        for arm in &mut slow.arms {
+            arm.speedup = 1.1;
+        }
+        assert!(slow.validate().is_err());
+        let mut single = slow;
+        single.multi_core = false;
+        assert!(single.validate().is_ok());
+
+        // Both required precisions must be present.
+        let mut missing = good;
+        missing.arms.retain(|a| a.precision == "f64");
+        assert!(missing.validate().is_err());
+    }
+}

@@ -48,6 +48,18 @@ impl SeqClassifier {
         self.head.output_dim()
     }
 
+    /// The recurrent layer (read-only, for external inference engines).
+    #[must_use]
+    pub fn lstm(&self) -> &Lstm {
+        &self.lstm
+    }
+
+    /// The output head (read-only, for external inference engines).
+    #[must_use]
+    pub fn head(&self) -> &Dense {
+        &self.head
+    }
+
     /// Class logits for one sequence.
     ///
     /// # Panics

@@ -54,5 +54,6 @@ pub use lstm::{BiLstm, BiLstmTrace, Lstm, LstmTrace};
 pub use mat::Mat;
 pub use metrics::{
     collapse_runs, levenshtein, levenshtein_accuracy, per_class_segment_accuracy, segment_accuracy,
+    ConfusionMatrix,
 };
 pub use optim::{Adam, AdamConfig};

@@ -113,6 +113,18 @@ impl Lstm {
         self.hidden
     }
 
+    /// The stacked `4h × (input + hidden + 1)` gate weight matrix
+    /// (`[i, f, g, o]` row blocks, bias folded into the last column).
+    ///
+    /// Read-only access for inference engines that replicate the forward
+    /// pass outside this struct (e.g. the streaming server in
+    /// `crates/serve`, which must reproduce [`Lstm::forward`]
+    /// bit-for-bit).
+    #[must_use]
+    pub fn weights(&self) -> &Mat {
+        &self.w
+    }
+
     /// Runs the layer over `xs`, returning the activation trace.
     ///
     /// # Panics

@@ -231,6 +231,74 @@ impl Mat {
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
     }
+
+    /// Lane-batched [`Mat::matvec_bias_acc`]: `out[r * lanes + l] +=
+    /// self.row(r) * [x_l, 1]` for every lane `l`, where `xs` holds the
+    /// lane inputs feature-major (`xs[f * lanes + l]` is feature `f` of
+    /// lane `l`, `xs.len() == (cols - 1) * lanes`).
+    ///
+    /// Each lane's result is **bit-identical** to the scalar
+    /// `matvec_bias_acc` on that lane's input: the kernel keeps four
+    /// per-lane accumulators over feature chunks of four plus a per-lane
+    /// scalar tail, combined as `(a0 + a1) + (a2 + a3) + tail + bias` —
+    /// the same operation order as the scalar `dot` — so the per-lane
+    /// floating-point result does not depend on `lanes` or on which
+    /// block of eight a lane lands in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or when the matrix has no bias
+    /// column (`cols == 0`).
+    pub fn matvec_bias_acc_soa(&self, xs: &[f32], lanes: usize, out: &mut [f32]) {
+        assert!(self.cols > 0, "matvec_bias_soa needs a bias column");
+        let feat = self.cols - 1;
+        assert_eq!(xs.len(), feat * lanes, "matvec_bias_soa input length");
+        assert_eq!(
+            out.len(),
+            self.rows * lanes,
+            "matvec_bias_soa output length"
+        );
+        if lanes == 0 {
+            return;
+        }
+        const LANE_BLOCK: usize = 8;
+        for (out_row, row) in out
+            .chunks_exact_mut(lanes)
+            .zip(self.data.chunks_exact(self.cols))
+        {
+            let (w, bias) = row.split_at(feat);
+            let mut lane0 = 0;
+            while lane0 < lanes {
+                let width = (lanes - lane0).min(LANE_BLOCK);
+                let mut acc = [[0.0f32; LANE_BLOCK]; 4];
+                let mut tail = [0.0f32; LANE_BLOCK];
+                let chunks = w.chunks_exact(4);
+                let rem = chunks.remainder();
+                let mut f = 0;
+                for cw in chunks {
+                    for (a, &wv) in cw.iter().enumerate() {
+                        let base = (f + a) * lanes + lane0;
+                        let xrow = &xs[base..base + width];
+                        for (al, &xl) in acc[a][..width].iter_mut().zip(xrow) {
+                            *al += wv * xl;
+                        }
+                    }
+                    f += 4;
+                }
+                for (a, &wv) in rem.iter().enumerate() {
+                    let base = (f + a) * lanes + lane0;
+                    let xrow = &xs[base..base + width];
+                    for (tl, &xl) in tail[..width].iter_mut().zip(xrow) {
+                        *tl += wv * xl;
+                    }
+                }
+                for (l, o) in out_row[lane0..lane0 + width].iter_mut().enumerate() {
+                    *o += (acc[0][l] + acc[1][l]) + (acc[2][l] + acc[3][l]) + tail[l] + bias[0];
+                }
+                lane0 += width;
+            }
+        }
+    }
 }
 
 /// Dot product with four independent accumulators, so the multiplies are
@@ -374,5 +442,84 @@ mod tests {
         m.matvec_t_acc(&[], &mut []);
         let mut z = Mat::zeros(0, 0);
         z.outer_acc(&[], &[], 1.0);
+    }
+
+    /// The lane-batched SoA kernel must be **bit-identical** per lane to
+    /// the scalar `matvec_bias_acc` — this is the contract the streaming
+    /// engine's batch-parity guarantee rests on. Lane counts cover a
+    /// single lane, an exact block, a partial last block (17 = 8+8+1),
+    /// and many blocks; shapes cover non-multiple-of-4 rows and feature
+    /// counts with and without a chunk remainder.
+    #[test]
+    fn soa_matvec_bias_is_bit_identical_per_lane() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for (rows, cols) in [(1, 2), (3, 5), (5, 9), (8, 12), (13, 6)] {
+            let m = Mat::xavier(rows, cols, &mut rng);
+            let feat = cols - 1;
+            for lanes in [1usize, 4, 17, 64] {
+                // Feature-major SoA inputs, one distinct vector per lane.
+                let mut xs = vec![0.0f32; feat * lanes];
+                for l in 0..lanes {
+                    for f in 0..feat {
+                        xs[f * lanes + l] = ((l * 31 + f * 7) as f32 * 0.13).sin();
+                    }
+                }
+                let mut soa = vec![0.1f32; rows * lanes];
+                m.matvec_bias_acc_soa(&xs, lanes, &mut soa);
+                let mut x = vec![0.0f32; feat];
+                for l in 0..lanes {
+                    for (f, xi) in x.iter_mut().enumerate() {
+                        *xi = xs[f * lanes + l];
+                    }
+                    let mut scalar = vec![0.1f32; rows];
+                    m.matvec_bias_acc(&x, &mut scalar);
+                    for (r, &want) in scalar.iter().enumerate() {
+                        let got = soa[r * lanes + l];
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "lane {l}/{lanes} row {r} ({rows}x{cols}): {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The 4-row-blocked transpose kernel at row counts that are *not*
+    /// multiples of four, with zero-heavy gradient vectors so both the
+    /// block-skip and the scalar-remainder paths run (the aligned-shape
+    /// test above leaves the remainder loop mostly cold).
+    #[test]
+    fn blocked_transpose_kernel_handles_unaligned_row_counts() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for (rows, cols) in [(2, 3), (5, 6), (6, 4), (7, 1), (9, 3), (13, 7), (15, 5)] {
+            let m = Mat::xavier(rows, cols, &mut rng);
+            // Zero out a deterministic subset so the g0..g3-all-zero skip
+            // and the gr == 0.0 remainder skip both trigger.
+            let g: Vec<f32> = (0..rows)
+                .map(|r| {
+                    if r % 3 == 0 {
+                        0.0
+                    } else {
+                        (r as f32 * 0.4).cos()
+                    }
+                })
+                .collect();
+            let mut fast = vec![0.0f32; cols];
+            m.matvec_t_acc(&g, &mut fast);
+            for (c, &got) in fast.iter().enumerate() {
+                let naive: f32 = (0..rows).map(|r| g[r] * m.get(r, c)).sum();
+                assert!(
+                    (got - naive).abs() < 1e-5,
+                    "matvec_t[{c}] at {rows}x{cols}: {got} vs {naive}"
+                );
+            }
+            if cols > 1 {
+                let mut narrow = vec![0.0f32; cols - 1];
+                m.matvec_t_narrow(&g, &mut narrow);
+                assert_eq!(&narrow[..], &fast[..cols - 1], "{rows}x{cols} narrow");
+            }
+        }
     }
 }

@@ -1,6 +1,133 @@
 //! Evaluation metrics: top-k accuracy helpers, Levenshtein Distance
-//! Accuracy (LDA), and Segment Accuracy (SA) — the two metrics the paper
-//! uses for DNN-architecture recovery (Table V).
+//! Accuracy (LDA), Segment Accuracy (SA) — the two metrics the paper
+//! uses for DNN-architecture recovery (Table V) — and a mergeable
+//! [`ConfusionMatrix`] for sharded streaming evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming confusion matrix: `count(truth, predicted)` tallies over
+/// a fixed class count, built to **merge** — per-shard evaluation folds
+/// combine with [`ConfusionMatrix::merge`], which is commutative and
+/// associative with [`ConfusionMatrix::empty`] as identity, so a sharded
+/// eval reduces to the same matrix in any fold order.
+///
+/// ```
+/// let mut a = nnet::ConfusionMatrix::new(2);
+/// a.record(0, 0);
+/// a.record(1, 0);
+/// let mut b = nnet::ConfusionMatrix::new(2);
+/// b.record(1, 1);
+/// a.merge(&b);
+/// assert_eq!(a.total(), 3);
+/// assert_eq!(a.correct(), 2);
+/// assert_eq!(a.count(1, 0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// Row-major `classes × classes` counts: `counts[truth * classes + predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An all-zero matrix over `classes` classes.
+    #[must_use]
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// The merge identity: a zero-class matrix that adopts the class
+    /// count of whatever it is first merged with.
+    #[must_use]
+    pub fn empty() -> Self {
+        ConfusionMatrix::new(0)
+    }
+
+    /// Number of classes (0 for the [`ConfusionMatrix::empty`] identity).
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Tallies one `(truth, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes, "truth label out of range");
+        assert!(predicted < self.classes, "predicted label out of range");
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// The tally for `(truth, predicted)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either label is out of range.
+    #[must_use]
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        assert!(truth < self.classes, "truth label out of range");
+        assert!(predicted < self.classes, "predicted label out of range");
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Observations on the diagonal (correct predictions).
+    #[must_use]
+    pub fn correct(&self) -> u64 {
+        (0..self.classes)
+            .map(|c| self.counts[c * self.classes + c])
+            .sum()
+    }
+
+    /// Top-1 accuracy (`0.0` when nothing has been recorded, matching
+    /// [`crate::SeqClassifier::accuracy`] on an empty set).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.correct() as f64 / total as f64
+    }
+
+    /// Adds `other`'s tallies into `self` (the MergeReport-style fold).
+    ///
+    /// A zero-class side acts as the identity: merging *into* an empty
+    /// matrix adopts the other's shape, and merging an empty matrix in
+    /// is a no-op — so per-shard folds seeded from
+    /// [`ConfusionMatrix::empty`] commute regardless of which shard ran
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both sides are non-empty with different class counts.
+    pub fn merge(&mut self, other: &Self) {
+        if other.classes == 0 {
+            return;
+        }
+        if self.classes == 0 {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            self.classes, other.classes,
+            "cannot merge confusion matrices over different class counts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
 
 /// Levenshtein (edit) distance between two label sequences.
 ///
@@ -150,5 +277,47 @@ mod tests {
     fn collapse() {
         assert_eq!(collapse_runs(&[1, 1, 2, 2, 2, 1]), vec![1, 2, 1]);
         assert_eq!(collapse_runs(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn confusion_matrix_tallies_and_scores() {
+        let mut m = ConfusionMatrix::new(3);
+        for (t, p) in [(0, 0), (0, 1), (1, 1), (2, 2), (2, 2)] {
+            m.record(t, p);
+        }
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.correct(), 4);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 0), 0);
+        assert!((m.accuracy() - 0.8).abs() < 1e-12);
+        assert_eq!(ConfusionMatrix::new(3).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_merge_is_commutative_with_empty_identity() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 1);
+        a.record(1, 1);
+        let mut b = ConfusionMatrix::new(2);
+        b.record(1, 0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Identity from either side, including shape adoption.
+        let mut from_empty = ConfusionMatrix::empty();
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a);
+        let mut into_empty = a.clone();
+        into_empty.merge(&ConfusionMatrix::empty());
+        assert_eq!(into_empty, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "different class counts")]
+    fn confusion_matrix_rejects_shape_mismatch() {
+        let mut a = ConfusionMatrix::new(2);
+        a.merge(&ConfusionMatrix::new(3));
     }
 }

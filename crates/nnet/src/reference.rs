@@ -239,3 +239,68 @@ impl NaiveLstm {
         self.grad = flat;
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Differential check of the blocked [`Mat`] kernels against this
+    /// module's naive scalar loops at row counts that are **not**
+    /// multiples of four (the block width), so the remainder paths are
+    /// exercised against the oracle and not just against themselves.
+    #[test]
+    fn blocked_kernels_match_naive_oracle_at_unaligned_rows() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        for (rows, cols) in [(1, 4), (2, 7), (3, 3), (5, 8), (6, 2), (9, 5), (11, 11)] {
+            let m = Mat::xavier(rows, cols, &mut rng);
+            let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.9).cos()).collect();
+            let g: Vec<f32> = (0..rows)
+                .map(|r| {
+                    if r % 4 == 1 {
+                        0.0
+                    } else {
+                        (r as f32 * 0.6).sin()
+                    }
+                })
+                .collect();
+
+            let mut fast = vec![0.0f32; rows];
+            m.matvec_acc(&x, &mut fast);
+            let mut naive = vec![0.0f32; rows];
+            matvec_acc_naive(&m, &x, &mut naive);
+            for (r, (&got, &want)) in fast.iter().zip(&naive).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-5,
+                    "matvec[{r}] at {rows}x{cols}: {got} vs {want}"
+                );
+            }
+
+            let mut t_fast = vec![0.0f32; cols];
+            m.matvec_t_acc(&g, &mut t_fast);
+            let mut t_naive = vec![0.0f32; cols];
+            matvec_t_acc_naive(&m, &g, &mut t_naive);
+            for (c, (&got, &want)) in t_fast.iter().zip(&t_naive).enumerate() {
+                assert!(
+                    (got - want).abs() < 1e-5,
+                    "matvec_t[{c}] at {rows}x{cols}: {got} vs {want}"
+                );
+            }
+
+            let mut fast_outer = Mat::zeros(rows, cols);
+            fast_outer.outer_acc(&g, &x, 0.25);
+            let mut naive_outer = Mat::zeros(rows, cols);
+            outer_acc_naive(&mut naive_outer, &g, &x, 0.25);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let (got, want) = (fast_outer.get(r, c), naive_outer.get(r, c));
+                    assert!(
+                        (got - want).abs() < 1e-6,
+                        "outer[{r},{c}] at {rows}x{cols}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+}

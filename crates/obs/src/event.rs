@@ -221,6 +221,16 @@ pub enum EventKind {
     /// The QuanShield-style defense tore the enclave down on its first
     /// asynchronous exit.
     EnclaveDestroyed,
+    /// The streaming inference engine classified a completed session
+    /// (a `serve::StreamSession` emitted its verdict).
+    ServeVerdict {
+        /// The serving-side session identifier (lane the session ran in).
+        session: u32,
+        /// Predicted class index.
+        class: u32,
+        /// Timesteps the session consumed before the verdict.
+        steps: u32,
+    },
 }
 
 impl EventKind {
@@ -242,6 +252,7 @@ impl EventKind {
             EventKind::AexExit { .. } => EventClass::AexExit,
             EventKind::DefensePad { .. } => EventClass::DefensePad,
             EventKind::EnclaveDestroyed => EventClass::EnclaveDestroyed,
+            EventKind::ServeVerdict { .. } => EventClass::ServeVerdict,
         }
     }
 }
@@ -309,11 +320,13 @@ pub enum EventClass {
     DefensePad,
     /// [`EventKind::EnclaveDestroyed`].
     EnclaveDestroyed,
+    /// [`EventKind::ServeVerdict`].
+    ServeVerdict,
 }
 
 impl EventClass {
     /// Every class, in declaration order.
-    pub const ALL: [EventClass; 14] = [
+    pub const ALL: [EventClass; 15] = [
         EventClass::IrqDelivered,
         EventClass::IrqDropped,
         EventClass::IrqCoalesced,
@@ -328,6 +341,7 @@ impl EventClass {
         EventClass::AexExit,
         EventClass::DefensePad,
         EventClass::EnclaveDestroyed,
+        EventClass::ServeVerdict,
     ];
 
     fn bit(self) -> u16 {
@@ -356,6 +370,7 @@ impl EventClass {
             EventClass::AexExit => "aex_exit",
             EventClass::DefensePad => "defense_pad",
             EventClass::EnclaveDestroyed => "enclave_destroyed",
+            EventClass::ServeVerdict => "serve_verdict",
         }
     }
 }
@@ -369,7 +384,7 @@ impl ClassSet {
     pub const EMPTY: ClassSet = ClassSet(0);
 
     /// The set of every class.
-    pub const ALL: ClassSet = ClassSet((1 << 14) - 1);
+    pub const ALL: ClassSet = ClassSet((1 << 15) - 1);
 
     /// The set containing exactly `class`.
     #[must_use]
@@ -472,6 +487,14 @@ mod tests {
                 EventClass::DefensePad,
             ),
             (EventKind::EnclaveDestroyed, EventClass::EnclaveDestroyed),
+            (
+                EventKind::ServeVerdict {
+                    session: 2,
+                    class: 1,
+                    steps: 40,
+                },
+                EventClass::ServeVerdict,
+            ),
         ];
         for (kind, class) in kinds {
             assert_eq!(kind.class(), class);

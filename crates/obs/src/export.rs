@@ -253,6 +253,25 @@ fn chrome_event(out: &mut String, event: &Event) {
         EventKind::EnclaveDestroyed => {
             push_chrome_event(out, name, 'i', event.at_ps, None, track, &[]);
         }
+        EventKind::ServeVerdict {
+            session,
+            class,
+            steps,
+        } => {
+            push_chrome_event(
+                out,
+                name,
+                'i',
+                event.at_ps,
+                None,
+                track,
+                &[
+                    ("session", session.to_string()),
+                    ("class", class.to_string()),
+                    ("steps", steps.to_string()),
+                ],
+            );
+        }
     }
 }
 

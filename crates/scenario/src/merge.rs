@@ -92,6 +92,20 @@ impl MergeReport for FaultLog {
     }
 }
 
+/// Streaming evaluators tally per-chunk confusion matrices and fold
+/// them into the run-level matrix; elementwise addition of counts obeys
+/// all three laws, with the zero-class matrix as the shape-adopting
+/// identity.
+impl MergeReport for nnet::ConfusionMatrix {
+    fn empty() -> Self {
+        nnet::ConfusionMatrix::empty()
+    }
+
+    fn merge(&mut self, other: &Self) {
+        nnet::ConfusionMatrix::merge(self, other);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,6 +4,7 @@
 //! geometry: any partition of the trials, folded in any order, must
 //! yield the same run-level total.
 
+use nnet::ConfusionMatrix;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -28,6 +29,17 @@ fn fault_log_from(seed: u64) -> FaultLog {
         bursts: rng.gen_range(0..1_000),
         clamped_steps: rng.gen_range(0..1_000),
     }
+}
+
+fn confusion_from(seed: u64, classes: usize) -> ConfusionMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0F5);
+    let mut m = ConfusionMatrix::new(classes);
+    for _ in 0..rng.gen_range(0..50usize) {
+        let truth = rng.gen_range(0..classes);
+        let pred = rng.gen_range(0..classes);
+        m.record(truth, pred);
+    }
+    m
 }
 
 /// Asserts the three merge laws for arbitrary `(x, y, z)`.
@@ -66,6 +78,24 @@ proptest! {
     #[test]
     fn fault_logs_obey_the_merge_laws(sx in 0u64..100_000, sy in 0u64..100_000, sz in 0u64..100_000) {
         assert_merge_laws(&fault_log_from(sx), &fault_log_from(sy), &fault_log_from(sz));
+    }
+
+    /// The streaming evaluator's tally is a [`ConfusionMatrix`]; its
+    /// chunk-geometry independence rides on the same laws. The
+    /// zero-class [`ConfusionMatrix::empty`] is the identity even
+    /// though the operands carry a concrete class count.
+    #[test]
+    fn confusion_matrices_obey_the_merge_laws(
+        sx in 0u64..100_000,
+        sy in 0u64..100_000,
+        sz in 0u64..100_000,
+        classes in 1usize..6,
+    ) {
+        assert_merge_laws(
+            &confusion_from(sx, classes),
+            &confusion_from(sy, classes),
+            &confusion_from(sz, classes),
+        );
     }
 
     /// Geometry independence, end to end: any partition of a trial

@@ -206,6 +206,14 @@ impl SegProbe {
     /// clearing it first (the reusable-buffer core of
     /// [`probe_for`](Self::probe_for)).
     ///
+    /// The deadline is `machine.now() + duration` computed with
+    /// [`Ps::checked_add`]: when the sum would overflow — a duration at
+    /// or near [`Ps::MAX`] on a machine that has already advanced — the
+    /// deadline saturates to [`Ps::MAX`] instead of wrapping or
+    /// panicking, turning an overflowing window into "probe until the
+    /// clock's end of time". The same guard protects the per-sample
+    /// bound handed to [`probe_once_bounded`](Self::probe_once_bounded).
+    ///
     /// # Errors
     ///
     /// See [`SegProbe::probe_once_bounded`]. On error, samples collected
@@ -235,6 +243,36 @@ impl SegProbe {
     /// Probes for a wall-clock duration (used by the Table II comparison:
     /// "run each technique for 10 seconds"). Returns all samples whose
     /// interval *ended* within the window.
+    ///
+    /// # Overflow behaviour
+    ///
+    /// The window deadline `machine.now() + duration` saturates to
+    /// [`Ps::MAX`] on overflow (`checked_add` + `unwrap_or`) rather than
+    /// wrapping: an extreme `duration` means "probe as long as the clock
+    /// can represent", never a panic or a deadline in the past. The
+    /// single-interrupt guard in
+    /// [`probe_once_bounded`](Self::probe_once_bounded) carries the same
+    /// saturation, so even `Ps::MAX` itself is a safe bound:
+    ///
+    /// ```
+    /// use irq::time::Ps;
+    /// use segscope::SegProbe;
+    /// use segsim::{Machine, MachineConfig};
+    ///
+    /// let mut m = Machine::new(MachineConfig::default(), 7);
+    /// let mut probe = SegProbe::new();
+    ///
+    /// // A finite window: samples whose interval ended inside it.
+    /// let samples = probe.probe_for(&mut m, Ps::from_ms(40))?;
+    /// assert!(!samples.is_empty());
+    ///
+    /// // A saturating per-interrupt bound: `now() + Ps::MAX` would
+    /// // overflow, but the deadline clamps to `Ps::MAX` and the probe
+    /// // simply waits for the next interrupt — no panic, no wrap.
+    /// let sample = probe.probe_once_bounded(&mut m, Ps::MAX)?;
+    /// assert!(sample.segcnt > 0);
+    /// # Ok::<(), segscope::ProbeError>(())
+    /// ```
     ///
     /// # Errors
     ///

@@ -1,0 +1,233 @@
+//! Post-training weight quantization: per-row scales, integer inner
+//! loops, deterministic by construction.
+
+use crate::model::StepModel;
+use crate::session::{StreamSession, Verdict};
+use nnet::{Mat, SeqClassifier, SeqExample};
+use serde::{Deserialize, Serialize};
+
+/// Weight quantization width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantScheme {
+    /// 8-bit weights (values clamped to ±127).
+    I8,
+    /// 16-bit weights (values clamped to ±32767).
+    I16,
+}
+
+impl QuantScheme {
+    /// Largest representable magnitude.
+    #[must_use]
+    pub fn qmax(self) -> i32 {
+        match self {
+            QuantScheme::I8 => 127,
+            QuantScheme::I16 => 32767,
+        }
+    }
+
+    /// Scheme name for reports (`"i8"` / `"i16"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantScheme::I8 => "i8",
+            QuantScheme::I16 => "i16",
+        }
+    }
+}
+
+/// A weight matrix quantized symmetrically per row: `w[r, f] ≈ q[r, f] ·
+/// row_scale[r]` with the folded-in bias column kept in `f32` (biases
+/// are few and additive error there is pure loss).
+///
+/// Storage is `i16` for both schemes; the i8 scheme simply clamps to
+/// ±127, so one integer kernel serves both.
+#[derive(Debug, Clone, PartialEq)]
+struct QuantizedMat {
+    rows: usize,
+    feat: usize,
+    q: Vec<i16>,
+    row_scale: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl QuantizedMat {
+    /// Quantizes a bias-folded matrix (`feat = cols - 1` weight columns
+    /// plus the bias column).
+    fn quantize(m: &Mat, qmax: i32) -> Self {
+        assert!(m.cols() > 0, "quantization needs a bias column");
+        let (rows, feat) = (m.rows(), m.cols() - 1);
+        let mut q = Vec::with_capacity(rows * feat);
+        let mut row_scale = Vec::with_capacity(rows);
+        let mut bias = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let (w, b) = m.row(r).split_at(feat);
+            let max_abs = w.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+            let scale = if max_abs == 0.0 {
+                0.0
+            } else {
+                max_abs / qmax as f32
+            };
+            for &v in w {
+                let qv = if scale == 0.0 {
+                    0
+                } else {
+                    (v / scale).round().clamp(-(qmax as f32), qmax as f32) as i16
+                };
+                q.push(qv);
+            }
+            row_scale.push(scale);
+            bias.push(b[0]);
+        }
+        QuantizedMat {
+            rows,
+            feat,
+            q,
+            row_scale,
+            bias,
+        }
+    }
+
+    /// `out[r * lanes + l] = (Σ_f q[r, f] · xq[f * lanes + l]) ·
+    /// row_scale[r] · x_scale[l] + bias[r]` — the dequant-free integer
+    /// inner loop. Integer accumulation is exact, so each lane's result
+    /// is independent of `lanes` by construction.
+    fn matvec_soa(&self, xq: &[i32], x_scale: &[f32], lanes: usize, out: &mut [f32]) {
+        debug_assert_eq!(xq.len(), self.feat * lanes);
+        debug_assert_eq!(x_scale.len(), lanes);
+        debug_assert_eq!(out.len(), self.rows * lanes);
+        for (r, (out_row, &rs)) in out.chunks_exact_mut(lanes).zip(&self.row_scale).enumerate() {
+            let qrow = &self.q[r * self.feat..(r + 1) * self.feat];
+            let brow = self.bias[r];
+            for (l, (o, &xs)) in out_row.iter_mut().zip(x_scale).enumerate() {
+                let mut acc = 0i64;
+                for (f, &qv) in qrow.iter().enumerate() {
+                    acc += i64::from(qv) * i64::from(xq[f * lanes + l]);
+                }
+                *o = (acc as f32) * rs * xs + brow;
+            }
+        }
+    }
+}
+
+/// A post-training quantized [`SeqClassifier`]: i8/i16 weights with
+/// per-row scales, per-step symmetric input quantization with a
+/// per-lane scale, and `f32` gate nonlinearities.
+///
+/// Implements [`StepModel`], so it plugs into the same
+/// [`StreamSession`]/[`crate::SessionBatch`] machinery as the `f64`
+/// model; batched and sequential serving are bit-identical because the
+/// integer accumulation is exact (order-free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedSeqClassifier {
+    input: usize,
+    hidden: usize,
+    classes: usize,
+    scheme: QuantScheme,
+    lstm_w: QuantizedMat,
+    head_w: QuantizedMat,
+}
+
+impl QuantizedSeqClassifier {
+    /// Quantizes a trained classifier's weights.
+    #[must_use]
+    pub fn quantize(model: &SeqClassifier, scheme: QuantScheme) -> Self {
+        let qmax = scheme.qmax();
+        QuantizedSeqClassifier {
+            input: model.lstm().input_dim(),
+            hidden: model.lstm().hidden_dim(),
+            classes: model.classes(),
+            scheme,
+            lstm_w: QuantizedMat::quantize(model.lstm().weights(), qmax),
+            head_w: QuantizedMat::quantize(model.head().weights(), qmax),
+        }
+    }
+
+    /// The quantization scheme.
+    #[must_use]
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// Predicted class for one full trace (streams it through a
+    /// [`StreamSession`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence.
+    #[must_use]
+    pub fn predict(&self, xs: &[Vec<f32>]) -> usize {
+        assert!(!xs.is_empty(), "cannot classify an empty sequence");
+        let mut session = StreamSession::new(self, xs.len());
+        let mut verdict: Option<Verdict> = None;
+        for x in xs {
+            verdict = session.push(self, x);
+        }
+        verdict.expect("final timestep yields the verdict").class
+    }
+
+    /// Top-1 accuracy over a labeled set (the accuracy-delta gate
+    /// compares this against [`SeqClassifier::accuracy`]).
+    #[must_use]
+    pub fn accuracy(&self, examples: &[SeqExample]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let hits = examples
+            .iter()
+            .filter(|ex| self.predict(&ex.xs) == ex.label)
+            .count();
+        hits as f64 / examples.len() as f64
+    }
+
+    /// Symmetrically quantizes each lane column of a feature-major
+    /// input block: `xq = round(x / x_scale[l])` with `x_scale[l] =
+    /// max_abs(lane l) / qmax`.
+    fn quantize_input_soa(&self, x: &[f32], feat: usize, lanes: usize) -> (Vec<i32>, Vec<f32>) {
+        let qmax = self.scheme.qmax();
+        let mut x_scale = vec![0.0f32; lanes];
+        for (l, scale) in x_scale.iter_mut().enumerate() {
+            let mut max_abs = 0.0f32;
+            for f in 0..feat {
+                max_abs = max_abs.max(x[f * lanes + l].abs());
+            }
+            *scale = if max_abs == 0.0 {
+                0.0
+            } else {
+                max_abs / qmax as f32
+            };
+        }
+        let mut xq = vec![0i32; feat * lanes];
+        for (i, (qv, &v)) in xq.iter_mut().zip(x).enumerate() {
+            let scale = x_scale[i % lanes];
+            if scale != 0.0 {
+                *qv = (v / scale).round().clamp(-(qmax as f32), qmax as f32) as i32;
+            }
+        }
+        (xq, x_scale)
+    }
+}
+
+impl StepModel for QuantizedSeqClassifier {
+    fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn gate_pre_soa(&self, concat: &[f32], lanes: usize, pre: &mut [f32]) {
+        let feat = self.input + self.hidden;
+        let (xq, x_scale) = self.quantize_input_soa(concat, feat, lanes);
+        self.lstm_w.matvec_soa(&xq, &x_scale, lanes, pre);
+    }
+
+    fn head_logits(&self, hidden: &[f32], out: &mut [f32]) {
+        let (xq, x_scale) = self.quantize_input_soa(hidden, self.hidden, 1);
+        self.head_w.matvec_soa(&xq, &x_scale, 1, out);
+    }
+}

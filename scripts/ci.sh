@@ -58,6 +58,21 @@ elif ! cmp -s target/covert.report.json tests/golden/covert.report.json; then
     exit 1
 fi
 
+echo "==> segscope serve-bench smoke + golden verdict diff"
+# The streaming-serving smoke: batched and sequential serving must
+# agree on the verdict FNV (the binary hard-errors on divergence), and
+# the whole report — verdict hashes included — must match the
+# checked-in golden byte for byte.
+"$SEGSCOPE" serve-bench --out target/serve.report.json >/dev/null
+if [[ "${SEGSCOPE_BLESS:-0}" == "1" ]]; then
+    cp target/serve.report.json tests/golden/serve.report.json
+    echo "blessed tests/golden/serve.report.json"
+elif ! cmp -s target/serve.report.json tests/golden/serve.report.json; then
+    echo "segscope serve-bench report drifted from tests/golden/serve.report.json;" >&2
+    echo "if intentional: SEGSCOPE_BLESS=1 scripts/ci.sh (or cp target/serve.report.json tests/golden/)" >&2
+    exit 1
+fi
+
 echo "==> segscope_trace example (release) + golden trace diff"
 SEGSCOPE_TRACE=target/keystroke.trace.json \
     cargo run --release --offline --example segscope_trace >/dev/null
@@ -77,6 +92,9 @@ cmp target/covert.report.determinism.json tests/golden/covert.report.json
 SEGSCOPE_BLESS=0 SEGSCOPE_TRACE=target/keystroke.trace.determinism.json \
     cargo run --release --offline --example segscope_trace >/dev/null
 cmp target/keystroke.trace.determinism.json tests/golden/keystroke.trace.json
+SEGSCOPE_BLESS=0 "$SEGSCOPE" serve-bench \
+    --out target/serve.report.determinism.json >/dev/null
+cmp target/serve.report.determinism.json tests/golden/serve.report.json
 
 echo "==> bench_hotpath (quick) + BENCH_hotpath.json schema"
 # Absolute path: cargo bench runs the harness with the package dir as cwd.
@@ -117,6 +135,23 @@ for key in spec cells trials_per_cell arms shards wall_s cells_per_s \
            report_digest identical multi_core full_scale note; do
     if ! grep -q "\"$key\"" target/BENCH_campaign.json; then
         echo "target/BENCH_campaign.json missing key \"$key\"" >&2
+        exit 1
+    fi
+done
+
+echo "==> bench_serve (quick) + BENCH_serve.json schema"
+# validate() inside the binary enforces the hard gates: every batched
+# arm's verdict stream bit-identical (FNV-folded) to the sequential
+# baseline at capacities 1/8/64 on both precisions, quantized accuracy
+# within budget of the f64 model (>= 3x batched session throughput on
+# multi-core hosts).
+SEGSCOPE_BENCH_JSON="$PWD/target/BENCH_serve.json" \
+    cargo bench -q --offline -p segscope-bench --bench bench_serve >/dev/null
+for key in sessions steps_per_session arms sequential quant precision \
+           capacity sessions_per_s speedup verdict_fnv scheme \
+           accuracy_delta eval_examples threads multi_core full_scale note; do
+    if ! grep -q "\"$key\"" target/BENCH_serve.json; then
+        echo "target/BENCH_serve.json missing key \"$key\"" >&2
         exit 1
     fi
 done

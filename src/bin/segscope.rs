@@ -12,6 +12,7 @@
 //! segscope replay --in PATH [--from EVENT]
 //! segscope bisect [SHARED SPEC FLAGS] [per-side -a/-b flags] [--every K]
 //! segscope campaign spec|run|status|resume|report ...
+//! segscope serve-bench [--sessions N] [--capacity N] [--quant i8|i16]
 //! ```
 //!
 //! Every run goes through the same generic deterministic driver
@@ -49,6 +50,14 @@ USAGE:
     segscope campaign status --out DIR
     segscope campaign resume --out DIR [CAMPAIGN OPTIONS]
     segscope campaign report --out DIR
+    segscope serve-bench [--sessions N] [--capacity N] [--quant i8|i16]
+                         [--out PATH]
+
+`serve-bench` collects fixed-seed website traces, serves them through
+the streaming engine (the serve crate) sequentially and batched,
+verifies the batched/sequential verdict identity, and prints a fully
+deterministic JSON report (verdict FNV, quantized agreement — no
+timing), suitable for golden comparison in CI.
 
 `campaign spec --defense-matrix` emits the enclave attack x defense
 matrix instead of the full grid: {aexcount, heckler, keystroke} x
@@ -110,6 +119,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("bisect") => cmd_bisect(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("serve-bench") => cmd_serve_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -209,6 +219,13 @@ fn has_machine_field(params: &Value) -> bool {
     matches!(params, Value::Map(entries) if entries.iter().any(|(k, _)| k == "machine"))
 }
 
+/// Whether a params value has a top-level `streaming` flag — the field
+/// streaming-eval-capable scenarios carry (mirrors the
+/// defense-applicability probe above).
+fn has_streaming_field(params: &Value) -> bool {
+    matches!(params, Value::Map(entries) if entries.iter().any(|(k, _)| k == "streaming"))
+}
+
 fn cmd_describe(args: &[String]) -> Result<(), String> {
     let [name] = args else {
         return Err(format!("usage: segscope describe <name>\n\n{USAGE}"));
@@ -223,6 +240,14 @@ fn cmd_describe(args: &[String]) -> Result<(), String> {
         );
     } else {
         println!("defenses: not applicable (config has no `machine` field)");
+    }
+    if has_streaming_field(&params) {
+        println!(
+            "streaming eval: supported (set the config's `streaming` flag; \
+             verdicts land in the trace as serve_verdict events)"
+        );
+    } else {
+        println!("streaming eval: not applicable (config has no `streaming` field)");
     }
     println!(
         "default params: {}",
@@ -854,5 +879,132 @@ fn cmd_campaign_report(args: &[String]) -> Result<(), String> {
     write_file(&report_path, report.to_json() + "\n")?;
     print_campaign_summary(&report);
     println!("report -> {report_path}");
+    Ok(())
+}
+
+/// `segscope serve-bench` report. Every field is a pure function of the
+/// flags (no timing), so CI compares the whole JSON line against a
+/// golden.
+#[derive(Serialize)]
+struct ServeBenchReport {
+    /// Concurrent sessions served.
+    sessions: usize,
+    /// Timesteps per session (the website config's pooled length).
+    steps_per_session: usize,
+    /// Batcher lane capacity.
+    capacity: usize,
+    /// FNV-1a identity of the f64 verdict sequence (batched verified
+    /// identical to sequential before printing).
+    verdict_fnv: String,
+    /// Quantization scheme of the quantized arm.
+    quant: String,
+    /// FNV-1a identity of the quantized verdict sequence.
+    quant_verdict_fnv: String,
+    /// Fraction of sessions where the quantized verdict agrees with f64.
+    quant_agreement: f64,
+}
+
+/// Auxiliary stream of the serve-bench model (distinct from every
+/// scenario stream).
+const SERVE_BENCH_STREAM: u64 = 0x5EBE;
+
+fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
+    let mut sessions = 12usize;
+    let mut capacity = 8usize;
+    let mut scheme = serve::QuantScheme::I16;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--sessions" => {
+                sessions = parse_u64(&value()?, flag)? as usize;
+                if sessions == 0 {
+                    return Err("`--sessions` must be at least 1".to_owned());
+                }
+            }
+            "--capacity" => {
+                capacity = parse_u64(&value()?, flag)? as usize;
+                if capacity == 0 {
+                    return Err("`--capacity` must be at least 1".to_owned());
+                }
+            }
+            "--quant" => {
+                scheme = match value()?.as_str() {
+                    "i8" => serve::QuantScheme::I8,
+                    "i16" => serve::QuantScheme::I16,
+                    other => return Err(format!("`--quant` must be i8 or i16, got `{other}`")),
+                };
+            }
+            "--out" => out = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    use attacks::website::{Browser, Setting, WebsiteFpConfig};
+    let config = WebsiteFpConfig::quick(Browser::Chrome, Setting::DifferentCores);
+    // One fixed-seed website trace per session, round-robin over sites;
+    // the trial seeds mirror the scenario driver's derivation.
+    let traces: Vec<Vec<Vec<f32>>> = (0..sessions)
+        .map(|i| {
+            let site = i % config.n_sites;
+            let trace = attacks::website::collect_trace(
+                &config,
+                site,
+                segscope_repro::exec::derive_seed(config.seed, i as u64),
+            );
+            attacks::website::trace_to_example(&trace, config.pooled_len, site).xs
+        })
+        .collect();
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(segscope_repro::exec::derive_seed(
+        config.seed,
+        SERVE_BENCH_STREAM,
+    ));
+    let model = segscope_repro::nnet::SeqClassifier::new(
+        2,
+        config.hidden,
+        config.n_sites,
+        &mut rng,
+        segscope_repro::nnet::AdamConfig::default(),
+    );
+    let sequential = serve::serve_sequential(&model, &traces);
+    let batched = serve::serve_batched(&model, &traces, capacity);
+    if batched != sequential {
+        return Err(format!(
+            "batched serving diverged from sequential at capacity {capacity} — \
+             the serve parity contract is broken"
+        ));
+    }
+    let quantized = serve::QuantizedSeqClassifier::quantize(&model, scheme);
+    let q_sequential = serve::serve_sequential(&quantized, &traces);
+    let q_batched = serve::serve_batched(&quantized, &traces, capacity);
+    if q_batched != q_sequential {
+        return Err(format!(
+            "quantized batched serving diverged from sequential at capacity {capacity}"
+        ));
+    }
+    let agree = sequential
+        .iter()
+        .zip(&q_sequential)
+        .filter(|(a, b)| a.class == b.class)
+        .count();
+    let report = ServeBenchReport {
+        sessions,
+        steps_per_session: config.pooled_len,
+        capacity,
+        verdict_fnv: format!("0x{:016x}", serve::verdict_fnv(&sequential)),
+        quant: scheme.name().to_owned(),
+        quant_verdict_fnv: format!("0x{:016x}", serve::verdict_fnv(&q_sequential)),
+        quant_agreement: agree as f64 / sessions as f64,
+    };
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    println!("{json}");
+    if let Some(path) = &out {
+        write_file(path, format!("{json}\n"))?;
+    }
     Ok(())
 }

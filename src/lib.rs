@@ -17,6 +17,9 @@
 //! * [`segscope`] — the paper's contribution: the probe, the guard, the
 //!   timer, and the timer-based baselines;
 //! * [`nnet`] — the LSTM/BiLSTM classifiers;
+//! * [`serve`] — the streaming inference engine: cross-session SoA
+//!   batching, lane recycling, and i8/i16 post-training quantization,
+//!   bit-identical to the batch classifier;
 //! * [`scenario`] — the uniform `Scenario` trait, generic deterministic
 //!   driver, and registry machinery behind the `segscope` CLI;
 //! * [`attacks`] — the six end-to-end case studies plus three extension
@@ -41,6 +44,7 @@ pub use obs;
 pub use scenario;
 pub use segscope;
 pub use segsim;
+pub use serve;
 pub use specsim;
 pub use x86seg;
 
